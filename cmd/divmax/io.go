@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+
+	"divmax"
+	"divmax/internal/dataset"
+)
+
+func readCSV(r io.Reader) ([]divmax.Vector, error) {
+	pts, err := dataset.ReadVectorsCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := dataset.ValidateVectors(pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func readSparse(r io.Reader) ([]divmax.SparseVector, error) {
+	docs, err := dataset.ReadSparse(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := dataset.ValidateSparse(docs); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}

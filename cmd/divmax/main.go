@@ -1,0 +1,116 @@
+// Command divmax solves diversity maximization over a dataset file.
+//
+// Usage:
+//
+//	divmax -input points.csv -k 10 [flags]
+//
+// Input formats: CSV (one point per row, coordinates as columns,
+// Euclidean distance) or musiXmatch-style sparse text ("term:count ..."
+// per line, cosine distance) selected by -format. Modes: seq (in-memory
+// sequential approximation), stream (1-pass streaming), stream2 (2-pass
+// generalized, delegate-based measures only), mr (2-round MapReduce),
+// mr3 (3-round generalized MapReduce).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"divmax"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "dataset file (required)")
+		format  = flag.String("format", "csv", "input format: csv (Euclidean) or sparse (cosine)")
+		measure = flag.String("measure", "remote-edge", "diversity measure (remote-edge, remote-clique, remote-star, remote-bipartition, remote-tree, remote-cycle)")
+		k       = flag.Int("k", 10, "solution size")
+		kprime  = flag.Int("kprime", 0, "core-set kernel size (default 4k)")
+		mode    = flag.String("mode", "seq", "algorithm: seq, stream, stream2, mr, mr3")
+		ell     = flag.Int("parallelism", 4, "MapReduce parallelism (mr/mr3)")
+		quiet   = flag.Bool("quiet", false, "print only the diversity value")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "divmax: -input is required")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	m, err := divmax.ParseMeasure(*measure)
+	fatalIf(err)
+	if *kprime == 0 {
+		*kprime = 4 * *k
+	}
+
+	f, err := os.Open(*input)
+	fatalIf(err)
+	defer f.Close()
+
+	start := time.Now()
+	switch *format {
+	case "csv":
+		pts, err := readCSV(f)
+		fatalIf(err)
+		sol, val := solve(m, pts, *k, *kprime, *mode, *ell, divmax.Euclidean)
+		report(*quiet, m, val, time.Since(start), len(pts), stringers(sol))
+	case "sparse":
+		docs, err := readSparse(f)
+		fatalIf(err)
+		sol, val := solve(m, docs, *k, *kprime, *mode, *ell, divmax.CosineDistance)
+		report(*quiet, m, val, time.Since(start), len(docs), stringers(sol))
+	default:
+		fmt.Fprintf(os.Stderr, "divmax: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+func solve[P any](m divmax.Measure, pts []P, k, kprime int, mode string, ell int, d divmax.Distance[P]) ([]P, float64) {
+	var sol []P
+	var err error
+	switch mode {
+	case "seq":
+		sol, _ = divmax.MaxDiversity(m, pts, k, d)
+	case "stream":
+		sol = divmax.StreamingSolve(m, divmax.SliceStream(pts), k, kprime, d)
+	case "stream2":
+		sol, err = divmax.StreamingSolveTwoPass(m, divmax.SliceStream(pts), k, kprime, d)
+	case "mr":
+		sol, err = divmax.MapReduceSolve(m, pts, k, divmax.MRConfig{Parallelism: ell, KPrime: kprime}, d)
+	case "mr3":
+		sol, err = divmax.MapReduceSolve3(m, pts, k, divmax.MRConfig{Parallelism: ell, KPrime: kprime}, d)
+	default:
+		fmt.Fprintf(os.Stderr, "divmax: unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+	fatalIf(err)
+	val, _ := divmax.Evaluate(m, sol, d)
+	return sol, val
+}
+
+func report(quiet bool, m divmax.Measure, val float64, elapsed time.Duration, n int, sol []string) {
+	if quiet {
+		fmt.Printf("%g\n", val)
+		return
+	}
+	fmt.Printf("points\t%d\nmeasure\t%v\ndiversity\t%g\ntime\t%v\n", n, m, val, elapsed)
+	for i, s := range sol {
+		fmt.Printf("solution[%d]\t%s\n", i, s)
+	}
+}
+
+func stringers[P fmt.Stringer](sol []P) []string {
+	out := make([]string, len(sol))
+	for i, p := range sol {
+		out[i] = p.String()
+	}
+	return out
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divmax:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) at laptop scale. Usage:
+//
+//	experiments [flags] fig1|fig2|fig3|fig4|table4|fig5|adversarial|all
+//
+// Sizes default far below the paper's cluster runs (10⁸–1.6×10⁹ points);
+// raise -n (and -base-n for fig5) to approach them. Results print as
+// aligned text tables with the same rows/series as the paper's plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"divmax/internal/experiments"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 50000, "dataset size for fig1-fig4, table4, adversarial")
+		runs  = flag.Int("runs", 3, "runs averaged per configuration (paper: >= 10)")
+		seed  = flag.Int64("seed", 20170101, "base random seed")
+		k     = flag.Int("k", 64, "solution size for fig4/adversarial (paper: 128)")
+		baseN = flag.Int("base-n", 100000, "smallest dataset size for fig5 (paper: 1e8)")
+		steps = flag.Int("steps", 3, "fig5 size doublings (paper: 5)")
+		agg   = flag.Int("s", 1024, "fig5 aggregate core-set size s = ℓ·k' (paper: 2048)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|fig3|fig4|table4|fig5|adversarial|measures|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	scale := experiments.Scale{N: *n, Runs: *runs, Seed: *seed}
+	which := flag.Arg(0)
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			grid, err := experiments.Fig1(scale, []int{8, 32, 128})
+			check(err)
+			grid.Print(os.Stdout)
+		case "fig2":
+			grid, err := experiments.Fig2(scale, []int{8, 32, 128})
+			check(err)
+			grid.Print(os.Stdout)
+		case "fig3":
+			res, err := experiments.Fig3(scale, []int{8, 32, 128})
+			check(err)
+			res.Print(os.Stdout)
+			syn, err := experiments.Fig3Synthetic(scale, []int{8, 32, 128})
+			check(err)
+			syn.Print(os.Stdout)
+		case "fig4":
+			res, err := experiments.Fig4(scale, *k)
+			check(err)
+			res.Print(os.Stdout)
+		case "table4":
+			res, err := experiments.Table4(experiments.Table4Config{
+				N: *n, Ks: []int{4, 6, 8}, Reducers: 16, CPPUKPrime: 128,
+				RefRuns: *runs, Seed: *seed,
+			})
+			check(err)
+			res.Print(os.Stdout)
+		case "fig5":
+			res, err := experiments.Fig5(experiments.Fig5Config{
+				BaseN: *baseN, SizeSteps: *steps,
+				Processors: []int{1, 2, 4, 8, 16},
+				K:          *k, AggregateSize: *agg, Seed: *seed,
+			})
+			check(err)
+			res.Print(os.Stdout)
+		case "adversarial":
+			random, adv, err := experiments.Adversarial(scale, *k)
+			check(err)
+			random.Print(os.Stdout)
+			adv.Print(os.Stdout)
+		case "measures":
+			res, err := experiments.MeasureSweep(scale, 8, 32)
+			check(err)
+			res.Print(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "table4", "fig5", "adversarial", "measures"} {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

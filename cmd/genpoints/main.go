@@ -1,0 +1,64 @@
+// Command genpoints generates the paper's benchmark datasets.
+//
+// Usage:
+//
+//	genpoints -kind sphere -n 100000 -k 128 -dim 3 > points.csv
+//	genpoints -kind lyrics -n 50000 > songs.txt
+//
+// sphere emits CSV vectors (k points on the unit sphere surface, the
+// rest uniform in the radius-0.8 ball — the paper's synthetic
+// distribution); lyrics emits musiXmatch-style sparse documents.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"divmax/internal/dataset"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "sphere", "dataset kind: sphere or lyrics")
+		n    = flag.Int("n", 100000, "number of points")
+		k    = flag.Int("k", 128, "planted far points (sphere)")
+		dim  = flag.Int("dim", 3, "dimension (sphere)")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	switch *kind {
+	case "sphere":
+		pts, err := dataset.Sphere(dataset.SphereConfig{N: *n, K: *k, Dim: *dim, Seed: *seed})
+		fatalIf(err)
+		pts = dataset.Shuffle(pts, *seed+1)
+		fatalIf(dataset.WriteVectorsCSV(bw, pts))
+	case "lyrics":
+		docs, err := dataset.Lyrics(dataset.LyricsConfig{N: *n, Seed: *seed})
+		fatalIf(err)
+		fatalIf(dataset.WriteSparse(bw, docs))
+	default:
+		fmt.Fprintf(os.Stderr, "genpoints: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genpoints:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+package divmax
+
+import (
+	"divmax/internal/coreset"
+)
+
+// Coreset builds the paper's core-set for measure m on pts: the GMM
+// farthest-first kernel of k′ points for remote-edge and remote-cycle
+// (Theorem 4), or the GMM-EXT kernel-plus-delegates set of up to k·k′
+// points for the other four measures (Theorem 5). A solution computed on
+// the core-set by MaxDiversity is within a factor α+ε of the optimum over
+// pts, with ε shrinking as k′ grows (ε → 0 as k′ → (c/ε′)^D·k in
+// doubling dimension D; in practice k′ a small multiple of k already
+// gives ratios near 1, see EXPERIMENTS.md).
+//
+// Core-sets built this way are composable: the union of core-sets of the
+// parts of any partition of the data is a core-set of the whole. That is
+// the principle behind MapReduceSolve, and it also lets callers
+// parallelize or shard core-set construction themselves.
+//
+// It panics if k < 1 or kprime < k.
+func Coreset[P any](m Measure, pts []P, k, kprime int, d Distance[P]) []P {
+	if m.NeedsInjectiveProxy() {
+		return coreset.GMMExt(pts, k, kprime, 0, d)
+	}
+	return coreset.GMM(pts, kprime, 0, d).Points
+}
+
+// WeightedPoint is a point of a generalized core-set together with its
+// multiplicity (the number of nearby delegates it stands for).
+type WeightedPoint[P any] = coreset.Weighted[P]
+
+// GeneralizedCoreset is the compact core-set encoding of the paper's
+// Section 6: kernel points with multiplicities instead of materialized
+// delegates. It is the exchange format of the memory-reduced algorithms
+// (StreamingSolveTwoPass, MapReduceSolve3).
+type GeneralizedCoreset[P any] = coreset.Generalized[P]
+
+// GeneralizedCoresetOf builds the GMM-GEN generalized core-set for the
+// four delegate-based measures (remote-clique, -star, -bipartition,
+// -tree): s(T) = min(k′,n) pairs with expanded size ≤ k·k′ (Lemma 8).
+// It panics if k < 1 or kprime < k.
+func GeneralizedCoresetOf[P any](pts []P, k, kprime int, d Distance[P]) GeneralizedCoreset[P] {
+	return coreset.GMMGen(pts, k, kprime, 0, d)
+}
+
+// InstantiateCoreset realizes a generalized core-set as concrete points:
+// for each (p, m_p) pair it selects m_p distinct points of source within
+// distance delta of p, disjoint across pairs (a δ-instantiation, Lemma
+// 7). It returns an error when delta is too small to fill every
+// multiplicity.
+func InstantiateCoreset[P any](g GeneralizedCoreset[P], source []P, delta float64, d Distance[P]) ([]P, error) {
+	return coreset.Instantiate(g, source, delta, d)
+}
+
+// KernelRadius returns r_T for the GMM kernel of size kprime on pts: the
+// maximum distance from any input point to the kernel. It is the δ to
+// use when instantiating a GeneralizedCoresetOf the same pts.
+func KernelRadius[P any](pts []P, kprime int, d Distance[P]) float64 {
+	return coreset.GMM(pts, kprime, 0, d).Radius
+}
+
+// CoresetParallel is Coreset with the farthest-first traversal's O(n)
+// inner loop sharded across worker goroutines (0 = NumCPU). It selects
+// exactly the same points as Coreset; use it for single-machine core-set
+// construction over large in-memory datasets. (The MapReduce drivers
+// already parallelize across partitions and use the sequential
+// traversal per reducer, as the paper's model prescribes.)
+func CoresetParallel[P any](m Measure, pts []P, k, kprime, workers int, d Distance[P]) []P {
+	if m.NeedsInjectiveProxy() {
+		// Delegate selection reuses the parallel kernel's assignment.
+		res := coreset.GMMParallel(pts, kprime, 0, workers, d)
+		if len(res.Points) == 0 {
+			return nil
+		}
+		out := make([]P, 0, len(res.Points)*k)
+		out = append(out, res.Points...)
+		taken := make([]int, len(res.Points))
+		for i, p := range pts {
+			c := res.Assign[i]
+			if i == res.Indices[c] {
+				continue
+			}
+			if taken[c] < k-1 {
+				taken[c]++
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return coreset.GMMParallel(pts, kprime, 0, workers, d).Points
+}

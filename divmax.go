@@ -1,0 +1,151 @@
+// Package divmax is a Go implementation of the diversity-maximization
+// algorithms of Ceccarello, Pietracaprina, Pucci, and Upfal, "MapReduce
+// and Streaming Algorithms for Diversity Maximization in Metric Spaces of
+// Bounded Doubling Dimension" (PVLDB 10(5), 2017).
+//
+// Given a dataset of points in a metric space and an integer k, a
+// diversity-maximization problem asks for k points maximizing one of six
+// objectives (Measure): the minimum pairwise distance (RemoteEdge), the
+// sum of pairwise distances (RemoteClique), the minimum star weight
+// (RemoteStar), the minimum balanced-bipartition cut (RemoteBipartition),
+// the minimum spanning tree weight (RemoteTree), or the shortest
+// Hamiltonian cycle weight (RemoteCycle). All six are NP-hard; this
+// package provides the paper's constant-factor machinery for three
+// regimes:
+//
+//   - Sequential: MaxDiversity runs the best known linear-space
+//     α-approximation (α per Measure.SequentialAlpha).
+//   - Streaming: StreamingSolve makes one pass with memory independent of
+//     the stream length; StreamingSolveTwoPass trades a second pass for
+//     O(k′) memory on the four delegate-based objectives (Theorem 9).
+//   - MapReduce: MapReduceSolve runs the 2-round algorithm of Theorem 6
+//     on an in-memory MapReduce engine driven by goroutines;
+//     MapReduceSolve3 is the memory-reduced 3-round variant (Theorem 10)
+//     and MapReduceSolveRecursive the multi-round one (Theorem 8).
+//
+// The streaming and MapReduce algorithms first distill the data into a
+// small core-set — a subset guaranteed to contain a near-optimal solution
+// — and then run the sequential algorithm on it. In metric spaces of
+// bounded doubling dimension the core-sets lose only a 1+ε factor, so the
+// end-to-end guarantee is α+ε, matching the sequential quality with one
+// pass or two rounds over arbitrarily large data.
+//
+// Points are generic: any type P works given a Distance[P] satisfying the
+// metric axioms. Ready-made types cover the paper's experiments: Vector
+// with Euclidean distance, SparseVector with CosineDistance, and Set with
+// JaccardDistance.
+package divmax
+
+import (
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// Measure identifies one of the six diversity objectives of the paper's
+// Table 1.
+type Measure = diversity.Measure
+
+// The six diversity measures.
+const (
+	RemoteEdge        = diversity.RemoteEdge
+	RemoteClique      = diversity.RemoteClique
+	RemoteStar        = diversity.RemoteStar
+	RemoteBipartition = diversity.RemoteBipartition
+	RemoteTree        = diversity.RemoteTree
+	RemoteCycle       = diversity.RemoteCycle
+)
+
+// Measures lists all six measures in Table 1 order.
+var Measures = diversity.Measures
+
+// ParseMeasure parses a measure name ("remote-edge", "r-edge", "edge").
+func ParseMeasure(s string) (Measure, error) { return diversity.ParseMeasure(s) }
+
+// Distance is a metric distance function between points of type P. It
+// must be non-negative, symmetric, zero on identical points, satisfy the
+// triangle inequality, and be safe for concurrent use.
+type Distance[P any] = metric.Distance[P]
+
+// Vector is a dense point in d-dimensional Euclidean space.
+type Vector = metric.Vector
+
+// SparseVector is a sparse non-negative vector (e.g. a bag of words),
+// used with CosineDistance.
+type SparseVector = metric.SparseVector
+
+// Set is a finite set of identifiers, used with JaccardDistance.
+type Set = metric.Set
+
+// Ready-made metric distances for the built-in point types.
+var (
+	// Euclidean is the L2 distance between Vectors.
+	Euclidean Distance[Vector] = metric.Euclidean
+	// Manhattan is the L1 distance between Vectors.
+	Manhattan Distance[Vector] = metric.Manhattan
+	// AngularDistance is arccos of the cosine similarity of Vectors.
+	AngularDistance Distance[Vector] = metric.AngularDistance
+	// CosineDistance is the angular distance between SparseVectors, the
+	// metric the paper uses on the musiXmatch dataset.
+	CosineDistance Distance[SparseVector] = metric.CosineDistance
+	// JaccardDistance is 1 − |A∩B|/|A∪B| between Sets.
+	JaccardDistance Distance[Set] = metric.JaccardDistance
+)
+
+// NewSparseVector builds a SparseVector from (term, value) pairs.
+func NewSparseVector(terms []uint32, values []float64) SparseVector {
+	return metric.NewSparseVector(terms, values)
+}
+
+// NewSet builds a Set from (possibly unordered, duplicated) elements.
+func NewSet(elems ...uint64) Set { return metric.NewSet(elems...) }
+
+// Evaluate computes the diversity div(pts) of a candidate solution under
+// measure m. The boolean reports whether the value is exact: evaluation
+// is polynomial for four measures, while remote-cycle and
+// remote-bipartition values are exact only for solution sizes up to 16
+// and 20 respectively and conservative heuristics beyond.
+func Evaluate[P any](m Measure, pts []P, d Distance[P]) (float64, bool) {
+	return diversity.Evaluate(m, pts, d)
+}
+
+// MaxDiversity runs the best known sequential approximation for m on pts
+// and returns min(k, len(pts)) points together with their diversity
+// value. The approximation factor is m.SequentialAlpha(): 2 for
+// remote-edge, -clique, and -star; 3 for remote-bipartition and -cycle;
+// 4 for remote-tree (Table 1). Time is O(k·n) distance evaluations
+// (O(k·n²) for remote-clique); space is linear. It panics if k < 1.
+func MaxDiversity[P any](m Measure, pts []P, k int, d Distance[P]) ([]P, float64) {
+	sol := sequential.Solve(m, pts, k, d)
+	val, _ := diversity.Evaluate(m, sol, d)
+	return sol, val
+}
+
+// Exact solves the problem optimally by enumerating all C(n,k) subsets.
+// It is exponential and intended for tests, calibration, and tiny inputs.
+// The boolean reports whether every subset evaluation was itself exact
+// (see Evaluate).
+func Exact[P any](m Measure, pts []P, k int, d Distance[P]) ([]P, float64, bool) {
+	return sequential.BruteForce(m, pts, k, d)
+}
+
+// Grouped is a point carrying a partition-matroid class, for
+// MaxDiversityPartitioned.
+type Grouped[P any] = sequential.Grouped[P]
+
+// MaxDiversityPartitioned maximizes remote-clique diversity subject to a
+// partition matroid: the k selected points may include at most limits[g]
+// points of group g. This is the constrained generalization the paper
+// points to (Abbassi–Mirrokni–Thakur, KDD'13; Cevallos et al., SoCG'16),
+// solved by feasibility-preserving local search (constant-factor
+// approximation). Use it when diverse results must also respect quotas —
+// e.g. at most two products per brand, at most one result per site.
+// It returns an error when the limits admit fewer than k points.
+func MaxDiversityPartitioned[P any](pts []Grouped[P], limits []int, k int, d Distance[P]) ([]P, float64, error) {
+	sol, err := sequential.MaxDispersionPartitionMatroid(pts, limits, k, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	val, _ := diversity.Evaluate(diversity.RemoteClique, sol, d)
+	return sol, val, nil
+}

@@ -1,0 +1,269 @@
+package divmax_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax"
+)
+
+func randomVectors(rng *rand.Rand, n, dim int) []divmax.Vector {
+	pts := make([]divmax.Vector, n)
+	for i := range pts {
+		v := make(divmax.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func clusters(rng *rand.Rand, centers []divmax.Vector, perCluster int, spread float64) []divmax.Vector {
+	var pts []divmax.Vector
+	for i := 0; i < perCluster; i++ {
+		for _, c := range centers {
+			p := make(divmax.Vector, len(c))
+			for j := range c {
+				p[j] = c[j] + rng.Float64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func TestParseMeasureRoundTrip(t *testing.T) {
+	for _, m := range divmax.Measures {
+		got, err := divmax.ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMeasure(%q) = (%v, %v)", m.String(), got, err)
+		}
+	}
+}
+
+func TestMaxDiversityAgainstExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 10+rng.Intn(4), 2)
+		k := 2 + rng.Intn(2)
+		for _, m := range divmax.Measures {
+			_, got := divmax.MaxDiversity(m, pts, k, divmax.Euclidean)
+			_, opt, _ := divmax.Exact(m, pts, k, divmax.Euclidean)
+			if got < opt/m.SequentialAlpha()-1e-9 || got > opt+1e-9 {
+				t.Logf("%v: got %v, opt %v (seed %d)", m, got, opt, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoresetPreservesDiversity(t *testing.T) {
+	// A solution computed on the core-set must be close to one computed
+	// on the full data.
+	rng := rand.New(rand.NewSource(2))
+	pts := clusters(rng, []divmax.Vector{{0, 0}, {500, 0}, {0, 500}, {500, 500}}, 100, 5)
+	for _, m := range divmax.Measures {
+		core := divmax.Coreset(m, pts, 4, 8, divmax.Euclidean)
+		_, onCore := divmax.MaxDiversity(m, core, 4, divmax.Euclidean)
+		_, onFull := divmax.MaxDiversity(m, pts, 4, divmax.Euclidean)
+		if onCore < onFull*0.8 {
+			t.Errorf("%v: core-set solution %v below 80%% of full-data solution %v", m, onCore, onFull)
+		}
+	}
+}
+
+func TestCoresetComposability(t *testing.T) {
+	// Union of per-part core-sets is a core-set of the union.
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 600, 3)
+	k, kprime := 3, 6
+	var union []divmax.Vector
+	for i := 0; i < 3; i++ {
+		part := pts[i*200 : (i+1)*200]
+		union = append(union, divmax.Coreset(divmax.RemoteEdge, part, k, kprime, divmax.Euclidean)...)
+	}
+	_, onUnion := divmax.MaxDiversity(divmax.RemoteEdge, union, k, divmax.Euclidean)
+	_, onFull := divmax.MaxDiversity(divmax.RemoteEdge, pts, k, divmax.Euclidean)
+	if onUnion < onFull*0.6 {
+		t.Errorf("composed core-set solution %v too far below full solution %v", onUnion, onFull)
+	}
+}
+
+func TestStreamingMatchesMapReduceOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := clusters(rng, []divmax.Vector{{0, 0}, {1000, 0}, {0, 1000}}, 80, 1)
+	k, kprime := 3, 6
+
+	streamSol := divmax.StreamingSolve(divmax.RemoteEdge, divmax.SliceStream(pts), k, kprime, divmax.Euclidean)
+	mrSol, err := divmax.MapReduceSolve(divmax.RemoteEdge, pts, k, divmax.MRConfig{Parallelism: 4, KPrime: kprime}, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := divmax.Evaluate(divmax.RemoteEdge, streamSol, divmax.Euclidean)
+	vm, _ := divmax.Evaluate(divmax.RemoteEdge, mrSol, divmax.Euclidean)
+	if vs < 990 || vm < 990 {
+		t.Fatalf("cluster separation missed: streaming %v, mapreduce %v", vs, vm)
+	}
+}
+
+func TestStreamCoresetIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVectors(rng, 500, 2)
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		sc := divmax.NewStreamCoreset(m, 3, 6, divmax.Euclidean)
+		for _, p := range pts {
+			sc.Process(p)
+		}
+		core := sc.Coreset()
+		if len(core) < 3 {
+			t.Errorf("%v: core-set too small: %d", m, len(core))
+		}
+		if sc.StoredPoints() > 100 {
+			t.Errorf("%v: stored %d points; memory should be tiny", m, sc.StoredPoints())
+		}
+		sol, val := divmax.MaxDiversity(m, core, 3, divmax.Euclidean)
+		if len(sol) != 3 || val <= 0 {
+			t.Errorf("%v: solution (%v, %v)", m, sol, val)
+		}
+	}
+}
+
+func TestTwoPassStreamingPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomVectors(rng, 400, 2)
+	sol, err := divmax.StreamingSolveTwoPass(divmax.RemoteClique, divmax.SliceStream(pts), 4, 8, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != 4 {
+		t.Fatalf("solution size = %d, want 4", len(sol))
+	}
+	if _, err := divmax.StreamingSolveTwoPass(divmax.RemoteEdge, divmax.SliceStream(pts), 4, 8, divmax.Euclidean); err == nil {
+		t.Fatal("remote-edge: expected error from two-pass")
+	}
+}
+
+func TestMapReduce3PublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 300, 2)
+	sol, err := divmax.MapReduceSolve3(divmax.RemoteTree, pts, 4, divmax.MRConfig{Parallelism: 3, KPrime: 8}, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != 4 {
+		t.Fatalf("solution size = %d, want 4", len(sol))
+	}
+}
+
+func TestMapReduceRecursivePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomVectors(rng, 500, 2)
+	sol, rounds, err := divmax.MapReduceSolveRecursive(divmax.RemoteEdge, pts, 3, 64, divmax.MRConfig{Parallelism: 1, KPrime: 6}, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != 3 || rounds < 2 {
+		t.Fatalf("size=%d rounds=%d", len(sol), rounds)
+	}
+}
+
+func TestGeneralizedCoresetPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomVectors(rng, 200, 2)
+	k, kprime := 3, 6
+	g := divmax.GeneralizedCoresetOf(pts, k, kprime, divmax.Euclidean)
+	if g.Size() != kprime {
+		t.Fatalf("generalized size = %d, want %d", g.Size(), kprime)
+	}
+	if g.ExpandedSize() > k*kprime {
+		t.Fatalf("expanded size = %d exceeds k·k'", g.ExpandedSize())
+	}
+	delta := divmax.KernelRadius(pts, kprime, divmax.Euclidean)
+	inst, err := divmax.InstantiateCoreset(g, pts, delta+1e-9, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != g.ExpandedSize() {
+		t.Fatalf("instantiated %d points, want %d", len(inst), g.ExpandedSize())
+	}
+}
+
+func TestRandomizedDelegateCapPublicAPI(t *testing.T) {
+	if got := divmax.RandomizedDelegateCap(1023, 4, 4); got != 10 {
+		t.Fatalf("cap = %d, want 10", got)
+	}
+}
+
+func TestSparseVectorWorkflow(t *testing.T) {
+	// Diversity over documents with the cosine distance, end to end.
+	docs := []divmax.SparseVector{
+		divmax.NewSparseVector([]uint32{0, 1}, []float64{5, 1}),
+		divmax.NewSparseVector([]uint32{0, 1}, []float64{5, 2}),
+		divmax.NewSparseVector([]uint32{2, 3}, []float64{4, 4}),
+		divmax.NewSparseVector([]uint32{4}, []float64{7}),
+	}
+	sol, val := divmax.MaxDiversity(divmax.RemoteEdge, docs, 3, divmax.CosineDistance)
+	if len(sol) != 3 {
+		t.Fatalf("solution size = %d", len(sol))
+	}
+	// The two near-parallel documents must not both appear.
+	if val < 0.5 {
+		t.Fatalf("remote-edge = %v; picked near-duplicate documents", val)
+	}
+}
+
+func TestSetWorkflow(t *testing.T) {
+	sets := []divmax.Set{
+		divmax.NewSet(1, 2, 3),
+		divmax.NewSet(1, 2, 4),
+		divmax.NewSet(10, 11, 12),
+		divmax.NewSet(20, 21),
+	}
+	sol, val := divmax.MaxDiversity(divmax.RemoteEdge, sets, 3, divmax.JaccardDistance)
+	if len(sol) != 3 || val < 0.9 {
+		t.Fatalf("set workflow: size=%d val=%v", len(sol), val)
+	}
+}
+
+func TestEvaluateExactnessFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	small := randomVectors(rng, 8, 2)
+	if _, exact := divmax.Evaluate(divmax.RemoteCycle, small, divmax.Euclidean); !exact {
+		t.Error("remote-cycle on 8 points should be exact")
+	}
+	big := randomVectors(rng, 25, 2)
+	if _, exact := divmax.Evaluate(divmax.RemoteCycle, big, divmax.Euclidean); exact {
+		t.Error("remote-cycle on 25 points should be heuristic")
+	}
+	if v, _ := divmax.Evaluate(divmax.RemoteEdge, randomVectors(rng, 1, 2), divmax.Euclidean); !math.IsInf(v, 1) {
+		t.Error("remote-edge singleton should be +Inf")
+	}
+}
+
+func TestMaxDiversityPartitionedPublicAPI(t *testing.T) {
+	// Quota scenario: at most one result per "site".
+	pts := []divmax.Grouped[divmax.Vector]{
+		{Point: divmax.Vector{0, 0}, Group: 0},
+		{Point: divmax.Vector{100, 0}, Group: 0},
+		{Point: divmax.Vector{0, 100}, Group: 1},
+		{Point: divmax.Vector{100, 100}, Group: 2},
+	}
+	sol, val, err := divmax.MaxDiversityPartitioned(pts, []int{1, 1, 1}, 3, divmax.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != 3 || val <= 0 {
+		t.Fatalf("(%v, %v)", sol, val)
+	}
+	if _, _, err := divmax.MaxDiversityPartitioned(pts, []int{1, 1, 1}, 4, divmax.Euclidean); err == nil {
+		t.Fatal("infeasible k: expected error")
+	}
+}

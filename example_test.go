@@ -1,0 +1,70 @@
+package divmax_test
+
+import (
+	"fmt"
+
+	"divmax"
+)
+
+func ExampleMaxDiversity() {
+	pts := []divmax.Vector{
+		{0, 0}, {0.1, 0}, {0.2, 0.1}, // a tight cluster
+		{10, 0}, // far east
+		{0, 10}, // far north
+	}
+	sol, val := divmax.MaxDiversity(divmax.RemoteEdge, pts, 3, divmax.Euclidean)
+	fmt.Printf("%d points, min pairwise distance %.2f\n", len(sol), val)
+	// Output: 3 points, min pairwise distance 10.00
+}
+
+func ExampleEvaluate() {
+	square := []divmax.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	tree, exact := divmax.Evaluate(divmax.RemoteTree, square, divmax.Euclidean)
+	fmt.Printf("MST weight %.0f (exact=%v)\n", tree, exact)
+	// Output: MST weight 3 (exact=true)
+}
+
+func ExampleStreamingSolve() {
+	// Points arrive one at a time; memory stays independent of the
+	// stream length.
+	var pts []divmax.Vector
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, divmax.Vector{float64(i % 10), float64(i % 7)})
+	}
+	pts = append(pts, divmax.Vector{1000, 1000})
+
+	sol := divmax.StreamingSolve(divmax.RemoteEdge, divmax.SliceStream(pts), 2, 8, divmax.Euclidean)
+	val, _ := divmax.Evaluate(divmax.RemoteEdge, sol, divmax.Euclidean)
+	fmt.Printf("found the outlier: %v\n", val > 1000)
+	// Output: found the outlier: true
+}
+
+func ExampleMapReduceSolve() {
+	pts := []divmax.Vector{
+		{0, 0}, {0, 1}, {1, 0},
+		{100, 100}, {100, 101},
+		{-100, 100}, {-100, 99},
+	}
+	sol, err := divmax.MapReduceSolve(divmax.RemoteEdge, pts, 3,
+		divmax.MRConfig{Parallelism: 2, KPrime: 4}, divmax.Euclidean)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	val, _ := divmax.Evaluate(divmax.RemoteEdge, sol, divmax.Euclidean)
+	fmt.Printf("%d clusters covered: %v\n", len(sol), val > 100)
+	// Output: 3 clusters covered: true
+}
+
+func ExampleMemoryBound() {
+	points, formula, _ := divmax.MemoryBound(divmax.RemoteEdge, divmax.Streaming1Pass,
+		1_000_000_000, 16, 0.5, 3)
+	fmt.Printf("%s: %d points for a billion-point stream\n", formula, points)
+	// Output: Θ((α/ε)^D·k): 1024 points for a billion-point stream
+}
+
+func ExampleParseMeasure() {
+	m, _ := divmax.ParseMeasure("r-clique")
+	fmt.Println(m, "α =", m.SequentialAlpha())
+	// Output: remote-clique α = 2
+}

@@ -1,0 +1,86 @@
+// Capacity: size a deployment before running it. The paper's Table 3
+// gives the memory each algorithm needs; divmax.MemoryBound makes it
+// executable, and the MapReduce engine can enforce the budget per reducer
+// so violations surface as metrics instead of out-of-memory kills.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"divmax"
+	"divmax/internal/dataset"
+)
+
+func main() {
+	const (
+		n   = 120000
+		k   = 16
+		eps = 0.5
+		dim = 3 // R³ has doubling dimension O(3)
+	)
+
+	// 1. What does each algorithm need on this workload?
+	fmt.Printf("memory plan for n=%d, k=%d, ε=%.1f, D=%d (points per machine):\n", n, k, eps, dim)
+	for _, row := range []struct {
+		m     divmax.Measure
+		model divmax.Model
+	}{
+		{divmax.RemoteEdge, divmax.Streaming1Pass},
+		{divmax.RemoteClique, divmax.Streaming1Pass},
+		{divmax.RemoteClique, divmax.Streaming2Pass},
+		{divmax.RemoteEdge, divmax.MR2Round},
+		{divmax.RemoteClique, divmax.MR2Round},
+		{divmax.RemoteClique, divmax.MR3Round},
+	} {
+		pts, formula, err := divmax.MemoryBound(row.m, row.model, n, k, eps, dim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20v %-34v %-22s %d\n", row.m, row.model, formula, pts)
+	}
+
+	// 2. Run the 2-round algorithm under an enforced per-reducer budget.
+	// The budget below is deliberately derived from the plan (with
+	// headroom: the Θ hides constants).
+	data, err := dataset.Sphere(dataset.SphereConfig{N: n, K: k, Dim: dim, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = dataset.Shuffle(data, 8)
+
+	planned, _, _ := divmax.MemoryBound(divmax.RemoteEdge, divmax.MR2Round, n, k, eps, dim)
+	budget := 16 * planned // Θ-constant headroom
+	var metrics divmax.MRMetrics
+	cfg := divmax.MRConfig{
+		Parallelism:      8,
+		KPrime:           4 * k,
+		LocalMemoryLimit: budget,
+		Metrics:          &metrics,
+	}
+	sol, err := divmax.MapReduceSolve(divmax.RemoteEdge, data, k, cfg, divmax.Euclidean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val, _ := divmax.Evaluate(divmax.RemoteEdge, sol, divmax.Euclidean)
+	fmt.Printf("\n2-round run: remote-edge %.4f under budget %d points/reducer\n", val, budget)
+	for _, r := range metrics.Rounds() {
+		status := "ok"
+		if r.LimitViolations > 0 {
+			status = fmt.Sprintf("%d violations", r.LimitViolations)
+		}
+		fmt.Printf("  round %-8s M_L=%-7d budget=%-7d %s\n", r.Name, r.MaxLocalMemory, budget, status)
+	}
+
+	// 3. The same run with an unrealistic budget shows the enforcement.
+	var tight divmax.MRMetrics
+	cfg.LocalMemoryLimit = 100
+	cfg.Metrics = &tight
+	if _, err := divmax.MapReduceSolve(divmax.RemoteEdge, data, k, cfg, divmax.Euclidean); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a 100-point budget the metrics flag the overflow:\n")
+	for _, r := range tight.Rounds() {
+		fmt.Printf("  round %-8s M_L=%-7d violations=%d\n", r.Name, r.MaxLocalMemory, r.LimitViolations)
+	}
+}

@@ -1,0 +1,149 @@
+package divmax_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax"
+)
+
+// Cross-algorithm integration tests: every large-scale pipeline must land
+// in the same quality neighbourhood as the in-memory sequential solver on
+// the same data, for every measure it supports.
+
+func TestAllPipelinesConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rng := rand.New(rand.NewSource(99))
+	pts := clusters(rng, []divmax.Vector{{0, 0}, {800, 0}, {0, 800}, {800, 800}, {400, 400}}, 60, 10)
+	k, kprime := 5, 15
+
+	for _, m := range divmax.Measures {
+		_, seqVal := divmax.MaxDiversity(m, pts, k, divmax.Euclidean)
+		if seqVal <= 0 {
+			t.Fatalf("%v: sequential value %v", m, seqVal)
+		}
+		check := func(name string, sol []divmax.Vector, err error) {
+			t.Helper()
+			if err != nil {
+				t.Errorf("%v/%s: %v", m, name, err)
+				return
+			}
+			if len(sol) != k {
+				t.Errorf("%v/%s: size %d, want %d", m, name, len(sol), k)
+				return
+			}
+			val, _ := divmax.Evaluate(m, sol, divmax.Euclidean)
+			// Every pipeline shares the sequential α; core-set loss on
+			// well-separated clusters is small. Demand half the
+			// sequential quality as the integration floor.
+			if val < seqVal/2 {
+				t.Errorf("%v/%s: value %v below half of sequential %v", m, name, val, seqVal)
+			}
+		}
+
+		check("streaming-1pass", divmax.StreamingSolve(m, divmax.SliceStream(pts), k, kprime, divmax.Euclidean), nil)
+
+		sol, err := divmax.MapReduceSolve(m, pts, k, divmax.MRConfig{Parallelism: 4, KPrime: kprime}, divmax.Euclidean)
+		check("mapreduce-2round", sol, err)
+
+		// Theorem 8 needs the budget to exceed twice the per-partition
+		// core-set size (k′ plain, k′·k with delegates).
+		budget := 120
+		if m.NeedsInjectiveProxy() {
+			budget = 2*kprime*k + 10
+		}
+		sol, _, err = divmax.MapReduceSolveRecursive(m, pts, k, budget, divmax.MRConfig{Parallelism: 1, KPrime: kprime}, divmax.Euclidean)
+		check("mapreduce-recursive", sol, err)
+
+		if m.NeedsInjectiveProxy() {
+			sol, err = divmax.StreamingSolveTwoPass(m, divmax.SliceStream(pts), k, kprime, divmax.Euclidean)
+			check("streaming-2pass", sol, err)
+
+			sol, err = divmax.MapReduceSolve3(m, pts, k, divmax.MRConfig{Parallelism: 4, KPrime: kprime}, divmax.Euclidean)
+			check("mapreduce-3round", sol, err)
+
+			cfg := divmax.MRConfig{
+				Parallelism: 4, KPrime: kprime,
+				Partitioning: divmax.PartitionRandom, Seed: 7,
+				DelegateCap: divmax.RandomizedDelegateCap(len(pts), k, 4),
+			}
+			sol, err = divmax.MapReduceSolve(m, pts, k, cfg, divmax.Euclidean)
+			check("mapreduce-randomized", sol, err)
+		}
+	}
+}
+
+func TestCoresetParallelMatchesCoreset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVectors(rng, 6000, 3)
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		seq := divmax.Coreset(m, pts, 8, 32, divmax.Euclidean)
+		par := divmax.CoresetParallel(m, pts, 8, 32, 4, divmax.Euclidean)
+		if len(seq) != len(par) {
+			t.Fatalf("%v: sizes differ: %d vs %d", m, len(seq), len(par))
+		}
+		for i := range seq {
+			if divmax.Euclidean(seq[i], par[i]) != 0 {
+				t.Fatalf("%v: core-sets diverge at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestDuplicateHeavyStreams(t *testing.T) {
+	// Failure injection: streams dominated by duplicates must not break
+	// any pipeline (thresholds would be zero if duplicates weren't
+	// folded).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomVectors(rng, 10, 2)
+		var pts []divmax.Vector
+		for i := 0; i < 400; i++ {
+			pts = append(pts, base[rng.Intn(len(base))])
+		}
+		k := 3
+		sol := divmax.StreamingSolve(divmax.RemoteEdge, divmax.SliceStream(pts), k, 6, divmax.Euclidean)
+		if len(sol) < k {
+			return false
+		}
+		mrSol, err := divmax.MapReduceSolve(divmax.RemoteEdge, pts, k, divmax.MRConfig{Parallelism: 4, KPrime: 6}, divmax.Euclidean)
+		return err == nil && len(mrSol) == k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleClusterDegeneracy(t *testing.T) {
+	// All points in one tiny ball: every algorithm must still return k
+	// points with near-zero but finite diversity.
+	rng := rand.New(rand.NewSource(6))
+	var pts []divmax.Vector
+	for i := 0; i < 300; i++ {
+		pts = append(pts, divmax.Vector{rng.Float64() * 1e-6, rng.Float64() * 1e-6})
+	}
+	for _, m := range divmax.Measures {
+		sol, val := divmax.MaxDiversity(m, pts, 4, divmax.Euclidean)
+		if len(sol) != 4 || val < 0 {
+			t.Errorf("%v: (%d points, %v)", m, len(sol), val)
+		}
+	}
+	sol := divmax.StreamingSolve(divmax.RemoteClique, divmax.SliceStream(pts), 4, 8, divmax.Euclidean)
+	if len(sol) != 4 {
+		t.Errorf("streaming on degenerate cluster: %d points", len(sol))
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 6, 2)
+	for _, m := range divmax.Measures {
+		sol, _ := divmax.MaxDiversity(m, pts, 6, divmax.Euclidean)
+		if len(sol) != 6 {
+			t.Errorf("%v: k=n returned %d points", m, len(sol))
+		}
+	}
+}

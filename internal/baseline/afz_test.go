@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/mrdiv"
+	"divmax/internal/sequential"
+)
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func TestTwoRoundValidation(t *testing.T) {
+	pts := randomVectors(rand.New(rand.NewSource(1)), 20, 2)
+	if _, err := TwoRound(diversity.RemoteTree, pts, 3, Config{Parallelism: 2}, metric.Euclidean); err == nil {
+		t.Error("unsupported measure: expected error")
+	}
+	if _, err := TwoRound(diversity.RemoteClique, pts, 0, Config{Parallelism: 2}, metric.Euclidean); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := TwoRound(diversity.RemoteClique, pts, 3, Config{}, metric.Euclidean); err == nil {
+		t.Error("parallelism=0: expected error")
+	}
+	if sol, err := TwoRound(diversity.RemoteClique, nil, 3, Config{Parallelism: 2}, metric.Euclidean); err != nil || sol != nil {
+		t.Errorf("empty input = (%v, %v)", sol, err)
+	}
+}
+
+func TestAFZSolutionSizeAndQuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(60)
+		k := 2 + rng.Intn(3)
+		ell := 1 + rng.Intn(3)
+		pts := randomVectors(rng, n, 2)
+		sol, err := TwoRound(diversity.RemoteClique, pts, k, Config{Parallelism: ell}, metric.Euclidean)
+		if err != nil || len(sol) != k {
+			t.Logf("(%v, %v) seed %d", sol, err, seed)
+			return false
+		}
+		// AFZ is a constant-factor method: sanity-check against the
+		// single-machine sequential solution.
+		got, _ := diversity.Evaluate(diversity.RemoteClique, sol, metric.Euclidean)
+		seq := sequential.Solve(diversity.RemoteClique, pts, k, metric.Euclidean)
+		want, _ := diversity.Evaluate(diversity.RemoteClique, seq, metric.Euclidean)
+		return got >= want/3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAFZCoresetSizeIsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 200, 2)
+	k, ell := 4, 4
+	var m mapreduce.Metrics
+	if _, err := TwoRound(diversity.RemoteClique, pts, k, Config{Parallelism: ell, Metrics: &m}, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	rounds := m.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(rounds))
+	}
+	if rounds[0].TotalOutput != ell*k {
+		t.Fatalf("AFZ aggregate size = %d, want ℓ·k = %d", rounds[0].TotalOutput, ell*k)
+	}
+}
+
+func TestAFZRemoteEdgeEqualsGMMKernel(t *testing.T) {
+	// For remote-edge, AFZ ≡ CPPU with k′=k: identical round-1 core-sets.
+	rng := rand.New(rand.NewSource(4))
+	pts := randomVectors(rng, 120, 2)
+	k, ell := 3, 2
+	afz, err := TwoRound(diversity.RemoteEdge, pts, k, Config{Parallelism: ell}, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cppu, err := mrdiv.TwoRound(diversity.RemoteEdge, pts, k, mrdiv.Config{Parallelism: ell, KPrime: k}, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA, _ := diversity.Evaluate(diversity.RemoteEdge, afz, metric.Euclidean)
+	vC, _ := diversity.Evaluate(diversity.RemoteEdge, cppu, metric.Euclidean)
+	if vA != vC {
+		t.Fatalf("AFZ (%v) and CPPU k'=k (%v) differ on remote-edge", vA, vC)
+	}
+}
+
+func TestAFZSweepCapBoundsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVectors(rng, 300, 2)
+	capped, err := TwoRound(diversity.RemoteClique, pts, 4, Config{Parallelism: 2, MaxSweeps: 1}, metric.Euclidean)
+	if err != nil || len(capped) != 4 {
+		t.Fatalf("(%v, %v)", capped, err)
+	}
+	full, err := TwoRound(diversity.RemoteClique, pts, 4, Config{Parallelism: 2}, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCap, _ := diversity.Evaluate(diversity.RemoteClique, capped, metric.Euclidean)
+	vFull, _ := diversity.Evaluate(diversity.RemoteClique, full, metric.Euclidean)
+	if vFull < vCap-1e-9 {
+		t.Fatalf("more local-search sweeps decreased quality: %v -> %v", vCap, vFull)
+	}
+}

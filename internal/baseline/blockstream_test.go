@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/streamalg"
+)
+
+func TestOptimalBlockSize(t *testing.T) {
+	if b := OptimalBlockSize(4, 10000); b != 200 {
+		t.Errorf("OptimalBlockSize(4,10000) = %d, want 200", b)
+	}
+	// Never below k.
+	if b := OptimalBlockSize(50, 10); b < 50 {
+		t.Errorf("OptimalBlockSize(50,10) = %d, want >= 50", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on k=0")
+		}
+	}()
+	OptimalBlockSize(0, 10)
+}
+
+func TestBlockCoresetStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 1000, 2)
+	k, block := 4, 100
+	bc := NewBlockCoreset(k, block, metric.Euclidean)
+	for _, p := range pts {
+		bc.Process(p)
+	}
+	// 10 full blocks × k points each.
+	if got := len(bc.Result()); got != 10*k {
+		t.Fatalf("union size = %d, want %d", got, 10*k)
+	}
+	if bc.Processed() != 1000 {
+		t.Fatalf("processed = %d", bc.Processed())
+	}
+}
+
+func TestBlockCoresetPartialBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVectors(rng, 150, 2)
+	bc := NewBlockCoreset(3, 100, metric.Euclidean)
+	for _, p := range pts {
+		bc.Process(p)
+	}
+	// One full block (3 points) + partial block core-set (3 points).
+	if got := len(bc.Result()); got != 6 {
+		t.Fatalf("union size = %d, want 6", got)
+	}
+	// Result is non-destructive.
+	if got := len(bc.Result()); got != 6 {
+		t.Fatalf("second Result = %d, want 6", got)
+	}
+}
+
+func TestBlockCoresetMemoryGrowsWithN(t *testing.T) {
+	// The baseline's defining weakness: memory Θ(√(kn)) grows with the
+	// stream, while SMM's stays flat. This is the paper's Section 4
+	// motivation, verified empirically.
+	rng := rand.New(rand.NewSource(3))
+	k := 4
+	peakAt := func(n int) (int, int) {
+		block := OptimalBlockSize(k, n)
+		bc := NewBlockCoreset(k, block, metric.Euclidean)
+		smm := streamalg.NewSMM(k, 4*k, metric.Euclidean)
+		peakBlock, peakSMM := 0, 0
+		for _, p := range randomVectors(rng, n, 2) {
+			bc.Process(p)
+			smm.Process(p)
+			if m := bc.StoredPoints(); m > peakBlock {
+				peakBlock = m
+			}
+			if m := smm.StoredPoints(); m > peakSMM {
+				peakSMM = m
+			}
+		}
+		return peakBlock, peakSMM
+	}
+	block1, smm1 := peakAt(1000)
+	block2, smm2 := peakAt(16000)
+	if float64(block2) < 2.5*float64(block1) {
+		t.Errorf("block-streaming memory should grow ≈4× for 16× the data: %d -> %d", block1, block2)
+	}
+	if smm2 > 2*smm1+4 {
+		t.Errorf("SMM memory should stay flat: %d -> %d", smm1, smm2)
+	}
+	if block2 <= smm2 {
+		t.Errorf("block-streaming (%d) should use more memory than SMM (%d) at n=16000", block2, smm2)
+	}
+}
+
+func TestBlockStreamingSolveQuality(t *testing.T) {
+	// On well-separated clusters both streaming methods find the planted
+	// structure; block streaming is the quality reference (its aggregate
+	// core-set is larger).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		centers := []metric.Vector{{0, 0}, {1000, 0}, {0, 1000}}
+		var pts []metric.Vector
+		for i := 0; i < 300; i++ {
+			c := centers[i%3]
+			pts = append(pts, metric.Vector{c[0] + rng.Float64(), c[1] + rng.Float64()})
+		}
+		rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		sol := BlockStreamingSolve(diversity.RemoteEdge, streamalg.SliceStream(pts), 3,
+			OptimalBlockSize(3, len(pts)), metric.Euclidean)
+		v, _ := diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+		return v > 990
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockCoresetPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBlockCoreset[metric.Vector](0, 10, metric.Euclidean) },
+		func() { NewBlockCoreset[metric.Vector](5, 4, metric.Euclidean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBlockVsSMMComparableQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 4000, 2)
+	k := 6
+	block := BlockStreamingSolve(diversity.RemoteEdge, streamalg.SliceStream(pts), k,
+		OptimalBlockSize(k, len(pts)), metric.Euclidean)
+	smm := streamalg.OnePass(diversity.RemoteEdge, streamalg.SliceStream(pts), k, 8*k, metric.Euclidean)
+	vb, _ := diversity.Evaluate(diversity.RemoteEdge, block, metric.Euclidean)
+	vs, _ := diversity.Evaluate(diversity.RemoteEdge, smm, metric.Euclidean)
+	if math.Min(vb, vs) < 0.5*math.Max(vb, vs) {
+		t.Fatalf("methods diverge too much: block=%v smm=%v", vb, vs)
+	}
+}

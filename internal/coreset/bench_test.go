@@ -1,0 +1,57 @@
+package coreset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+func benchPoints(n int) []metric.Vector {
+	rng := rand.New(rand.NewSource(1))
+	return randomVectors(rng, n, 3)
+}
+
+func BenchmarkGMM(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, kprime := range []int{16, 128} {
+			pts := benchPoints(n)
+			b.Run(fmt.Sprintf("n=%d/k'=%d", n, kprime), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					GMM(pts, kprime, 0, metric.Euclidean)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkGMMExt(b *testing.B) {
+	pts := benchPoints(10000)
+	b.Run("k=16/k'=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GMMExt(pts, 16, 64, 0, metric.Euclidean)
+		}
+	})
+}
+
+func BenchmarkGMMGen(b *testing.B) {
+	pts := benchPoints(10000)
+	b.Run("k=16/k'=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GMMGen(pts, 16, 64, 0, metric.Euclidean)
+		}
+	})
+}
+
+func BenchmarkInstantiate(b *testing.B) {
+	pts := benchPoints(10000)
+	gen := GMMGen(pts, 16, 64, 0, metric.Euclidean)
+	radius := GMM(pts, 64, 0, metric.Euclidean).Radius
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Instantiate(gen, pts, radius+1e-9, metric.Euclidean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

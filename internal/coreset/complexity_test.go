@@ -1,0 +1,55 @@
+package coreset
+
+import (
+	"math/rand"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+// Complexity-claim tests: the paper's cost statements, verified by
+// counting distance evaluations rather than timing.
+
+func TestGMMDistanceComplexity(t *testing.T) {
+	// GMM performs exactly k·n distance evaluations (one relaxation pass
+	// per selected center).
+	rng := rand.New(rand.NewSource(1))
+	n, k := 500, 12
+	pts := randomVectors(rng, n, 2)
+	c := metric.NewCounter(metric.Euclidean)
+	GMM(pts, k, 0, c.Distance())
+	if got, want := c.Calls(), int64(k*n); got != want {
+		t.Fatalf("GMM used %d distance calls, want exactly %d", got, want)
+	}
+}
+
+func TestGMMExtDistanceComplexity(t *testing.T) {
+	// GMM-EXT adds no distance evaluations beyond its kernel GMM: the
+	// clustering reuses the traversal's assignments.
+	rng := rand.New(rand.NewSource(2))
+	n, k, kprime := 400, 4, 16
+	pts := randomVectors(rng, n, 2)
+	c := metric.NewCounter(metric.Euclidean)
+	GMMExt(pts, k, kprime, 0, c.Distance())
+	if got, want := c.Calls(), int64(kprime*n); got != want {
+		t.Fatalf("GMM-EXT used %d distance calls, want exactly %d", got, want)
+	}
+}
+
+func TestInstantiateDistanceComplexity(t *testing.T) {
+	// Instantiate is O(s(T)·|source|): each source point is compared with
+	// each kernel point at most once in phase 1, plus phase-2 spare
+	// scans bounded by the same product.
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 300, 2)
+	gen := GMMGen(pts, 4, 8, 0, metric.Euclidean)
+	radius := GMM(pts, 8, 0, metric.Euclidean).Radius
+	c := metric.NewCounter(metric.Euclidean)
+	if _, err := Instantiate(gen, pts, radius+1e-9, c.Distance()); err != nil {
+		t.Fatal(err)
+	}
+	bound := int64(2 * gen.Size() * len(pts))
+	if got := c.Calls(); got > bound {
+		t.Fatalf("Instantiate used %d distance calls, bound %d", got, bound)
+	}
+}

@@ -1,0 +1,177 @@
+package coreset
+
+import (
+	"fmt"
+
+	"divmax/internal/metric"
+)
+
+// Weighted is one pair (p, m_p) of a generalized core-set: a kernel point
+// together with its multiplicity (the number of delegates it stands for,
+// including itself). Multiplicities are always positive.
+type Weighted[P any] struct {
+	Point P
+	Mult  int
+}
+
+// Generalized is a generalized core-set (Section 6): a set of
+// (point, multiplicity) pairs with pairwise-distinct points. Its
+// expansion is the multiset where each point appears Mult times, with
+// replicas treated as distinct points at distance zero.
+type Generalized[P any] []Weighted[P]
+
+// Size returns s(T), the number of pairs.
+func (g Generalized[P]) Size() int { return len(g) }
+
+// ExpandedSize returns m(T) = Σ m_p, the size of the expansion.
+func (g Generalized[P]) ExpandedSize() int {
+	total := 0
+	for _, w := range g {
+		total += w.Mult
+	}
+	return total
+}
+
+// Split returns the points and multiplicities as parallel slices, the
+// form consumed by diversity.EvaluateWeighted and the generalized
+// sequential solvers.
+func (g Generalized[P]) Split() ([]P, []int) {
+	pts := make([]P, len(g))
+	mult := make([]int, len(g))
+	for i, w := range g {
+		pts[i] = w.Point
+		mult[i] = w.Mult
+	}
+	return pts, mult
+}
+
+// Expand materializes the expansion: each point repeated Mult times.
+func (g Generalized[P]) Expand() []P {
+	out := make([]P, 0, g.ExpandedSize())
+	for _, w := range g {
+		for r := 0; r < w.Mult; r++ {
+			out = append(out, w.Point)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants (positive multiplicities) and
+// returns a descriptive error on violation. Distinctness of points cannot
+// be checked generically (P is an arbitrary type) and is the constructor's
+// responsibility.
+func (g Generalized[P]) Validate() error {
+	for i, w := range g {
+		if w.Mult <= 0 {
+			return fmt.Errorf("coreset: generalized core-set pair %d has non-positive multiplicity %d", i, w.Mult)
+		}
+	}
+	return nil
+}
+
+// Coherent reports whether sub ⊑ g under an index correspondence: sub must
+// pick pairs of g (identified by position via idx) with multiplicities not
+// exceeding g's. idx[i] is the position in g of sub[i]'s kernel point.
+// This mirrors the paper's coherent-subset relation, which the generalized
+// sequential solvers must respect (Fact 2).
+func Coherent[P any](sub, g Generalized[P], idx []int) bool {
+	if len(idx) != len(sub) {
+		return false
+	}
+	seen := make(map[int]bool, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(g) || seen[j] {
+			return false
+		}
+		seen[j] = true
+		if sub[i].Mult > g[j].Mult {
+			return false
+		}
+	}
+	return true
+}
+
+// Instantiate computes a δ-instantiation I(T) of the generalized core-set
+// g from the ground set source (Lemma 7): for each pair (p, m_p) it picks
+// m_p distinct points of source within distance delta of p (p itself
+// counts when present in source), with all picks disjoint across pairs.
+//
+// Assignment is two-phase. Phase 1 offers each source point to its
+// globally nearest kernel point: when that pair still needs delegates the
+// point is taken, otherwise it is retained as a spare (the paper's "a
+// point must be retained as long as the appropriate delegate count ...
+// has not been met"). Phase 2 fills any remaining counts from the spares,
+// first fit within delta. For core-sets produced by GMMGen from source
+// with delta at least the kernel radius, phase 1 alone always completes:
+// every cluster fills its capped count from its own members. It returns
+// an error when some pair cannot be filled, which signals that delta is
+// below the true clustering radius.
+func Instantiate[P any](g Generalized[P], source []P, delta float64, d metric.Distance[P]) ([]P, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	need := make([]int, len(g))
+	total := 0
+	for i, w := range g {
+		need[i] = w.Mult
+		total += w.Mult
+	}
+	out := make([]P, 0, total)
+	remaining := total
+	var spares []P
+	for _, q := range source {
+		if remaining == 0 {
+			break
+		}
+		// Globally nearest kernel point.
+		best, bestDist := -1, delta
+		for i, w := range g {
+			if dist := d(w.Point, q); dist <= bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		if best < 0 {
+			continue // outside δ of every kernel point
+		}
+		if need[best] > 0 {
+			need[best]--
+			remaining--
+			out = append(out, q)
+		} else if len(spares) < total {
+			spares = append(spares, q)
+		}
+	}
+	// Phase 2: first-fit spares into still-unfilled pairs.
+	for _, q := range spares {
+		if remaining == 0 {
+			break
+		}
+		for i, w := range g {
+			if need[i] > 0 && d(w.Point, q) <= delta {
+				need[i]--
+				remaining--
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("coreset: δ-instantiation incomplete: %d of %d delegates unfilled at δ=%v", remaining, total, delta)
+	}
+	return out, nil
+}
+
+// Merge concatenates generalized core-sets (the round-2 aggregation of the
+// 3-round MapReduce algorithm). Points are assumed distinct across inputs,
+// which holds when the inputs were built from disjoint partitions.
+func Merge[P any](parts ...Generalized[P]) Generalized[P] {
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(Generalized[P], 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

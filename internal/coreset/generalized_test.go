@@ -1,0 +1,174 @@
+package coreset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/metric"
+)
+
+func TestGeneralizedSizeExpansion(t *testing.T) {
+	g := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 2},
+		{Point: metric.Vector{5}, Mult: 1},
+		{Point: metric.Vector{9}, Mult: 3},
+	}
+	if g.Size() != 3 {
+		t.Errorf("Size = %d, want 3", g.Size())
+	}
+	if g.ExpandedSize() != 6 {
+		t.Errorf("ExpandedSize = %d, want 6", g.ExpandedSize())
+	}
+	exp := g.Expand()
+	if len(exp) != 6 {
+		t.Fatalf("Expand length = %d, want 6", len(exp))
+	}
+	if exp[0][0] != 0 || exp[1][0] != 0 || exp[2][0] != 5 || exp[5][0] != 9 {
+		t.Errorf("Expand = %v", exp)
+	}
+	pts, mult := g.Split()
+	if len(pts) != 3 || mult[2] != 3 {
+		t.Errorf("Split = %v, %v", pts, mult)
+	}
+}
+
+func TestGeneralizedValidate(t *testing.T) {
+	good := Generalized[metric.Vector]{{Point: metric.Vector{1}, Mult: 1}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	bad := Generalized[metric.Vector]{{Point: metric.Vector{1}, Mult: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate(bad): expected error")
+	}
+}
+
+func TestCoherent(t *testing.T) {
+	g := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 3},
+		{Point: metric.Vector{5}, Mult: 2},
+	}
+	sub := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 2},
+		{Point: metric.Vector{5}, Mult: 2},
+	}
+	if !Coherent(sub, g, []int{0, 1}) {
+		t.Error("expected coherent")
+	}
+	// Excess multiplicity.
+	over := Generalized[metric.Vector]{{Point: metric.Vector{5}, Mult: 3}}
+	if Coherent(over, g, []int{1}) {
+		t.Error("multiplicity excess must not be coherent")
+	}
+	// Duplicate pair reference.
+	dup := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 1},
+		{Point: metric.Vector{0}, Mult: 1},
+	}
+	if Coherent(dup, g, []int{0, 0}) {
+		t.Error("duplicate index must not be coherent")
+	}
+	// Bad index / length mismatch.
+	if Coherent(sub, g, []int{0}) || Coherent(sub, g, []int{0, 7}) {
+		t.Error("bad index vectors must not be coherent")
+	}
+}
+
+func TestInstantiateFillsAllCounts(t *testing.T) {
+	// Two clusters; kernel = cluster centers with multiplicities.
+	source := []metric.Vector{{0}, {0.1}, {0.2}, {10}, {10.1}, {10.2}}
+	g := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 3},
+		{Point: metric.Vector{10}, Mult: 2},
+	}
+	out, err := Instantiate(g, source, 0.5, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("instantiation size = %d, want 5", len(out))
+	}
+	// Each delegate must lie within δ of some kernel point.
+	for _, q := range out {
+		d0 := metric.Euclidean(q, g[0].Point)
+		d1 := metric.Euclidean(q, g[1].Point)
+		if d0 > 0.5 && d1 > 0.5 {
+			t.Errorf("delegate %v outside δ of both kernel points", q)
+		}
+	}
+}
+
+func TestInstantiateDeltaTooSmall(t *testing.T) {
+	source := []metric.Vector{{0}, {10}}
+	g := Generalized[metric.Vector]{{Point: metric.Vector{0}, Mult: 2}}
+	if _, err := Instantiate(g, source, 0.5, metric.Euclidean); err == nil {
+		t.Fatal("expected error when counts cannot be filled")
+	}
+}
+
+func TestInstantiateDisjointDelegates(t *testing.T) {
+	// Exactly as many source points as needed: every one must be used
+	// exactly once.
+	source := []metric.Vector{{0}, {1}, {2}}
+	g := Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 2},
+		{Point: metric.Vector{2}, Mult: 1},
+	}
+	out, err := Instantiate(g, source, 2.5, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, q := range out {
+		if seen[q[0]] {
+			t.Fatalf("delegate %v assigned twice", q)
+		}
+		seen[q[0]] = true
+	}
+	if len(out) != 3 {
+		t.Fatalf("instantiation size = %d, want 3", len(out))
+	}
+}
+
+func TestInstantiateInvalidMultiplicity(t *testing.T) {
+	g := Generalized[metric.Vector]{{Point: metric.Vector{0}, Mult: -1}}
+	if _, err := Instantiate(g, []metric.Vector{{0}}, 1, metric.Euclidean); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestInstantiateFromGMMGenRadius(t *testing.T) {
+	// Instantiating a GMM-GEN core-set from its own source at δ = kernel
+	// radius must always succeed: every cluster has enough points within
+	// radius of its center by construction.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 15+rng.Intn(40), 2)
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		gen := GMMGen(pts, k, kprime, 0, metric.Euclidean)
+		res := GMM(pts, kprime, 0, metric.Euclidean)
+		out, err := Instantiate(gen, pts, res.Radius+1e-9, metric.Euclidean)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return len(out) == gen.ExpandedSize()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Generalized[metric.Vector]{{Point: metric.Vector{0}, Mult: 1}}
+	b := Generalized[metric.Vector]{{Point: metric.Vector{1}, Mult: 2}}
+	m := Merge(a, b)
+	if m.Size() != 2 || m.ExpandedSize() != 3 {
+		t.Fatalf("Merge = %+v", m)
+	}
+	if empty := Merge[metric.Vector](); empty.Size() != 0 {
+		t.Fatalf("Merge() = %+v, want empty", empty)
+	}
+}

@@ -1,0 +1,170 @@
+// Package coreset implements the composable core-set constructions at the
+// heart of the paper: GMM (the Gonzalez farthest-first traversal, a
+// (1+ε)-composable core-set for remote-edge and remote-cycle, Theorem 4),
+// GMM-EXT (Algorithm 1: kernel plus delegate points, a (1+ε)-composable
+// core-set for remote-clique, -star, -bipartition, and -tree, Theorem 5),
+// and GMM-GEN (kernel plus multiplicities, a composable *generalized*
+// core-set, Lemma 8), together with the generalized core-set machinery of
+// Section 6 (coherent subsets, expansion, δ-instantiation).
+package coreset
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// Result carries a GMM kernel together with the anticover quantities used
+// by the theory (and by the tests that verify it).
+type Result[P any] struct {
+	// Points is the selected kernel, in selection order.
+	Points []P
+	// Indices are the positions of Points in the input slice.
+	Indices []int
+	// Radius is r_T = max_{p∈S} d(p, T), the clustering radius of the
+	// kernel. The anticover property guarantees Radius ≤ LastDist.
+	Radius float64
+	// LastDist is the distance from the last selected center to the
+	// previously selected ones (d_k in Lemma 5). Every pairwise distance
+	// within the kernel is at least LastDist.
+	LastDist float64
+	// Assign[i] is the index into Points of the kernel point closest to
+	// input point i, with ties broken toward the earliest-selected center
+	// (the "p ∉ C_h with h < j" rule of Algorithm 1).
+	Assign []int
+}
+
+// GMM runs the Gonzalez farthest-first traversal and returns the first
+// min(k, len(pts)) selected points. It is the paper's core-set for
+// remote-edge and remote-cycle and the building block of every other
+// construction. The traversal starts from pts[start]; the paper allows an
+// arbitrary start, and the experiments average over random starts.
+// It panics if k < 1 or start is out of range.
+func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
+	if k < 1 {
+		panic(fmt.Sprintf("coreset: GMM requires k >= 1, got %d", k))
+	}
+	n := len(pts)
+	if n == 0 {
+		return Result[P]{}
+	}
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("coreset: GMM start index %d out of range [0,%d)", start, n))
+	}
+	if k > n {
+		k = n
+	}
+
+	res := Result[P]{
+		Points:  make([]P, 0, k),
+		Indices: make([]int, 0, k),
+		Assign:  make([]int, n),
+	}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	res.LastDist = math.Inf(1)
+
+	cur := start
+	for sel := 0; sel < k; sel++ {
+		if sel > 0 {
+			res.LastDist = minDist[cur]
+		}
+		res.Points = append(res.Points, pts[cur])
+		res.Indices = append(res.Indices, cur)
+		// Relax distances against the new center; strict '<' keeps ties on
+		// the earliest-selected center.
+		next, nextDist := cur, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if dist := d(pts[cur], pts[i]); dist < minDist[i] {
+				minDist[i] = dist
+				res.Assign[i] = sel
+			}
+			if minDist[i] > nextDist {
+				next, nextDist = i, minDist[i]
+			}
+		}
+		cur = next
+	}
+	// After k selections, the farthest remaining min-distance is r_T.
+	res.Radius = 0
+	for i := 0; i < n; i++ {
+		if minDist[i] > res.Radius {
+			res.Radius = minDist[i]
+		}
+	}
+	return res
+}
+
+// GMMExt is Algorithm 1 of the paper: it computes a kernel
+// T′ = GMM(pts, k′), clusters pts around the kernel (ties toward the
+// earlier-selected center), and returns, for each cluster, its center plus
+// up to k−1 additional delegate points, in input order. The result is a
+// (1+ε)-composable core-set for the four injective-proxy problems
+// (Theorem 5). maxDelegates generalizes the per-cluster cap: the
+// deterministic algorithm uses k−1, while the randomized MapReduce variant
+// of Theorem 7 passes Θ(max{log n, k/ℓ}).
+func GMMExt[P any](pts []P, k, kprime, start int, d metric.Distance[P]) []P {
+	return GMMExtCapped(pts, k, kprime, k-1, start, d)
+}
+
+// GMMExtCapped is GMMExt with an explicit per-cluster delegate cap.
+func GMMExtCapped[P any](pts []P, k, kprime, maxDelegates, start int, d metric.Distance[P]) []P {
+	if k < 1 || kprime < k {
+		panic(fmt.Sprintf("coreset: GMMExt requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
+	}
+	if maxDelegates < 0 {
+		panic(fmt.Sprintf("coreset: GMMExt requires maxDelegates >= 0, got %d", maxDelegates))
+	}
+	res := GMM(pts, kprime, start, d)
+	if len(res.Points) == 0 {
+		return nil
+	}
+	// Emit cluster centers first (kernel order), then delegates in input
+	// order, capped per cluster.
+	out := make([]P, 0, len(res.Points)*(1+maxDelegates))
+	out = append(out, res.Points...)
+	taken := make([]int, len(res.Points))
+	for i, p := range pts {
+		c := res.Assign[i]
+		if i == res.Indices[c] {
+			continue // the center itself, already emitted
+		}
+		if taken[c] < maxDelegates {
+			taken[c]++
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// GMMGen is the GMM-GEN variant of Section 6.2: instead of materializing
+// delegates it returns the kernel points paired with the number of
+// delegates each would carry (cluster size capped at k, including the
+// center). The result is a composable generalized core-set for the four
+// injective-proxy problems (Lemma 8), with size s(T) = min(k′,|pts|) and
+// expanded size m(T) ≤ k·k′.
+func GMMGen[P any](pts []P, k, kprime, start int, d metric.Distance[P]) Generalized[P] {
+	if k < 1 || kprime < k {
+		panic(fmt.Sprintf("coreset: GMMGen requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
+	}
+	res := GMM(pts, kprime, start, d)
+	if len(res.Points) == 0 {
+		return nil
+	}
+	sizes := make([]int, len(res.Points))
+	for i := range pts {
+		sizes[res.Assign[i]]++
+	}
+	gen := make(Generalized[P], len(res.Points))
+	for j, p := range res.Points {
+		mult := sizes[j]
+		if mult > k {
+			mult = k
+		}
+		gen[j] = Weighted[P]{Point: p, Mult: mult}
+	}
+	return gen
+}

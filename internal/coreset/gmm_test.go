@@ -1,0 +1,436 @@
+package coreset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// bruteKCenterRadius computes the optimal k-center range r*_k by
+// enumerating all k-subsets. Tests only.
+func bruteKCenterRadius(pts []metric.Vector, k int) float64 {
+	best := math.Inf(1)
+	idx := make([]int, k)
+	var recur func(pos, next int)
+	recur = func(pos, next int) {
+		if pos == k {
+			centers := make([]metric.Vector, k)
+			for i, j := range idx {
+				centers[i] = pts[j]
+			}
+			if r := metric.Range(pts, centers, metric.Euclidean); r < best {
+				best = r
+			}
+			return
+		}
+		for j := next; j <= len(pts)-(k-pos); j++ {
+			idx[pos] = j
+			recur(pos+1, j+1)
+		}
+	}
+	recur(0, 0)
+	return best
+}
+
+// bruteDiversity computes div_k(S) exactly by subset enumeration.
+func bruteDiversity(m diversity.Measure, pts []metric.Vector, k int) float64 {
+	best := math.Inf(-1)
+	idx := make([]int, k)
+	var recur func(pos, next int)
+	recur = func(pos, next int) {
+		if pos == k {
+			sel := make([]metric.Vector, k)
+			for i, j := range idx {
+				sel[i] = pts[j]
+			}
+			if v, _ := diversity.Evaluate(m, sel, metric.Euclidean); v > best {
+				best = v
+			}
+			return
+		}
+		for j := next; j <= len(pts)-(k-pos); j++ {
+			idx[pos] = j
+			recur(pos+1, j+1)
+		}
+	}
+	recur(0, 0)
+	return best
+}
+
+func TestGMMBasic(t *testing.T) {
+	pts := []metric.Vector{{0}, {1}, {2}, {10}}
+	res := GMM(pts, 2, 0, metric.Euclidean)
+	if len(res.Points) != 2 || res.Indices[0] != 0 {
+		t.Fatalf("GMM = %+v", res)
+	}
+	// Farthest from {0} is {10}.
+	if res.Indices[1] != 3 {
+		t.Fatalf("second center = index %d, want 3", res.Indices[1])
+	}
+	if !almostEqual(res.LastDist, 10, 1e-12) {
+		t.Fatalf("LastDist = %v, want 10", res.LastDist)
+	}
+	// Radius: {2} is at distance 2 from {0}.
+	if !almostEqual(res.Radius, 2, 1e-12) {
+		t.Fatalf("Radius = %v, want 2", res.Radius)
+	}
+}
+
+func TestGMMDegenerate(t *testing.T) {
+	var empty []metric.Vector
+	res := GMM(empty, 3, 0, metric.Euclidean)
+	if len(res.Points) != 0 {
+		t.Fatalf("GMM on empty input returned %d points", len(res.Points))
+	}
+	// k larger than n clips.
+	pts := []metric.Vector{{0}, {5}}
+	res = GMM(pts, 10, 0, metric.Euclidean)
+	if len(res.Points) != 2 {
+		t.Fatalf("GMM with k>n returned %d points, want 2", len(res.Points))
+	}
+	if res.Radius != 0 {
+		t.Fatalf("GMM selecting everything has Radius %v, want 0", res.Radius)
+	}
+}
+
+func TestGMMPanics(t *testing.T) {
+	pts := []metric.Vector{{0}}
+	for _, fn := range []func(){
+		func() { GMM(pts, 0, 0, metric.Euclidean) },
+		func() { GMM(pts, 1, -1, metric.Euclidean) },
+		func() { GMM(pts, 1, 5, metric.Euclidean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGMMDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVectors(rng, 40, 3)
+	a := GMM(pts, 7, 0, metric.Euclidean)
+	b := GMM(pts, 7, 0, metric.Euclidean)
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("GMM not deterministic")
+		}
+	}
+}
+
+func TestGMMAnticoverProperty(t *testing.T) {
+	// r_T ≤ d_k ≤ ρ_T: the radius never exceeds the last selection
+	// distance, which never exceeds the kernel's min pairwise distance.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		k := 2 + rng.Intn(5)
+		pts := randomVectors(rng, n, 2)
+		res := GMM(pts, k, rng.Intn(n), metric.Euclidean)
+		rho := metric.Farness(res.Points, metric.Euclidean)
+		return res.Radius <= res.LastDist+1e-9 && res.LastDist <= rho+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMTwoApproxKCenter(t *testing.T) {
+	// Gonzalez guarantee: r_T ≤ 2·r*_k.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(6) // ≤ 11 for the brute force
+		k := 2 + rng.Intn(2)
+		pts := randomVectors(rng, n, 2)
+		res := GMM(pts, k, rng.Intn(n), metric.Euclidean)
+		return res.Radius <= 2*bruteKCenterRadius(pts, k)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMTwoApproxRemoteEdge(t *testing.T) {
+	// The greedy kernel is a 2-approximation for remote-edge:
+	// ρ(T) ≥ ρ*_k / 2.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(6)
+		k := 2 + rng.Intn(2)
+		pts := randomVectors(rng, n, 2)
+		res := GMM(pts, k, rng.Intn(n), metric.Euclidean)
+		got := metric.Farness(res.Points, metric.Euclidean)
+		opt := bruteDiversity(diversity.RemoteEdge, pts, k)
+		return got >= opt/2-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMCoresetLossBoundRemoteEdge(t *testing.T) {
+	// Lemma 1's triangle-inequality core: every point of S is within
+	// Radius of the kernel, so div_k(T) ≥ div_k(S) − 2·Radius for
+	// remote-edge. Checked against brute force on composed partitions
+	// (the composable core-set setting of Lemma 5 with ℓ parts).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(5) // ≤ 12
+		k := 2 + rng.Intn(2) // 2..3
+		kprime := k + rng.Intn(3)
+		pts := randomVectors(rng, n, 2)
+		ell := 1 + rng.Intn(3)
+		var union []metric.Vector
+		maxRadius := 0.0
+		for i := 0; i < ell; i++ {
+			lo, hi := i*n/ell, (i+1)*n/ell
+			if hi-lo == 0 {
+				continue
+			}
+			res := GMM(pts[lo:hi], kprime, 0, metric.Euclidean)
+			union = append(union, res.Points...)
+			if res.Radius > maxRadius {
+				maxRadius = res.Radius
+			}
+		}
+		if len(union) < k {
+			return true // degenerate split; nothing to check
+		}
+		got := bruteDiversity(diversity.RemoteEdge, union, k)
+		want := bruteDiversity(diversity.RemoteEdge, pts, k)
+		return got >= want-2*maxRadius-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMFullKernelIsLossless(t *testing.T) {
+	// k' = n: the core-set is the whole input, ratio exactly 1.
+	rng := rand.New(rand.NewSource(9))
+	pts := randomVectors(rng, 10, 2)
+	res := GMM(pts, 10, 0, metric.Euclidean)
+	if len(res.Points) != 10 {
+		t.Fatalf("kernel size %d, want 10", len(res.Points))
+	}
+	got := bruteDiversity(diversity.RemoteEdge, res.Points, 3)
+	want := bruteDiversity(diversity.RemoteEdge, pts, 3)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("full kernel changed diversity: %v vs %v", got, want)
+	}
+}
+
+func TestGMMAssignNearestCenter(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		pts := randomVectors(rng, n, 2)
+		res := GMM(pts, 4, 0, metric.Euclidean)
+		for i := range pts {
+			got := res.Assign[i]
+			want, _ := metric.MinDistance(pts[i], res.Points, metric.Euclidean)
+			if !almostEqual(metric.Euclidean(pts[i], res.Points[got]), want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMExtStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomVectors(rng, 60, 2)
+	k, kprime := 3, 5
+	out := GMMExt(pts, k, kprime, 0, metric.Euclidean)
+	if len(out) > k*kprime {
+		t.Fatalf("GMMExt size %d exceeds k·k' = %d", len(out), k*kprime)
+	}
+	if len(out) < kprime {
+		t.Fatalf("GMMExt size %d below kernel size %d", len(out), kprime)
+	}
+	// The kernel points come first.
+	kernel := GMM(pts, kprime, 0, metric.Euclidean)
+	for i := range kernel.Points {
+		if !almostEqual(metric.Euclidean(out[i], kernel.Points[i]), 0, 1e-12) {
+			t.Fatalf("GMMExt[%d] is not kernel point %d", i, i)
+		}
+	}
+}
+
+func TestGMMExtDelegateCounts(t *testing.T) {
+	// Cluster sizes cap the delegates: per cluster at most k−1 extras.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		pts := randomVectors(rng, n, 2)
+		out := GMMExt(pts, k, kprime, 0, metric.Euclidean)
+		res := GMM(pts, kprime, 0, metric.Euclidean)
+		// Expected total: Σ_j min(|C_j|, k).
+		sizes := make([]int, len(res.Points))
+		for i := range pts {
+			sizes[res.Assign[i]]++
+		}
+		want := 0
+		for _, s := range sizes {
+			if s > k {
+				s = k
+			}
+			want += s
+		}
+		return len(out) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMExtCappedZeroIsKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomVectors(rng, 30, 2)
+	out := GMMExtCapped(pts, 3, 4, 0, 0, metric.Euclidean)
+	if len(out) != 4 {
+		t.Fatalf("cap 0 returned %d points, want kernel size 4", len(out))
+	}
+}
+
+func TestGMMExtCoresetLossBoundRemoteClique(t *testing.T) {
+	// Lemma 2/6: with injective proxies at distance ≤ 2·kernel radius,
+	// div_k(T) ≥ div_k(S) − C(k,2)·2·(2·maxRadius) for remote-clique.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(5)
+		k := 2 + rng.Intn(2)
+		kprime := k + rng.Intn(3)
+		pts := randomVectors(rng, n, 2)
+		ell := 1 + rng.Intn(2)
+		var union []metric.Vector
+		maxRadius := 0.0
+		for i := 0; i < ell; i++ {
+			lo, hi := i*n/ell, (i+1)*n/ell
+			if hi-lo == 0 {
+				continue
+			}
+			union = append(union, GMMExt(pts[lo:hi], k, kprime, 0, metric.Euclidean)...)
+			res := GMM(pts[lo:hi], kprime, 0, metric.Euclidean)
+			if res.Radius > maxRadius {
+				maxRadius = res.Radius
+			}
+		}
+		if len(union) < k {
+			return true
+		}
+		got := bruteDiversity(diversity.RemoteClique, union, k)
+		want := bruteDiversity(diversity.RemoteClique, pts, k)
+		pairs := float64(k * (k - 1) / 2)
+		return got >= want-pairs*4*maxRadius-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMExtPanics(t *testing.T) {
+	pts := []metric.Vector{{0}, {1}}
+	for _, fn := range []func(){
+		func() { GMMExt(pts, 0, 1, 0, metric.Euclidean) },
+		func() { GMMExt(pts, 3, 2, 0, metric.Euclidean) },
+		func() { GMMExtCapped(pts, 1, 1, -1, 0, metric.Euclidean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGMMGenMultiplicities(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		pts := randomVectors(rng, n, 2)
+		gen := GMMGen(pts, k, kprime, 0, metric.Euclidean)
+		if gen.Size() != min(kprime, n) {
+			return false
+		}
+		if gen.ExpandedSize() > k*gen.Size() {
+			return false
+		}
+		// Multiplicities match capped cluster sizes.
+		res := GMM(pts, kprime, 0, metric.Euclidean)
+		sizes := make([]int, len(res.Points))
+		for i := range pts {
+			sizes[res.Assign[i]]++
+		}
+		for j, w := range gen {
+			want := sizes[j]
+			if want > k {
+				want = k
+			}
+			if w.Mult != want {
+				return false
+			}
+		}
+		return gen.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMGenMatchesGMMExtExpansion(t *testing.T) {
+	// m(GMM-GEN) equals |GMM-EXT|: the generalized core-set is the
+	// compact encoding of the delegate core-set.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		pts := randomVectors(rng, n, 2)
+		gen := GMMGen(pts, k, kprime, 0, metric.Euclidean)
+		ext := GMMExt(pts, k, kprime, 0, metric.Euclidean)
+		return gen.ExpandedSize() == len(ext)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMGenEmptyInput(t *testing.T) {
+	if gen := GMMGen[metric.Vector](nil, 2, 4, 0, metric.Euclidean); gen != nil {
+		t.Fatalf("GMMGen(empty) = %v, want nil", gen)
+	}
+}

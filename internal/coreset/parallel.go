@@ -1,0 +1,112 @@
+package coreset
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"divmax/internal/metric"
+)
+
+// GMMParallel is GMM with the O(n) distance-relaxation step of each
+// iteration sharded across worker goroutines. It returns exactly the same
+// Result as GMM (the reduction resolves ties by lowest index, matching
+// the sequential scan), trading goroutine overhead for throughput on
+// large inputs with expensive distances. workers ≤ 0 means
+// runtime.NumCPU().
+//
+// This is an engineering extension beyond the paper: the paper's
+// per-reducer work is sequential, and the MapReduce drivers default to
+// plain GMM; BenchmarkAblationParallelGMM quantifies the crossover.
+func GMMParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) Result[P] {
+	n := len(pts)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Below the crossover the goroutine overhead dominates; fall back.
+	const minParallel = 4096
+	if n < minParallel || workers == 1 {
+		return GMM(pts, k, start, d)
+	}
+	if k < 1 {
+		panic("coreset: GMMParallel requires k >= 1")
+	}
+	if start < 0 || start >= n {
+		panic("coreset: GMMParallel start index out of range")
+	}
+	if k > n {
+		k = n
+	}
+
+	res := Result[P]{
+		Points:  make([]P, 0, k),
+		Indices: make([]int, 0, k),
+		Assign:  make([]int, n),
+	}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	res.LastDist = math.Inf(1)
+
+	type shardMax struct {
+		idx  int
+		dist float64
+	}
+	shards := workers
+	chunk := (n + shards - 1) / shards
+	maxes := make([]shardMax, shards)
+	var wg sync.WaitGroup
+
+	cur := start
+	for sel := 0; sel < k; sel++ {
+		if sel > 0 {
+			res.LastDist = minDist[cur]
+		}
+		res.Points = append(res.Points, pts[cur])
+		res.Indices = append(res.Indices, cur)
+		center := pts[cur]
+		for s := 0; s < shards; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				maxes[s] = shardMax{idx: -1, dist: -1}
+				continue
+			}
+			wg.Add(1)
+			go func(s, lo, hi, sel int) {
+				defer wg.Done()
+				best := shardMax{idx: lo, dist: -1}
+				for i := lo; i < hi; i++ {
+					if dist := d(center, pts[i]); dist < minDist[i] {
+						minDist[i] = dist
+						res.Assign[i] = sel
+					}
+					if minDist[i] > best.dist {
+						best = shardMax{idx: i, dist: minDist[i]}
+					}
+				}
+				maxes[s] = best
+			}(s, lo, hi, sel)
+		}
+		wg.Wait()
+		// Reduce shard maxima; lowest index wins ties, matching GMM.
+		next := shardMax{idx: -1, dist: -1}
+		for _, sm := range maxes {
+			if sm.idx >= 0 && (sm.dist > next.dist || (sm.dist == next.dist && next.idx >= 0 && sm.idx < next.idx)) {
+				next = sm
+			}
+		}
+		cur = next.idx
+	}
+	res.Radius = 0
+	for i := 0; i < n; i++ {
+		if minDist[i] > res.Radius {
+			res.Radius = minDist[i]
+		}
+	}
+	return res
+}

@@ -1,0 +1,83 @@
+package coreset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/metric"
+)
+
+func TestGMMParallelMatchesSequential(t *testing.T) {
+	// Above the parallel threshold, the sharded relaxation must select
+	// exactly the same kernel in the same order as sequential GMM.
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 6000, 3)
+	for _, workers := range []int{2, 4, 7} {
+		seq := GMM(pts, 32, 5, metric.Euclidean)
+		par := GMMParallel(pts, 32, 5, workers, metric.Euclidean)
+		if len(seq.Indices) != len(par.Indices) {
+			t.Fatalf("workers=%d: kernel sizes differ", workers)
+		}
+		for i := range seq.Indices {
+			if seq.Indices[i] != par.Indices[i] {
+				t.Fatalf("workers=%d: kernel diverges at %d: %d vs %d", workers, i, seq.Indices[i], par.Indices[i])
+			}
+		}
+		if seq.Radius != par.Radius || seq.LastDist != par.LastDist {
+			t.Fatalf("workers=%d: anticover stats differ: (%v,%v) vs (%v,%v)",
+				workers, seq.Radius, seq.LastDist, par.Radius, par.LastDist)
+		}
+		for i := range seq.Assign {
+			if seq.Assign[i] != par.Assign[i] {
+				t.Fatalf("workers=%d: assignment diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestGMMParallelSmallInputFallsBack(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 50+rng.Intn(100), 2)
+		k := 2 + rng.Intn(4)
+		seq := GMM(pts, k, 0, metric.Euclidean)
+		par := GMMParallel(pts, k, 0, 4, metric.Euclidean)
+		for i := range seq.Indices {
+			if seq.Indices[i] != par.Indices[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMMParallelDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVectors(rng, 8000, 2)
+	a := GMMParallel(pts, 16, 0, 8, metric.Euclidean)
+	b := GMMParallel(pts, 16, 0, 3, metric.Euclidean)
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("worker count changed the kernel")
+		}
+	}
+}
+
+func BenchmarkAblationParallelGMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 100000, 3)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GMM(pts, 64, 0, metric.Euclidean)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GMMParallel(pts, 64, 0, 0, metric.Euclidean)
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/metric"
+)
+
+func TestSphereShape(t *testing.T) {
+	pts, err := Sphere(SphereConfig{N: 500, K: 8, Dim: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 500 {
+		t.Fatalf("n = %d, want 500", len(pts))
+	}
+	for i := 0; i < 8; i++ {
+		if norm := pts[i].Norm(); math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("planted point %d has norm %v, want 1", i, norm)
+		}
+	}
+	for i := 8; i < 500; i++ {
+		if norm := pts[i].Norm(); norm > 0.8+1e-9 {
+			t.Fatalf("bulk point %d has norm %v, want <= 0.8", i, norm)
+		}
+	}
+}
+
+func TestSphereDeterministic(t *testing.T) {
+	c := SphereConfig{N: 50, K: 4, Dim: 2, Seed: 7}
+	a, _ := Sphere(c)
+	b, _ := Sphere(c)
+	for i := range a {
+		if metric.Euclidean(a[i], b[i]) != 0 {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c.Seed = 8
+	d, _ := Sphere(c)
+	same := true
+	for i := range a {
+		if metric.Euclidean(a[i], d[i]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSphereStreamMatchesSphere(t *testing.T) {
+	c := SphereConfig{N: 100, K: 5, Dim: 3, Seed: 3}
+	pts, _ := Sphere(c)
+	stream, err := SphereStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []metric.Vector
+	stream(func(p metric.Vector) { streamed = append(streamed, p) })
+	if len(streamed) != len(pts) {
+		t.Fatalf("stream emitted %d points, want %d", len(streamed), len(pts))
+	}
+	for i := range pts {
+		if metric.Euclidean(pts[i], streamed[i]) != 0 {
+			t.Fatalf("stream diverges from batch at %d", i)
+		}
+	}
+	// Replays identically.
+	var replay []metric.Vector
+	stream(func(p metric.Vector) { replay = append(replay, p) })
+	for i := range pts {
+		if metric.Euclidean(replay[i], streamed[i]) != 0 {
+			t.Fatal("stream replay diverges")
+		}
+	}
+}
+
+func TestSphereBulkRadiusDistribution(t *testing.T) {
+	// Uniform in the ball: about half the bulk mass lies beyond
+	// 0.8·(1/2)^(1/3) ≈ 0.635 in 3-D.
+	pts, _ := Sphere(SphereConfig{N: 4000, K: 0, Dim: 3, Seed: 5})
+	median := 0.8 * math.Pow(0.5, 1.0/3)
+	beyond := 0
+	for _, p := range pts {
+		if p.Norm() > median {
+			beyond++
+		}
+	}
+	frac := float64(beyond) / float64(len(pts))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("fraction beyond the median radius = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestSphereValidation(t *testing.T) {
+	for _, c := range []SphereConfig{
+		{N: 0, K: 0, Dim: 2},
+		{N: 10, K: 11, Dim: 2},
+		{N: 10, K: 1, Dim: 0},
+		{N: 10, K: 1, Dim: 2, OuterRadius: 1, InnerRadius: 2},
+	} {
+		if _, err := Sphere(c); err == nil {
+			t.Errorf("config %+v: expected error", c)
+		}
+	}
+}
+
+func TestLyricsShape(t *testing.T) {
+	docs, err := Lyrics(LyricsConfig{N: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 300 {
+		t.Fatalf("n = %d, want 300", len(docs))
+	}
+	for i, d := range docs {
+		if d.NNZ() < 10 {
+			t.Fatalf("doc %d has %d distinct words, want >= 10 (the paper's filter)", i, d.NNZ())
+		}
+		if d.NNZ() > 80 {
+			t.Fatalf("doc %d has %d distinct words, want <= 80", i, d.NNZ())
+		}
+		for j, term := range d.Terms {
+			if term >= 5000 {
+				t.Fatalf("doc %d term %d = %d outside the vocabulary", i, j, term)
+			}
+			// Counts are prototype counts (≤ MaxCount) times 1±CountNoise.
+			if d.Values[j] < 1 || d.Values[j] > 40*1.16 {
+				t.Fatalf("doc %d count %v outside [1,46]", i, d.Values[j])
+			}
+		}
+	}
+}
+
+func TestLyricsZipfHeadHeavier(t *testing.T) {
+	// Zipf popularity: low term ids occur far more often than high ones.
+	docs, _ := Lyrics(LyricsConfig{N: 500, Seed: 4})
+	lowCount, highCount := 0, 0
+	for _, d := range docs {
+		for _, term := range d.Terms {
+			if term < 100 {
+				lowCount++
+			}
+			if term >= 2500 {
+				highCount++
+			}
+		}
+	}
+	if lowCount <= highCount*2 {
+		t.Fatalf("term distribution not heavy-headed: low=%d high=%d", lowCount, highCount)
+	}
+}
+
+func sparseEqual(a, b metric.SparseVector) bool {
+	if a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Terms {
+		if a.Terms[i] != b.Terms[i] || a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLyricsStreamMatchesBatch(t *testing.T) {
+	c := LyricsConfig{N: 80, Seed: 9}
+	docs, _ := Lyrics(c)
+	stream, err := LyricsStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []metric.SparseVector
+	stream(func(d metric.SparseVector) { streamed = append(streamed, d) })
+	if len(streamed) != len(docs) {
+		t.Fatalf("stream emitted %d docs, want %d", len(streamed), len(docs))
+	}
+	for i := range docs {
+		if !sparseEqual(docs[i], streamed[i]) {
+			t.Fatalf("stream diverges at doc %d", i)
+		}
+	}
+}
+
+func TestLyricsValidation(t *testing.T) {
+	for _, c := range []LyricsConfig{
+		{N: -1},
+		{N: 10, MinWords: 5, MaxWords: 3},
+		{N: 10, Vocab: 20, MaxWords: 50},
+		{N: 10, ZipfS: 0.5},
+	} {
+		if _, err := Lyrics(c); err == nil {
+			t.Errorf("config %+v: expected error", c)
+		}
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	pts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	a := Shuffle(pts, 3)
+	b := Shuffle(pts, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed shuffles differ")
+		}
+	}
+	// Original untouched; result is a permutation.
+	sum := 0
+	for _, x := range a {
+		sum += x
+	}
+	if sum != 36 || pts[0] != 1 {
+		t.Fatal("shuffle is not a permutation or mutated its input")
+	}
+}
+
+func TestSortMortonPreservesMultiset(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]metric.Vector, 50)
+		for i := range pts {
+			pts[i] = metric.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		sorted := SortMorton(pts, 10)
+		if len(sorted) != len(pts) {
+			return false
+		}
+		// Every original point appears in the output.
+		for _, p := range pts {
+			if d, _ := metric.MinDistance(p, sorted, metric.Euclidean); d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortMortonImprovesLocality(t *testing.T) {
+	// Chunks of the Morton order must be spatially tighter than chunks of
+	// the unsorted (random) order: compare the mean intra-chunk pairwise
+	// distance.
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]metric.Vector, 400)
+	for i := range pts {
+		pts[i] = metric.Vector{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	spread := func(data []metric.Vector) float64 {
+		const chunks = 8
+		total, count := 0.0, 0
+		for c := 0; c < chunks; c++ {
+			lo, hi := c*len(data)/chunks, (c+1)*len(data)/chunks
+			chunk := data[lo:hi]
+			for i := 0; i < len(chunk); i += 4 {
+				for j := i + 1; j < len(chunk); j += 4 {
+					total += metric.Euclidean(chunk[i], chunk[j])
+					count++
+				}
+			}
+		}
+		return total / float64(count)
+	}
+	random := spread(pts)
+	sorted := spread(SortMorton(pts, 10))
+	if sorted >= random*0.8 {
+		t.Fatalf("morton chunks not tighter: sorted %v vs random %v", sorted, random)
+	}
+}
+
+func TestSortMortonDegenerate(t *testing.T) {
+	if out := SortMorton(nil, 10); len(out) != 0 {
+		t.Fatal("nil input")
+	}
+	one := []metric.Vector{{1, 2}}
+	if out := SortMorton(one, 10); len(out) != 1 {
+		t.Fatal("single input")
+	}
+	same := []metric.Vector{{1, 1}, {1, 1}, {1, 1}}
+	if out := SortMorton(same, 10); len(out) != 3 {
+		t.Fatal("identical points")
+	}
+}
+
+func TestVectorsCSVRoundTrip(t *testing.T) {
+	pts, _ := Sphere(SphereConfig{N: 40, K: 3, Dim: 3, Seed: 6})
+	var buf bytes.Buffer
+	if err := WriteVectorsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVectorsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("read %d points, want %d", len(back), len(pts))
+	}
+	for i := range pts {
+		if metric.Euclidean(pts[i], back[i]) != 0 {
+			t.Fatalf("round trip changed point %d", i)
+		}
+	}
+}
+
+func TestReadVectorsCSVErrors(t *testing.T) {
+	if _, err := ReadVectorsCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged CSV: expected error")
+	}
+	if _, err := ReadVectorsCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Error("non-numeric CSV: expected error")
+	}
+	pts, err := ReadVectorsCSV(strings.NewReader(""))
+	if err != nil || len(pts) != 0 {
+		t.Errorf("empty CSV = (%v, %v)", pts, err)
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	docs, _ := Lyrics(LyricsConfig{N: 25, Seed: 8})
+	var buf bytes.Buffer
+	if err := WriteSparse(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSparse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(docs) {
+		t.Fatalf("read %d docs, want %d", len(back), len(docs))
+	}
+	for i := range docs {
+		if !sparseEqual(docs[i], back[i]) {
+			t.Fatalf("round trip changed doc %d", i)
+		}
+	}
+}
+
+func TestReadSparseSkipsBlankAndErrors(t *testing.T) {
+	docs, err := ReadSparse(strings.NewReader("1:2 3:4\n\n5:6\n"))
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("(%v, %v), want 2 docs", docs, err)
+	}
+	if _, err := ReadSparse(strings.NewReader("broken\n")); err == nil {
+		t.Error("malformed line: expected error")
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadVectorsCSV: the CSV reader must never panic and must reject
+// ragged or non-numeric input with an error rather than silent
+// corruption; accepted input must round-trip.
+func FuzzReadVectorsCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("1\n2\n3\n")
+	f.Add("1,2\n3\n")
+	f.Add("NaN,Inf\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := ReadVectorsCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Uniform dimensionality on success.
+		for i := 1; i < len(pts); i++ {
+			if len(pts[i]) != len(pts[0]) {
+				t.Fatalf("accepted ragged input: %d vs %d columns", len(pts[i]), len(pts[0]))
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteVectorsCSV(&buf, pts); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadVectorsCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-read failed: %v", err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(pts), len(back))
+		}
+	})
+}
+
+// FuzzReadSparse: the sparse-document reader must never panic; accepted
+// documents must round-trip with identical structure.
+func FuzzReadSparse(f *testing.F) {
+	f.Add("1:2 3:4\n\n5:6\n")
+	f.Add("")
+	f.Add("0:0\n")
+	f.Add("broken\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		docs, err := ReadSparse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Empty documents (e.g. "0:0", normalized to no entries) serialize
+		// to blank lines, which the reader skips; compare the non-empty
+		// subsequence.
+		nonEmpty := docs[:0:0]
+		for _, d := range docs {
+			if d.NNZ() > 0 {
+				nonEmpty = append(nonEmpty, d)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSparse(&buf, docs); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadSparse(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-read failed: %v", err)
+		}
+		if len(back) != len(nonEmpty) {
+			t.Fatalf("round trip changed count: %d -> %d", len(nonEmpty), len(back))
+		}
+		for i := range nonEmpty {
+			if !sparseEqual(nonEmpty[i], back[i]) {
+				t.Fatalf("round trip changed doc %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"divmax/internal/metric"
+)
+
+// WriteVectorsCSV writes one point per record, coordinates as columns.
+func WriteVectorsCSV(w io.Writer, pts []metric.Vector) error {
+	cw := csv.NewWriter(w)
+	record := make([]string, 0, 8)
+	for i, p := range pts {
+		record = record[:0]
+		for _, x := range p {
+			record = append(record, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: writing point %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadVectorsCSV reads points written by WriteVectorsCSV. All records
+// must have the same number of columns; it returns a descriptive error
+// on ragged or non-numeric input.
+func ReadVectorsCSV(r io.Reader) ([]metric.Vector, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate dimensions ourselves for a better error
+	var pts []metric.Vector
+	dim := -1
+	for i := 0; ; i++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading record %d: %w", i, err)
+		}
+		if dim == -1 {
+			dim = len(record)
+		} else if len(record) != dim {
+			return nil, fmt.Errorf("dataset: record %d has %d columns, want %d", i, len(record), dim)
+		}
+		p := make(metric.Vector, dim)
+		for j, field := range record {
+			x, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: record %d column %d: %w", i, j, err)
+			}
+			p[j] = x
+		}
+		pts = append(pts, p)
+	}
+}
+
+// WriteSparse writes one document per line in the musiXmatch-style
+// "term:count term:count ..." format.
+func WriteSparse(w io.Writer, docs []metric.SparseVector) error {
+	bw := bufio.NewWriter(w)
+	for i, d := range docs {
+		if _, err := bw.WriteString(d.String()); err != nil {
+			return fmt.Errorf("dataset: writing document %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: writing document %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSparse reads documents written by WriteSparse, skipping blank
+// lines.
+func ReadSparse(r io.Reader) ([]metric.SparseVector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var docs []metric.SparseVector
+	for line := 0; sc.Scan(); line++ {
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		d, err := metric.ParseSparseVector(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		docs = append(docs, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scanning: %w", err)
+	}
+	return docs, nil
+}

@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"divmax/internal/metric"
+)
+
+// LyricsConfig parameterizes the simulated musiXmatch corpus. The real
+// dataset (Bertin-Mahieux et al., ISMIR'11) represents each of 237,662
+// songs as word counts over the 5,000 most frequent words, and the paper
+// filters out songs with fewer than 10 frequent words. This generator
+// reproduces the traits the experiments exercise:
+//
+//   - 5,000-dimensional sparse non-negative count vectors under the
+//     cosine distance;
+//   - heavy-tailed (Zipf) term popularity — songs share common head
+//     words;
+//   - near-duplicate structure: songs come in families (covers, genre
+//     formulas), modelled as noisy copies of per-topic prototype
+//     documents. The resulting distance spread — tiny angles inside a
+//     family, near-orthogonal across families — is what drives the
+//     streaming doubling algorithm through its phases and makes the
+//     kernel size k′ matter, as in the paper's Figure 1.
+type LyricsConfig struct {
+	// N is the number of documents.
+	N int
+	// Vocab is the vocabulary size (5000 when zero, as in musiXmatch).
+	Vocab int
+	// Topics is the number of prototype documents (40 when zero).
+	Topics int
+	// KeepProb is the probability a prototype word survives into a
+	// derived document (0.9 when zero).
+	KeepProb float64
+	// CountNoise is the relative count perturbation: derived counts are
+	// prototype × (1 ± CountNoise·U) (0.15 when zero).
+	CountNoise float64
+	// TailFrac is the fraction of extra low-count tail words mixed into
+	// each document (0.08 when zero).
+	TailFrac float64
+	// MinWords and MaxWords bound the distinct words per document
+	// (10 and 80 when zero; the paper's filter enforces ≥ 10).
+	MinWords, MaxWords int
+	// ZipfS is the Zipf exponent for global term popularity (1.1 when
+	// zero).
+	ZipfS float64
+	// MaxCount is the largest per-word count (40 when zero).
+	MaxCount int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c LyricsConfig) withDefaults() (LyricsConfig, error) {
+	if c.Vocab == 0 {
+		c.Vocab = 5000
+	}
+	if c.Topics == 0 {
+		c.Topics = 40
+	}
+	if c.KeepProb == 0 {
+		c.KeepProb = 0.9
+	}
+	if c.CountNoise == 0 {
+		c.CountNoise = 0.15
+	}
+	if c.TailFrac == 0 {
+		c.TailFrac = 0.08
+	}
+	if c.MinWords == 0 {
+		c.MinWords = 10
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = 80
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.MaxCount == 0 {
+		c.MaxCount = 40
+	}
+	if c.N < 0 {
+		return c, fmt.Errorf("dataset: lyrics config requires N >= 0, got %d", c.N)
+	}
+	if c.MinWords < 1 || c.MaxWords < c.MinWords {
+		return c, fmt.Errorf("dataset: lyrics config requires 1 <= MinWords <= MaxWords, got %d..%d", c.MinWords, c.MaxWords)
+	}
+	if c.Vocab < 2*c.MaxWords {
+		return c, fmt.Errorf("dataset: lyrics vocabulary %d must be at least 2×MaxWords (%d)", c.Vocab, 2*c.MaxWords)
+	}
+	if c.ZipfS <= 1 {
+		return c, fmt.Errorf("dataset: lyrics Zipf exponent must exceed 1, got %g", c.ZipfS)
+	}
+	if c.Topics < 1 || c.KeepProb <= 0 || c.KeepProb > 1 || c.CountNoise < 0 || c.CountNoise >= 1 || c.TailFrac < 0 || c.TailFrac > 0.5 {
+		return c, fmt.Errorf("dataset: lyrics family parameters invalid: topics=%d keep=%g noise=%g tail=%g",
+			c.Topics, c.KeepProb, c.CountNoise, c.TailFrac)
+	}
+	return c, nil
+}
+
+// lyricsGen carries the deterministic generation state shared by the
+// batch and streaming generators.
+type lyricsGen struct {
+	cfg    LyricsConfig
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	protos []metric.SparseVector
+}
+
+func newLyricsGen(c LyricsConfig) *lyricsGen {
+	g := &lyricsGen{
+		cfg: c,
+		rng: rand.New(rand.NewSource(c.Seed)),
+	}
+	g.zipf = rand.NewZipf(g.rng, c.ZipfS, 1, uint64(c.Vocab-1))
+	g.protos = make([]metric.SparseVector, c.Topics)
+	for t := range g.protos {
+		// Prototype: a full-length document with Zipf words, so topic
+		// head words overlap across topics like real genre vocabulary.
+		size := (c.MinWords + c.MaxWords) / 2
+		if size < c.MinWords {
+			size = c.MinWords
+		}
+		seen := map[uint32]bool{}
+		terms := make([]uint32, 0, size)
+		values := make([]float64, 0, size)
+		for len(terms) < size {
+			w := uint32(g.zipf.Uint64())
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			terms = append(terms, w)
+			values = append(values, float64(5+g.rng.Intn(c.MaxCount-4)))
+		}
+		g.protos[t] = metric.NewSparseVector(terms, values)
+	}
+	return g
+}
+
+func (g *lyricsGen) doc() metric.SparseVector {
+	c := g.cfg
+	proto := g.protos[g.rng.Intn(len(g.protos))]
+	terms := make([]uint32, 0, proto.NNZ()+8)
+	values := make([]float64, 0, proto.NNZ()+8)
+	seen := make(map[uint32]bool, proto.NNZ()+8)
+	for i, w := range proto.Terms {
+		if g.rng.Float64() > c.KeepProb {
+			continue
+		}
+		noise := 1 + c.CountNoise*(2*g.rng.Float64()-1)
+		count := proto.Values[i] * noise
+		if count < 1 {
+			count = 1
+		}
+		seen[w] = true
+		terms = append(terms, w)
+		values = append(values, count)
+	}
+	// Low-count tail words: per-song vocabulary quirks.
+	tail := int(c.TailFrac * float64(proto.NNZ()))
+	for add := 0; add < tail; {
+		w := uint32(g.zipf.Uint64())
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		terms = append(terms, w)
+		values = append(values, float64(1+g.rng.Intn(3)))
+		add++
+	}
+	// The paper's ≥ MinWords filter: top the document back up from the
+	// prototype when drops cut it too short.
+	for i := 0; len(terms) < c.MinWords && i < proto.NNZ(); i++ {
+		if !seen[proto.Terms[i]] {
+			seen[proto.Terms[i]] = true
+			terms = append(terms, proto.Terms[i])
+			values = append(values, proto.Values[i])
+		}
+	}
+	return metric.NewSparseVector(terms, values)
+}
+
+// Lyrics generates the simulated corpus. Every document has at least
+// MinWords distinct words (the paper's filter is built in); documents
+// derived from the same prototype are nearly parallel (cosine distance a
+// fraction of a radian), documents from different prototypes nearly
+// orthogonal.
+func Lyrics(c LyricsConfig) ([]metric.SparseVector, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := newLyricsGen(c)
+	docs := make([]metric.SparseVector, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		docs = append(docs, g.doc())
+	}
+	return docs, nil
+}
+
+// LyricsStream returns a replayable point-by-point generator of the same
+// corpus without materializing it (cf. SphereStream).
+func LyricsStream(c LyricsConfig) (func(emit func(metric.SparseVector)), error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func(metric.SparseVector)) {
+		g := newLyricsGen(c)
+		for i := 0; i < c.N; i++ {
+			emit(g.doc())
+		}
+	}, nil
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"sort"
+
+	"divmax/internal/metric"
+)
+
+// SortMorton returns a copy of pts ordered along a Morton (Z-order)
+// space-filling curve. Feeding the sorted points to contiguous-chunk
+// partitioning gives each MapReduce reducer a small-volume region of
+// space — the paper's adversarial partitioning (§7.2), which "obfuscates
+// a global view of the pointset". Coordinates are quantized to bits bits
+// per dimension over the data's bounding box.
+func SortMorton(pts []metric.Vector, bits int) []metric.Vector {
+	out := make([]metric.Vector, len(pts))
+	copy(out, pts)
+	if len(pts) < 2 {
+		return out
+	}
+	if bits < 1 {
+		bits = 10
+	}
+	dim := len(pts[0])
+	if maxUsable := 63 / dim; bits > maxUsable {
+		bits = maxUsable
+	}
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, pts[0])
+	copy(hi, pts[0])
+	for _, p := range pts {
+		for j := 0; j < dim; j++ {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+			if p[j] > hi[j] {
+				hi[j] = p[j]
+			}
+		}
+	}
+	codes := make([]uint64, len(out))
+	for i, p := range out {
+		codes[i] = mortonCode(p, lo, hi, bits)
+	}
+	// Sort an index view so codes and points stay aligned.
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return codes[idx[a]] < codes[idx[b]] })
+	sorted := make([]metric.Vector, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	return sorted
+}
+
+// mortonCode interleaves the quantized coordinate bits of p, most
+// significant bit first.
+func mortonCode(p metric.Vector, lo, hi []float64, bits int) uint64 {
+	dim := len(p)
+	q := make([]uint64, dim)
+	maxQ := uint64(1)<<bits - 1
+	for j := 0; j < dim; j++ {
+		span := hi[j] - lo[j]
+		if span <= 0 {
+			q[j] = 0
+			continue
+		}
+		f := (p[j] - lo[j]) / span
+		v := uint64(f * float64(maxQ))
+		if v > maxQ {
+			v = maxQ
+		}
+		q[j] = v
+	}
+	var code uint64
+	for b := bits - 1; b >= 0; b-- {
+		for j := 0; j < dim; j++ {
+			code = code<<1 | (q[j]>>b)&1
+		}
+	}
+	return code
+}

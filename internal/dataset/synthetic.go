@@ -1,0 +1,132 @@
+// Package dataset provides the workloads of the paper's experimental
+// section (Section 7): the synthetic sphere-shell distribution used for
+// the scalability and MapReduce experiments, a simulated musiXmatch
+// lyrics corpus (the real dataset is not redistributable; see DESIGN.md,
+// substitutions), the Morton-order adversarial partitioner of §7.2, and
+// CSV/text dataset IO.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"divmax/internal/metric"
+)
+
+// SphereConfig parameterizes the paper's synthetic generator: "for a
+// given k, k points are randomly picked on the surface of the unit radius
+// sphere centered at the origin ..., and the other points are chosen
+// uniformly at random in the concentric sphere of radius 0.8". The paper
+// found this the most challenging distribution it tried.
+type SphereConfig struct {
+	// N is the total number of points (including the K far points).
+	N int
+	// K is the number of planted far-away points on the outer surface.
+	K int
+	// Dim is the dimension (the paper uses 2 and 3).
+	Dim int
+	// OuterRadius is the surface radius for the planted points (1.0 when
+	// zero).
+	OuterRadius float64
+	// InnerRadius is the bulk ball radius (0.8·OuterRadius when zero).
+	InnerRadius float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c SphereConfig) withDefaults() (SphereConfig, error) {
+	if c.OuterRadius == 0 {
+		c.OuterRadius = 1.0
+	}
+	if c.InnerRadius == 0 {
+		c.InnerRadius = 0.8 * c.OuterRadius
+	}
+	if c.N < 1 || c.K < 0 || c.K > c.N {
+		return c, fmt.Errorf("dataset: sphere config requires 0 <= K <= N and N >= 1, got N=%d K=%d", c.N, c.K)
+	}
+	if c.Dim < 1 {
+		return c, fmt.Errorf("dataset: sphere config requires Dim >= 1, got %d", c.Dim)
+	}
+	if c.InnerRadius < 0 || c.InnerRadius > c.OuterRadius {
+		return c, fmt.Errorf("dataset: sphere config requires 0 <= InnerRadius <= OuterRadius, got %g > %g", c.InnerRadius, c.OuterRadius)
+	}
+	return c, nil
+}
+
+// Sphere generates the sphere-shell dataset. The K planted points are
+// returned first, followed by the N−K bulk points; callers that need a
+// neutral order shuffle (the experiments feed points round-robin or
+// shuffled, so the planted prefix carries no advantage).
+func Sphere(c SphereConfig) ([]metric.Vector, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	pts := make([]metric.Vector, 0, c.N)
+	for i := 0; i < c.K; i++ {
+		pts = append(pts, scaleToNorm(randomDirection(rng, c.Dim), c.OuterRadius))
+	}
+	for i := c.K; i < c.N; i++ {
+		// Uniform in the ball: direction × R·U^{1/dim}.
+		r := c.InnerRadius * math.Pow(rng.Float64(), 1/float64(c.Dim))
+		pts = append(pts, scaleToNorm(randomDirection(rng, c.Dim), r))
+	}
+	return pts, nil
+}
+
+// SphereStream returns a generator that replays the same sphere dataset
+// point-by-point without materializing it, for streaming experiments at
+// sizes that should not be held in memory twice. Each call to the
+// returned function replays the identical sequence.
+func SphereStream(c SphereConfig) (func(emit func(metric.Vector)), error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return func(emit func(metric.Vector)) {
+		rng := rand.New(rand.NewSource(c.Seed))
+		for i := 0; i < c.K; i++ {
+			emit(scaleToNorm(randomDirection(rng, c.Dim), c.OuterRadius))
+		}
+		for i := c.K; i < c.N; i++ {
+			r := c.InnerRadius * math.Pow(rng.Float64(), 1/float64(c.Dim))
+			emit(scaleToNorm(randomDirection(rng, c.Dim), r))
+		}
+	}, nil
+}
+
+func randomDirection(rng *rand.Rand, dim int) metric.Vector {
+	v := make(metric.Vector, dim)
+	for {
+		var norm float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			norm += v[i] * v[i]
+		}
+		if norm > 1e-12 { // astronomically unlikely to loop
+			return v
+		}
+	}
+}
+
+func scaleToNorm(v metric.Vector, target float64) metric.Vector {
+	norm := v.Norm()
+	if norm == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] *= target / norm
+	}
+	return v
+}
+
+// Shuffle returns a seeded random permutation of pts (not in place).
+func Shuffle[P any](pts []P, seed int64) []P {
+	out := make([]P, len(pts))
+	copy(out, pts)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

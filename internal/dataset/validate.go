@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// ValidateVectors rejects datasets that would corrupt the algorithms'
+// invariants: NaN or infinite coordinates (which break every distance
+// comparison) and mixed dimensionalities (which panic deep inside the
+// distance functions). It returns the first offending record.
+func ValidateVectors(pts []metric.Vector) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	dim := len(pts[0])
+	for i, p := range pts {
+		if len(p) != dim {
+			return fmt.Errorf("dataset: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, x := range p {
+			if math.IsNaN(x) {
+				return fmt.Errorf("dataset: point %d coordinate %d is NaN", i, j)
+			}
+			if math.IsInf(x, 0) {
+				return fmt.Errorf("dataset: point %d coordinate %d is infinite", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSparse rejects sparse documents with NaN, infinite, or
+// negative values (cosine distance assumes non-negative counts; negative
+// components can push cos outside [-1,1] semantics the corpus assumes).
+func ValidateSparse(docs []metric.SparseVector) error {
+	for i, d := range docs {
+		for j, x := range d.Values {
+			if math.IsNaN(x) {
+				return fmt.Errorf("dataset: document %d term %d has NaN count", i, d.Terms[j])
+			}
+			if math.IsInf(x, 0) {
+				return fmt.Errorf("dataset: document %d term %d has infinite count", i, d.Terms[j])
+			}
+			if x < 0 {
+				return fmt.Errorf("dataset: document %d term %d has negative count %g", i, d.Terms[j], x)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+func TestValidateVectors(t *testing.T) {
+	good := []metric.Vector{{1, 2}, {3, 4}}
+	if err := ValidateVectors(good); err != nil {
+		t.Fatalf("valid data rejected: %v", err)
+	}
+	if err := ValidateVectors(nil); err != nil {
+		t.Fatalf("empty data rejected: %v", err)
+	}
+	cases := map[string][]metric.Vector{
+		"nan":       {{1, 2}, {math.NaN(), 0}},
+		"inf":       {{1, 2}, {math.Inf(1), 0}},
+		"neg-inf":   {{math.Inf(-1), 0}},
+		"ragged":    {{1, 2}, {3}},
+		"ragged-up": {{1}, {2, 3}},
+	}
+	for name, pts := range cases {
+		if err := ValidateVectors(pts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestValidateSparse(t *testing.T) {
+	good := []metric.SparseVector{metric.NewSparseVector([]uint32{1, 2}, []float64{1, 2})}
+	if err := ValidateSparse(good); err != nil {
+		t.Fatalf("valid docs rejected: %v", err)
+	}
+	bad := []metric.SparseVector{
+		{Terms: []uint32{1}, Values: []float64{math.NaN()}},
+		{Terms: []uint32{1}, Values: []float64{math.Inf(1)}},
+		{Terms: []uint32{1}, Values: []float64{-3}},
+	}
+	for i, d := range bad {
+		if err := ValidateSparse([]metric.SparseVector{d}); err == nil {
+			t.Errorf("bad doc %d: expected error", i)
+		}
+	}
+}

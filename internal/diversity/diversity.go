@@ -1,0 +1,232 @@
+// Package diversity defines the six diversity measures of the paper
+// (Table 1) and evaluates them on candidate solution sets. Remote-edge,
+// remote-clique, remote-star, and remote-tree are evaluated exactly in
+// polynomial time. Remote-cycle (TSP weight) and remote-bipartition
+// (minimum balanced cut) are NP-hard to evaluate; they are computed
+// exactly up to the limits of internal/graph and by bounded heuristics
+// beyond, with the exactness reported to the caller.
+package diversity
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"divmax/internal/graph"
+	"divmax/internal/metric"
+)
+
+// Measure identifies one of the six diversity objectives of Table 1.
+type Measure int
+
+const (
+	// RemoteEdge maximizes the minimum pairwise distance of the solution.
+	RemoteEdge Measure = iota
+	// RemoteClique maximizes the sum of all pairwise distances.
+	RemoteClique
+	// RemoteStar maximizes min_{c∈S} Σ_{q∈S\{c}} d(c,q).
+	RemoteStar
+	// RemoteBipartition maximizes the minimum total distance across a
+	// balanced bipartition of the solution.
+	RemoteBipartition
+	// RemoteTree maximizes the weight of a minimum spanning tree.
+	RemoteTree
+	// RemoteCycle maximizes the weight of a shortest Hamiltonian cycle.
+	RemoteCycle
+
+	numMeasures
+)
+
+// Measures lists all six measures, in Table 1 order.
+var Measures = []Measure{RemoteEdge, RemoteClique, RemoteStar, RemoteBipartition, RemoteTree, RemoteCycle}
+
+var measureNames = [...]string{
+	RemoteEdge:        "remote-edge",
+	RemoteClique:      "remote-clique",
+	RemoteStar:        "remote-star",
+	RemoteBipartition: "remote-bipartition",
+	RemoteTree:        "remote-tree",
+	RemoteCycle:       "remote-cycle",
+}
+
+// String returns the paper's name for the measure (e.g. "remote-edge").
+func (m Measure) String() string {
+	if m < 0 || m >= numMeasures {
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+	return measureNames[m]
+}
+
+// Valid reports whether m is one of the six defined measures.
+func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
+
+// ParseMeasure parses a measure name as printed by String; it also
+// accepts the "r-edge" style abbreviations used in the paper's Table 3.
+func ParseMeasure(s string) (Measure, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	name = strings.TrimPrefix(name, "r-")
+	name = strings.TrimPrefix(name, "remote-")
+	for m, full := range measureNames {
+		if strings.TrimPrefix(full, "remote-") == name {
+			return Measure(m), nil
+		}
+	}
+	return 0, fmt.Errorf("diversity: unknown measure %q", s)
+}
+
+// NeedsInjectiveProxy reports whether the measure requires the injective
+// proxy function of Lemma 2 — equivalently, whether core-sets must carry
+// delegate points (GMM-EXT/SMM-EXT) rather than bare kernels (GMM/SMM).
+// True for remote-clique, remote-star, remote-bipartition, remote-tree.
+func (m Measure) NeedsInjectiveProxy() bool {
+	switch m {
+	case RemoteClique, RemoteStar, RemoteBipartition, RemoteTree:
+		return true
+	case RemoteEdge, RemoteCycle:
+		return false
+	}
+	panic(fmt.Sprintf("diversity: invalid measure %d", int(m)))
+}
+
+// SequentialAlpha returns the approximation factor α of the best known
+// polynomial-time, linear-space sequential algorithm for the measure
+// (Table 1), as implemented in internal/sequential.
+func (m Measure) SequentialAlpha() float64 {
+	switch m {
+	case RemoteEdge, RemoteClique, RemoteStar:
+		return 2
+	case RemoteBipartition, RemoteCycle:
+		return 3
+	case RemoteTree:
+		return 4
+	}
+	panic(fmt.Sprintf("diversity: invalid measure %d", int(m)))
+}
+
+// PairCount returns f(k) of Lemma 7: the number of distance terms the
+// measure's objective sums over a solution of size k. It bounds the
+// diversity loss of a δ-instantiation by 2·δ·f(k).
+func (m Measure) PairCount(k int) int {
+	switch m {
+	case RemoteClique:
+		return k * (k - 1) / 2
+	case RemoteStar, RemoteTree:
+		return k - 1
+	case RemoteBipartition:
+		return (k / 2) * ((k + 1) / 2)
+	case RemoteEdge, RemoteCycle:
+		// Lemma 7 is stated for the four injective-proxy problems; for the
+		// remaining two a single edge (edge) or k edges (cycle) matter.
+		if m == RemoteEdge {
+			return 1
+		}
+		return k
+	}
+	panic(fmt.Sprintf("diversity: invalid measure %d", int(m)))
+}
+
+// Evaluate computes div(pts) for the measure. The second result reports
+// whether the value is exact (always true except for large remote-cycle
+// and remote-bipartition instances, which exceed the exact-evaluation
+// limits of internal/graph and fall back to bounded heuristics).
+//
+// Sets of fewer than two points have zero diversity under every measure
+// except remote-edge, whose value is +Inf on singletons by the min-over-
+// empty-set convention; callers constructing solutions always use k ≥ 2.
+func Evaluate[P any](m Measure, pts []P, d metric.Distance[P]) (float64, bool) {
+	switch m {
+	case RemoteEdge:
+		return metric.Farness(pts, d), true
+	case RemoteClique:
+		return metric.SumPairwise(pts, d), true
+	case RemoteStar:
+		return starValue(pts, d), true
+	case RemoteBipartition:
+		if len(pts) < 2 {
+			return 0, true
+		}
+		return graph.MinBipartition(metric.Matrix(pts, d))
+	case RemoteTree:
+		return graph.MSTWeight(metric.Matrix(pts, d)), true
+	case RemoteCycle:
+		if len(pts) < 2 {
+			return 0, true
+		}
+		return graph.TSP(metric.Matrix(pts, d))
+	}
+	panic(fmt.Sprintf("diversity: invalid measure %d", int(m)))
+}
+
+// EvaluateMatrix is Evaluate on a pre-computed distance matrix, indexed
+// like the original point slice. It avoids recomputing distances when
+// several measures are evaluated on the same set.
+func EvaluateMatrix(m Measure, dist [][]float64) (float64, bool) {
+	n := len(dist)
+	switch m {
+	case RemoteEdge:
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if dist[i][j] < best {
+					best = dist[i][j]
+				}
+			}
+		}
+		return best, true
+	case RemoteClique:
+		var sum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += dist[i][j]
+			}
+		}
+		return sum, true
+	case RemoteStar:
+		if n < 2 {
+			return 0, true
+		}
+		best := math.Inf(1)
+		for c := 0; c < n; c++ {
+			var sum float64
+			for q := 0; q < n; q++ {
+				sum += dist[c][q]
+			}
+			if sum < best {
+				best = sum
+			}
+		}
+		return best, true
+	case RemoteBipartition:
+		if n < 2 {
+			return 0, true
+		}
+		return graph.MinBipartition(dist)
+	case RemoteTree:
+		return graph.MSTWeight(dist), true
+	case RemoteCycle:
+		if n < 2 {
+			return 0, true
+		}
+		return graph.TSP(dist)
+	}
+	panic(fmt.Sprintf("diversity: invalid measure %d", int(m)))
+}
+
+func starValue[P any](pts []P, d metric.Distance[P]) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	for c := range pts {
+		var sum float64
+		for q := range pts {
+			if q != c {
+				sum += d(pts[c], pts[q])
+			}
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}

@@ -1,0 +1,298 @@
+package diversity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/metric"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func TestMeasureString(t *testing.T) {
+	want := map[Measure]string{
+		RemoteEdge:        "remote-edge",
+		RemoteClique:      "remote-clique",
+		RemoteStar:        "remote-star",
+		RemoteBipartition: "remote-bipartition",
+		RemoteTree:        "remote-tree",
+		RemoteCycle:       "remote-cycle",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if s := Measure(99).String(); s != "Measure(99)" {
+		t.Errorf("invalid measure String = %q", s)
+	}
+}
+
+func TestParseMeasure(t *testing.T) {
+	for _, m := range Measures {
+		got, err := ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMeasure(%q) = (%v,%v)", m.String(), got, err)
+		}
+	}
+	// Paper's Table 3 abbreviations and bare names.
+	for s, want := range map[string]Measure{
+		"r-edge": RemoteEdge, "r-clique": RemoteClique, "edge": RemoteEdge,
+		"Remote-Tree": RemoteTree, " cycle ": RemoteCycle, "bipartition": RemoteBipartition,
+	} {
+		got, err := ParseMeasure(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMeasure(%q) = (%v,%v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMeasure("nonsense"); err == nil {
+		t.Error("ParseMeasure(nonsense): expected error")
+	}
+}
+
+func TestNeedsInjectiveProxy(t *testing.T) {
+	want := map[Measure]bool{
+		RemoteEdge: false, RemoteCycle: false,
+		RemoteClique: true, RemoteStar: true, RemoteBipartition: true, RemoteTree: true,
+	}
+	for m, injective := range want {
+		if m.NeedsInjectiveProxy() != injective {
+			t.Errorf("%v.NeedsInjectiveProxy() = %v, want %v", m, !injective, injective)
+		}
+	}
+}
+
+func TestSequentialAlpha(t *testing.T) {
+	want := map[Measure]float64{
+		RemoteEdge: 2, RemoteClique: 2, RemoteStar: 2,
+		RemoteBipartition: 3, RemoteTree: 4, RemoteCycle: 3,
+	}
+	for m, alpha := range want {
+		if m.SequentialAlpha() != alpha {
+			t.Errorf("%v.SequentialAlpha() = %v, want %v", m, m.SequentialAlpha(), alpha)
+		}
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	k := 7
+	if got := RemoteClique.PairCount(k); got != 21 {
+		t.Errorf("clique PairCount = %d, want 21", got)
+	}
+	if got := RemoteStar.PairCount(k); got != 6 {
+		t.Errorf("star PairCount = %d, want 6", got)
+	}
+	if got := RemoteTree.PairCount(k); got != 6 {
+		t.Errorf("tree PairCount = %d, want 6", got)
+	}
+	if got := RemoteBipartition.PairCount(k); got != 12 { // ⌊7/2⌋·⌈7/2⌉
+		t.Errorf("bipartition PairCount = %d, want 12", got)
+	}
+	if got := RemoteEdge.PairCount(k); got != 1 {
+		t.Errorf("edge PairCount = %d, want 1", got)
+	}
+	if got := RemoteCycle.PairCount(k); got != 7 {
+		t.Errorf("cycle PairCount = %d, want 7", got)
+	}
+}
+
+func TestEvaluateKnownConfiguration(t *testing.T) {
+	// Unit square: all six measures have hand-computable values.
+	pts := []metric.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	d := metric.Euclidean
+
+	cases := []struct {
+		m    Measure
+		want float64
+	}{
+		{RemoteEdge, 1},                       // side
+		{RemoteClique, 4 + 2*math.Sqrt2},      // 4 sides + 2 diagonals
+		{RemoteStar, 2 + math.Sqrt2},          // any corner: two sides + diagonal
+		{RemoteBipartition, 2 + 2*math.Sqrt2}, // split along a diagonal: 2 sides + 2 diagonals... see below
+		{RemoteTree, 3},                       // three sides
+		{RemoteCycle, 4},                      // the square
+	}
+	// Bipartition check: splitting into adjacent pairs {A,B},{C,D} cuts
+	// 2 sides + 2 diagonals = 2+2√2 ≈ 4.83; splitting into diagonal pairs
+	// {A,C},{B,D} cuts 4 sides = 4. Minimum is 4.
+	cases[3].want = 4
+
+	for _, c := range cases {
+		got, exact := Evaluate(c.m, pts, d)
+		if !exact {
+			t.Errorf("%v: expected exact evaluation", c.m)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("%v = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateDegenerateSets(t *testing.T) {
+	d := metric.Euclidean
+	single := []metric.Vector{{1, 2}}
+	if v, _ := Evaluate(RemoteEdge, single, d); !math.IsInf(v, 1) {
+		t.Errorf("remote-edge singleton = %v, want +Inf", v)
+	}
+	for _, m := range []Measure{RemoteClique, RemoteStar, RemoteBipartition, RemoteTree, RemoteCycle} {
+		if v, _ := Evaluate(m, single, d); v != 0 {
+			t.Errorf("%v singleton = %v, want 0", m, v)
+		}
+		if v, _ := Evaluate(m, nil, d); v != 0 {
+			t.Errorf("%v empty = %v, want 0", m, v)
+		}
+	}
+}
+
+func TestEvaluateMatrixAgreesWithEvaluate(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 2+rng.Intn(8), 3)
+		dist := metric.Matrix(pts, metric.Euclidean)
+		for _, m := range Measures {
+			v1, e1 := Evaluate(m, pts, metric.Euclidean)
+			v2, e2 := EvaluateMatrix(m, dist)
+			if e1 != e2 || !almostEqual(v1, v2, 1e-9) {
+				t.Logf("%v: Evaluate=%v/%v EvaluateMatrix=%v/%v (seed %d)", m, v1, e1, v2, e2, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicatePointsZeroEdge(t *testing.T) {
+	pts := []metric.Vector{{1, 1}, {1, 1}, {5, 5}}
+	if v, _ := Evaluate(RemoteEdge, pts, metric.Euclidean); v != 0 {
+		t.Errorf("remote-edge with duplicates = %v, want 0", v)
+	}
+}
+
+func TestMeasureOrderingsOnLine(t *testing.T) {
+	// On colinear spread points, sanity-check cross-measure relations:
+	// clique ≥ star, tree ≤ cycle ≤ 2·tree (metric TSP bounds).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 3+rng.Intn(6), 2)
+		clique, _ := Evaluate(RemoteClique, pts, metric.Euclidean)
+		star, _ := Evaluate(RemoteStar, pts, metric.Euclidean)
+		tree, _ := Evaluate(RemoteTree, pts, metric.Euclidean)
+		cycle, _ := Evaluate(RemoteCycle, pts, metric.Euclidean)
+		if clique < star-1e-9 {
+			return false
+		}
+		if cycle < tree-1e-9 || cycle > 2*tree+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateWeightedAllDistinct(t *testing.T) {
+	// Multiplicity 1 everywhere must agree with plain Evaluate.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 2+rng.Intn(6), 2)
+		mult := make([]int, len(pts))
+		for i := range mult {
+			mult[i] = 1
+		}
+		for _, m := range Measures {
+			v1, _ := Evaluate(m, pts, metric.Euclidean)
+			v2, _ := EvaluateWeighted(m, pts, mult, metric.Euclidean)
+			if !almostEqual(v1, v2, 1e-9) {
+				t.Logf("%v: %v vs %v (seed %d)", m, v1, v2, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateWeightedReplicasAtDistanceZero(t *testing.T) {
+	pts := []metric.Vector{{0, 0}, {3, 0}}
+	mult := []int{2, 1}
+	// Expanded multiset {a,a,b}: remote-edge = 0 (two replicas).
+	if v, _ := EvaluateWeighted(RemoteEdge, pts, mult, metric.Euclidean); v != 0 {
+		t.Errorf("weighted remote-edge = %v, want 0", v)
+	}
+	// remote-clique = d(a,a)+d(a,b)+d(a,b) = 6.
+	if v, _ := EvaluateWeighted(RemoteClique, pts, mult, metric.Euclidean); !almostEqual(v, 6, 1e-9) {
+		t.Errorf("weighted remote-clique = %v, want 6", v)
+	}
+	// remote-tree: MST over {a,a,b} = 0 + 3.
+	if v, _ := EvaluateWeighted(RemoteTree, pts, mult, metric.Euclidean); !almostEqual(v, 3, 1e-9) {
+		t.Errorf("weighted remote-tree = %v, want 3", v)
+	}
+	// remote-cycle: a→a→b→a = 0+3+3.
+	if v, _ := EvaluateWeighted(RemoteCycle, pts, mult, metric.Euclidean); !almostEqual(v, 6, 1e-9) {
+		t.Errorf("weighted remote-cycle = %v, want 6", v)
+	}
+}
+
+func TestEvaluateWeightedEquivalentToExplicitExpansion(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 2+rng.Intn(4), 2)
+		mult := make([]int, len(pts))
+		var expanded []metric.Vector
+		for i := range mult {
+			mult[i] = 1 + rng.Intn(3)
+			for r := 0; r < mult[i]; r++ {
+				expanded = append(expanded, pts[i])
+			}
+		}
+		for _, m := range Measures {
+			v1, _ := EvaluateWeighted(m, pts, mult, metric.Euclidean)
+			v2, _ := Evaluate(m, expanded, metric.Euclidean)
+			if !almostEqual(v1, v2, 1e-9) {
+				t.Logf("%v: weighted %v vs expanded %v (seed %d)", m, v1, v2, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateWeightedPanics(t *testing.T) {
+	pts := []metric.Vector{{0}}
+	for _, fn := range []func(){
+		func() { EvaluateWeighted(RemoteEdge, pts, []int{1, 2}, metric.Euclidean) },
+		func() { EvaluateWeighted(RemoteEdge, pts, []int{0}, metric.Euclidean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,54 @@
+package diversity
+
+import (
+	"fmt"
+
+	"divmax/internal/metric"
+)
+
+// EvaluateWeighted computes the generalized diversity gen-div of Section
+// 6: pts[i] appears with multiplicity mult[i], and the mult[i] replicas of
+// a point are treated as distinct points at distance 0 from one another.
+// It expands the multiset (total size Σ mult[i], which is k in every use
+// by the generalized algorithms) and evaluates the measure on the expanded
+// distance matrix. The second result reports exactness, as in Evaluate.
+//
+// It panics if the slices have different lengths or a multiplicity is
+// not positive, which always indicates a bug in the caller.
+func EvaluateWeighted[P any](m Measure, pts []P, mult []int, d metric.Distance[P]) (float64, bool) {
+	if len(pts) != len(mult) {
+		panic(fmt.Sprintf("diversity: EvaluateWeighted with %d points but %d multiplicities", len(pts), len(mult)))
+	}
+	total := 0
+	for i, mu := range mult {
+		if mu <= 0 {
+			panic(fmt.Sprintf("diversity: multiplicity %d of point %d must be positive", mu, i))
+		}
+		total += mu
+	}
+	// owner[e] = index into pts of the e-th expanded replica.
+	owner := make([]int, 0, total)
+	for i, mu := range mult {
+		for r := 0; r < mu; r++ {
+			owner = append(owner, i)
+		}
+	}
+	// Base distances between distinct originals, computed once.
+	base := metric.Matrix(pts, d)
+	dist := make([][]float64, total)
+	backing := make([]float64, total*total)
+	for e := range dist {
+		dist[e], backing = backing[:total:total], backing[total:]
+	}
+	for e := 0; e < total; e++ {
+		for f := e + 1; f < total; f++ {
+			var w float64
+			if owner[e] != owner[f] {
+				w = base[owner[e]][owner[f]]
+			}
+			dist[e][f] = w
+			dist[f][e] = w
+		}
+	}
+	return EvaluateMatrix(m, dist)
+}

@@ -1,0 +1,292 @@
+// Package experiments reproduces the figures and tables of the paper's
+// Section 7. Each experiment is a function from a size-scaled
+// configuration to a structured result with a Print method that emits the
+// same rows/series the paper plots. Absolute sizes default far below the
+// paper's cluster-scale datasets (flags on cmd/experiments raise them);
+// EXPERIMENTS.md records how the measured shapes compare to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"divmax/internal/dataset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/mrdiv"
+	"divmax/internal/sequential"
+	"divmax/internal/streamalg"
+)
+
+// Reference computes the baseline value used for approximation ratios.
+// As in the paper, optimal solutions are out of reach, so ratios are
+// relative to "the best solution found by many runs of our MapReduce
+// algorithm with maximum parallelism and large local memory": here, the
+// best diversity over runs of the 2-round algorithm with a large kernel
+// and shuffled inputs, plus one direct sequential run.
+func Reference[P any](m diversity.Measure, pts []P, k int, runs int, seed int64, d metric.Distance[P]) float64 {
+	kprime := 8 * k
+	if kprime > len(pts) {
+		kprime = len(pts)
+	}
+	best, _ := diversity.Evaluate(m, sequential.Solve(m, pts, k, d), d)
+	for r := 0; r < runs; r++ {
+		shuffled := dataset.Shuffle(pts, seed+int64(r))
+		sol, err := mrdiv.TwoRound(m, shuffled, k, mrdiv.Config{Parallelism: 8, KPrime: kprime}, d)
+		if err != nil {
+			continue
+		}
+		if v, _ := diversity.Evaluate(m, sol, d); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ratio converts a found diversity value into the paper's approximation
+// ratio (≥ 1; 1 is optimal).
+func ratio(reference, found float64) float64 {
+	if found <= 0 {
+		if reference <= 0 {
+			return 1
+		}
+		return float64(int(^uint(0) >> 1)) // degenerate: report huge
+	}
+	r := reference / found
+	if r < 1 {
+		// The run beat the reference; clamp as the paper's plots do.
+		return 1
+	}
+	return r
+}
+
+// Cell is one measured grid point of a ratio experiment.
+type Cell struct {
+	K, KPrime int
+	Ratio     float64
+}
+
+// Grid is a k × k′ table of approximation ratios.
+type Grid struct {
+	Title string
+	Cells []Cell
+}
+
+// Print renders the grid with k as rows and k′ as columns, like the
+// paper's grouped-bar figures.
+func (g *Grid) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", g.Title)
+	cols := map[int][]Cell{}
+	var ks []int
+	for _, c := range g.Cells {
+		if _, seen := cols[c.K]; !seen {
+			ks = append(ks, c.K)
+		}
+		cols[c.K] = append(cols[c.K], c)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "k\\k'\t")
+	if len(ks) > 0 {
+		for _, c := range cols[ks[0]] {
+			fmt.Fprintf(tw, "%d\t", c.KPrime)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, k := range ks {
+		fmt.Fprintf(tw, "%d\t", k)
+		for _, c := range cols[k] {
+			fmt.Fprintf(tw, "%.3f\t", c.Ratio)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// StreamingRatioConfig parameterizes Figures 1 and 2: the streaming
+// algorithm's approximation ratio across k and k′.
+type StreamingRatioConfig struct {
+	// Ks are the solution sizes (the paper uses 8, 32, 128).
+	Ks []int
+	// KPrimes maps k to the kernel sizes to test (geometric multiples for
+	// Fig 1, additive offsets for Fig 2).
+	KPrimes func(k int) []int
+	// Runs averages each cell over this many stream shuffles (≥ 1).
+	Runs int
+	// RefRuns controls the reference computation.
+	RefRuns int
+	Seed    int64
+}
+
+// StreamingRatio measures the one-pass streaming algorithm's remote-edge
+// approximation ratio on the given dataset (Figure 1 on lyrics, Figure 2
+// on the synthetic sphere dataset).
+func StreamingRatio[P any](title string, pts []P, cfg StreamingRatioConfig, d metric.Distance[P]) *Grid {
+	g := &Grid{Title: title}
+	for _, k := range cfg.Ks {
+		ref := Reference(diversity.RemoteEdge, pts, k, cfg.RefRuns, cfg.Seed, d)
+		for _, kprime := range cfg.KPrimes(k) {
+			sum := 0.0
+			for r := 0; r < cfg.Runs; r++ {
+				stream := streamalg.SliceStream(dataset.Shuffle(pts, cfg.Seed+int64(r)))
+				sol := streamalg.OnePass(diversity.RemoteEdge, stream, k, kprime, d)
+				v, _ := diversity.Evaluate(diversity.RemoteEdge, sol, d)
+				sum += ratio(ref, v)
+			}
+			g.Cells = append(g.Cells, Cell{K: k, KPrime: kprime, Ratio: sum / float64(cfg.Runs)})
+		}
+	}
+	return g
+}
+
+// ThroughputCell is one measured point of Figure 3.
+type ThroughputCell struct {
+	K, KPrime int
+	PointsSec float64
+}
+
+// ThroughputResult is Figure 3: the streaming kernel's sustainable rate.
+type ThroughputResult struct {
+	Title string
+	Cells []ThroughputCell
+}
+
+// Print renders points/s with k as rows and k′ as columns.
+func (t *ThroughputResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := map[int][]ThroughputCell{}
+	var ks []int
+	for _, c := range t.Cells {
+		if _, seen := cols[c.K]; !seen {
+			ks = append(ks, c.K)
+		}
+		cols[c.K] = append(cols[c.K], c)
+	}
+	fmt.Fprintf(tw, "k\\k'\t")
+	if len(ks) > 0 {
+		for _, c := range cols[ks[0]] {
+			fmt.Fprintf(tw, "%d\t", c.KPrime)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, k := range ks {
+		fmt.Fprintf(tw, "%d\t", k)
+		for _, c := range cols[k] {
+			fmt.Fprintf(tw, "%.0f\t", c.PointsSec)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Throughput measures the streaming kernel's processing rate (Figure 3):
+// only Process calls are timed, isolating the core-set construction from
+// the data source, exactly as the paper does ("ignoring the cost of
+// streaming data from memory").
+func Throughput[P any](title string, pts []P, ks []int, kprimes func(k int) []int, d metric.Distance[P]) *ThroughputResult {
+	res := &ThroughputResult{Title: title}
+	for _, k := range ks {
+		for _, kprime := range kprimes(k) {
+			proc := streamalg.NewSMM(k, kprime, d)
+			start := time.Now()
+			for _, p := range pts {
+				proc.Process(p)
+			}
+			elapsed := time.Since(start)
+			res.Cells = append(res.Cells, ThroughputCell{
+				K: k, KPrime: kprime,
+				PointsSec: float64(len(pts)) / elapsed.Seconds(),
+			})
+		}
+	}
+	return res
+}
+
+// MRRatioConfig parameterizes Figure 4: the 2-round MapReduce algorithm's
+// ratio across parallelism and k′.
+type MRRatioConfig struct {
+	K            int
+	Parallelisms []int
+	KPrimes      []int
+	Runs         int
+	RefRuns      int
+	Seed         int64
+	Adversarial  bool // Morton-sort + chunk partitioning (§7.2)
+}
+
+// MRCell is one measured point of Figure 4.
+type MRCell struct {
+	Parallelism, KPrime int
+	Ratio               float64
+}
+
+// MRResult is Figure 4 (and the adversarial-partitioning variant).
+type MRResult struct {
+	Title string
+	Cells []MRCell
+}
+
+// Print renders ratios with parallelism as rows and k′ as columns.
+func (r *MRResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := map[int][]MRCell{}
+	var ps []int
+	for _, c := range r.Cells {
+		if _, seen := cols[c.Parallelism]; !seen {
+			ps = append(ps, c.Parallelism)
+		}
+		cols[c.Parallelism] = append(cols[c.Parallelism], c)
+	}
+	fmt.Fprintf(tw, "ℓ\\k'\t")
+	if len(ps) > 0 {
+		for _, c := range cols[ps[0]] {
+			fmt.Fprintf(tw, "%d\t", c.KPrime)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, p := range ps {
+		fmt.Fprintf(tw, "%d\t", p)
+		for _, c := range cols[p] {
+			fmt.Fprintf(tw, "%.4f\t", c.Ratio)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// MRRatio measures the 2-round MapReduce remote-edge ratio on pts
+// (Figure 4; with cfg.Adversarial, the §7.2 experiment).
+func MRRatio(title string, pts []metric.Vector, cfg MRRatioConfig) *MRResult {
+	res := &MRResult{Title: title}
+	ref := Reference(diversity.RemoteEdge, pts, cfg.K, cfg.RefRuns, cfg.Seed, metric.Euclidean)
+	data := pts
+	partitioning := mrdiv.PartitionRoundRobin
+	if cfg.Adversarial {
+		data = dataset.SortMorton(pts, 10)
+		partitioning = mrdiv.PartitionChunks
+	}
+	for _, ell := range cfg.Parallelisms {
+		for _, kprime := range cfg.KPrimes {
+			sum := 0.0
+			for r := 0; r < cfg.Runs; r++ {
+				in := data
+				if !cfg.Adversarial {
+					in = dataset.Shuffle(data, cfg.Seed+int64(r))
+				}
+				sol, err := mrdiv.TwoRound(diversity.RemoteEdge, in, cfg.K,
+					mrdiv.Config{Parallelism: ell, KPrime: kprime, Partitioning: partitioning, Seed: cfg.Seed + int64(r)},
+					metric.Euclidean)
+				if err != nil {
+					continue
+				}
+				v, _ := diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+				sum += ratio(ref, v)
+			}
+			res.Cells = append(res.Cells, MRCell{Parallelism: ell, KPrime: kprime, Ratio: sum / float64(cfg.Runs)})
+		}
+	}
+	return res
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"divmax/internal/dataset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+// Experiment tests run tiny configurations: they verify wiring, table
+// shapes, and directional trends, not absolute performance.
+
+func tinyScale() Scale { return Scale{N: 600, Runs: 2, Seed: 42} }
+
+func TestRatioSemantics(t *testing.T) {
+	if r := ratio(10, 5); r != 2 {
+		t.Errorf("ratio(10,5) = %v, want 2", r)
+	}
+	if r := ratio(10, 12); r != 1 {
+		t.Errorf("ratio better than reference should clamp to 1, got %v", r)
+	}
+	if r := ratio(0, 0); r != 1 {
+		t.Errorf("ratio(0,0) = %v, want 1", r)
+	}
+}
+
+func TestReferenceAtLeastSequential(t *testing.T) {
+	pts, _ := dataset.Sphere(dataset.SphereConfig{N: 300, K: 4, Dim: 3, Seed: 1})
+	ref := Reference(diversity.RemoteEdge, pts, 4, 2, 1, metric.Euclidean)
+	if ref <= 0 {
+		t.Fatalf("reference = %v, want > 0", ref)
+	}
+}
+
+func TestFig1ShapeAndTrend(t *testing.T) {
+	s := tinyScale()
+	s.N = 400
+	grid, err := Fig1(s, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8 (2 k × 4 k')", len(grid.Cells))
+	}
+	for _, c := range grid.Cells {
+		if c.Ratio < 1 {
+			t.Fatalf("ratio %v below 1", c.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	grid.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFig2LargerKernelNotWorse(t *testing.T) {
+	s := tinyScale()
+	grid, err := Fig2(s, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest k' should be at least as good (≤ ratio) as smallest;
+	// averaged over runs this is the paper's core finding.
+	first, last := grid.Cells[0], grid.Cells[len(grid.Cells)-1]
+	if last.Ratio > first.Ratio+0.35 {
+		t.Fatalf("k'=%d ratio %v much worse than k'=%d ratio %v", last.KPrime, last.Ratio, first.KPrime, first.Ratio)
+	}
+}
+
+func TestFig3ThroughputPositiveAndKernelCostMonotone(t *testing.T) {
+	s := tinyScale()
+	s.N = 300
+	res, err := Fig3(s, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.PointsSec <= 0 {
+			t.Fatalf("non-positive throughput %v", c.PointsSec)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "throughput") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	s := tinyScale()
+	res, err := Fig4(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 16 {
+		t.Fatalf("cells = %d, want 16 (4 ℓ × 4 k')", len(res.Cells))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "MapReduce") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestTable4CPPUFasterAndComparable(t *testing.T) {
+	res, err := Table4(Table4Config{
+		N: 20000, Ks: []int{4}, Reducers: 4, CPPUKPrime: 32, RefRuns: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r.CPPURatio < 1 || r.AFZRatio < 1 {
+		t.Fatalf("ratios below 1: %+v", r)
+	}
+	// The paper's headline: CPPU is much faster at comparable quality.
+	if r.CPPUTime >= r.AFZTime {
+		t.Fatalf("CPPU (%v) not faster than AFZ (%v)", r.CPPUTime, r.AFZTime)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "CPPU") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig5ShapesAndTrends(t *testing.T) {
+	res, err := Fig5(Fig5Config{
+		BaseN: 2000, SizeSteps: 2, Processors: []int{1, 2, 4}, K: 8, AggregateSize: 64, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Time <= 0 || c.Diversity <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "scalability") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestAdversarialNotBetterThanRandom(t *testing.T) {
+	s := Scale{N: 2000, Runs: 2, Seed: 9}
+	random, adv, err := Adversarial(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(r *MRResult) float64 {
+		total := 0.0
+		for _, c := range r.Cells {
+			total += c.Ratio
+		}
+		return total / float64(len(r.Cells))
+	}
+	// Adversarial partitioning must not beat random on average (the paper
+	// reports up to ~10% worse).
+	if avg(adv) < avg(random)-0.02 {
+		t.Fatalf("adversarial (%v) unexpectedly better than random (%v)", avg(adv), avg(random))
+	}
+}
+
+func TestMeasureSweepAllSixMeasures(t *testing.T) {
+	res, err := MeasureSweep(Scale{N: 800, Runs: 1, Seed: 4}, 6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.StreamRatio < 1 || row.MRRatio < 1 {
+			t.Errorf("%v: ratios below 1: %+v", row.Measure, row)
+		}
+		// All pipelines are constant-factor: ratios should be modest.
+		if row.StreamRatio > 12 || row.MRRatio > 12 {
+			t.Errorf("%v: implausibly bad ratio: %+v", row.Measure, row)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "measure sweep") {
+		t.Fatal("missing title")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"divmax/internal/dataset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/mrdiv"
+	"divmax/internal/streamalg"
+)
+
+// Fig5Config parameterizes the scalability experiment (Figure 5): running
+// time versus number of processors p and dataset size n, with the final
+// reducer's memory s = ℓ·k′ held fixed. On one processor, the streaming
+// algorithm runs with k′ = s, "so to have a final coreset of the same
+// size as the ones found in MapReduce runs" — exactly the paper's setup.
+type Fig5Config struct {
+	// BaseN is the smallest dataset size; sizes are BaseN·2^i for
+	// i < SizeSteps (the paper uses 10⁸·{1,2,4,8,16}).
+	BaseN     int
+	SizeSteps int
+	// Processors are the parallelism levels (the paper uses 1..16, where
+	// 1 means the streaming algorithm).
+	Processors []int
+	// K is the solution size; AggregateSize is s = ℓ·k′ (the paper's
+	// streaming run uses k′ = 2048).
+	K, AggregateSize int
+	Seed             int64
+}
+
+// Fig5Cell is one measured point: wall-clock time for (n, p).
+type Fig5Cell struct {
+	N, Processors int
+	Time          time.Duration
+	Diversity     float64
+}
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct {
+	Cells []Fig5Cell
+}
+
+// Print renders times (seconds) with n as rows and p as columns.
+func (f *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: scalability — wall-clock seconds, rows n, columns processors (p=1 is streaming)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := map[int][]Fig5Cell{}
+	var ns []int
+	for _, c := range f.Cells {
+		if _, seen := cols[c.N]; !seen {
+			ns = append(ns, c.N)
+		}
+		cols[c.N] = append(cols[c.N], c)
+	}
+	fmt.Fprintf(tw, "n\\p\t")
+	if len(ns) > 0 {
+		for _, c := range cols[ns[0]] {
+			fmt.Fprintf(tw, "%d\t", c.Processors)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, n := range ns {
+		fmt.Fprintf(tw, "%d\t", n)
+		for _, c := range cols[n] {
+			fmt.Fprintf(tw, "%.3f\t", c.Time.Seconds())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig5 runs the scalability sweep on 3-dimensional sphere data. For p = 1
+// it times the streaming algorithm including the pass over the data (as
+// the paper does for this figure, unlike Figure 3); for p ≥ 2 it times
+// the 2-round MapReduce algorithm with ℓ = p reducers, Workers = p, and
+// k′ = s/p.
+func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for step := 0; step < cfg.SizeSteps; step++ {
+		n := cfg.BaseN << step
+		pts, err := dataset.Sphere(dataset.SphereConfig{N: n, K: cfg.K, Dim: 3, Seed: cfg.Seed + int64(step)})
+		if err != nil {
+			return nil, err
+		}
+		pts = dataset.Shuffle(pts, cfg.Seed+int64(step)+100)
+		for _, p := range cfg.Processors {
+			var cell Fig5Cell
+			cell.N, cell.Processors = n, p
+			if p == 1 {
+				start := time.Now()
+				sol := streamalg.OnePass(diversity.RemoteEdge, streamalg.SliceStream(pts), cfg.K, cfg.AggregateSize, metric.Euclidean)
+				cell.Time = time.Since(start)
+				cell.Diversity, _ = diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+			} else {
+				kprime := cfg.AggregateSize / p
+				if kprime < cfg.K {
+					kprime = cfg.K
+				}
+				start := time.Now()
+				sol, err := mrdiv.TwoRound(diversity.RemoteEdge, pts, cfg.K,
+					mrdiv.Config{Parallelism: p, KPrime: kprime, Workers: p}, metric.Euclidean)
+				if err != nil {
+					return nil, err
+				}
+				cell.Time = time.Since(start)
+				cell.Diversity, _ = diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"divmax/internal/dataset"
+	"divmax/internal/metric"
+)
+
+// Scale bundles the knobs every figure shares: the dataset size, the
+// number of averaged runs (the paper averages ≥ 10 runs), and the seed.
+type Scale struct {
+	N    int
+	Runs int
+	Seed int64
+}
+
+func (s Scale) runs() int {
+	if s.Runs < 1 {
+		return 1
+	}
+	return s.Runs
+}
+
+// Fig1 reproduces Figure 1: streaming approximation ratio on the
+// (simulated) musiXmatch dataset under the cosine distance, k ∈ Ks,
+// k′ ∈ {k, 2k, 4k, 8k}.
+func Fig1(s Scale, ks []int) (*Grid, error) {
+	docs, err := dataset.Lyrics(dataset.LyricsConfig{N: s.N, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := StreamingRatioConfig{
+		Ks:      ks,
+		KPrimes: func(k int) []int { return []int{k, 2 * k, 4 * k, 8 * k} },
+		Runs:    s.runs(),
+		RefRuns: s.runs(),
+		Seed:    s.Seed,
+	}
+	title := fmt.Sprintf("Figure 1: streaming approximation ratio, lyrics (n=%d, cosine distance, remote-edge)", s.N)
+	return StreamingRatio(title, docs, cfg, metric.CosineDistance), nil
+}
+
+// Fig2 reproduces Figure 2: streaming approximation ratio on the
+// synthetic 3-D sphere dataset, k′ ∈ {k, k+4, k+16, k+64} (a linear
+// progression: R³ has small doubling dimension, so small k′ increments
+// already help).
+func Fig2(s Scale, ks []int) (*Grid, error) {
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	pts, err := dataset.Sphere(dataset.SphereConfig{N: s.N, K: maxK, Dim: 3, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pts = dataset.Shuffle(pts, s.Seed+7)
+	cfg := StreamingRatioConfig{
+		Ks:      ks,
+		KPrimes: func(k int) []int { return []int{k, k + 4, k + 16, k + 64} },
+		Runs:    s.runs(),
+		RefRuns: s.runs(),
+		Seed:    s.Seed,
+	}
+	title := fmt.Sprintf("Figure 2: streaming approximation ratio, synthetic sphere (n=%d, R³, remote-edge)", s.N)
+	return StreamingRatio(title, pts, cfg, metric.Euclidean), nil
+}
+
+// Fig3 reproduces Figure 3: streaming kernel throughput (points/s) on
+// the lyrics dataset, same (k, k′) grid as Figure 1.
+func Fig3(s Scale, ks []int) (*ThroughputResult, error) {
+	docs, err := dataset.Lyrics(dataset.LyricsConfig{N: s.N, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Figure 3: streaming kernel throughput, lyrics (n=%d, points/s)", s.N)
+	return Throughput(title, docs, ks, func(k int) []int { return []int{k, 2 * k, 4 * k, 8 * k} }, metric.CosineDistance), nil
+}
+
+// Fig3Synthetic is the paper's companion measurement: the same
+// throughput grid on the synthetic dataset, whose Euclidean distance is
+// cheaper, yielding proportionally higher rates.
+func Fig3Synthetic(s Scale, ks []int) (*ThroughputResult, error) {
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	pts, err := dataset.Sphere(dataset.SphereConfig{N: s.N, K: maxK, Dim: 3, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Figure 3 (synthetic): streaming kernel throughput (n=%d, points/s)", s.N)
+	return Throughput(title, pts, ks, func(k int) []int { return []int{k, 2 * k, 4 * k, 8 * k} }, metric.Euclidean), nil
+}
+
+// Fig4 reproduces Figure 4: 2-round MapReduce approximation ratio on the
+// synthetic sphere dataset, k fixed, parallelism ∈ {2,4,8,16},
+// k′ ∈ {k, 2k, 4k, 8k}.
+func Fig4(s Scale, k int) (*MRResult, error) {
+	pts, err := dataset.Sphere(dataset.SphereConfig{N: s.N, K: k, Dim: 3, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pts = dataset.Shuffle(pts, s.Seed+13)
+	cfg := MRRatioConfig{
+		K:            k,
+		Parallelisms: []int{2, 4, 8, 16},
+		KPrimes:      []int{k, 2 * k, 4 * k, 8 * k},
+		Runs:         s.runs(),
+		RefRuns:      s.runs(),
+		Seed:         s.Seed,
+	}
+	title := fmt.Sprintf("Figure 4: MapReduce approximation ratio, synthetic sphere (n=%d, k=%d, remote-edge)", s.N, k)
+	return MRRatio(title, pts, cfg), nil
+}
+
+// Adversarial reproduces the §7.2 adversarial-partitioning experiment:
+// the Figure 4 grid with Morton-sorted input and contiguous-chunk
+// partitions, to be compared against the random-partition grid (the
+// paper reports ratios worsening by up to ~10%).
+func Adversarial(s Scale, k int) (*MRResult, *MRResult, error) {
+	pts, err := dataset.Sphere(dataset.SphereConfig{N: s.N, K: k, Dim: 3, Seed: s.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	pts = dataset.Shuffle(pts, s.Seed+13)
+	base := MRRatioConfig{
+		K:            k,
+		Parallelisms: []int{2, 4, 8, 16},
+		KPrimes:      []int{k, 2 * k, 4 * k},
+		Runs:         s.runs(),
+		RefRuns:      s.runs(),
+		Seed:         s.Seed,
+	}
+	random := MRRatio("§7.2 random partitioning", pts, base)
+	adv := base
+	adv.Adversarial = true
+	advRes := MRRatio("§7.2 adversarial (Morton-chunk) partitioning", pts, adv)
+	return random, advRes, nil
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	return randomMatrix(rng, n, 3)
+}
+
+func BenchmarkMSTWeight(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		dist := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MSTWeight(dist)
+			}
+		})
+	}
+}
+
+func BenchmarkTSPExact(b *testing.B) {
+	for _, n := range []int{8, 12, ExactTSPLimit} {
+		dist := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				TSP(dist)
+			}
+		})
+	}
+}
+
+func BenchmarkTSPApprox(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		dist := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				TSPApprox(dist)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyMatching(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		dist := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GreedyMaxWeightMatching(dist)
+			}
+		})
+	}
+}
+
+func BenchmarkMinBipartition(b *testing.B) {
+	for _, n := range []int{10, 16, ExactBipartitionLimit} {
+		dist := benchMatrix(n)
+		b.Run(fmt.Sprintf("exact-n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MinBipartition(dist)
+			}
+		})
+	}
+	dist := benchMatrix(ExactBipartitionLimit + 20)
+	b.Run("heuristic-n=40", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MinBipartition(dist)
+		}
+	})
+}

@@ -1,0 +1,521 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/metric"
+)
+
+func randomMatrix(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		pts[i] = v
+	}
+	return metric.Matrix(pts, metric.Euclidean)
+}
+
+func lineMatrix(coords ...float64) [][]float64 {
+	pts := make([]metric.Vector, len(coords))
+	for i, c := range coords {
+		pts[i] = metric.Vector{c}
+	}
+	return metric.Matrix(pts, metric.Euclidean)
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// --- MST ---
+
+func TestMSTDegenerate(t *testing.T) {
+	if w, edges := MST(nil); w != 0 || edges != nil {
+		t.Fatalf("MST(nil) = (%v,%v), want (0,nil)", w, edges)
+	}
+	if w, edges := MST([][]float64{{0}}); w != 0 || edges != nil {
+		t.Fatalf("MST(1 vertex) = (%v,%v), want (0,nil)", w, edges)
+	}
+}
+
+func TestMSTLine(t *testing.T) {
+	// Points on a line: MST is the chain of consecutive gaps.
+	w, edges := MST(lineMatrix(0, 1, 4, 9))
+	if !almostEqual(w, 9, 1e-12) {
+		t.Fatalf("MST weight = %v, want 9", w)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("MST edges = %d, want 3", len(edges))
+	}
+}
+
+func TestMSTSquarePlusCenter(t *testing.T) {
+	pts := []metric.Vector{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}}
+	dist := metric.Matrix(pts, metric.Euclidean)
+	// Best tree: center connected to all four corners, 4·√2 ≈ 5.657.
+	w := MSTWeight(dist)
+	if want := 4 * math.Sqrt2; !almostEqual(w, want, 1e-9) {
+		t.Fatalf("MST weight = %v, want %v", w, want)
+	}
+}
+
+func TestMSTWeightMatchesMST(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dist := randomMatrix(rng, 2+rng.Intn(20), 3)
+		w1, edges := MST(dist)
+		var sum float64
+		for _, e := range edges {
+			sum += e.Weight
+		}
+		return almostEqual(w1, MSTWeight(dist), 1e-9) && almostEqual(w1, sum, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSTLineSortedGaps(t *testing.T) {
+	// Property: MST of 1-D points = span after sorting (sum of gaps).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		coords := make([]float64, n)
+		for i := range coords {
+			coords[i] = rng.Float64() * 100
+		}
+		w := MSTWeight(lineMatrix(coords...))
+		sort.Float64s(coords)
+		return almostEqual(w, coords[n-1]-coords[0], 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSTSpansAllVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dist := randomMatrix(rng, 12, 2)
+	_, edges := MST(dist)
+	if len(edges) != 11 {
+		t.Fatalf("MST has %d edges, want 11", len(edges))
+	}
+	// Union-find check for connectivity.
+	parent := make([]int, 12)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			t.Fatalf("MST contains a cycle at edge %v", e)
+		}
+		parent[ru] = rv
+	}
+}
+
+func TestCheckSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged matrix")
+		}
+	}()
+	MST([][]float64{{0, 1}, {1}})
+}
+
+// --- TSP ---
+
+// bruteTSP enumerates all (n−1)!/2 tours. Only for n ≤ 8 in tests.
+func bruteTSP(dist [][]float64) float64 {
+	n := len(dist)
+	if n < 2 {
+		return 0
+	}
+	if n == 2 {
+		return 2 * dist[0][1]
+	}
+	perm := make([]int, n-1)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	best := math.Inf(1)
+	var recur func(k int, sofar []int)
+	recur = func(k int, sofar []int) {
+		if k == len(perm) {
+			w := dist[0][perm[0]]
+			for i := 0; i+1 < len(perm); i++ {
+				w += dist[perm[i]][perm[i+1]]
+			}
+			w += dist[perm[len(perm)-1]][0]
+			if w < best {
+				best = w
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recur(k+1, sofar)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recur(0, nil)
+	return best
+}
+
+func TestTSPDegenerate(t *testing.T) {
+	if w, exact := TSP(nil); w != 0 || !exact {
+		t.Fatalf("TSP(nil) = (%v,%v), want (0,true)", w, exact)
+	}
+	if w, exact := TSP([][]float64{{0}}); w != 0 || !exact {
+		t.Fatalf("TSP(1) = (%v,%v)", w, exact)
+	}
+	if w, exact := TSP(lineMatrix(0, 3)); w != 6 || !exact {
+		t.Fatalf("TSP(2) = (%v,%v), want (6,true)", w, exact)
+	}
+}
+
+func TestTSPUnitSquare(t *testing.T) {
+	pts := []metric.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	w, exact := TSP(metric.Matrix(pts, metric.Euclidean))
+	if !exact || !almostEqual(w, 4, 1e-9) {
+		t.Fatalf("TSP unit square = (%v,%v), want (4,true)", w, exact)
+	}
+}
+
+func TestTSPMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5) // 3..7
+		dist := randomMatrix(rng, n, 2)
+		w, exact := TSP(dist)
+		if !exact {
+			return false
+		}
+		return almostEqual(w, bruteTSP(dist), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSPApproxWithinFactorTwo(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		dist := randomMatrix(rng, n, 2)
+		opt := bruteTSP(dist)
+		approx := TSPApprox(dist)
+		return approx >= opt-1e-9 && approx <= 2*opt+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSPAtLeastMST(t *testing.T) {
+	// Classic inequality: MST weight < TSP weight for n ≥ 3.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		dist := randomMatrix(rng, n, 3)
+		w, _ := TSP(dist)
+		return MSTWeight(dist) <= w+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSPLargeFallsBackToApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dist := randomMatrix(rng, ExactTSPLimit+3, 2)
+	w, exact := TSP(dist)
+	if exact {
+		t.Fatal("expected approximate result above ExactTSPLimit")
+	}
+	if w <= 0 {
+		t.Fatalf("approximate TSP weight = %v, want > 0", w)
+	}
+}
+
+// --- Matching ---
+
+// bruteMaxWeightMatching computes the true maximum-weight matching by DP
+// over subsets. Exponential; tests only (n ≤ 10).
+func bruteMaxWeightMatching(dist [][]float64) float64 {
+	n := len(dist)
+	memo := make([]float64, 1<<n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var solve func(mask uint) float64
+	solve = func(mask uint) float64 {
+		if memo[mask] >= 0 {
+			return memo[mask]
+		}
+		// Find lowest unmatched vertex.
+		best := 0.0
+		var first = -1
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 {
+				first = v
+				break
+			}
+		}
+		if first == -1 {
+			return 0
+		}
+		// Option: leave first unmatched.
+		best = solve(mask | 1<<first)
+		for u := first + 1; u < n; u++ {
+			if mask&(1<<u) == 0 {
+				if cand := dist[first][u] + solve(mask|1<<first|1<<u); cand > best {
+					best = cand
+				}
+			}
+		}
+		memo[mask] = best
+		return best
+	}
+	return solve(0)
+}
+
+func TestGreedyMatchingDegenerate(t *testing.T) {
+	if m := GreedyMaxWeightMatching(nil); m != nil {
+		t.Fatalf("matching of empty graph = %v, want nil", m)
+	}
+	if m := GreedyMaxWeightMatching([][]float64{{0}}); m != nil {
+		t.Fatalf("matching of single vertex = %v, want nil", m)
+	}
+}
+
+func TestGreedyMatchingIsMatching(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		dist := randomMatrix(rng, n, 2)
+		m := GreedyMaxWeightMatching(dist)
+		used := map[int]bool{}
+		for _, e := range m {
+			if used[e.U] || used[e.V] {
+				return false
+			}
+			used[e.U], used[e.V] = true, true
+		}
+		return len(m) == n/2 // complete graph: greedy matching is perfect on ⌊n/2⌋ pairs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMatchingHalfApprox(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8) // ≤ 9 for the brute force
+		dist := randomMatrix(rng, n, 2)
+		var w float64
+		for _, e := range GreedyMaxWeightMatching(dist) {
+			w += e.Weight
+		}
+		opt := bruteMaxWeightMatching(dist)
+		return w >= opt/2-1e-9 && w <= opt+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMatchingPicksHeaviestFirst(t *testing.T) {
+	dist := lineMatrix(0, 1, 10, 100)
+	m := GreedyMaxWeightMatching(dist)
+	if len(m) != 2 {
+		t.Fatalf("matching size = %d, want 2", len(m))
+	}
+	if m[0].U != 0 || m[0].V != 3 {
+		t.Fatalf("heaviest edge = (%d,%d), want (0,3)", m[0].U, m[0].V)
+	}
+}
+
+// --- Maximal independent set ---
+
+func TestMISProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		dist := randomMatrix(rng, n, 2)
+		thr := rng.Float64() * 10
+		mis := MaximalIndependentSet(dist, thr)
+		inMIS := make([]bool, n)
+		// Independence: pairwise distance > threshold.
+		for i, u := range mis {
+			inMIS[u] = true
+			for _, v := range mis[i+1:] {
+				if dist[u][v] <= thr {
+					return false
+				}
+			}
+		}
+		// Maximality: every excluded vertex within threshold of the set.
+		for v := 0; v < n; v++ {
+			if inMIS[v] {
+				continue
+			}
+			ok := false
+			for _, u := range mis {
+				if dist[u][v] <= thr {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return len(mis) >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMISDeterministicFirstVertex(t *testing.T) {
+	dist := lineMatrix(0, 1, 2, 3)
+	mis := MaximalIndependentSet(dist, 1.5)
+	if len(mis) == 0 || mis[0] != 0 {
+		t.Fatalf("MIS = %v, want to start at vertex 0", mis)
+	}
+}
+
+// --- Bipartition ---
+
+// bruteBipartition is an independent implementation used to cross-check
+// exactBipartition: recursive subset construction instead of mask scan.
+func bruteBipartition(dist [][]float64) float64 {
+	n := len(dist)
+	half := n / 2
+	best := math.Inf(1)
+	subset := make([]bool, n)
+	var recur func(idx, chosen int)
+	recur = func(idx, chosen int) {
+		if chosen == half {
+			var w float64
+			for i := 0; i < n; i++ {
+				if !subset[i] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if !subset[j] {
+						w += dist[i][j]
+					}
+				}
+			}
+			if w < best {
+				best = w
+			}
+			return
+		}
+		if idx == n || n-idx < half-chosen {
+			return
+		}
+		subset[idx] = true
+		recur(idx+1, chosen+1)
+		subset[idx] = false
+		recur(idx+1, chosen)
+	}
+	recur(0, 0)
+	return best
+}
+
+func TestMinBipartitionDegenerate(t *testing.T) {
+	if w, exact := MinBipartition(nil); w != 0 || !exact {
+		t.Fatalf("MinBipartition(nil) = (%v,%v)", w, exact)
+	}
+	if w, exact := MinBipartition([][]float64{{0}}); w != 0 || !exact {
+		t.Fatalf("MinBipartition(1) = (%v,%v)", w, exact)
+	}
+}
+
+func TestMinBipartitionTwoClusters(t *testing.T) {
+	// Two tight clusters far apart. The minimum balanced cut pairs one
+	// point from each cluster on each side: Q={A1,B1} cuts
+	// d(A1,A2)+d(A1,B2)+d(B1,A2)+d(B1,B2) ≈ 0.1+100.1+99.9+0.1 = 200.2,
+	// half the cluster-separating cut of ≈400.
+	pts := []metric.Vector{{0, 0}, {0.1, 0}, {100, 0}, {100.1, 0}}
+	dist := metric.Matrix(pts, metric.Euclidean)
+	w, exact := MinBipartition(dist)
+	if !exact {
+		t.Fatal("expected exact result for n=4")
+	}
+	if !almostEqual(w, 200.2, 1e-9) {
+		t.Fatalf("bipartition = %v, want 200.2", w)
+	}
+	if want := bruteBipartition(dist); !almostEqual(w, want, 1e-9) {
+		t.Fatalf("bipartition = %v, brute force says %v", w, want)
+	}
+}
+
+func TestMinBipartitionMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9) // 2..10
+		dist := randomMatrix(rng, n, 2)
+		w, exact := MinBipartition(dist)
+		if !exact {
+			return false
+		}
+		return almostEqual(w, bruteBipartition(dist), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBipartitionOddSize(t *testing.T) {
+	// n=5: |Q| = 2. Points on a line 0,1,2,3,100 — the minimum cut puts
+	// the two extremes... verify against brute force.
+	dist := lineMatrix(0, 1, 2, 3, 100)
+	w, exact := MinBipartition(dist)
+	if !exact {
+		t.Fatal("expected exact")
+	}
+	if want := bruteBipartition(dist); !almostEqual(w, want, 1e-9) {
+		t.Fatalf("odd bipartition = %v, want %v", w, want)
+	}
+}
+
+func TestLocalSearchBipartitionUpperBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7)
+		dist := randomMatrix(rng, n, 2)
+		return localSearchBipartition(dist) >= bruteBipartition(dist)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBipartitionLargeUsesHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dist := randomMatrix(rng, ExactBipartitionLimit+2, 2)
+	w, exact := MinBipartition(dist)
+	if exact {
+		t.Fatal("expected heuristic above the exact limit")
+	}
+	if w <= 0 {
+		t.Fatalf("heuristic bipartition = %v, want > 0", w)
+	}
+}

@@ -1,0 +1,67 @@
+package graph
+
+import "sort"
+
+// GreedyMaxWeightMatching computes a matching by repeatedly taking the
+// heaviest remaining edge whose endpoints are both unmatched. The result
+// is a ½-approximation to the maximum-weight matching, which is the
+// ingredient of the Hassin–Rubinstein–Tamir 2-approximation for
+// remote-clique. Edges are returned heaviest first; ties are broken by
+// (U,V) index so the result is deterministic.
+func GreedyMaxWeightMatching(dist [][]float64) []Edge {
+	checkSquare(dist)
+	n := len(dist)
+	if n < 2 {
+		return nil
+	}
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j, Weight: dist[i][j]})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].Weight != edges[b].Weight {
+			return edges[a].Weight > edges[b].Weight
+		}
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	matched := make([]bool, n)
+	var matching []Edge
+	for _, e := range edges {
+		if !matched[e.U] && !matched[e.V] {
+			matched[e.U] = true
+			matched[e.V] = true
+			matching = append(matching, e)
+		}
+	}
+	return matching
+}
+
+// MaximalIndependentSet computes a maximal independent set of the graph
+// whose vertices are 0..n−1 and whose edges connect vertices at distance
+// at most threshold. It scans vertices in index order (deterministic) and
+// is the merge step of the streaming doubling algorithm (SMM): the
+// returned set has pairwise distances > threshold and every excluded
+// vertex is within threshold of some included one.
+func MaximalIndependentSet(dist [][]float64, threshold float64) []int {
+	checkSquare(dist)
+	n := len(dist)
+	var mis []int
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, u := range mis {
+			if dist[u][v] <= threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			mis = append(mis, v)
+		}
+	}
+	return mis
+}

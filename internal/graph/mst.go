@@ -1,0 +1,111 @@
+// Package graph provides the complete-graph primitives the diversity
+// evaluators and sequential solvers are built on: minimum spanning trees,
+// travelling-salesman tours (exact for small instances, approximate
+// beyond), matchings, and balanced bipartitions. All algorithms operate on
+// a symmetric pairwise distance matrix indexed by point position, as
+// produced by metric.Matrix; points themselves never appear here.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is an undirected edge between vertex indices U < V with weight W.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// MST computes a minimum spanning tree of the complete graph on
+// len(dist) vertices with Prim's algorithm in O(n²) time and returns its
+// total weight and its n−1 edges. Graphs with fewer than two vertices have
+// weight 0 and no edges.
+func MST(dist [][]float64) (float64, []Edge) {
+	checkSquare(dist)
+	n := len(dist)
+	if n < 2 {
+		return 0, nil
+	}
+	const unvisited = -1
+	inTree := make([]bool, n)
+	best := make([]float64, n) // cheapest connection cost to the tree
+	parent := make([]int, n)   // tree vertex realizing best[i]
+	for i := range best {
+		best[i] = math.Inf(1)
+		parent[i] = unvisited
+	}
+	best[0] = 0
+	total := 0.0
+	edges := make([]Edge, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		// Extract the cheapest unvisited vertex.
+		u := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (u == -1 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		if parent[u] != unvisited {
+			total += best[u]
+			lo, hi := parent[u], u
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			edges = append(edges, Edge{U: lo, V: hi, Weight: best[u]})
+		}
+		for v := 0; v < n; v++ {
+			if !inTree[v] && dist[u][v] < best[v] {
+				best[v] = dist[u][v]
+				parent[v] = u
+			}
+		}
+	}
+	return total, edges
+}
+
+// MSTWeight computes only the weight of a minimum spanning tree, avoiding
+// the edge-slice allocation. It is the hot path of the remote-tree
+// evaluator.
+func MSTWeight(dist [][]float64) float64 {
+	checkSquare(dist)
+	n := len(dist)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	best[0] = 0
+	total := 0.0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (u == -1 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		total += best[u]
+		for v := 0; v < n; v++ {
+			if !inTree[v] && dist[u][v] < best[v] {
+				best[v] = dist[u][v]
+			}
+		}
+	}
+	return total
+}
+
+// checkSquare panics when dist is not a square matrix; all package entry
+// points call it so malformed inputs fail loudly rather than corrupting
+// results.
+func checkSquare(dist [][]float64) {
+	for i := range dist {
+		if len(dist[i]) != len(dist) {
+			panic(fmt.Sprintf("graph: distance matrix row %d has length %d, want %d", i, len(dist[i]), len(dist)))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import "math"
+
+// ExactTSPLimit is the largest instance size solved exactly by TSP.
+// Held–Karp uses O(2^n·n) memory; 16 vertices ≈ 8.4 MB of float64 state,
+// which keeps exact evaluation cheap enough for tests and small k.
+const ExactTSPLimit = 16
+
+// TSP returns the weight of a shortest Hamiltonian cycle. Instances with
+// at most ExactTSPLimit vertices are solved exactly with Held–Karp
+// dynamic programming; larger instances fall back to TSPApprox (2-approx).
+// The second result reports whether the value is exact.
+//
+// Degenerate cases follow the remote-cycle convention of the paper:
+// fewer than two vertices have weight 0; exactly two have weight
+// 2·d(0,1) (the "cycle" traverses the edge twice).
+func TSP(dist [][]float64) (float64, bool) {
+	checkSquare(dist)
+	n := len(dist)
+	switch {
+	case n < 2:
+		return 0, true
+	case n == 2:
+		return 2 * dist[0][1], true
+	case n <= ExactTSPLimit:
+		return heldKarp(dist), true
+	}
+	return TSPApprox(dist), false
+}
+
+// heldKarp solves TSP exactly in O(2^n·n²) time. Vertex 0 is fixed as the
+// tour start; dp[mask][j] is the cheapest path visiting exactly the
+// vertices of mask (which always contains 0 and j), starting at 0 and
+// ending at j.
+func heldKarp(dist [][]float64) float64 {
+	n := len(dist)
+	size := 1 << n
+	dp := make([]float64, size*n)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	dp[(1<<0)*n+0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 { // tours start at vertex 0
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cur := dp[mask*n+j]
+			if math.IsInf(cur, 1) {
+				continue
+			}
+			for next := 1; next < n; next++ {
+				if mask&(1<<next) != 0 {
+					continue
+				}
+				nmask := mask | 1<<next
+				if cand := cur + dist[j][next]; cand < dp[nmask*n+next] {
+					dp[nmask*n+next] = cand
+				}
+			}
+		}
+	}
+	full := size - 1
+	best := math.Inf(1)
+	for j := 1; j < n; j++ {
+		if cand := dp[full*n+j] + dist[j][0]; cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// TSPApprox returns the weight of a Hamiltonian cycle obtained by the
+// MST-doubling heuristic (preorder walk of the minimum spanning tree with
+// shortcutting) followed by 2-opt improvement. On metric instances the
+// MST-doubling tour is at most twice the optimum, and 2-opt only
+// improves it, so the returned weight is within a factor 2 of OPT.
+func TSPApprox(dist [][]float64) float64 {
+	checkSquare(dist)
+	n := len(dist)
+	switch {
+	case n < 2:
+		return 0
+	case n == 2:
+		return 2 * dist[0][1]
+	}
+	tour := mstPreorderTour(dist)
+	twoOpt(tour, dist)
+	return tourWeight(tour, dist)
+}
+
+// mstPreorderTour builds the 2-approximate tour: MST, then DFS preorder.
+func mstPreorderTour(dist [][]float64) []int {
+	n := len(dist)
+	_, edges := MST(dist)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	tour := make([]int, 0, n)
+	visited := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		tour = append(tour, u)
+		// Push neighbours in reverse so lower indices are visited first,
+		// keeping the tour deterministic.
+		for i := len(adj[u]) - 1; i >= 0; i-- {
+			if !visited[adj[u][i]] {
+				stack = append(stack, adj[u][i])
+			}
+		}
+	}
+	return tour
+}
+
+// twoOpt improves tour in place with the classical 2-opt move until no
+// improving exchange exists, capped at a fixed number of sweeps to bound
+// the running time on adversarial inputs.
+func twoOpt(tour []int, dist [][]float64) {
+	n := len(tour)
+	if n < 4 {
+		return
+	}
+	const maxSweeps = 12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for i := 0; i < n-1; i++ {
+			for j := i + 2; j < n; j++ {
+				if i == 0 && j == n-1 {
+					continue // same edge
+				}
+				a, b := tour[i], tour[i+1]
+				c, d := tour[j], tour[(j+1)%n]
+				delta := dist[a][c] + dist[b][d] - dist[a][b] - dist[c][d]
+				if delta < -1e-12 {
+					reverse(tour[i+1 : j+1])
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func tourWeight(tour []int, dist [][]float64) float64 {
+	var w float64
+	for i := range tour {
+		w += dist[tour[i]][tour[(i+1)%len(tour)]]
+	}
+	return w
+}

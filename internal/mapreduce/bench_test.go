@@ -1,0 +1,39 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRunOverhead measures the engine's per-round fixed cost
+// (grouping, scheduling, stats) with trivial reducers — the overhead a
+// real workload pays on top of its own computation.
+func BenchmarkRunOverhead(b *testing.B) {
+	for _, keys := range []int{4, 64} {
+		in := make([]Pair[int, int], 10000)
+		for i := range in {
+			in[i] = Pair[int, int]{Key: i % keys, Value: i}
+		}
+		b.Run(fmt.Sprintf("reducers=%d", keys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(in, func(key int, vals []int) []Pair[int, int] {
+					return []Pair[int, int]{{key, len(vals)}}
+				}, Options{})
+			}
+		})
+	}
+}
+
+func BenchmarkScatter(b *testing.B) {
+	vals := make([]int, 100000)
+	b.Run("roundrobin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Scatter(vals, 16)
+		}
+	})
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ScatterSeeded(vals, 16, 1)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Package mapreduce is the MapReduce substrate: an in-memory engine that
+// executes rounds of the MR model of Karloff–Suri–Vassilvitskii and
+// Pietracaprina et al. (the model of Section 5 of the paper). A round
+// groups a multiset of key-value pairs by key and applies a reducer
+// function independently to each group; reducers run concurrently on a
+// goroutine worker pool, which is how this repository approximates the
+// paper's Spark cluster (see DESIGN.md, substitutions).
+//
+// The engine accounts for the model's two memory parameters: M_L, the
+// largest number of values any single reducer touches (its input plus its
+// output), and M_T, the total number of values in flight. The paper's
+// claims are stated in terms of these quantities, and the tests and
+// benchmarks read them from the per-round Stats.
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pair is one keyed record flowing between rounds.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Stats describes one executed round.
+type Stats struct {
+	// Name labels the round (e.g. "coreset", "aggregate").
+	Name string
+	// Reducers is the number of distinct keys, i.e. reducer invocations.
+	Reducers int
+	// MaxLocalMemory is M_L: the largest input+output value count of a
+	// single reducer.
+	MaxLocalMemory int
+	// TotalInput and TotalOutput count values entering and leaving the
+	// round; their max is the round's M_T.
+	TotalInput, TotalOutput int
+	// LimitViolations counts reducers whose input+output exceeded
+	// Options.LocalMemoryLimit (0 when no limit was set).
+	LimitViolations int
+	// Duration is the wall-clock time of the round, reducers running
+	// concurrently.
+	Duration time.Duration
+}
+
+// Metrics accumulates the Stats of every round of a job.
+type Metrics struct {
+	mu     sync.Mutex
+	rounds []Stats
+}
+
+// Add appends a round's stats; safe for concurrent use.
+func (m *Metrics) Add(s Stats) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rounds = append(m.rounds, s)
+}
+
+// Rounds returns a copy of the recorded per-round stats, in order.
+func (m *Metrics) Rounds() []Stats {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Stats, len(m.rounds))
+	copy(out, m.rounds)
+	return out
+}
+
+// MaxLocalMemory returns the job-wide M_L: the maximum over rounds.
+func (m *Metrics) MaxLocalMemory() int {
+	best := 0
+	for _, r := range m.Rounds() {
+		if r.MaxLocalMemory > best {
+			best = r.MaxLocalMemory
+		}
+	}
+	return best
+}
+
+// TotalDuration sums the round durations.
+func (m *Metrics) TotalDuration() time.Duration {
+	var total time.Duration
+	for _, r := range m.Rounds() {
+		total += r.Duration
+	}
+	return total
+}
+
+// Options configures a round.
+type Options struct {
+	// Name labels the round in Stats.
+	Name string
+	// Workers bounds the number of reducers executing concurrently;
+	// 0 means runtime.NumCPU(). This models the physical processor count,
+	// distinct from the number of reducers (the logical parallelism ℓ).
+	Workers int
+	// LocalMemoryLimit, when positive, is the M_L budget in values per
+	// reducer (input + output). Run records violations in Stats;
+	// RunStrict turns them into errors — the MR model's defining
+	// constraint, enforced rather than just measured.
+	LocalMemoryLimit int
+	// Metrics, when non-nil, receives the round's Stats.
+	Metrics *Metrics
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes one MapReduce round: in is grouped by key, and reduce is
+// applied to each group concurrently. The output is the concatenation of
+// all reducer outputs, ordered by key (keys are sorted by their formatted
+// representation to keep runs deterministic regardless of scheduling).
+func Run[K1 comparable, V1 any, K2 comparable, V2 any](
+	in []Pair[K1, V1],
+	reduce func(key K1, values []V1) []Pair[K2, V2],
+	opts Options,
+) []Pair[K2, V2] {
+	start := time.Now()
+	groups := make(map[K1][]V1)
+	for _, p := range in {
+		groups[p.Key] = append(groups[p.Key], p.Value)
+	}
+	keys := make([]K1, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+
+	outputs := make([][]Pair[K2, V2], len(keys))
+	local := make([]int, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.workers())
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k K1) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out := reduce(k, groups[k])
+			outputs[i] = out
+			local[i] = len(groups[k]) + len(out)
+		}(i, k)
+	}
+	wg.Wait()
+
+	stats := Stats{
+		Name:       opts.Name,
+		Reducers:   len(keys),
+		TotalInput: len(in),
+	}
+	var result []Pair[K2, V2]
+	for i := range outputs {
+		result = append(result, outputs[i]...)
+		if local[i] > stats.MaxLocalMemory {
+			stats.MaxLocalMemory = local[i]
+		}
+		if opts.LocalMemoryLimit > 0 && local[i] > opts.LocalMemoryLimit {
+			stats.LimitViolations++
+		}
+	}
+	stats.TotalOutput = len(result)
+	stats.Duration = time.Since(start)
+	if opts.Metrics != nil {
+		opts.Metrics.Add(stats)
+	}
+	return result
+}
+
+// RunStrict is Run with the M_L budget enforced: it returns an error
+// naming the round when any reducer's footprint exceeds
+// opts.LocalMemoryLimit. The round's outputs are still returned for
+// inspection alongside the error.
+func RunStrict[K1 comparable, V1 any, K2 comparable, V2 any](
+	in []Pair[K1, V1],
+	reduce func(key K1, values []V1) []Pair[K2, V2],
+	opts Options,
+) ([]Pair[K2, V2], error) {
+	var m Metrics
+	inner := opts
+	inner.Metrics = &m
+	out := Run(in, reduce, inner)
+	stats := m.Rounds()[0]
+	if opts.Metrics != nil {
+		opts.Metrics.Add(stats)
+	}
+	if stats.LimitViolations > 0 {
+		return out, fmt.Errorf("mapreduce: round %q: %d reducer(s) exceeded the local memory budget of %d values (max observed %d)",
+			opts.Name, stats.LimitViolations, opts.LocalMemoryLimit, stats.MaxLocalMemory)
+	}
+	return out, nil
+}
+
+// Scatter keys a slice of values into ell partitions: value i goes to
+// partition perm(i) mod ell where perm is the identity. Use ScatterSeeded
+// for the random-key partitioning of the paper's randomized algorithm.
+func Scatter[V any](values []V, ell int) []Pair[int, V] {
+	if ell < 1 {
+		panic(fmt.Sprintf("mapreduce: Scatter requires ell >= 1, got %d", ell))
+	}
+	out := make([]Pair[int, V], len(values))
+	for i, v := range values {
+		out[i] = Pair[int, V]{Key: i % ell, Value: v}
+	}
+	return out
+}
+
+// ScatterSeeded keys each value into one of ell partitions uniformly at
+// random (deterministically from seed): the "random keys" partitioning of
+// the randomized 2-round algorithm (Theorem 7), which guarantees with
+// high probability that no partition holds more than Θ(max{log n, k/ℓ})
+// points of any fixed optimal solution.
+func ScatterSeeded[V any](values []V, ell int, seed int64) []Pair[int, V] {
+	if ell < 1 {
+		panic(fmt.Sprintf("mapreduce: ScatterSeeded requires ell >= 1, got %d", ell))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair[int, V], len(values))
+	for i, v := range values {
+		out[i] = Pair[int, V]{Key: rng.Intn(ell), Value: v}
+	}
+	return out
+}
+
+// ScatterChunks keys values into ell contiguous chunks of near-equal
+// size, preserving input order inside each chunk. Used by the adversarial
+// partitioning experiment, where input order encodes spatial locality.
+func ScatterChunks[V any](values []V, ell int) []Pair[int, V] {
+	if ell < 1 {
+		panic(fmt.Sprintf("mapreduce: ScatterChunks requires ell >= 1, got %d", ell))
+	}
+	n := len(values)
+	out := make([]Pair[int, V], n)
+	for i, v := range values {
+		part := i * ell / n
+		if part >= ell {
+			part = ell - 1
+		}
+		out[i] = Pair[int, V]{Key: part, Value: v}
+	}
+	return out
+}

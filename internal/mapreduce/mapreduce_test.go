@@ -1,0 +1,287 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunGroupsByKey(t *testing.T) {
+	in := []Pair[string, int]{
+		{"a", 1}, {"b", 10}, {"a", 2}, {"b", 20}, {"a", 3},
+	}
+	out := Run(in, func(key string, vals []int) []Pair[string, int] {
+		sum := 0
+		for _, v := range vals {
+			sum += v
+		}
+		return []Pair[string, int]{{key, sum}}
+	}, Options{Name: "sum"})
+	if len(out) != 2 {
+		t.Fatalf("output = %v, want 2 pairs", out)
+	}
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	if got["a"] != 6 || got["b"] != 30 {
+		t.Fatalf("sums = %v, want a:6 b:30", got)
+	}
+}
+
+func TestRunDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var in []Pair[int, int]
+	for i := 0; i < 500; i++ {
+		in = append(in, Pair[int, int]{Key: rng.Intn(20), Value: i})
+	}
+	runOnce := func() []int {
+		out := Run(in, func(key int, vals []int) []Pair[int, int] {
+			return []Pair[int, int]{{key, len(vals)}}
+		}, Options{Workers: 7})
+		keys := make([]int, len(out))
+		for i, p := range out {
+			keys[i] = p.Key
+		}
+		return keys
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic output order across runs")
+		}
+	}
+	// Keys are emitted sorted by their formatted representation.
+	formatted := make([]string, len(a))
+	for i, k := range a {
+		formatted[i] = strconv.Itoa(k)
+	}
+	if !sort.StringsAreSorted(formatted) {
+		t.Fatalf("keys not in formatted order: %v", a)
+	}
+}
+
+func TestRunChangesTypes(t *testing.T) {
+	in := []Pair[int, string]{{0, "x"}, {0, "yy"}, {1, "zzz"}}
+	out := Run(in, func(key int, vals []string) []Pair[string, int] {
+		total := 0
+		for _, v := range vals {
+			total += len(v)
+		}
+		return []Pair[string, int]{{Key: strconv.Itoa(key), Value: total}}
+	}, Options{})
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	if got["0"] != 3 || got["1"] != 3 {
+		t.Fatalf("typed round output = %v", got)
+	}
+}
+
+func TestRunConcurrencyBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	in := make([]Pair[int, int], 64)
+	for i := range in {
+		in[i] = Pair[int, int]{Key: i, Value: i}
+	}
+	Run(in, func(key int, vals []int) []Pair[int, int] {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		// Busy-wait a moment so overlaps are observable.
+		for i := 0; i < 10000; i++ {
+			_ = i
+		}
+		inFlight.Add(-1)
+		return nil
+	}, Options{Workers: 3})
+	if peak.Load() > 3 {
+		t.Fatalf("concurrency peak %d exceeds Workers=3", peak.Load())
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var m Metrics
+	in := []Pair[int, int]{{0, 1}, {0, 2}, {0, 3}, {1, 4}}
+	Run(in, func(key int, vals []int) []Pair[int, int] {
+		out := make([]Pair[int, int], 2)
+		for i := range out {
+			out[i] = Pair[int, int]{Key: key, Value: 0}
+		}
+		return out
+	}, Options{Name: "r1", Metrics: &m})
+	rounds := m.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(rounds))
+	}
+	s := rounds[0]
+	if s.Name != "r1" || s.Reducers != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Key 0: input 3 + output 2 = 5 (the max); key 1: 1+2 = 3.
+	if s.MaxLocalMemory != 5 {
+		t.Fatalf("MaxLocalMemory = %d, want 5", s.MaxLocalMemory)
+	}
+	if s.TotalInput != 4 || s.TotalOutput != 4 {
+		t.Fatalf("totals = %d/%d, want 4/4", s.TotalInput, s.TotalOutput)
+	}
+	if m.MaxLocalMemory() != 5 {
+		t.Fatalf("job ML = %d, want 5", m.MaxLocalMemory())
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.Add(Stats{}) // must not panic
+	if m.Rounds() != nil {
+		t.Fatal("nil metrics should have no rounds")
+	}
+}
+
+func TestScatterBalance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		ell := 1 + rng.Intn(16)
+		vals := make([]int, n)
+		counts := map[int]int{}
+		for _, p := range Scatter(vals, ell) {
+			if p.Key < 0 || p.Key >= ell {
+				return false
+			}
+			counts[p.Key]++
+		}
+		// Round-robin balance: sizes differ by at most 1.
+		lo, hi := n, 0
+		for part := 0; part < ell && part < n; part++ {
+			c := counts[part]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterChunksContiguous(t *testing.T) {
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	pairs := ScatterChunks(vals, 3)
+	// Chunk keys must be non-decreasing over the input order.
+	last := -1
+	counts := map[int]int{}
+	for _, p := range pairs {
+		if p.Key < last {
+			t.Fatalf("chunk keys not contiguous: %v", pairs)
+		}
+		last = p.Key
+		counts[p.Key]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("chunk count = %d, want 3", len(counts))
+	}
+}
+
+func TestScatterSeededDeterministicAndSpread(t *testing.T) {
+	vals := make([]int, 1000)
+	a := ScatterSeeded(vals, 8, 42)
+	b := ScatterSeeded(vals, 8, 42)
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatal("seeded scatter not deterministic")
+		}
+	}
+	counts := map[int]int{}
+	for _, p := range a {
+		counts[p.Key]++
+	}
+	for part := 0; part < 8; part++ {
+		if counts[part] < 60 { // E=125; far tail impossible at n=1000
+			t.Fatalf("partition %d has %d points; random scatter badly skewed", part, counts[part])
+		}
+	}
+}
+
+func TestScatterPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Scatter([]int{1}, 0) },
+		func() { ScatterChunks([]int{1}, 0) },
+		func() { ScatterSeeded([]int{1}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	out := Run(nil, func(key int, vals []int) []Pair[int, int] { return nil }, Options{})
+	if out != nil {
+		t.Fatalf("empty round output = %v, want nil", out)
+	}
+}
+
+func TestRunStrictEnforcesBudget(t *testing.T) {
+	in := []Pair[int, int]{{0, 1}, {0, 2}, {0, 3}, {1, 4}}
+	identity := func(key int, vals []int) []Pair[int, int] {
+		out := make([]Pair[int, int], len(vals))
+		for i, v := range vals {
+			out[i] = Pair[int, int]{key, v}
+		}
+		return out
+	}
+	// Key 0 holds 3 inputs + 3 outputs = 6 > 5: must error.
+	if _, err := RunStrict(in, identity, Options{Name: "tight", LocalMemoryLimit: 5}); err == nil {
+		t.Fatal("expected budget violation error")
+	}
+	// Budget 6 fits.
+	out, err := RunStrict(in, identity, Options{Name: "fits", LocalMemoryLimit: 6})
+	if err != nil || len(out) != 4 {
+		t.Fatalf("(%v, %v)", out, err)
+	}
+	// No limit: never errors.
+	if _, err := RunStrict(in, identity, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecordsViolations(t *testing.T) {
+	var m Metrics
+	in := []Pair[int, int]{{0, 1}, {0, 2}, {1, 3}}
+	Run(in, func(key int, vals []int) []Pair[int, int] { return nil },
+		Options{LocalMemoryLimit: 1, Metrics: &m})
+	// Key 0: 2 values > 1 (violation); key 1: 1 value (ok).
+	if got := m.Rounds()[0].LimitViolations; got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+}
+
+func TestRunStrictForwardsMetrics(t *testing.T) {
+	var m Metrics
+	in := []Pair[int, int]{{0, 1}}
+	if _, err := RunStrict(in, func(key int, vals []int) []Pair[int, int] { return nil },
+		Options{Name: "fwd", Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rounds()) != 1 || m.Rounds()[0].Name != "fwd" {
+		t.Fatalf("metrics not forwarded: %+v", m.Rounds())
+	}
+}

@@ -1,0 +1,51 @@
+package metric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEuclidean(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 3, 128} {
+		a, c := genVector(dim)(rng), genVector(dim)(rng)
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Euclidean(a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkCosineDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, nnz := range []int{10, 45, 80} {
+		gen := genSparse(5000, nnz)
+		u, v := gen(rng), gen(rng)
+		b.Run(fmt.Sprintf("nnz=%d", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CosineDistance(u, v)
+			}
+		})
+	}
+}
+
+func BenchmarkJaccardDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	gen := genSet(10000, 50)
+	s, t := gen(rng), gen(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JaccardDistance(s, t)
+	}
+}
+
+func BenchmarkMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomVectors(rng, 256, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matrix(pts, Euclidean)
+	}
+}

@@ -1,0 +1,32 @@
+package metric
+
+import "sync/atomic"
+
+// Counter wraps a Distance and counts evaluations, so tests and
+// experiments can verify the paper's complexity claims (e.g. GMM's
+// O(k′·n) distance evaluations, SMM's O(k′) per point) rather than trust
+// them. Safe for concurrent use; counting costs one atomic increment per
+// call.
+type Counter[P any] struct {
+	d     Distance[P]
+	calls atomic.Int64
+}
+
+// NewCounter wraps d with an evaluation counter.
+func NewCounter[P any](d Distance[P]) *Counter[P] {
+	return &Counter[P]{d: d}
+}
+
+// Distance returns the counting distance function.
+func (c *Counter[P]) Distance() Distance[P] {
+	return func(a, b P) float64 {
+		c.calls.Add(1)
+		return c.d(a, b)
+	}
+}
+
+// Calls returns the number of evaluations so far.
+func (c *Counter[P]) Calls() int64 { return c.calls.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter[P]) Reset() { c.calls.Store(0) }

@@ -1,0 +1,121 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// The doubling dimension of a metric space is the smallest D such that any
+// ball of radius r can be covered by at most 2^D balls of radius r/2.
+// The paper's (1+ε) core-set guarantees size kernels as (c/ε')^D·k where
+// the constant c depends on the construction (Lemmas 3–6) and ε' satisfies
+// 1−ε' = 1/(1+ε). This file provides those sizing rules plus an empirical
+// doubling-constant estimator used by tests and examples.
+
+// Kernel identifies which core-set construction a kernel size is for; the
+// constant in the (c/ε')^D bound differs per construction.
+type Kernel int
+
+const (
+	// KernelGMM sizes the MapReduce core-set for remote-edge and
+	// remote-cycle (Lemma 5): k' = (8/ε')^D·k.
+	KernelGMM Kernel = iota
+	// KernelGMMExt sizes the MapReduce core-set for remote-clique, -star,
+	// -bipartition, and -tree (Lemma 6): k' = (16/ε')^D·k.
+	KernelGMMExt
+	// KernelSMM sizes the streaming core-set for remote-edge and
+	// remote-cycle (Lemma 3): k' = (32/ε')^D·k.
+	KernelSMM
+	// KernelSMMExt sizes the streaming core-set for remote-clique, -star,
+	// -bipartition, and -tree (Lemma 4): k' = (64/ε')^D·k.
+	KernelSMMExt
+)
+
+func (kv Kernel) constant() float64 {
+	switch kv {
+	case KernelGMM:
+		return 8
+	case KernelGMMExt:
+		return 16
+	case KernelSMM:
+		return 32
+	case KernelSMMExt:
+		return 64
+	default:
+		panic(fmt.Sprintf("metric: unknown kernel variant %d", kv))
+	}
+}
+
+// EpsPrime converts the target core-set approximation ε (as in a (1+ε)
+// core-set) into the internal parameter ε' with (1−ε') = 1/(1+ε).
+func EpsPrime(eps float64) float64 {
+	return eps / (1 + eps)
+}
+
+// TheoreticalKernelSize returns the kernel size k' prescribed by the
+// paper's lemmas for a (1+eps)-core-set in a space of doubling dimension
+// D. The bound is worst-case and enormous for all but tiny D; the paper's
+// experiments (and this repository's defaults) instead set k' to small
+// multiples of k, which empirically already achieves ratios close to 1.
+// The returned value saturates at math.MaxInt to avoid overflow.
+func TheoreticalKernelSize(variant Kernel, eps float64, dimension int, k int) int {
+	if eps <= 0 || eps > 1 {
+		panic(fmt.Sprintf("metric: TheoreticalKernelSize requires 0 < eps <= 1, got %g", eps))
+	}
+	if dimension < 0 || k < 1 {
+		panic(fmt.Sprintf("metric: TheoreticalKernelSize requires dimension >= 0 and k >= 1, got D=%d k=%d", dimension, k))
+	}
+	base := variant.constant() / EpsPrime(eps)
+	size := float64(k) * math.Pow(base, float64(dimension))
+	if size >= math.MaxInt/2 || math.IsInf(size, 1) {
+		return math.MaxInt
+	}
+	if size < float64(k) {
+		return k
+	}
+	return int(math.Ceil(size))
+}
+
+// EstimateDoublingConstant empirically estimates the doubling constant of
+// a point sample: for a handful of balls B(c, r) it greedily covers the
+// ball's points with balls of radius r/2 and reports the largest cover
+// size observed. log2 of the result estimates the doubling dimension.
+// This is a diagnostic (used by tests and the dataset examples), not an
+// exact computation, which would be NP-hard.
+func EstimateDoublingConstant[P any](pts []P, d Distance[P], probes int) int {
+	if len(pts) == 0 || probes <= 0 {
+		return 0
+	}
+	worst := 1
+	step := len(pts) / probes
+	if step == 0 {
+		step = 1
+	}
+	for ci := 0; ci < len(pts); ci += step {
+		center := pts[ci]
+		// Radius: half the farthest distance from the probe center, so the
+		// ball holds a substantial fraction of the sample.
+		far, _ := MaxDistance(center, pts, d)
+		r := far / 2
+		if r == 0 {
+			continue
+		}
+		var ball []P
+		for i := range pts {
+			if d(center, pts[i]) <= r {
+				ball = append(ball, pts[i])
+			}
+		}
+		// Greedy cover of ball with radius r/2 balls centered at points.
+		var covers []P
+		for i := range ball {
+			if dist, _ := MinDistance(ball[i], covers, d); dist > r/2 {
+				covers = append(covers, ball[i])
+			}
+		}
+		if len(covers) > worst {
+			worst = len(covers)
+		}
+	}
+	return worst
+}

@@ -1,0 +1,123 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEpsPrime(t *testing.T) {
+	// (1-ε') = 1/(1+ε) ⇔ ε' = ε/(1+ε).
+	for _, eps := range []float64{0.1, 0.5, 1.0} {
+		got := EpsPrime(eps)
+		if want := eps / (1 + eps); !almostEqual(got, want, 1e-15) {
+			t.Errorf("EpsPrime(%v) = %v, want %v", eps, got, want)
+		}
+		if !almostEqual(1-got, 1/(1+eps), 1e-15) {
+			t.Errorf("EpsPrime(%v) does not satisfy (1-ε')=1/(1+ε)", eps)
+		}
+	}
+}
+
+func TestTheoreticalKernelSizeMonotonicity(t *testing.T) {
+	// Larger ε ⇒ smaller kernels; higher dimension ⇒ larger kernels.
+	loose := TheoreticalKernelSize(KernelGMM, 1.0, 2, 10)
+	tight := TheoreticalKernelSize(KernelGMM, 0.25, 2, 10)
+	if tight <= loose {
+		t.Errorf("kernel size should grow as eps shrinks: eps=0.25 gives %d, eps=1 gives %d", tight, loose)
+	}
+	lowD := TheoreticalKernelSize(KernelGMM, 0.5, 1, 10)
+	highD := TheoreticalKernelSize(KernelGMM, 0.5, 3, 10)
+	if highD <= lowD {
+		t.Errorf("kernel size should grow with dimension: D=3 gives %d, D=1 gives %d", highD, lowD)
+	}
+}
+
+func TestTheoreticalKernelSizeConstants(t *testing.T) {
+	// With D=1, eps=1 (ε'=1/2): GMM 16k, GMM-EXT 32k, SMM 64k, SMM-EXT 128k.
+	k := 3
+	cases := map[Kernel]int{
+		KernelGMM:    16 * k,
+		KernelGMMExt: 32 * k,
+		KernelSMM:    64 * k,
+		KernelSMMExt: 128 * k,
+	}
+	for variant, want := range cases {
+		if got := TheoreticalKernelSize(variant, 1.0, 1, k); got != want {
+			t.Errorf("TheoreticalKernelSize(%v) = %d, want %d", variant, got, want)
+		}
+	}
+}
+
+func TestTheoreticalKernelSizeSaturates(t *testing.T) {
+	if got := TheoreticalKernelSize(KernelSMMExt, 0.01, 50, 100); got != math.MaxInt {
+		t.Errorf("expected saturation at MaxInt, got %d", got)
+	}
+}
+
+func TestTheoreticalKernelSizeDimensionZero(t *testing.T) {
+	// D=0: a single ball covers everything, k' = k.
+	if got := TheoreticalKernelSize(KernelGMM, 0.5, 0, 7); got != 7 {
+		t.Errorf("D=0 kernel size = %d, want 7", got)
+	}
+}
+
+func TestTheoreticalKernelSizePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { TheoreticalKernelSize(KernelGMM, 0, 2, 5) },
+		func() { TheoreticalKernelSize(KernelGMM, 1.5, 2, 5) },
+		func() { TheoreticalKernelSize(KernelGMM, 0.5, -1, 5) },
+		func() { TheoreticalKernelSize(KernelGMM, 0.5, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEstimateDoublingConstantLine(t *testing.T) {
+	// Points on a line: doubling constant should be small (≤ ~4).
+	pts := make([]Vector, 200)
+	for i := range pts {
+		pts[i] = Vector{float64(i)}
+	}
+	c := EstimateDoublingConstant(pts, Euclidean, 5)
+	if c < 1 || c > 4 {
+		t.Errorf("line doubling constant estimate = %d, want within [1,4]", c)
+	}
+}
+
+func TestEstimateDoublingConstantGrowsWithDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func(dim, n int) []Vector {
+		pts := make([]Vector, n)
+		for i := range pts {
+			v := make(Vector, dim)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			pts[i] = v
+		}
+		return pts
+	}
+	c1 := EstimateDoublingConstant(gen(1, 400), Euclidean, 5)
+	c5 := EstimateDoublingConstant(gen(5, 400), Euclidean, 5)
+	if c5 <= c1 {
+		t.Errorf("doubling estimate should grow with dimension: D=5 gives %d, D=1 gives %d", c5, c1)
+	}
+}
+
+func TestEstimateDoublingConstantDegenerate(t *testing.T) {
+	if c := EstimateDoublingConstant[Vector](nil, Euclidean, 3); c != 0 {
+		t.Errorf("empty input estimate = %d, want 0", c)
+	}
+	same := []Vector{{1}, {1}, {1}}
+	if c := EstimateDoublingConstant(same, Euclidean, 2); c > 1 {
+		t.Errorf("identical points estimate = %d, want <= 1", c)
+	}
+}

@@ -1,0 +1,109 @@
+package metric
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: parsers must never panic on arbitrary input, and
+// successfully parsed values must round-trip through String.
+
+func FuzzParseVector(f *testing.F) {
+	for _, seed := range []string{"1,2,3", "", "-1.5,2e10", "NaN", "a,b", "0.1", "1,,2", " 7 , 8 "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVector(s)
+		if err != nil {
+			return
+		}
+		// Round-trip (NaN payloads compare unequal; allow NaN==NaN).
+		back, err := ParseVector(v.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", v.String(), s, err)
+		}
+		if len(back) != len(v) {
+			t.Fatalf("round trip changed length: %d -> %d", len(v), len(back))
+		}
+		for i := range v {
+			if back[i] != v[i] && !(math.IsNaN(back[i]) && math.IsNaN(v[i])) {
+				t.Fatalf("round trip changed coordinate %d: %v -> %v", i, v[i], back[i])
+			}
+		}
+	})
+}
+
+func FuzzParseSparseVector(f *testing.F) {
+	for _, seed := range []string{"1:2 3:4", "", "0:0", "5:1.5 5:2", "x:1", "1:y", "4294967295:1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseSparseVector(s)
+		if err != nil {
+			return
+		}
+		// Structural invariants: terms strictly increasing, no zeros.
+		for i := range v.Terms {
+			if i > 0 && v.Terms[i] <= v.Terms[i-1] {
+				t.Fatalf("terms not strictly increasing: %v", v.Terms)
+			}
+			if v.Values[i] == 0 {
+				t.Fatalf("zero value survived normalization: %v", v)
+			}
+		}
+		back, err := ParseSparseVector(v.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", v.String(), err)
+		}
+		if back.NNZ() != v.NNZ() {
+			t.Fatalf("round trip changed nnz: %d -> %d", v.NNZ(), back.NNZ())
+		}
+	})
+}
+
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{"1 2 3", "", "5 5 5", "18446744073709551615", "-1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseSet(s)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				t.Fatalf("set not strictly increasing: %v", set)
+			}
+		}
+		back, err := ParseSet(set.String())
+		if err != nil || len(back) != len(set) {
+			t.Fatalf("round trip failed: (%v, %v)", back, err)
+		}
+	})
+}
+
+func FuzzJaccardMetric(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, []byte{9})
+	f.Add([]byte{}, []byte{0}, []byte{255, 255})
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		toSet := func(bs []byte) Set {
+			elems := make([]uint64, len(bs))
+			for i, x := range bs {
+				elems[i] = uint64(x)
+			}
+			return NewSet(elems...)
+		}
+		sa, sb, sc := toSet(a), toSet(b), toSet(c)
+		dab := JaccardDistance(sa, sb)
+		if dab < 0 || dab > 1 {
+			t.Fatalf("Jaccard out of range: %v", dab)
+		}
+		if dab != JaccardDistance(sb, sa) {
+			t.Fatal("Jaccard asymmetric")
+		}
+		if dab > JaccardDistance(sa, sc)+JaccardDistance(sc, sb)+1e-12 {
+			t.Fatalf("Jaccard triangle violated: %v > %v + %v",
+				dab, JaccardDistance(sa, sc), JaccardDistance(sc, sb))
+		}
+	})
+}

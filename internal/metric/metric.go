@@ -1,0 +1,114 @@
+// Package metric provides the metric-space substrate used by every
+// algorithm in this repository: a generic distance-function type and a
+// small family of concrete point types (dense vectors, sparse vectors,
+// and sets) with the distance functions used in the paper's experiments
+// (Euclidean distance, cosine distance, Jaccard distance).
+//
+// All diversity-maximization algorithms in this module are generic over
+// the point type P and receive distances through a Distance[P]. A
+// Distance is expected to satisfy the metric axioms (non-negativity,
+// identity of indiscernibles, symmetry, triangle inequality); the
+// approximation guarantees of the paper hold only under those axioms,
+// and additionally require the space to have bounded doubling dimension
+// for the (1+ε) core-set bounds.
+package metric
+
+import "math"
+
+// Distance is a metric distance function between two points of type P.
+//
+// Implementations must be symmetric, non-negative, zero exactly on equal
+// points, and satisfy the triangle inequality. They must also be safe for
+// concurrent use: the MapReduce and streaming drivers call distances from
+// multiple goroutines.
+type Distance[P any] func(a, b P) float64
+
+// MinDistance returns the minimum distance between p and any point of set,
+// together with the index of the closest point. It returns
+// (+Inf, -1) when set is empty. Ties are broken toward the lowest index so
+// that clustering assignments are deterministic.
+func MinDistance[P any](p P, set []P, d Distance[P]) (float64, int) {
+	best := math.Inf(1)
+	bestIdx := -1
+	for i := range set {
+		if dist := d(p, set[i]); dist < best {
+			best = dist
+			bestIdx = i
+		}
+	}
+	return best, bestIdx
+}
+
+// MaxDistance returns the maximum distance between p and any point of set,
+// together with the index of the farthest point. It returns (-Inf, -1)
+// when set is empty.
+func MaxDistance[P any](p P, set []P, d Distance[P]) (float64, int) {
+	best := math.Inf(-1)
+	bestIdx := -1
+	for i := range set {
+		if dist := d(p, set[i]); dist > best {
+			best = dist
+			bestIdx = i
+		}
+	}
+	return best, bestIdx
+}
+
+// Range returns max_{p∈pts} d(p, centers): the radius of the clustering of
+// pts around centers (the paper's r_T for T=centers and S=pts). It returns
+// 0 when pts is empty and +Inf when centers is empty but pts is not.
+func Range[P any](pts, centers []P, d Distance[P]) float64 {
+	r := 0.0
+	for i := range pts {
+		if dist, _ := MinDistance(pts[i], centers, d); dist > r {
+			r = dist
+		}
+	}
+	return r
+}
+
+// Farness returns min_{c∈set} d(c, set\{c}): the minimum pairwise distance
+// within set (the paper's ρ_T). It returns +Inf for sets of fewer than two
+// points.
+func Farness[P any](set []P, d Distance[P]) float64 {
+	rho := math.Inf(1)
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if dist := d(set[i], set[j]); dist < rho {
+				rho = dist
+			}
+		}
+	}
+	return rho
+}
+
+// SumPairwise returns the sum of distances over all unordered pairs of set.
+func SumPairwise[P any](set []P, d Distance[P]) float64 {
+	var sum float64
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			sum += d(set[i], set[j])
+		}
+	}
+	return sum
+}
+
+// Matrix materializes the symmetric pairwise distance matrix of pts.
+// It is used by the graph substrate (MST, TSP, matching) where repeated
+// distance evaluations would dominate the running time.
+func Matrix[P any](pts []P, d Distance[P]) [][]float64 {
+	n := len(pts)
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := d(pts[i], pts[j])
+			m[i][j] = dist
+			m[j][i] = dist
+		}
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMinDistanceEmptySet(t *testing.T) {
+	d, idx := MinDistance(Vector{0, 0}, nil, Euclidean)
+	if !math.IsInf(d, 1) || idx != -1 {
+		t.Fatalf("MinDistance on empty set = (%v, %d), want (+Inf, -1)", d, idx)
+	}
+}
+
+func TestMaxDistanceEmptySet(t *testing.T) {
+	d, idx := MaxDistance(Vector{0, 0}, nil, Euclidean)
+	if !math.IsInf(d, -1) || idx != -1 {
+		t.Fatalf("MaxDistance on empty set = (%v, %d), want (-Inf, -1)", d, idx)
+	}
+}
+
+func TestMinDistanceFindsClosest(t *testing.T) {
+	set := []Vector{{10, 0}, {3, 4}, {0, 1}}
+	d, idx := MinDistance(Vector{0, 0}, set, Euclidean)
+	if idx != 2 || !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("MinDistance = (%v, %d), want (1, 2)", d, idx)
+	}
+}
+
+func TestMinDistanceTieBreaksLowIndex(t *testing.T) {
+	set := []Vector{{1, 0}, {0, 1}} // both at distance 1 from origin
+	_, idx := MinDistance(Vector{0, 0}, set, Euclidean)
+	if idx != 0 {
+		t.Fatalf("MinDistance tie broke to index %d, want 0", idx)
+	}
+}
+
+func TestMaxDistanceFindsFarthest(t *testing.T) {
+	set := []Vector{{1, 0}, {3, 4}, {0, 1}}
+	d, idx := MaxDistance(Vector{0, 0}, set, Euclidean)
+	if idx != 1 || !almostEqual(d, 5, 1e-12) {
+		t.Fatalf("MaxDistance = (%v, %d), want (5, 1)", d, idx)
+	}
+}
+
+func TestRange(t *testing.T) {
+	pts := []Vector{{0, 0}, {1, 0}, {5, 0}, {9, 0}}
+	centers := []Vector{{0, 0}, {10, 0}}
+	// Farthest point from its closest center: {5,0} at distance 5.
+	if r := Range(pts, centers, Euclidean); !almostEqual(r, 5, 1e-12) {
+		t.Fatalf("Range = %v, want 5", r)
+	}
+}
+
+func TestRangeEmptyPoints(t *testing.T) {
+	if r := Range(nil, []Vector{{0}}, Euclidean); r != 0 {
+		t.Fatalf("Range of no points = %v, want 0", r)
+	}
+}
+
+func TestFarness(t *testing.T) {
+	set := []Vector{{0, 0}, {1, 0}, {10, 0}}
+	if rho := Farness(set, Euclidean); !almostEqual(rho, 1, 1e-12) {
+		t.Fatalf("Farness = %v, want 1", rho)
+	}
+	if rho := Farness([]Vector{{1, 2}}, Euclidean); !math.IsInf(rho, 1) {
+		t.Fatalf("Farness of singleton = %v, want +Inf", rho)
+	}
+}
+
+func TestSumPairwise(t *testing.T) {
+	set := []Vector{{0}, {1}, {3}}
+	// pairs: 1 + 3 + 2 = 6
+	if s := SumPairwise(set, Euclidean); !almostEqual(s, 6, 1e-12) {
+		t.Fatalf("SumPairwise = %v, want 6", s)
+	}
+}
+
+func TestMatrixSymmetricZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 17, 3)
+	m := Matrix(pts, Euclidean)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("Matrix[%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("Matrix not symmetric at (%d,%d)", i, j)
+			}
+			if want := Euclidean(pts[i], pts[j]); !almostEqual(m[i][j], want, 1e-12) {
+				t.Fatalf("Matrix[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func randomVectors(rng *rand.Rand, n, dim int) []Vector {
+	pts := make([]Vector, n)
+	for i := range pts {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+// checkMetricAxioms verifies the metric axioms on randomly generated
+// triples using testing/quick: quick drives random seeds, each seed
+// deterministically generates a triple of points via gen.
+func checkMetricAxioms[P any](t *testing.T, name string, d Distance[P], gen func(*rand.Rand) P) {
+	t.Helper()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		dab, dba := d(a, b), d(b, a)
+		if dab < 0 {
+			t.Logf("%s: negative distance %v (seed %d)", name, dab, seed)
+			return false
+		}
+		if !almostEqual(dab, dba, 1e-7) {
+			t.Logf("%s: asymmetric %v vs %v (seed %d)", name, dab, dba, seed)
+			return false
+		}
+		if d(a, a) > 1e-7 {
+			t.Logf("%s: d(a,a)=%v (seed %d)", name, d(a, a), seed)
+			return false
+		}
+		// Triangle inequality with a small tolerance for float drift.
+		if dab > d(a, c)+d(c, b)+1e-7 {
+			t.Logf("%s: triangle violated: d(a,b)=%v > d(a,c)+d(c,b)=%v (seed %d)",
+				name, dab, d(a, c)+d(c, b), seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s metric axioms violated: %v", name, err)
+	}
+}

@@ -1,0 +1,92 @@
+package metric
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set is a finite set of element identifiers, stored strictly increasing.
+// It supports the Jaccard distance, the "dissimilarity distance" the paper
+// cites for database queries (Leskovec, Rajaraman, Ullman: Mining of
+// Massive Datasets). Construct instances with NewSet.
+type Set []uint64
+
+// NewSet builds a Set from unordered, possibly duplicated elements.
+func NewSet(elems ...uint64) Set {
+	s := make(Set, len(elems))
+	copy(s, elems)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 0
+	for i := range s {
+		if i == 0 || s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Contains reports whether x is an element of s.
+func (s Set) Contains(x uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// IntersectionSize returns |s ∩ t| by merging the two sorted slices.
+func (s Set) IntersectionSize(t Set) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// JaccardDistance returns 1 − |s∩t|/|s∪t|, a metric on finite sets
+// (the Steinhaus/Jaccard distance). The distance between two empty sets
+// is 0 by convention.
+func JaccardDistance(s, t Set) float64 {
+	inter := s.IntersectionSize(t)
+	union := len(s) + len(t) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// String renders the set as space-separated identifiers.
+func (s Set) String() string {
+	var b strings.Builder
+	for i, x := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(x, 10))
+	}
+	return b.String()
+}
+
+// ParseSet parses the space-separated identifier format produced by
+// String.
+func ParseSet(str string) (Set, error) {
+	fields := strings.Fields(str)
+	elems := make([]uint64, 0, len(fields))
+	for _, f := range fields {
+		x, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric: parsing set element %q: %w", f, err)
+		}
+		elems = append(elems, x)
+	}
+	return NewSet(elems...), nil
+}

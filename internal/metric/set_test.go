@@ -1,0 +1,120 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genSet(universe uint64, maxSize int) func(*rand.Rand) Set {
+	return func(rng *rand.Rand) Set {
+		n := 1 + rng.Intn(maxSize)
+		elems := make([]uint64, n)
+		for i := range elems {
+			elems[i] = uint64(rng.Intn(int(universe)))
+		}
+		return NewSet(elems...)
+	}
+}
+
+func TestNewSetSortsAndDedups(t *testing.T) {
+	s := NewSet(5, 1, 5, 3, 1)
+	want := Set{1, 3, 5}
+	if len(s) != len(want) {
+		t.Fatalf("NewSet = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("NewSet = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(2, 4, 6)
+	for _, x := range []uint64{2, 4, 6} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []uint64{1, 3, 7} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	a := NewSet(1, 2, 3, 4)
+	b := NewSet(3, 4, 5)
+	if n := a.IntersectionSize(b); n != 2 {
+		t.Fatalf("IntersectionSize = %d, want 2", n)
+	}
+	if n := a.IntersectionSize(NewSet()); n != 0 {
+		t.Fatalf("IntersectionSize with empty = %d, want 0", n)
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(2, 3, 4)
+	// |∩|=2, |∪|=4 → distance 1/2.
+	if d := JaccardDistance(a, b); !almostEqual(d, 0.5, 1e-12) {
+		t.Errorf("Jaccard = %v, want 0.5", d)
+	}
+	if d := JaccardDistance(a, a); d != 0 {
+		t.Errorf("Jaccard(a,a) = %v, want 0", d)
+	}
+	if d := JaccardDistance(NewSet(), NewSet()); d != 0 {
+		t.Errorf("Jaccard(∅,∅) = %v, want 0", d)
+	}
+	if d := JaccardDistance(a, NewSet(9)); d != 1 {
+		t.Errorf("Jaccard disjoint = %v, want 1", d)
+	}
+}
+
+func TestJaccardMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "jaccard", JaccardDistance, genSet(30, 10))
+}
+
+func TestJaccardBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := genSet(40, 12)
+		d := JaccardDistance(gen(rng), gen(rng))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetStringRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genSet(100, 15)(rng)
+		parsed, err := ParseSet(s.String())
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		if len(parsed) != len(s) {
+			return false
+		}
+		for i := range s {
+			if parsed[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	if _, err := ParseSet("1 x 3"); err == nil {
+		t.Error("expected error on non-numeric element")
+	}
+}

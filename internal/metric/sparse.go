@@ -1,0 +1,167 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SparseVector is a sparse non-negative vector, stored as parallel slices
+// of strictly increasing term identifiers and their values. It models the
+// paper's musiXmatch representation: each song is the vector of word
+// counts of the 5,000 most frequent words, with at most a few dozen
+// non-zero entries.
+//
+// The zero value is the empty (all-zeros) vector. Construct instances with
+// NewSparseVector, which sorts and merges duplicate terms.
+type SparseVector struct {
+	Terms  []uint32
+	Values []float64
+	norm   float64 // cached L2 norm; 0 means "not yet computed or truly 0"
+}
+
+// NewSparseVector builds a SparseVector from unordered (term, value)
+// pairs. Duplicate terms are summed; zero-valued entries are dropped.
+// It panics if the two slices have different lengths.
+func NewSparseVector(terms []uint32, values []float64) SparseVector {
+	if len(terms) != len(values) {
+		panic(fmt.Sprintf("metric: NewSparseVector with %d terms but %d values", len(terms), len(values)))
+	}
+	type entry struct {
+		term uint32
+		val  float64
+	}
+	entries := make([]entry, 0, len(terms))
+	for i := range terms {
+		entries = append(entries, entry{terms[i], values[i]})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].term < entries[j].term })
+
+	sv := SparseVector{
+		Terms:  make([]uint32, 0, len(entries)),
+		Values: make([]float64, 0, len(entries)),
+	}
+	for _, e := range entries {
+		if n := len(sv.Terms); n > 0 && sv.Terms[n-1] == e.term {
+			sv.Values[n-1] += e.val
+			continue
+		}
+		sv.Terms = append(sv.Terms, e.term)
+		sv.Values = append(sv.Values, e.val)
+	}
+	// Drop zeros produced by explicit zero values or cancellation.
+	w := 0
+	for i := range sv.Terms {
+		if sv.Values[i] != 0 {
+			sv.Terms[w] = sv.Terms[i]
+			sv.Values[w] = sv.Values[i]
+			w++
+		}
+	}
+	sv.Terms = sv.Terms[:w]
+	sv.Values = sv.Values[:w]
+	sv.norm = sv.computeNorm()
+	return sv
+}
+
+// NNZ returns the number of non-zero entries.
+func (v SparseVector) NNZ() int { return len(v.Terms) }
+
+func (v SparseVector) computeNorm() float64 {
+	var sum float64
+	for _, x := range v.Values {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Norm returns the L2 norm, using the cached value when available.
+func (v SparseVector) Norm() float64 {
+	if v.norm != 0 || len(v.Terms) == 0 {
+		return v.norm
+	}
+	return v.computeNorm()
+}
+
+// Dot returns the inner product of v and w, merging the two sorted term
+// lists in O(nnz(v)+nnz(w)).
+func (v SparseVector) Dot(w SparseVector) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(v.Terms) && j < len(w.Terms) {
+		switch {
+		case v.Terms[i] < w.Terms[j]:
+			i++
+		case v.Terms[i] > w.Terms[j]:
+			j++
+		default:
+			sum += v.Values[i] * w.Values[j]
+			i++
+			j++
+		}
+	}
+	return sum
+}
+
+// CosineDistance returns arccos(v·w/(‖v‖‖w‖)), the distance the paper uses
+// on the musiXmatch dataset. It is a metric (the angular distance on the
+// unit sphere). Zero vectors follow the same convention as
+// AngularDistance: d(0,0)=0 and d(0,w)=π/2 for w≠0.
+func CosineDistance(v, w SparseVector) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	switch {
+	case nv == 0 && nw == 0:
+		return 0
+	case nv == 0 || nw == 0:
+		return math.Pi / 2
+	}
+	cos := v.Dot(w) / (nv * nw)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos)
+}
+
+// String renders the vector as space-separated term:value pairs
+// (e.g. "3:1 17:4"), the musiXmatch text format.
+func (v SparseVector) String() string {
+	var b strings.Builder
+	for i := range v.Terms {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(v.Terms[i]), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(v.Values[i], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseSparseVector parses the space-separated term:value format produced
+// by String.
+func ParseSparseVector(s string) (SparseVector, error) {
+	fields := strings.Fields(s)
+	terms := make([]uint32, 0, len(fields))
+	values := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		colon := strings.IndexByte(f, ':')
+		if colon < 0 {
+			return SparseVector{}, fmt.Errorf("metric: sparse entry %q missing ':'", f)
+		}
+		t, err := strconv.ParseUint(f[:colon], 10, 32)
+		if err != nil {
+			return SparseVector{}, fmt.Errorf("metric: parsing sparse term %q: %w", f[:colon], err)
+		}
+		val, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return SparseVector{}, fmt.Errorf("metric: parsing sparse value %q: %w", f[colon+1:], err)
+		}
+		terms = append(terms, uint32(t))
+		values = append(values, val)
+	}
+	return NewSparseVector(terms, values), nil
+}

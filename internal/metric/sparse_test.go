@@ -1,0 +1,169 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genSparse(vocab uint32, maxNNZ int) func(*rand.Rand) SparseVector {
+	return func(rng *rand.Rand) SparseVector {
+		nnz := 1 + rng.Intn(maxNNZ)
+		terms := make([]uint32, nnz)
+		values := make([]float64, nnz)
+		for i := range terms {
+			terms[i] = uint32(rng.Intn(int(vocab)))
+			values[i] = float64(1 + rng.Intn(20))
+		}
+		return NewSparseVector(terms, values)
+	}
+}
+
+func TestNewSparseVectorSortsAndMerges(t *testing.T) {
+	v := NewSparseVector([]uint32{5, 1, 5, 3}, []float64{2, 1, 3, 4})
+	wantTerms := []uint32{1, 3, 5}
+	wantVals := []float64{1, 4, 5}
+	if len(v.Terms) != len(wantTerms) {
+		t.Fatalf("Terms = %v, want %v", v.Terms, wantTerms)
+	}
+	for i := range wantTerms {
+		if v.Terms[i] != wantTerms[i] || v.Values[i] != wantVals[i] {
+			t.Fatalf("entry %d = (%d,%v), want (%d,%v)", i, v.Terms[i], v.Values[i], wantTerms[i], wantVals[i])
+		}
+	}
+}
+
+func TestNewSparseVectorDropsZeros(t *testing.T) {
+	v := NewSparseVector([]uint32{1, 2, 3}, []float64{0, 5, 0})
+	if v.NNZ() != 1 || v.Terms[0] != 2 {
+		t.Fatalf("zeros not dropped: %v", v)
+	}
+	// Cancellation: +2 and -2 on the same term.
+	v = NewSparseVector([]uint32{7, 7}, []float64{2, -2})
+	if v.NNZ() != 0 {
+		t.Fatalf("cancelled entry not dropped: %v", v)
+	}
+}
+
+func TestNewSparseVectorMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparseVector([]uint32{1}, []float64{1, 2})
+}
+
+func TestSparseDotMatchesDense(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := genSparse(50, 20)
+		a, b := gen(rng), gen(rng)
+		dense := func(v SparseVector) Vector {
+			out := make(Vector, 50)
+			for i, term := range v.Terms {
+				out[term] = v.Values[i]
+			}
+			return out
+		}
+		return almostEqual(a.Dot(b), dense(a).Dot(dense(b)), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineDistanceMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "cosine", CosineDistance, genSparse(100, 15))
+}
+
+func TestCosineDistanceMatchesAngular(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := genSparse(30, 10)
+		a, b := gen(rng), gen(rng)
+		dense := func(v SparseVector) Vector {
+			out := make(Vector, 30)
+			for i, term := range v.Terms {
+				out[term] = v.Values[i]
+			}
+			return out
+		}
+		return almostEqual(CosineDistance(a, b), AngularDistance(dense(a), dense(b)), 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineDistanceIdenticalDirection(t *testing.T) {
+	a := NewSparseVector([]uint32{1, 2}, []float64{1, 2})
+	b := NewSparseVector([]uint32{1, 2}, []float64{2, 4}) // same direction
+	if d := CosineDistance(a, b); !almostEqual(d, 0, 1e-7) {
+		t.Errorf("same-direction cosine distance = %v, want 0", d)
+	}
+}
+
+func TestCosineDistanceOrthogonal(t *testing.T) {
+	a := NewSparseVector([]uint32{1}, []float64{3})
+	b := NewSparseVector([]uint32{2}, []float64{7})
+	if d := CosineDistance(a, b); !almostEqual(d, math.Pi/2, 1e-9) {
+		t.Errorf("orthogonal cosine distance = %v, want π/2", d)
+	}
+}
+
+func TestCosineDistanceEmptyVectors(t *testing.T) {
+	var zero SparseVector
+	if d := CosineDistance(zero, zero); d != 0 {
+		t.Errorf("CosineDistance(0,0) = %v, want 0", d)
+	}
+	b := NewSparseVector([]uint32{1}, []float64{1})
+	if d := CosineDistance(zero, b); !almostEqual(d, math.Pi/2, 1e-9) {
+		t.Errorf("CosineDistance(0,x) = %v, want π/2", d)
+	}
+}
+
+func TestSparseStringRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := genSparse(200, 12)(rng)
+		parsed, err := ParseSparseVector(v.String())
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		if parsed.NNZ() != v.NNZ() {
+			return false
+		}
+		for i := range v.Terms {
+			if parsed.Terms[i] != v.Terms[i] || parsed.Values[i] != v.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSparseVectorErrors(t *testing.T) {
+	for _, bad := range []string{"1", "x:1", "1:y", "1:2 3"} {
+		if _, err := ParseSparseVector(bad); err == nil {
+			t.Errorf("ParseSparseVector(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSparseNormCached(t *testing.T) {
+	v := NewSparseVector([]uint32{0, 1}, []float64{3, 4})
+	if n := v.Norm(); !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+	// A manually constructed value (no cache) must still compute the norm.
+	raw := SparseVector{Terms: []uint32{0, 1}, Values: []float64{3, 4}}
+	if n := raw.Norm(); !almostEqual(n, 5, 1e-12) {
+		t.Errorf("uncached Norm = %v, want 5", n)
+	}
+}

@@ -1,0 +1,176 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genVector(dim int) func(*rand.Rand) Vector {
+	return func(rng *rand.Rand) Vector {
+		v := make(Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		return v
+	}
+}
+
+func TestEuclideanKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{0, 0}, Vector{3, 4}, 5},
+		{Vector{1, 1, 1}, Vector{1, 1, 1}, 0},
+		{Vector{-1}, Vector{2}, 3},
+	}
+	for _, c := range cases {
+		if got := Euclidean(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Euclidean(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEuclideanMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "euclidean", Euclidean, genVector(3))
+}
+
+func TestManhattanMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "manhattan", Manhattan, genVector(4))
+}
+
+func TestChebyshevMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "chebyshev", Chebyshev, genVector(4))
+}
+
+func TestAngularDistanceMetricAxioms(t *testing.T) {
+	checkMetricAxioms(t, "angular", AngularDistance, genVector(5))
+}
+
+func TestSquaredEuclideanViolatesTriangle(t *testing.T) {
+	// Documented non-metric: (0)–(1)–(2) on a line violates the triangle
+	// inequality under squared distances: 4 > 1+1.
+	a, b, c := Vector{0}, Vector{2}, Vector{1}
+	if SquaredEuclidean(a, b) <= SquaredEuclidean(a, c)+SquaredEuclidean(c, b) {
+		t.Fatal("expected squared euclidean to violate the triangle inequality on 0,1,2")
+	}
+}
+
+func TestDistanceDimensionMismatchPanics(t *testing.T) {
+	for name, d := range map[string]Distance[Vector]{
+		"euclidean": Euclidean, "squared": SquaredEuclidean,
+		"manhattan": Manhattan, "chebyshev": Chebyshev,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on dimension mismatch", name)
+				}
+			}()
+			d(Vector{1, 2}, Vector{1})
+		}()
+	}
+}
+
+func TestAngularDistanceRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genVector(4)(rng), genVector(4)(rng)
+		d := AngularDistance(a, b)
+		return d >= 0 && d <= math.Pi+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularDistanceZeroVectors(t *testing.T) {
+	zero := Vector{0, 0}
+	if d := AngularDistance(zero, zero); d != 0 {
+		t.Errorf("AngularDistance(0,0) = %v, want 0", d)
+	}
+	if d := AngularDistance(zero, Vector{1, 0}); !almostEqual(d, math.Pi/2, 1e-12) {
+		t.Errorf("AngularDistance(0,x) = %v, want π/2", d)
+	}
+}
+
+func TestAngularDistanceScaleInvariant(t *testing.T) {
+	a, b := Vector{1, 2, 3}, Vector{-1, 0, 2}
+	d1 := AngularDistance(a, b)
+	scaled := Vector{2, 4, 6}
+	if d2 := AngularDistance(scaled, b); !almostEqual(d1, d2, 1e-12) {
+		t.Errorf("AngularDistance not scale invariant: %v vs %v", d1, d2)
+	}
+}
+
+func TestAngularDistanceAntipodal(t *testing.T) {
+	if d := AngularDistance(Vector{1, 0}, Vector{-1, 0}); !almostEqual(d, math.Pi, 1e-12) {
+		t.Errorf("antipodal angular distance = %v, want π", d)
+	}
+}
+
+func TestVectorNormAndDot(t *testing.T) {
+	v := Vector{3, 4}
+	if n := v.Norm(); !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+	if d := v.Dot(Vector{1, 2}); !almostEqual(d, 11, 1e-12) {
+		t.Errorf("Dot = %v, want 11", d)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestVectorStringRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := genVector(3)(rng)
+		parsed, err := ParseVector(v.String())
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		if len(parsed) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != parsed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseVectorErrors(t *testing.T) {
+	for _, bad := range []string{"", "1,,2", "a,b", "1;2"} {
+		if _, err := ParseVector(bad); err == nil {
+			t.Errorf("ParseVector(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseVectorWhitespace(t *testing.T) {
+	v, err := ParseVector(" 1.5 , -2 ,3e2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{1.5, -2, 300}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("ParseVector = %v, want %v", v, want)
+		}
+	}
+}

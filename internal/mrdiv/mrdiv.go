@@ -1,0 +1,197 @@
+// Package mrdiv implements the paper's MapReduce diversity-maximization
+// algorithms on top of the internal/mapreduce engine:
+//
+//   - TwoRound — the deterministic 2-round algorithm of Theorem 6
+//     (GMM or GMM-EXT composable core-sets per partition, then one
+//     reducer runs the sequential α-approximation on the union);
+//   - TwoRound with a delegate cap — the randomized variant of
+//     Theorem 7 (random-key partitioning plus Θ(max{log n, k/ℓ})
+//     delegates per cluster);
+//   - ThreeRound — the generalized-core-set algorithm of Theorem 10
+//     (GMM-GEN, a coherent-subset solve, and a per-partition delegate
+//     instantiation round);
+//   - Recursive — the multi-round algorithm of Theorem 8 for local
+//     memories too small for a single aggregation.
+package mrdiv
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// Partitioning selects how round 1 distributes points to reducers.
+type Partitioning int
+
+const (
+	// PartitionRoundRobin deals points round-robin (the "arbitrary
+	// partition" of Theorem 6; statistically equivalent to random for
+	// unordered inputs, and deterministic).
+	PartitionRoundRobin Partitioning = iota
+	// PartitionRandom assigns each point a uniform random reducer keyed
+	// by Config.Seed (Theorem 7's random keys).
+	PartitionRandom
+	// PartitionChunks splits the input into contiguous chunks. With
+	// spatially sorted inputs this is the paper's adversarial
+	// partitioning (§7.2): each reducer sees a small-volume region.
+	PartitionChunks
+)
+
+// Config tunes the MapReduce drivers.
+type Config struct {
+	// Parallelism ℓ is the number of round-1 reducers (partitions).
+	Parallelism int
+	// KPrime is the per-partition kernel size k′ ≥ k.
+	KPrime int
+	// Partitioning selects the round-1 data distribution.
+	Partitioning Partitioning
+	// Seed drives PartitionRandom.
+	Seed int64
+	// DelegateCap, when positive, caps per-cluster delegates (the
+	// randomized variant of Theorem 7); 0 means the deterministic k−1.
+	// Ignored by measures that do not use delegates.
+	DelegateCap int
+	// Workers bounds concurrently executing reducers (0 = NumCPU).
+	Workers int
+	// LocalMemoryLimit, when positive, is the per-reducer M_L budget in
+	// points (input + output); violations are recorded per round in
+	// Metrics (mapreduce.Stats.LimitViolations). Use divmax.MemoryBound
+	// to size it from the theory.
+	LocalMemoryLimit int
+	// Metrics, when non-nil, accumulates per-round statistics.
+	Metrics *mapreduce.Metrics
+}
+
+func (c Config) validate(k int) error {
+	if c.Parallelism < 1 {
+		return fmt.Errorf("mrdiv: parallelism must be >= 1, got %d", c.Parallelism)
+	}
+	if c.KPrime < k {
+		return fmt.Errorf("mrdiv: k' (%d) must be at least k (%d)", c.KPrime, k)
+	}
+	return nil
+}
+
+// scatter distributes points to round-1 reducers per the configured
+// partitioning. (A free function because Go methods cannot take type
+// parameters.)
+func scatter[P any](cfg Config, pts []P) []mapreduce.Pair[int, P] {
+	switch cfg.Partitioning {
+	case PartitionRandom:
+		return mapreduce.ScatterSeeded(pts, cfg.Parallelism, cfg.Seed)
+	case PartitionChunks:
+		return mapreduce.ScatterChunks(pts, cfg.Parallelism)
+	default:
+		return mapreduce.Scatter(pts, cfg.Parallelism)
+	}
+}
+
+// RandomizedDelegateCap returns the per-cluster delegate budget
+// Θ(max{log n, k/ℓ}) of Theorem 7.
+func RandomizedDelegateCap(n, k, ell int) int {
+	logn := int(math.Ceil(math.Log2(float64(n + 1))))
+	perPart := (k + ell - 1) / ell
+	if logn > perPart {
+		return logn
+	}
+	return perPart
+}
+
+// TwoRound runs the 2-round MapReduce algorithm (Theorem 6) and returns
+// the final solution of min(k, |pts|) points. Round 1 builds a composable
+// core-set on each partition: GMM(k′) for remote-edge/-cycle, or
+// GMM-EXT(k, k′) for the injective-proxy measures (optionally capped for
+// the randomized variant). Round 2 aggregates the union in one reducer
+// and runs the sequential α-approximation.
+func TwoRound[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
+	}
+	if err := cfg.validate(k); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	delegateCap := k - 1
+	if m.NeedsInjectiveProxy() && cfg.DelegateCap > 0 {
+		delegateCap = cfg.DelegateCap
+	}
+
+	// Round 1: per-partition composable core-sets, all keyed to reducer 0
+	// for the round-2 aggregation.
+	union := mapreduce.Run(scatter(cfg, pts),
+		func(part int, local []P) []mapreduce.Pair[int, P] {
+			var core []P
+			if m.NeedsInjectiveProxy() {
+				core = coreset.GMMExtCapped(local, k, cfg.KPrime, delegateCap, 0, d)
+			} else {
+				core = coreset.GMM(local, cfg.KPrime, 0, d).Points
+			}
+			out := make([]mapreduce.Pair[int, P], len(core))
+			for i, p := range core {
+				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "coreset", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+
+	// Round 2: one reducer solves sequentially on the aggregated core-set.
+	final := mapreduce.Run(union,
+		func(_ int, core []P) []mapreduce.Pair[int, P] {
+			sol := sequential.Solve(m, core, k, d)
+			out := make([]mapreduce.Pair[int, P], len(sol))
+			for i, p := range sol {
+				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "solve", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+
+	sol := make([]P, len(final))
+	for i, p := range final {
+		sol[i] = p.Value
+	}
+	return sol, nil
+}
+
+// CollectCoreset runs only round 1 of TwoRound and returns the aggregated
+// composable core-set (used by experiments that evaluate core-set quality
+// directly, and by Recursive).
+func CollectCoreset[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
+	if err := cfg.validate(k); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	delegateCap := k - 1
+	if m.NeedsInjectiveProxy() && cfg.DelegateCap > 0 {
+		delegateCap = cfg.DelegateCap
+	}
+	union := mapreduce.Run(scatter(cfg, pts),
+		func(part int, local []P) []mapreduce.Pair[int, P] {
+			var core []P
+			if m.NeedsInjectiveProxy() {
+				core = coreset.GMMExtCapped(local, k, cfg.KPrime, delegateCap, 0, d)
+			} else {
+				core = coreset.GMM(local, cfg.KPrime, 0, d).Points
+			}
+			out := make([]mapreduce.Pair[int, P], len(core))
+			for i, p := range core {
+				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "coreset", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+	out := make([]P, len(union))
+	for i, p := range union {
+		out[i] = p.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package mrdiv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func clusteredVectors(rng *rand.Rand, centers []metric.Vector, perCluster int, spread float64) []metric.Vector {
+	var pts []metric.Vector
+	for i := 0; i < perCluster; i++ {
+		for _, c := range centers {
+			p := make(metric.Vector, len(c))
+			for j := range c {
+				p[j] = c[j] + rng.Float64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func cfg(ell, kprime int) Config {
+	return Config{Parallelism: ell, KPrime: kprime}
+}
+
+func TestTwoRoundValidation(t *testing.T) {
+	pts := randomVectors(rand.New(rand.NewSource(1)), 10, 2)
+	if _, err := TwoRound(diversity.RemoteEdge, pts, 0, cfg(2, 4), metric.Euclidean); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := TwoRound(diversity.RemoteEdge, pts, 3, cfg(0, 4), metric.Euclidean); err == nil {
+		t.Error("parallelism=0: expected error")
+	}
+	if _, err := TwoRound(diversity.RemoteEdge, pts, 3, cfg(2, 2), metric.Euclidean); err == nil {
+		t.Error("k'<k: expected error")
+	}
+}
+
+func TestTwoRoundEmptyInput(t *testing.T) {
+	sol, err := TwoRound(diversity.RemoteEdge, nil, 3, cfg(2, 4), metric.Euclidean)
+	if err != nil || sol != nil {
+		t.Fatalf("empty input = (%v, %v)", sol, err)
+	}
+}
+
+func TestTwoRoundSolutionSize(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		k := 2 + rng.Intn(4)
+		kprime := k + rng.Intn(4)
+		ell := 1 + rng.Intn(4)
+		pts := randomVectors(rng, n, 2)
+		for _, m := range diversity.Measures {
+			sol, err := TwoRound(m, pts, k, cfg(ell, kprime), metric.Euclidean)
+			if err != nil {
+				t.Logf("%v: %v (seed %d)", m, err, seed)
+				return false
+			}
+			if len(sol) != k {
+				t.Logf("%v: size %d, want %d (seed %d)", m, len(sol), k, seed)
+				return false
+			}
+			// Solution points must come from the input.
+			for _, q := range sol {
+				if dist, _ := metric.MinDistance(q, pts, metric.Euclidean); dist != 0 {
+					t.Logf("%v: solution point not in input (seed %d)", m, seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoRoundWellSeparatedClustersExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	centers := []metric.Vector{{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}}
+	pts := clusteredVectors(rng, centers, 50, 1.0)
+	sol, err := TwoRound(diversity.RemoteEdge, pts, 4, cfg(4, 8), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+	if val < 990 {
+		t.Fatalf("remote-edge = %v, want ≥ 990 (one point per cluster)", val)
+	}
+}
+
+func TestTwoRoundLossBoundAgainstBruteForce(t *testing.T) {
+	// End-to-end sanity: MR solution within α·(small slack) of optimum on
+	// brute-forceable instances. With ℓ partitions and k'=n/ℓ the
+	// core-sets are lossless, so the only loss is the sequential α.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(4)
+		k := 2 + rng.Intn(2)
+		pts := randomVectors(rng, n, 2)
+		for _, m := range diversity.Measures {
+			sol, err := TwoRound(m, pts, k, cfg(2, n), metric.Euclidean)
+			if err != nil {
+				return false
+			}
+			got, _ := diversity.Evaluate(m, sol, metric.Euclidean)
+			_, opt, _ := sequential.BruteForce(m, pts, k, metric.Euclidean)
+			if got < opt/m.SequentialAlpha()-1e-9 {
+				t.Logf("%v: got %v, opt %v (seed %d)", m, got, opt, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoRoundMetricsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVectors(rng, 200, 2)
+	var metrics mapreduce.Metrics
+	c := cfg(4, 8)
+	c.Metrics = &metrics
+	if _, err := TwoRound(diversity.RemoteEdge, pts, 4, c, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	rounds := metrics.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("recorded %d rounds, want 2", len(rounds))
+	}
+	if rounds[0].Reducers != 4 || rounds[1].Reducers != 1 {
+		t.Fatalf("reducers = %d/%d, want 4/1", rounds[0].Reducers, rounds[1].Reducers)
+	}
+	// Round-1 local memory ≈ n/ℓ + k'; round-2 ≈ ℓ·k' + k.
+	if rounds[0].MaxLocalMemory > 200/4+8+1 {
+		t.Fatalf("round-1 ML = %d too large", rounds[0].MaxLocalMemory)
+	}
+	if rounds[1].TotalInput != 4*8 {
+		t.Fatalf("round-2 input = %d, want 32", rounds[1].TotalInput)
+	}
+}
+
+func TestTwoRoundLocalMemorySublinear(t *testing.T) {
+	// Theorem 6's point: M_L ≪ n. With ℓ=√(n/k') the bound is ~√(k'n).
+	rng := rand.New(rand.NewSource(6))
+	n, k, kprime := 1024, 4, 8
+	pts := randomVectors(rng, n, 2)
+	ell := int(math.Sqrt(float64(n) / float64(kprime)))
+	var metrics mapreduce.Metrics
+	c := cfg(ell, kprime)
+	c.Metrics = &metrics
+	if _, err := TwoRound(diversity.RemoteEdge, pts, k, c, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	if ml := metrics.MaxLocalMemory(); ml >= n/2 {
+		t.Fatalf("M_L = %d not sublinear in n = %d", ml, n)
+	}
+}
+
+func TestTwoRoundRandomizedDelegateCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 400, 2)
+	k, ell := 16, 4
+	c := cfg(ell, 16)
+	c.Partitioning = PartitionRandom
+	c.Seed = 99
+	c.DelegateCap = RandomizedDelegateCap(len(pts), k, ell)
+	var metrics mapreduce.Metrics
+	c.Metrics = &metrics
+	sol, err := TwoRound(diversity.RemoteClique, pts, k, c, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != k {
+		t.Fatalf("solution size = %d, want %d", len(sol), k)
+	}
+	// The capped core-sets must be smaller than the deterministic ones:
+	// cap+1 per cluster vs k per cluster.
+	capped := metrics.Rounds()[1].TotalInput
+	cDet := cfg(ell, 16)
+	var mDet mapreduce.Metrics
+	cDet.Metrics = &mDet
+	if _, err := TwoRound(diversity.RemoteClique, pts, k, cDet, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	det := mDet.Rounds()[1].TotalInput
+	if capped >= det {
+		t.Fatalf("randomized core-set (%d) not smaller than deterministic (%d)", capped, det)
+	}
+}
+
+func TestRandomizedDelegateCapFormula(t *testing.T) {
+	// max{⌈log2(n+1)⌉, ⌈k/ℓ⌉}.
+	if got := RandomizedDelegateCap(1023, 4, 4); got != 10 {
+		t.Errorf("cap(1023,4,4) = %d, want 10", got)
+	}
+	if got := RandomizedDelegateCap(7, 100, 4); got != 25 {
+		t.Errorf("cap(7,100,4) = %d, want 25", got)
+	}
+}
+
+func TestCollectCoresetSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomVectors(rng, 300, 2)
+	k, kprime, ell := 3, 6, 5
+	plain, err := CollectCoreset(diversity.RemoteEdge, pts, k, cfg(ell, kprime), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != ell*kprime {
+		t.Fatalf("GMM union size = %d, want %d", len(plain), ell*kprime)
+	}
+	ext, err := CollectCoreset(diversity.RemoteTree, pts, k, cfg(ell, kprime), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) < ell*kprime || len(ext) > ell*kprime*k {
+		t.Fatalf("GMM-EXT union size = %d, want within [%d,%d]", len(ext), ell*kprime, ell*kprime*k)
+	}
+}
+
+func TestPartitioningModesAllWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomVectors(rng, 120, 2)
+	for _, mode := range []Partitioning{PartitionRoundRobin, PartitionRandom, PartitionChunks} {
+		c := cfg(3, 6)
+		c.Partitioning = mode
+		c.Seed = 11
+		sol, err := TwoRound(diversity.RemoteEdge, pts, 3, c, metric.Euclidean)
+		if err != nil || len(sol) != 3 {
+			t.Errorf("mode %d: (%v, %v)", mode, sol, err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package mrdiv
+
+import (
+	"fmt"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// Recursive runs the multi-round MapReduce algorithm of Theorem 8: when
+// the aggregated core-set exceeds the local memory budget, the core-set
+// construction is reapplied to it, shrinking the data geometrically until
+// one reducer can hold it; the sequential α-approximation then finishes.
+// memBudget is M_L in points: both the partition size of every round and
+// the size at which aggregation stops. It returns the solution and the
+// number of MapReduce rounds used (core-set rounds plus the final solve).
+func Recursive[P any](m diversity.Measure, pts []P, k int, memBudget int, cfg Config, d metric.Distance[P]) ([]P, int, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
+	}
+	if cfg.KPrime < k {
+		return nil, 0, fmt.Errorf("mrdiv: k' (%d) must be at least k (%d)", cfg.KPrime, k)
+	}
+	// The per-partition core-set must be strictly smaller than the
+	// partition for the recursion to shrink.
+	coreSize := cfg.KPrime
+	if m.NeedsInjectiveProxy() {
+		coreSize = cfg.KPrime * k
+	}
+	if memBudget <= 2*coreSize {
+		return nil, 0, fmt.Errorf("mrdiv: memory budget %d too small for core-sets of size %d; Theorem 8 requires M_L = Ω(k'·n^γ)", memBudget, coreSize)
+	}
+	if len(pts) == 0 {
+		return nil, 0, nil
+	}
+
+	current := pts
+	rounds := 0
+	const maxRounds = 64 // termination backstop; shrinkage is geometric
+	for len(current) > memBudget && rounds < maxRounds {
+		ell := (len(current) + memBudget - 1) / memBudget
+		levelCfg := cfg
+		levelCfg.Parallelism = ell
+		union := mapreduce.Run(scatter(levelCfg, current),
+			func(part int, local []P) []mapreduce.Pair[int, P] {
+				var core []P
+				if m.NeedsInjectiveProxy() {
+					core = coreset.GMMExt(local, k, cfg.KPrime, 0, d)
+				} else {
+					core = coreset.GMM(local, cfg.KPrime, 0, d).Points
+				}
+				out := make([]mapreduce.Pair[int, P], len(core))
+				for i, p := range core {
+					out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+				}
+				return out
+			},
+			mapreduce.Options{Name: fmt.Sprintf("coreset-level-%d", rounds+1), Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+		next := make([]P, len(union))
+		for i, p := range union {
+			next[i] = p.Value
+		}
+		if len(next) >= len(current) {
+			// No shrinkage (pathological parameters); stop recursing.
+			current = next
+			break
+		}
+		current = next
+		rounds++
+	}
+
+	// Final round: one reducer solves sequentially.
+	final := mapreduce.Run(mapreduce.Scatter(current, 1),
+		func(_ int, core []P) []mapreduce.Pair[int, P] {
+			sol := sequential.Solve(m, core, k, d)
+			out := make([]mapreduce.Pair[int, P], len(sol))
+			for i, p := range sol {
+				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "solve", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+	rounds++
+
+	sol := make([]P, len(final))
+	for i, p := range final {
+		sol[i] = p.Value
+	}
+	return sol, rounds, nil
+}

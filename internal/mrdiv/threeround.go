@@ -1,0 +1,154 @@
+package mrdiv
+
+import (
+	"fmt"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// tagged carries a point together with the partition it came from, so the
+// third round can route each coherent-subset pair back to the reducer
+// holding the partition that contains its kernel point.
+type tagged[P any] struct {
+	pt   P
+	part int
+}
+
+func liftDistance[P any](d metric.Distance[P]) metric.Distance[tagged[P]] {
+	return func(a, b tagged[P]) float64 { return d(a.pt, b.pt) }
+}
+
+// genPiece is a round-1 output record: one generalized core-set pair plus
+// the kernel radius of the partition that produced it (the maximum over
+// partitions becomes the instantiation δ of round 3).
+type genPiece[P any] struct {
+	pair   coreset.Weighted[tagged[P]]
+	radius float64
+}
+
+// ThreeRound runs the 3-round MapReduce algorithm of Theorem 10 for the
+// injective-proxy problems, with local memory Θ(√((α²/ε)^D·k·n)) instead
+// of TwoRound's Θ(k·√((1/ε)^D·n)):
+//
+//	round 1: each partition S_i computes a generalized core-set
+//	         GMM-GEN(S_i, k, k′) of s(T_i) ≤ k′ pairs;
+//	round 2: one reducer aggregates T = ∪T_i and extracts a coherent
+//	         subset T̂ ⊑ T with m(T̂) = k via the multiplicity-aware
+//	         sequential solver (Fact 2);
+//	round 3: each pair (p, m_p) ∈ T̂ is routed to the reducer holding
+//	         the partition with p ∈ S_i, which picks m_p distinct
+//	         delegates within the core-set radius r_T of p.
+//
+// The returned solution has min(k, |pts|) points.
+func ThreeRound[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
+	if !m.NeedsInjectiveProxy() {
+		return nil, fmt.Errorf("mrdiv: ThreeRound applies to the injective-proxy problems, not %v; use TwoRound", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
+	}
+	if err := cfg.validate(k); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	td := liftDistance(d)
+
+	// Tag each point with its partition so later rounds can route pairs.
+	// The driver retains the partitions, modelling each reducer's local
+	// storage between round 1 and round 3.
+	scattered := scatter(cfg, pts)
+	in := make([]mapreduce.Pair[int, tagged[P]], len(scattered))
+	partitions := make(map[int][]P, cfg.Parallelism)
+	for i, pr := range scattered {
+		in[i] = mapreduce.Pair[int, tagged[P]]{Key: pr.Key, Value: tagged[P]{pt: pr.Value, part: pr.Key}}
+		partitions[pr.Key] = append(partitions[pr.Key], pr.Value)
+	}
+
+	// Round 1: generalized core-set pairs per partition, each carrying
+	// the partition's kernel radius.
+	round1 := mapreduce.Run(in,
+		func(part int, local []tagged[P]) []mapreduce.Pair[int, genPiece[P]] {
+			res := coreset.GMM(local, cfg.KPrime, 0, td)
+			gen := coreset.GMMGen(local, k, cfg.KPrime, 0, td)
+			out := make([]mapreduce.Pair[int, genPiece[P]], len(gen))
+			for i, w := range gen {
+				out[i] = mapreduce.Pair[int, genPiece[P]]{Key: 0, Value: genPiece[P]{pair: w, radius: res.Radius}}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "gen-coreset", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+
+	// Shuffle: the aggregating reducer's δ is the max partition radius.
+	delta := 0.0
+	for _, pc := range round1 {
+		if pc.Value.radius > delta {
+			delta = pc.Value.radius
+		}
+	}
+
+	// Round 2: aggregate T, extract the coherent subset T̂ with m(T̂)=k,
+	// and route each selected pair back to its origin partition.
+	round2 := mapreduce.Run(round1,
+		func(_ int, pieces []genPiece[P]) []mapreduce.Pair[int, coreset.Weighted[tagged[P]]] {
+			agg := make(coreset.Generalized[tagged[P]], len(pieces))
+			for i, pc := range pieces {
+				agg[i] = pc.pair
+			}
+			sub := sequential.SolveGeneralized(m, agg, k, td)
+			out := make([]mapreduce.Pair[int, coreset.Weighted[tagged[P]]], len(sub))
+			for i, w := range sub {
+				out[i] = mapreduce.Pair[int, coreset.Weighted[tagged[P]]]{Key: w.Point.part, Value: w}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "coherent-solve", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+
+	// Round 3: per-partition instantiation of the routed pairs. Hall's
+	// condition guarantees a feasible assignment at δ = kernel radius; the
+	// greedy realization very occasionally needs slack, so a failed fill
+	// retries with a doubled δ (diversity loss stays bounded by Lemma 7
+	// with the enlarged δ). Errors are collected per partition: keys are
+	// distinct, so the slice is written race-free.
+	errByPart := make([]error, cfg.Parallelism)
+	round3 := mapreduce.Run(round2,
+		func(part int, pairs []coreset.Weighted[tagged[P]]) []mapreduce.Pair[int, P] {
+			local := make(coreset.Generalized[P], len(pairs))
+			for i, w := range pairs {
+				local[i] = coreset.Weighted[P]{Point: w.Point.pt, Mult: w.Mult}
+			}
+			var inst []P
+			var err error
+			for attempt, dl := 0, delta+1e-12; attempt < 3; attempt, dl = attempt+1, dl*2 {
+				if inst, err = coreset.Instantiate(local, partitions[part], dl, d); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				errByPart[part] = err
+				return nil
+			}
+			out := make([]mapreduce.Pair[int, P], len(inst))
+			for i, p := range inst {
+				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
+			}
+			return out
+		},
+		mapreduce.Options{Name: "instantiate", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
+	for part, err := range errByPart {
+		if err != nil {
+			return nil, fmt.Errorf("mrdiv: round-3 instantiation failed on partition %d: %w", part, err)
+		}
+	}
+
+	sol := make([]P, len(round3))
+	for i, p := range round3 {
+		sol[i] = p.Value
+	}
+	return sol, nil
+}

@@ -1,0 +1,202 @@
+package mrdiv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/mapreduce"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+func TestThreeRoundRejectsNonInjective(t *testing.T) {
+	pts := randomVectors(rand.New(rand.NewSource(1)), 20, 2)
+	for _, m := range []diversity.Measure{diversity.RemoteEdge, diversity.RemoteCycle} {
+		if _, err := ThreeRound(m, pts, 2, cfg(2, 4), metric.Euclidean); err == nil {
+			t.Errorf("%v: expected error", m)
+		}
+	}
+}
+
+func TestThreeRoundEmptyAndValidation(t *testing.T) {
+	sol, err := ThreeRound(diversity.RemoteClique, nil, 2, cfg(2, 4), metric.Euclidean)
+	if err != nil || sol != nil {
+		t.Fatalf("empty = (%v, %v)", sol, err)
+	}
+	pts := randomVectors(rand.New(rand.NewSource(2)), 20, 2)
+	if _, err := ThreeRound(diversity.RemoteClique, pts, 0, cfg(2, 4), metric.Euclidean); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := ThreeRound(diversity.RemoteClique, pts, 3, cfg(2, 1), metric.Euclidean); err == nil {
+		t.Error("k'<k: expected error")
+	}
+}
+
+func TestThreeRoundSolutionSizeAndDistinctness(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(120)
+		k := 2 + rng.Intn(4)
+		kprime := k + rng.Intn(4)
+		ell := 1 + rng.Intn(4)
+		pts := randomVectors(rng, n, 2)
+		for _, m := range []diversity.Measure{diversity.RemoteClique, diversity.RemoteStar, diversity.RemoteBipartition, diversity.RemoteTree} {
+			sol, err := ThreeRound(m, pts, k, cfg(ell, kprime), metric.Euclidean)
+			if err != nil {
+				t.Logf("%v: %v (seed %d)", m, err, seed)
+				return false
+			}
+			if len(sol) != k {
+				t.Logf("%v: size %d, want %d (seed %d)", m, len(sol), k, seed)
+				return false
+			}
+			for i := range sol {
+				if dist, _ := metric.MinDistance(sol[i], pts, metric.Euclidean); dist != 0 {
+					t.Logf("%v: point not from input (seed %d)", m, seed)
+					return false
+				}
+				for j := i + 1; j < len(sol); j++ {
+					if metric.Euclidean(sol[i], sol[j]) == 0 {
+						t.Logf("%v: duplicate delegates (seed %d)", m, seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeRoundQualityOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	centers := []metric.Vector{{0, 0}, {1000, 0}, {0, 1000}}
+	pts := clusteredVectors(rng, centers, 60, 1.0)
+	sol, err := ThreeRound(diversity.RemoteClique, pts, 3, cfg(3, 6), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := diversity.Evaluate(diversity.RemoteClique, sol, metric.Euclidean)
+	// Optimum ≈ 1000+1000+1000√2 ≈ 3414; α=2 allows ≥ ~1707.
+	if got < 1700 {
+		t.Fatalf("three-round clique = %v, want ≥ 1700", got)
+	}
+}
+
+func TestThreeRoundComparableToTwoRound(t *testing.T) {
+	// The 3-round algorithm saves memory; its quality must stay within a
+	// constant of the 2-round algorithm.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 150, 2)
+		k, kprime, ell := 4, 8, 3
+		three, err := ThreeRound(diversity.RemoteClique, pts, k, cfg(ell, kprime), metric.Euclidean)
+		if err != nil {
+			return false
+		}
+		two, err := TwoRound(diversity.RemoteClique, pts, k, cfg(ell, kprime), metric.Euclidean)
+		if err != nil {
+			return false
+		}
+		v3, _ := diversity.Evaluate(diversity.RemoteClique, three, metric.Euclidean)
+		v2, _ := diversity.Evaluate(diversity.RemoteClique, two, metric.Euclidean)
+		return v3 >= v2/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeRoundShufflesLessThanTwoRound(t *testing.T) {
+	// The whole point of Theorem 10: the aggregation round receives k'
+	// pairs per partition instead of k·k' delegates.
+	rng := rand.New(rand.NewSource(6))
+	pts := randomVectors(rng, 600, 2)
+	k, kprime, ell := 8, 16, 4
+
+	var m3, m2 mapreduce.Metrics
+	c3 := cfg(ell, kprime)
+	c3.Metrics = &m3
+	if _, err := ThreeRound(diversity.RemoteClique, pts, k, c3, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg(ell, kprime)
+	c2.Metrics = &m2
+	if _, err := TwoRound(diversity.RemoteClique, pts, k, c2, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	agg3 := m3.Rounds()[1].TotalInput // pairs entering the round-2 solve
+	agg2 := m2.Rounds()[1].TotalInput // delegates entering the round-2 solve
+	if agg3 >= agg2 {
+		t.Fatalf("generalized aggregation (%d) not smaller than delegate aggregation (%d)", agg3, agg2)
+	}
+	if len(m3.Rounds()) != 3 || len(m2.Rounds()) != 2 {
+		t.Fatalf("rounds = %d/%d, want 3/2", len(m3.Rounds()), len(m2.Rounds()))
+	}
+}
+
+func TestRecursiveMatchesQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 400, 2)
+	k, kprime := 3, 5
+	sol, rounds, err := Recursive(diversity.RemoteEdge, pts, k, 60, cfg(1, kprime), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != k {
+		t.Fatalf("solution size = %d, want %d", len(sol), k)
+	}
+	if rounds < 2 {
+		t.Fatalf("rounds = %d, want ≥ 2 (n=400 exceeds budget 60)", rounds)
+	}
+	// Quality: within a small factor of the single-machine sequential run.
+	got, _ := diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+	seq := sequential.Solve(diversity.RemoteEdge, pts, k, metric.Euclidean)
+	want, _ := diversity.Evaluate(diversity.RemoteEdge, seq, metric.Euclidean)
+	if got < want/4 {
+		t.Fatalf("recursive quality %v below a quarter of sequential %v", got, want)
+	}
+}
+
+func TestRecursiveSmallInputSingleRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomVectors(rng, 30, 2)
+	sol, rounds, err := Recursive(diversity.RemoteEdge, pts, 3, 100, cfg(1, 5), metric.Euclidean)
+	if err != nil || len(sol) != 3 {
+		t.Fatalf("(%v, %v)", sol, err)
+	}
+	if rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (input fits in budget)", rounds)
+	}
+}
+
+func TestRecursiveInjectiveMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomVectors(rng, 500, 2)
+	k, kprime := 3, 4
+	sol, rounds, err := Recursive(diversity.RemoteClique, pts, k, 80, cfg(1, kprime), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol) != k || rounds < 2 {
+		t.Fatalf("size=%d rounds=%d", len(sol), rounds)
+	}
+}
+
+func TestRecursiveBudgetTooSmall(t *testing.T) {
+	pts := randomVectors(rand.New(rand.NewSource(10)), 100, 2)
+	if _, _, err := Recursive(diversity.RemoteEdge, pts, 3, 8, cfg(1, 5), metric.Euclidean); err == nil {
+		t.Fatal("expected error for budget below core-set size")
+	}
+}
+
+func TestRecursiveEmptyInput(t *testing.T) {
+	sol, rounds, err := Recursive(diversity.RemoteEdge, nil, 3, 100, cfg(1, 5), metric.Euclidean)
+	if err != nil || sol != nil || rounds != 0 {
+		t.Fatalf("empty = (%v, %d, %v)", sol, rounds, err)
+	}
+}

@@ -1,0 +1,69 @@
+package sequential
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+func benchPoints(n int) []metric.Vector {
+	rng := rand.New(rand.NewSource(1))
+	return randomVectors(rng, n, 3)
+}
+
+func BenchmarkSolvePerMeasure(b *testing.B) {
+	pts := benchPoints(1024)
+	for _, m := range diversity.Measures {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Solve(m, pts, 16, metric.Euclidean)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxDispersionPairs exercises the lazy farthest-partner index:
+// near-quadratic in n but nearly independent of k.
+func BenchmarkMaxDispersionPairs(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		for _, k := range []int{8, 64} {
+			pts := benchPoints(n)
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					MaxDispersionPairs(pts, k, metric.Euclidean)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLocalSearchClique(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LocalSearchClique(pts, 8, 0, metric.Euclidean)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveGeneralized(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVectors(rng, 256, 3)
+	mult := make([]int, len(pts))
+	for i := range mult {
+		mult[i] = 1 + rng.Intn(8)
+	}
+	g := genFromPoints(pts, mult)
+	for _, m := range []diversity.Measure{diversity.RemoteClique, diversity.RemoteTree} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SolveGeneralized(m, g, 32, metric.Euclidean)
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package sequential
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+// BruteForce computes an exactly optimal size-k solution by enumerating
+// all C(n,k) subsets. It is exponential and exists for tests, reference
+// values on small instances, and the exact columns of EXPERIMENTS.md.
+// For remote-cycle and remote-bipartition the inner evaluation itself is
+// exact only within the limits of internal/graph; the returned flag
+// reports whether every evaluation was exact.
+func BruteForce[P any](m diversity.Measure, pts []P, k int, d metric.Distance[P]) ([]P, float64, bool) {
+	if k < 1 {
+		panic(fmt.Sprintf("sequential: BruteForce requires k >= 1, got %d", k))
+	}
+	n := len(pts)
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return nil, 0, true
+	}
+	best := math.Inf(-1)
+	bestSel := make([]int, k)
+	exact := true
+	idx := make([]int, k)
+	buf := make([]P, k)
+	var recur func(pos, next int)
+	recur = func(pos, next int) {
+		if pos == k {
+			for i, j := range idx {
+				buf[i] = pts[j]
+			}
+			v, ex := diversity.Evaluate(m, buf, d)
+			if !ex {
+				exact = false
+			}
+			if v > best {
+				best = v
+				copy(bestSel, idx)
+			}
+			return
+		}
+		for j := next; j <= n-(k-pos); j++ {
+			idx[pos] = j
+			recur(pos+1, j+1)
+		}
+	}
+	recur(0, 0)
+	out := make([]P, k)
+	for i, j := range bestSel {
+		out[i] = pts[j]
+	}
+	return out, best, exact
+}
+
+// BruteForceGeneralized computes the exact generalized k-diversity
+// gen-div_k(T) = max over coherent subsets T̂ ⊑ T with m(T̂) = k
+// (Section 6), by enumerating multiplicity vectors. Tests only.
+func BruteForceGeneralized[P any](m diversity.Measure, g coreset.Generalized[P], k int, d metric.Distance[P]) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("sequential: BruteForceGeneralized requires k >= 1, got %d", k))
+	}
+	if g.ExpandedSize() < k {
+		k = g.ExpandedSize()
+	}
+	pts, _ := g.Split()
+	best := math.Inf(-1)
+	mult := make([]int, g.Size())
+	var recur func(pos, left int)
+	recur = func(pos, left int) {
+		if pos == g.Size() {
+			if left != 0 {
+				return
+			}
+			var selPts []P
+			var selMult []int
+			for i, mu := range mult {
+				if mu > 0 {
+					selPts = append(selPts, pts[i])
+					selMult = append(selMult, mu)
+				}
+			}
+			if len(selPts) == 0 {
+				return
+			}
+			v, _ := diversity.EvaluateWeighted(m, selPts, selMult, d)
+			if v > best {
+				best = v
+			}
+			return
+		}
+		maxTake := g[pos].Mult
+		if maxTake > left {
+			maxTake = left
+		}
+		for take := 0; take <= maxTake; take++ {
+			mult[pos] = take
+			recur(pos+1, left-take)
+		}
+		mult[pos] = 0
+	}
+	recur(0, k)
+	return best
+}

@@ -1,0 +1,166 @@
+package sequential
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+// SolveGeneralized adapts the sequential solvers to generalized core-sets
+// (Fact 2): given T as (point, multiplicity) pairs it returns a coherent
+// subset T̂ ⊑ T with expanded size exactly min(k, m(T)), approximately
+// maximizing the generalized diversity, where replicas of a point count as
+// distinct points at distance 0. The space used is O(s(T)), as Fact 2
+// requires: the expansion is never materialized; the algorithms run on
+// (pair index, replica count) state.
+func SolveGeneralized[P any](m diversity.Measure, g coreset.Generalized[P], k int, d metric.Distance[P]) coreset.Generalized[P] {
+	if k < 1 {
+		panic(fmt.Sprintf("sequential: SolveGeneralized requires k >= 1, got %d", k))
+	}
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if g.Size() == 0 {
+		return nil
+	}
+	if total := g.ExpandedSize(); k > total {
+		k = total
+	}
+	var taken []int
+	if m == diversity.RemoteClique {
+		taken = generalizedDispersion(g, k, d)
+	} else {
+		taken = generalizedGMM(g, k, d)
+	}
+	out := make(coreset.Generalized[P], 0, len(g))
+	for i, t := range taken {
+		if t > 0 {
+			out = append(out, coreset.Weighted[P]{Point: g[i].Point, Mult: t})
+		}
+	}
+	return out
+}
+
+// generalizedGMM runs the farthest-first traversal on the multiset: the
+// first replica of a pair behaves like the point itself; additional
+// replicas are at distance 0 from it and are only taken when every
+// distinct point is exhausted or they are the farthest option (which
+// happens exactly when k exceeds the number of distinct points).
+// taken[i] counts replicas of pair i selected.
+func generalizedGMM[P any](g coreset.Generalized[P], k int, d metric.Distance[P]) []int {
+	s := g.Size()
+	taken := make([]int, s)
+	// minDist[i]: distance of pair i's point to the selected set, where a
+	// selected replica of i itself makes it 0.
+	minDist := make([]float64, s)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	cur := 0 // deterministic start, as in coreset.GMM
+	selected := 0
+	for selected < k {
+		taken[cur]++
+		selected++
+		if taken[cur] == 1 {
+			// A new distinct point joined: relax distances.
+			for i := 0; i < s; i++ {
+				var dist float64
+				if i != cur {
+					dist = d(g[cur].Point, g[i].Point)
+				}
+				if dist < minDist[i] {
+					minDist[i] = dist
+				}
+			}
+		}
+		// Next: the pair with spare multiplicity at maximum distance from
+		// the selected multiset. A pair already selected has distance 0
+		// but may still carry replicas.
+		next, nextDist := -1, math.Inf(-1)
+		for i := 0; i < s; i++ {
+			if taken[i] >= g[i].Mult {
+				continue
+			}
+			dist := minDist[i]
+			if taken[i] > 0 {
+				dist = 0
+			}
+			if dist > nextDist {
+				next, nextDist = i, dist
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	return taken
+}
+
+// generalizedDispersion is MaxDispersionPairs on the multiset: the
+// farthest pair of replicas is always a pair of distinct points (replicas
+// of one point are at distance 0), so it repeatedly takes the farthest
+// pair of pairs with spare multiplicity. When only one distinct point has
+// spare replicas (or for the odd final slot) it falls back to the replica
+// maximizing the distance sum to the selection.
+func generalizedDispersion[P any](g coreset.Generalized[P], k int, d metric.Distance[P]) []int {
+	s := g.Size()
+	taken := make([]int, s)
+	selected := 0
+	spare := func(i int) int { return g[i].Mult - taken[i] }
+	for selected+2 <= k {
+		bi, bj, best := -1, -1, math.Inf(-1)
+		for i := 0; i < s; i++ {
+			if spare(i) == 0 {
+				continue
+			}
+			// A pair of replicas of the same point has distance 0; it is a
+			// candidate only when some point has ≥ 2 spare replicas.
+			if spare(i) >= 2 && 0 > best {
+				bi, bj, best = i, i, 0
+			}
+			for j := i + 1; j < s; j++ {
+				if spare(j) == 0 {
+					continue
+				}
+				if dist := d(g[i].Point, g[j].Point); dist > best {
+					bi, bj, best = i, j, dist
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		taken[bi]++
+		taken[bj]++
+		selected += 2
+	}
+	for selected < k {
+		// Final odd slot (or exhausted pair phase): replica with the best
+		// distance sum to the selected multiset.
+		bi, best := -1, math.Inf(-1)
+		for i := 0; i < s; i++ {
+			if spare(i) == 0 {
+				continue
+			}
+			var sum float64
+			for j := 0; j < s; j++ {
+				if taken[j] > 0 && j != i {
+					sum += float64(taken[j]) * d(g[i].Point, g[j].Point)
+				}
+			}
+			if sum > best {
+				bi, best = i, sum
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		taken[bi]++
+		selected++
+	}
+	return taken
+}

@@ -1,0 +1,137 @@
+package sequential
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// Grouped is a point carrying its partition-matroid class.
+type Grouped[P any] struct {
+	Point P
+	Group int
+}
+
+// MaxDispersionPartitionMatroid maximizes remote-clique (sum of pairwise
+// distances) over selections of exactly k points containing at most
+// limits[g] points of each group g — the partition-matroid–constrained
+// diversity maximization the paper cites as an important generalization
+// (Abbassi, Mirrokni, Thakur, KDD'13; Cevallos, Eisenbrand, Zenklusen,
+// SoCG'16). The algorithm is the KDD'13 approach: a feasible greedy start
+// followed by feasibility-preserving 1-swap local search, a
+// constant-factor approximation (½ for local search on max-sum
+// dispersion under a matroid).
+//
+// It returns an error when no feasible solution of size k exists
+// (Σ min(limits[g], |group g|) < k) or the inputs are malformed.
+func MaxDispersionPartitionMatroid[P any](pts []Grouped[P], limits []int, k int, d metric.Distance[P]) ([]P, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sequential: matroid dispersion requires k >= 1, got %d", k)
+	}
+	groupSize := make([]int, len(limits))
+	for i, gp := range pts {
+		if gp.Group < 0 || gp.Group >= len(limits) {
+			return nil, fmt.Errorf("sequential: point %d has group %d outside [0,%d)", i, gp.Group, len(limits))
+		}
+		groupSize[gp.Group]++
+	}
+	capacity := 0
+	for g, lim := range limits {
+		if lim < 0 {
+			return nil, fmt.Errorf("sequential: negative limit %d for group %d", lim, g)
+		}
+		c := lim
+		if groupSize[g] < c {
+			c = groupSize[g]
+		}
+		capacity += c
+	}
+	if capacity < k {
+		return nil, fmt.Errorf("sequential: partition matroid admits at most %d points, need k=%d", capacity, k)
+	}
+
+	n := len(pts)
+	dist := func(i, j int) float64 { return d(pts[i].Point, pts[j].Point) }
+
+	// Greedy feasible start: farthest-first among points whose group has
+	// spare capacity (a matroid-respecting GMM sweep).
+	inSol := make([]bool, n)
+	used := make([]int, len(limits))
+	sol := make([]int, 0, k)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(sol) < k {
+		best := -1
+		for i := 0; i < n; i++ {
+			if inSol[i] || used[pts[i].Group] >= limits[pts[i].Group] {
+				continue
+			}
+			if best == -1 || minDist[i] > minDist[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // cannot happen: capacity checked above
+		}
+		inSol[best] = true
+		used[pts[best].Group]++
+		sol = append(sol, best)
+		for i := 0; i < n; i++ {
+			if dd := dist(best, i); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+
+	// contrib[i] = Σ_{j∈sol} d(i,j).
+	contrib := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, j := range sol {
+			contrib[i] += dist(i, j)
+		}
+	}
+	// Local search: swap sol[si] for an outside point j when the sum
+	// improves and the partition matroid stays satisfied (same group, or
+	// j's group has spare capacity once sol[si] leaves).
+	const maxSweeps = 500
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		bestDelta, bestSi, bestJ := 1e-12, -1, -1
+		for si, i := range sol {
+			gi := pts[i].Group
+			for j := 0; j < n; j++ {
+				if inSol[j] {
+					continue
+				}
+				gj := pts[j].Group
+				if gj != gi && used[gj] >= limits[gj] {
+					continue
+				}
+				delta := contrib[j] - dist(i, j) - contrib[i]
+				if delta > bestDelta {
+					bestDelta, bestSi, bestJ = delta, si, j
+				}
+			}
+		}
+		if bestSi < 0 {
+			break
+		}
+		out := sol[bestSi]
+		inSol[out] = false
+		used[pts[out].Group]--
+		inSol[bestJ] = true
+		used[pts[bestJ].Group]++
+		sol[bestSi] = bestJ
+		for i := 0; i < n; i++ {
+			contrib[i] += dist(i, bestJ) - dist(i, out)
+		}
+	}
+
+	result := make([]P, len(sol))
+	for i, j := range sol {
+		result[i] = pts[j].Point
+	}
+	return result, nil
+}

@@ -1,0 +1,204 @@
+package sequential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+func groupedPoints(rng *rand.Rand, n, groups int) []Grouped[metric.Vector] {
+	pts := make([]Grouped[metric.Vector], n)
+	for i := range pts {
+		pts[i] = Grouped[metric.Vector]{
+			Point: metric.Vector{rng.Float64() * 10, rng.Float64() * 10},
+			Group: rng.Intn(groups),
+		}
+	}
+	return pts
+}
+
+// bruteMatroidClique enumerates feasible k-subsets exactly. Tests only.
+func bruteMatroidClique(pts []Grouped[metric.Vector], limits []int, k int) float64 {
+	n := len(pts)
+	best := math.Inf(-1)
+	idx := make([]int, 0, k)
+	used := make([]int, len(limits))
+	var recur func(next int)
+	recur = func(next int) {
+		if len(idx) == k {
+			var sum float64
+			for a := 0; a < k; a++ {
+				for b := a + 1; b < k; b++ {
+					sum += metric.Euclidean(pts[idx[a]].Point, pts[idx[b]].Point)
+				}
+			}
+			if sum > best {
+				best = sum
+			}
+			return
+		}
+		if n-next < k-len(idx) {
+			return
+		}
+		for j := next; j < n; j++ {
+			g := pts[j].Group
+			if used[g] >= limits[g] {
+				continue
+			}
+			used[g]++
+			idx = append(idx, j)
+			recur(j + 1)
+			idx = idx[:len(idx)-1]
+			used[g]--
+		}
+	}
+	recur(0)
+	return best
+}
+
+func TestMatroidDispersionFeasibility(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := 2 + rng.Intn(3)
+		pts := groupedPoints(rng, 20+rng.Intn(30), groups)
+		limits := make([]int, groups)
+		for g := range limits {
+			limits[g] = 1 + rng.Intn(3)
+		}
+		k := 2 + rng.Intn(4)
+		sol, err := MaxDispersionPartitionMatroid(pts, limits, k, metric.Euclidean)
+		if err != nil {
+			// Legitimate only when capacity < k.
+			capacity := 0
+			counts := make([]int, groups)
+			for _, gp := range pts {
+				counts[gp.Group]++
+			}
+			for g := range limits {
+				c := limits[g]
+				if counts[g] < c {
+					c = counts[g]
+				}
+				capacity += c
+			}
+			return capacity < k
+		}
+		if len(sol) != k {
+			t.Logf("size %d, want %d (seed %d)", len(sol), k, seed)
+			return false
+		}
+		// Verify the limits: count selected points per group by matching
+		// coordinates (points are continuous, collisions negligible).
+		usedPerGroup := make([]int, groups)
+		for _, q := range sol {
+			for _, gp := range pts {
+				if metric.Euclidean(q, gp.Point) == 0 {
+					usedPerGroup[gp.Group]++
+					break
+				}
+			}
+		}
+		for g, u := range usedPerGroup {
+			if u > limits[g] {
+				t.Logf("group %d used %d > limit %d (seed %d)", g, u, limits[g], seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatroidDispersionQuality(t *testing.T) {
+	// Local search is a constant-factor approximation; check ≥ opt/2
+	// against brute force on small instances.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := 2 + rng.Intn(2)
+		pts := groupedPoints(rng, 8+rng.Intn(5), groups)
+		limits := make([]int, groups)
+		for g := range limits {
+			limits[g] = 1 + rng.Intn(3)
+		}
+		k := 2 + rng.Intn(2)
+		sol, err := MaxDispersionPartitionMatroid(pts, limits, k, metric.Euclidean)
+		if err != nil {
+			return true
+		}
+		got := evalOf(diversity.RemoteClique, sol)
+		opt := bruteMatroidClique(pts, limits, k)
+		return got >= opt/2-1e-9 && got <= opt+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatroidDispersionRespectsTightLimits(t *testing.T) {
+	// Two groups, limit 1 each, k=2: the solution must take one per
+	// group, even when the two farthest points share a group.
+	pts := []Grouped[metric.Vector]{
+		{Point: metric.Vector{0, 0}, Group: 0},
+		{Point: metric.Vector{100, 0}, Group: 0}, // farthest pair is in group 0
+		{Point: metric.Vector{50, 40}, Group: 1},
+	}
+	sol, err := MaxDispersionPartitionMatroid(pts, []int{1, 1}, 2, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsSeen := map[int]int{}
+	for _, q := range sol {
+		for _, gp := range pts {
+			if metric.Euclidean(q, gp.Point) == 0 {
+				groupsSeen[gp.Group]++
+			}
+		}
+	}
+	if groupsSeen[0] != 1 || groupsSeen[1] != 1 {
+		t.Fatalf("group usage %v, want one from each", groupsSeen)
+	}
+}
+
+func TestMatroidDispersionErrors(t *testing.T) {
+	pts := []Grouped[metric.Vector]{{Point: metric.Vector{0}, Group: 0}}
+	if _, err := MaxDispersionPartitionMatroid(pts, []int{1}, 0, metric.Euclidean); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := MaxDispersionPartitionMatroid(pts, []int{1}, 2, metric.Euclidean); err == nil {
+		t.Error("infeasible k: expected error")
+	}
+	if _, err := MaxDispersionPartitionMatroid(pts, []int{-1}, 1, metric.Euclidean); err == nil {
+		t.Error("negative limit: expected error")
+	}
+	bad := []Grouped[metric.Vector]{{Point: metric.Vector{0}, Group: 5}}
+	if _, err := MaxDispersionPartitionMatroid(bad, []int{1}, 1, metric.Euclidean); err == nil {
+		t.Error("out-of-range group: expected error")
+	}
+}
+
+func TestMatroidDispersionUnlimitedMatchesUnconstrained(t *testing.T) {
+	// One group with limit ≥ k: the constraint is vacuous; quality should
+	// be within the unconstrained local-search neighbourhood.
+	rng := rand.New(rand.NewSource(11))
+	raw := randomVectors(rng, 16, 2)
+	pts := make([]Grouped[metric.Vector], len(raw))
+	for i, p := range raw {
+		pts[i] = Grouped[metric.Vector]{Point: p, Group: 0}
+	}
+	k := 4
+	sol, err := MaxDispersionPartitionMatroid(pts, []int{k}, k, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalOf(diversity.RemoteClique, sol)
+	free := evalOf(diversity.RemoteClique, LocalSearchClique(raw, k, 0, metric.Euclidean))
+	if got < free-1e-9 {
+		t.Fatalf("vacuous constraint lost quality: %v < %v", got, free)
+	}
+}

@@ -1,0 +1,359 @@
+package sequential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 10
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func evalOf(m diversity.Measure, pts []metric.Vector) float64 {
+	v, _ := diversity.Evaluate(m, pts, metric.Euclidean)
+	return v
+}
+
+func TestSolveSizeAndClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 10, 2)
+	for _, m := range diversity.Measures {
+		if got := Solve(m, pts, 4, metric.Euclidean); len(got) != 4 {
+			t.Errorf("%v: Solve returned %d points, want 4", m, len(got))
+		}
+		if got := Solve(m, pts, 99, metric.Euclidean); len(got) != 10 {
+			t.Errorf("%v: Solve with k>n returned %d points, want 10", m, len(got))
+		}
+		if got := Solve(m, nil, 3, metric.Euclidean); got != nil {
+			t.Errorf("%v: Solve on empty input = %v, want nil", m, got)
+		}
+	}
+}
+
+func TestSolvePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Solve(diversity.RemoteEdge, []metric.Vector{{0}}, 0, metric.Euclidean)
+}
+
+// Approximation-factor property tests: Solve must stay within the proven
+// sequential factor α of the brute-force optimum (Table 1).
+func testApproxFactor(t *testing.T, m diversity.Measure, factor float64) {
+	t.Helper()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(5)   // ≤ 10
+		k := 2 + 2*rng.Intn(2) // 2 or 4 (even: the clique bound is proven for even k)
+		pts := randomVectors(rng, n, 2)
+		sol := Solve(m, pts, k, metric.Euclidean)
+		got := evalOf(m, sol)
+		_, opt, _ := BruteForce(m, pts, k, metric.Euclidean)
+		if got < opt/factor-1e-9 {
+			t.Logf("%v: got %v, opt %v, factor %v (seed %d)", m, got, opt, factor, seed)
+			return false
+		}
+		return got <= opt+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("%v approximation factor violated: %v", m, err)
+	}
+}
+
+func TestSolveApproxRemoteEdge(t *testing.T)   { testApproxFactor(t, diversity.RemoteEdge, 2) }
+func TestSolveApproxRemoteClique(t *testing.T) { testApproxFactor(t, diversity.RemoteClique, 2) }
+func TestSolveApproxRemoteStar(t *testing.T)   { testApproxFactor(t, diversity.RemoteStar, 2) }
+func TestSolveApproxRemoteBipartition(t *testing.T) {
+	testApproxFactor(t, diversity.RemoteBipartition, 3)
+}
+func TestSolveApproxRemoteTree(t *testing.T)  { testApproxFactor(t, diversity.RemoteTree, 4) }
+func TestSolveApproxRemoteCycle(t *testing.T) { testApproxFactor(t, diversity.RemoteCycle, 3) }
+
+func TestMaxDispersionPairsTakesFarthestPairFirst(t *testing.T) {
+	pts := []metric.Vector{{0}, {1}, {50}, {100}}
+	sol := MaxDispersionPairs(pts, 2, metric.Euclidean)
+	// Farthest pair is {0},{100}.
+	vals := map[float64]bool{sol[0][0]: true, sol[1][0]: true}
+	if !vals[0] || !vals[100] {
+		t.Fatalf("first pair = %v, want {0} and {100}", sol)
+	}
+}
+
+func TestMaxDispersionPairsOddK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 9, 2)
+	sol := MaxDispersionPairs(pts, 5, metric.Euclidean)
+	if len(sol) != 5 {
+		t.Fatalf("odd k solution size = %d, want 5", len(sol))
+	}
+	// Odd k keeps a good ratio in practice; assert a loose factor.
+	_, opt, _ := BruteForce(diversity.RemoteClique, pts, 5, metric.Euclidean)
+	if got := evalOf(diversity.RemoteClique, sol); got < opt/2.5 {
+		t.Fatalf("odd-k dispersion %v below opt/2.5 (%v)", got, opt/2.5)
+	}
+}
+
+func TestLocalSearchCliqueImprovesOrMatchesStart(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		k := 2 + rng.Intn(3)
+		pts := randomVectors(rng, n, 2)
+		sol := LocalSearchClique(pts, k, 0, metric.Euclidean)
+		if len(sol) != k {
+			return false
+		}
+		start := evalOf(diversity.RemoteClique, pts[:k])
+		return evalOf(diversity.RemoteClique, sol) >= start-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchCliqueIsLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randomVectors(rng, 14, 2)
+	k := 4
+	sol := LocalSearchClique(pts, k, 0, metric.Euclidean)
+	base := evalOf(diversity.RemoteClique, sol)
+	// No single swap with any outside point improves the objective.
+	inSol := func(p metric.Vector) bool {
+		for _, q := range sol {
+			if metric.Euclidean(p, q) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cand := range pts {
+		if inSol(cand) {
+			continue
+		}
+		for i := range sol {
+			trial := make([]metric.Vector, k)
+			copy(trial, sol)
+			trial[i] = cand
+			if evalOf(diversity.RemoteClique, trial) > base+1e-9 {
+				t.Fatalf("found improving swap after local search: %v > %v", evalOf(diversity.RemoteClique, trial), base)
+			}
+		}
+	}
+}
+
+func TestLocalSearchCliqueNearOptimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(4)
+		k := 2 + rng.Intn(3)
+		pts := randomVectors(rng, n, 2)
+		sol := LocalSearchClique(pts, k, 0, metric.Euclidean)
+		_, opt, _ := BruteForce(diversity.RemoteClique, pts, k, metric.Euclidean)
+		return evalOf(diversity.RemoteClique, sol) >= opt/2-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalSearchCliqueKGeqN(t *testing.T) {
+	pts := []metric.Vector{{0}, {1}}
+	sol := LocalSearchClique(pts, 5, 0, metric.Euclidean)
+	if len(sol) != 2 {
+		t.Fatalf("k>=n local search size = %d, want 2", len(sol))
+	}
+}
+
+func TestBruteForceKnownOptimum(t *testing.T) {
+	// Points on a line; k=2 remote-edge optimum is the extreme pair.
+	pts := []metric.Vector{{0}, {1}, {4}, {9}}
+	sol, val, exact := BruteForce(diversity.RemoteEdge, pts, 2, metric.Euclidean)
+	if !exact || !almostEqual(val, 9, 1e-12) {
+		t.Fatalf("BruteForce = (%v, %v, %v), want value 9", sol, val, exact)
+	}
+}
+
+func TestBruteForceClipsK(t *testing.T) {
+	pts := []metric.Vector{{0}, {1}}
+	sol, _, _ := BruteForce(diversity.RemoteClique, pts, 5, metric.Euclidean)
+	if len(sol) != 2 {
+		t.Fatalf("BruteForce k>n size = %d, want 2", len(sol))
+	}
+}
+
+// --- Generalized solvers ---
+
+func genFromPoints(pts []metric.Vector, mult []int) coreset.Generalized[metric.Vector] {
+	g := make(coreset.Generalized[metric.Vector], len(pts))
+	for i := range pts {
+		g[i] = coreset.Weighted[metric.Vector]{Point: pts[i], Mult: mult[i]}
+	}
+	return g
+}
+
+func TestSolveGeneralizedExpandedSize(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		pts := randomVectors(rng, n, 2)
+		mult := make([]int, n)
+		for i := range mult {
+			mult[i] = 1 + rng.Intn(3)
+		}
+		g := genFromPoints(pts, mult)
+		k := 2 + rng.Intn(5)
+		for _, m := range diversity.Measures {
+			sub := SolveGeneralized(m, g, k, metric.Euclidean)
+			want := k
+			if total := g.ExpandedSize(); want > total {
+				want = total
+			}
+			if sub.ExpandedSize() != want {
+				t.Logf("%v: expanded size %d, want %d (seed %d)", m, sub.ExpandedSize(), want, seed)
+				return false
+			}
+			// Coherence: every selected multiplicity within bounds.
+			for _, w := range sub {
+				found := false
+				for _, orig := range g {
+					if metric.Euclidean(w.Point, orig.Point) == 0 && w.Mult <= orig.Mult {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Logf("%v: incoherent pair %+v (seed %d)", m, w, seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveGeneralizedUnitMultiplicitiesMatchSolve(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		pts := randomVectors(rng, n, 2)
+		mult := make([]int, n)
+		for i := range mult {
+			mult[i] = 1
+		}
+		g := genFromPoints(pts, mult)
+		k := 2 + rng.Intn(3)
+		for _, m := range []diversity.Measure{diversity.RemoteEdge, diversity.RemoteClique, diversity.RemoteTree} {
+			sub := SolveGeneralized(m, g, k, metric.Euclidean)
+			subPts, subMult := sub.Split()
+			got, _ := diversity.EvaluateWeighted(m, subPts, subMult, metric.Euclidean)
+			want := evalOf(m, Solve(m, pts, k, metric.Euclidean))
+			if !almostEqual(got, want, 1e-9) {
+				t.Logf("%v: generalized %v vs plain %v (seed %d)", m, got, want, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveGeneralizedQuality(t *testing.T) {
+	// Fact 2: the adapted solvers keep their factor α against the exact
+	// generalized optimum.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3) // ≤ 5 pairs for the brute force
+		pts := randomVectors(rng, n, 2)
+		mult := make([]int, n)
+		for i := range mult {
+			mult[i] = 1 + rng.Intn(3)
+		}
+		g := genFromPoints(pts, mult)
+		k := 2 + rng.Intn(3)
+		for _, m := range []diversity.Measure{diversity.RemoteClique, diversity.RemoteStar, diversity.RemoteBipartition, diversity.RemoteTree} {
+			sub := SolveGeneralized(m, g, k, metric.Euclidean)
+			subPts, subMult := sub.Split()
+			got, _ := diversity.EvaluateWeighted(m, subPts, subMult, metric.Euclidean)
+			opt := BruteForceGeneralized(m, g, k, metric.Euclidean)
+			if got < opt/m.SequentialAlpha()-1e-9 {
+				t.Logf("%v: got %v, opt %v (seed %d)", m, got, opt, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveGeneralizedReplicasOnlyWhenForced(t *testing.T) {
+	// Two distinct points with multiplicity 3 each, k=2: solvers must take
+	// one replica of each (never two replicas of one point, which would
+	// have distance 0).
+	g := genFromPoints([]metric.Vector{{0}, {10}}, []int{3, 3})
+	for _, m := range []diversity.Measure{diversity.RemoteEdge, diversity.RemoteClique} {
+		sub := SolveGeneralized(m, g, 2, metric.Euclidean)
+		if sub.Size() != 2 {
+			t.Errorf("%v: selected %d distinct points, want 2", m, sub.Size())
+		}
+		for _, w := range sub {
+			if w.Mult != 1 {
+				t.Errorf("%v: multiplicity %d, want 1", m, w.Mult)
+			}
+		}
+	}
+	// k = 7 > m(T)... clipped to 6 and must use all replicas.
+	sub := SolveGeneralized(diversity.RemoteClique, g, 7, metric.Euclidean)
+	if sub.ExpandedSize() != 6 {
+		t.Errorf("clipped expanded size = %d, want 6", sub.ExpandedSize())
+	}
+}
+
+func TestSolveGeneralizedEmptyAndPanics(t *testing.T) {
+	if out := SolveGeneralized(diversity.RemoteEdge, coreset.Generalized[metric.Vector]{}, 2, metric.Euclidean); out != nil {
+		t.Errorf("empty generalized solve = %v, want nil", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on k < 1")
+		}
+	}()
+	SolveGeneralized(diversity.RemoteEdge, coreset.Generalized[metric.Vector]{}, 0, metric.Euclidean)
+}
+
+func TestBruteForceGeneralizedKnown(t *testing.T) {
+	// {a×2, b×1} with d(a,b)=3, k=2: best coherent subset is {a,b} with
+	// clique value 3 (taking a twice gives 0).
+	g := genFromPoints([]metric.Vector{{0}, {3}}, []int{2, 1})
+	if got := BruteForceGeneralized(diversity.RemoteClique, g, 2, metric.Euclidean); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("gen-div_2 = %v, want 3", got)
+	}
+	// k=3 forces the replica: a,a,b → 3+3+0 = 6.
+	if got := BruteForceGeneralized(diversity.RemoteClique, g, 3, metric.Euclidean); !almostEqual(got, 6, 1e-12) {
+		t.Errorf("gen-div_3 = %v, want 6", got)
+	}
+}

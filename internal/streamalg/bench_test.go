@@ -1,0 +1,73 @@
+package streamalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+// BenchmarkSMMProcess measures the per-point cost of the doubling
+// algorithm's update step (O(|T|) ≤ O(k′) distance evaluations) — the
+// quantity behind the paper's Figure 3 throughput.
+func BenchmarkSMMProcess(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 50000, 3)
+	for _, kprime := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("k'=%d", kprime), func(b *testing.B) {
+			s := NewSMM(8, kprime, metric.Euclidean)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Process(pts[i%len(pts)])
+			}
+		})
+	}
+}
+
+func BenchmarkSMMExtProcess(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVectors(rng, 50000, 3)
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k=%d/k'=128", k), func(b *testing.B) {
+			s := NewSMMExt(k, 128, metric.Euclidean)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Process(pts[i%len(pts)])
+			}
+		})
+	}
+}
+
+func BenchmarkSMMGenProcess(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomVectors(rng, 50000, 3)
+	s := NewSMMGen(8, 128, metric.Euclidean)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkOnePassEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomVectors(rng, 20000, 3)
+	b.Run("remote-edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OnePass(diversity.RemoteEdge, SliceStream(pts), 16, 64, metric.Euclidean)
+		}
+	})
+}
+
+func BenchmarkTwoPassEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVectors(rng, 20000, 3)
+	b.Run("remote-clique", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TwoPass(diversity.RemoteClique, SliceStream(pts), 16, 64, metric.Euclidean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package streamalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+// Complexity-claim tests: the streaming processors' per-point cost,
+// verified by counting distance evaluations.
+
+func TestSMMPerPointDistanceBudget(t *testing.T) {
+	// Processing a point costs O(|T|) ≤ k′+1 distance evaluations, plus
+	// amortized merge work: merges are O((k'+1)²) but only run when a
+	// phase fills, so the long-run average stays within a small multiple
+	// of k′. Verify the amortized budget over a long stream.
+	rng := rand.New(rand.NewSource(1))
+	n, k, kprime := 20000, 8, 32
+	pts := randomVectors(rng, n, 2)
+	c := metric.NewCounter(metric.Euclidean)
+	s := NewSMM(k, kprime, c.Distance())
+	for _, p := range pts {
+		s.Process(p)
+	}
+	perPoint := float64(c.Calls()) / float64(n)
+	if budget := float64(4 * (kprime + 1)); perPoint > budget {
+		t.Fatalf("SMM amortized %v distance calls/point, budget %v", perPoint, budget)
+	}
+}
+
+func TestSMMWorkIndependentOfStreamLength(t *testing.T) {
+	// The paper's headline: per-point work does not grow with n.
+	rng := rand.New(rand.NewSource(2))
+	k, kprime := 4, 16
+	perPoint := func(n int) float64 {
+		pts := randomVectors(rng, n, 2)
+		c := metric.NewCounter(metric.Euclidean)
+		s := NewSMM(k, kprime, c.Distance())
+		for _, p := range pts {
+			s.Process(p)
+		}
+		return float64(c.Calls()) / float64(n)
+	}
+	short := perPoint(2000)
+	long := perPoint(32000)
+	if long > 2*short+float64(kprime) {
+		t.Fatalf("per-point work grew with stream length: %v -> %v", short, long)
+	}
+}
+
+func TestSMMExtPerPointDistanceBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k, kprime := 20000, 6, 24
+	pts := randomVectors(rng, n, 2)
+	c := metric.NewCounter(metric.Euclidean)
+	s := NewSMMExt(k, kprime, c.Distance())
+	for _, p := range pts {
+		s.Process(p)
+	}
+	perPoint := float64(c.Calls()) / float64(n)
+	if budget := float64(4 * (kprime + 1)); perPoint > budget {
+		t.Fatalf("SMM-EXT amortized %v distance calls/point, budget %v", perPoint, budget)
+	}
+}

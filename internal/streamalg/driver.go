@@ -1,0 +1,163 @@
+package streamalg
+
+import (
+	"fmt"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// Stream feeds points to a consumer; implementations call emit once per
+// point, in stream order. The two-pass algorithm invokes it twice, so the
+// function must replay the same logical stream on each call (re-opening a
+// file, re-running a generator with the same seed, and so on).
+type Stream[P any] func(emit func(P))
+
+// SliceStream adapts an in-memory slice to a Stream.
+func SliceStream[P any](pts []P) Stream[P] {
+	return func(emit func(P)) {
+		for _, p := range pts {
+			emit(p)
+		}
+	}
+}
+
+// OnePass is the paper's one-pass streaming algorithm (Theorem 3): a
+// single pass builds an SMM core-set (remote-edge, remote-cycle) or an
+// SMM-EXT core-set (the other four measures), and the sequential
+// α-approximation runs on the in-memory core-set. The returned solution
+// has min(k, distinct points) elements, and the approximation factor is
+// α+ε for k′ sized per Lemmas 3–4.
+func OnePass[P any](m diversity.Measure, stream Stream[P], k, kprime int, d metric.Distance[P]) []P {
+	core := CollectCoreset(m, stream, k, kprime, d)
+	return sequential.Solve(m, core, k, d)
+}
+
+// CollectCoreset runs only the core-set pass of OnePass and returns the
+// core-set: SMM for remote-edge/-cycle, SMM-EXT for the rest.
+func CollectCoreset[P any](m diversity.Measure, stream Stream[P], k, kprime int, d metric.Distance[P]) []P {
+	if m.NeedsInjectiveProxy() {
+		proc := NewSMMExt(k, kprime, d)
+		stream(proc.Process)
+		return proc.Result()
+	}
+	proc := NewSMM(k, kprime, d)
+	stream(proc.Process)
+	return proc.Result()
+}
+
+// TwoPass is the memory-reduced streaming algorithm of Theorem 9 for the
+// four injective-proxy problems. Pass 1 builds an SMM-GEN generalized
+// core-set with O(k′) memory; the adapted sequential solver extracts a
+// coherent subset T̂ with expanded size k; pass 2 streams the data again
+// and instantiates T̂'s multiplicities with distinct delegate points
+// within the coverage radius. It returns the instantiated solution.
+//
+// It returns an error if m does not use generalized core-sets
+// (remote-edge and remote-cycle: use OnePass, whose memory is already
+// O(k′)) or if the instantiation cannot fill every multiplicity, which
+// cannot happen when both passes see the same stream.
+func TwoPass[P any](m diversity.Measure, stream Stream[P], k, kprime int, d metric.Distance[P]) ([]P, error) {
+	if !m.NeedsInjectiveProxy() {
+		return nil, fmt.Errorf("streamalg: TwoPass applies to the injective-proxy problems, not %v", m)
+	}
+	// Pass 1: generalized core-set.
+	proc := NewSMMGen(k, kprime, d)
+	stream(proc.Process)
+	gen := proc.Result()
+	if gen.Size() == 0 {
+		return nil, nil
+	}
+	// In-memory: coherent subset with expanded size k (Fact 2).
+	sub := sequential.SolveGeneralized(m, gen, k, d)
+	// Pass 2: instantiate delegates within the coverage radius. During
+	// initialization the radius is 0 (every distinct point is a center),
+	// so the instantiation degenerates to picking the centers themselves.
+	inst := NewInstantiator(sub, proc.CoverageRadius(), d)
+	stream(inst.Process)
+	return inst.Result()
+}
+
+// Instantiator is the streaming counterpart of coreset.Instantiate: it
+// fills the multiplicities of a generalized core-set with distinct
+// delegates within delta of each kernel point, in one pass and with
+// O(m(T̂)) memory. Points whose globally nearest kernel point is already
+// filled are retained as spares (bounded by the total multiplicity) and
+// assigned first-fit at the end, mirroring the paper's "retained as long
+// as the appropriate delegate count ... has not been met".
+type Instantiator[P any] struct {
+	pairs  coreset.Generalized[P]
+	delta  float64
+	d      metric.Distance[P]
+	need   []int
+	total  int
+	out    []P
+	spares []P
+}
+
+// NewInstantiator prepares a pass-2 processor for the generalized
+// core-set g with instantiation radius delta.
+func NewInstantiator[P any](g coreset.Generalized[P], delta float64, d metric.Distance[P]) *Instantiator[P] {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	inst := &Instantiator[P]{pairs: g, delta: delta, d: d, need: make([]int, len(g))}
+	for i, w := range g {
+		inst.need[i] = w.Mult
+		inst.total += w.Mult
+	}
+	return inst
+}
+
+// Process consumes the next stream point.
+func (inst *Instantiator[P]) Process(p P) {
+	if len(inst.out) == inst.total {
+		return
+	}
+	best, bestDist := -1, inst.delta
+	for i, w := range inst.pairs {
+		if dist := inst.d(w.Point, p); dist <= bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	if best < 0 {
+		return
+	}
+	if inst.need[best] > 0 {
+		inst.need[best]--
+		inst.out = append(inst.out, p)
+	} else if len(inst.spares) < inst.total {
+		inst.spares = append(inst.spares, p)
+	}
+}
+
+// Result returns the instantiated delegates, or an error when some
+// multiplicity could not be filled (delta below the true radius). It does
+// not consume the processor's state: more points may be processed and
+// Result called again.
+func (inst *Instantiator[P]) Result() ([]P, error) {
+	out := make([]P, len(inst.out), inst.total)
+	copy(out, inst.out)
+	need := make([]int, len(inst.need))
+	copy(need, inst.need)
+	remaining := inst.total - len(out)
+	for _, q := range inst.spares {
+		if remaining == 0 {
+			break
+		}
+		for i, w := range inst.pairs {
+			if need[i] > 0 && inst.d(w.Point, q) <= inst.delta {
+				need[i]--
+				remaining--
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("streamalg: instantiation incomplete: %d of %d delegates unfilled at δ=%v", remaining, inst.total, inst.delta)
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package streamalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/coreset"
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+func TestTwoPassRejectsNonInjectiveMeasures(t *testing.T) {
+	for _, m := range []diversity.Measure{diversity.RemoteEdge, diversity.RemoteCycle} {
+		if _, err := TwoPass(m, SliceStream[metric.Vector](nil), 2, 4, metric.Euclidean); err == nil {
+			t.Errorf("%v: expected error from TwoPass", m)
+		}
+	}
+}
+
+func TestTwoPassEmptyStream(t *testing.T) {
+	sol, err := TwoPass(diversity.RemoteClique, SliceStream[metric.Vector](nil), 2, 4, metric.Euclidean)
+	if err != nil || sol != nil {
+		t.Fatalf("TwoPass(empty) = (%v, %v), want (nil, nil)", sol, err)
+	}
+}
+
+func TestTwoPassSolutionSizeAndMembership(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		pts := randomVectors(rng, 40+rng.Intn(100), 2)
+		for _, m := range []diversity.Measure{diversity.RemoteClique, diversity.RemoteStar, diversity.RemoteBipartition, diversity.RemoteTree} {
+			sol, err := TwoPass(m, SliceStream(pts), k, kprime, metric.Euclidean)
+			if err != nil {
+				t.Logf("%v: %v (seed %d)", m, err, seed)
+				return false
+			}
+			if len(sol) != k {
+				t.Logf("%v: size %d, want %d (seed %d)", m, len(sol), k, seed)
+				return false
+			}
+			// Every solution point comes from the stream.
+			for _, q := range sol {
+				if d, _ := metric.MinDistance(q, pts, metric.Euclidean); d != 0 {
+					t.Logf("%v: solution point not in stream (seed %d)", m, seed)
+					return false
+				}
+			}
+			// No point used twice: the delegates are distinct stream
+			// occurrences; on distinct random inputs values are unique.
+			for i := range sol {
+				for j := i + 1; j < len(sol); j++ {
+					if metric.Euclidean(sol[i], sol[j]) == 0 {
+						t.Logf("%v: duplicate solution point (seed %d)", m, seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoPassWellSeparatedClusters(t *testing.T) {
+	// k tight clusters far apart: the 2-pass solution should take one
+	// point per cluster and reach near the full inter-cluster value.
+	rng := rand.New(rand.NewSource(11))
+	centers := []metric.Vector{{0, 0}, {1000, 0}, {0, 1000}}
+	var pts []metric.Vector
+	for i := 0; i < 120; i++ {
+		c := centers[i%3]
+		pts = append(pts, metric.Vector{c[0] + rng.Float64(), c[1] + rng.Float64()})
+	}
+	sol, err := TwoPass(diversity.RemoteClique, SliceStream(pts), 3, 6, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := diversity.Evaluate(diversity.RemoteClique, sol, metric.Euclidean)
+	// Optimal ≈ 1000 + 1000 + 1000√2 ≈ 3414; require ≥ half (α=2).
+	if got < 1700 {
+		t.Fatalf("two-pass clique value = %v, want ≥ 1700", got)
+	}
+}
+
+func TestTwoPassVersusOnePassQuality(t *testing.T) {
+	// The 2-pass algorithm trades memory for a pass; its quality should
+	// stay within a constant of the 1-pass algorithm on random data.
+	rng := rand.New(rand.NewSource(13))
+	pts := randomVectors(rng, 300, 2)
+	k, kprime := 4, 8
+	two, err := TwoPass(diversity.RemoteClique, SliceStream(pts), k, kprime, metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := OnePass(diversity.RemoteClique, SliceStream(pts), k, kprime, metric.Euclidean)
+	vTwo, _ := diversity.Evaluate(diversity.RemoteClique, two, metric.Euclidean)
+	vOne, _ := diversity.Evaluate(diversity.RemoteClique, one, metric.Euclidean)
+	if vTwo < vOne/2 {
+		t.Fatalf("two-pass value %v below half of one-pass value %v", vTwo, vOne)
+	}
+}
+
+func TestInstantiatorFillsFromStream(t *testing.T) {
+	g := coreset.Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 2},
+		{Point: metric.Vector{10}, Mult: 1},
+	}
+	inst := NewInstantiator(g, 1.0, metric.Euclidean)
+	for _, x := range []float64{0, 0.5, 10.2, 50} {
+		inst.Process(metric.Vector{x})
+	}
+	out, err := inst.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("instantiated %d delegates, want 3", len(out))
+	}
+}
+
+func TestInstantiatorSparesUsedForSecondChoice(t *testing.T) {
+	// Both kernel points near each other: the first arrivals fill the
+	// nearest pair; a later pair must be filled from spares.
+	g := coreset.Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 1},
+		{Point: metric.Vector{1}, Mult: 1},
+	}
+	inst := NewInstantiator(g, 5.0, metric.Euclidean)
+	// Points 0.1 and 0.2 are both nearest to kernel 0; the second must be
+	// kept as a spare and assigned to kernel 1 at the end.
+	inst.Process(metric.Vector{0.1})
+	inst.Process(metric.Vector{0.2})
+	out, err := inst.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("instantiated %d delegates, want 2", len(out))
+	}
+}
+
+func TestInstantiatorIncomplete(t *testing.T) {
+	g := coreset.Generalized[metric.Vector]{{Point: metric.Vector{0}, Mult: 2}}
+	inst := NewInstantiator(g, 0.5, metric.Euclidean)
+	inst.Process(metric.Vector{0})
+	inst.Process(metric.Vector{100}) // outside δ
+	if _, err := inst.Result(); err == nil {
+		t.Fatal("expected incomplete-instantiation error")
+	}
+}
+
+func TestInstantiatorResultIdempotent(t *testing.T) {
+	g := coreset.Generalized[metric.Vector]{
+		{Point: metric.Vector{0}, Mult: 1},
+		{Point: metric.Vector{1}, Mult: 1},
+	}
+	inst := NewInstantiator(g, 5.0, metric.Euclidean)
+	inst.Process(metric.Vector{0.1})
+	inst.Process(metric.Vector{0.2})
+	a, errA := inst.Result()
+	b, errB := inst.Result()
+	if errA != nil || errB != nil || len(a) != len(b) {
+		t.Fatalf("Result not idempotent: (%v,%v) vs (%v,%v)", a, errA, b, errB)
+	}
+}
+
+func TestInstantiatorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInstantiator(coreset.Generalized[metric.Vector]{{Point: metric.Vector{0}, Mult: 0}}, 1, metric.Euclidean)
+}
+
+func TestOnePassMemoryIndependentOfStreamLength(t *testing.T) {
+	// Theorems 1–2: memory depends on k and k', not on n. Feed two
+	// streams that differ by 10× in length and compare the peak stored
+	// points of the processors.
+	rng := rand.New(rand.NewSource(15))
+	k, kprime := 3, 6
+	peak := func(n int) int {
+		s := NewSMMExt(k, kprime, metric.Euclidean)
+		best := 0
+		for _, p := range randomVectors(rng, n, 2) {
+			s.Process(p)
+			if sp := s.StoredPoints(); sp > best {
+				best = sp
+			}
+		}
+		return best
+	}
+	short, long := peak(300), peak(3000)
+	bound := 2 * (kprime + 1) * k
+	if short > bound || long > bound {
+		t.Fatalf("peaks %d/%d exceed bound %d", short, long, bound)
+	}
+}
+
+func TestCollectCoresetContainsSolutionSupport(t *testing.T) {
+	// The sequential solver run on the core-set must return points of the
+	// core-set (sanity wiring check for OnePass).
+	rng := rand.New(rand.NewSource(19))
+	pts := randomVectors(rng, 200, 2)
+	core := CollectCoreset(diversity.RemoteStar, SliceStream(pts), 3, 5, metric.Euclidean)
+	sol := sequential.Solve(diversity.RemoteStar, core, 3, metric.Euclidean)
+	for _, q := range sol {
+		if d, _ := metric.MinDistance(q, core, metric.Euclidean); d != 0 {
+			t.Fatal("solution point outside core-set")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package streamalg implements the paper's one-pass streaming core-set
+// constructions (Section 4): SMM (a variant of the Charikar et al.
+// doubling algorithm for k-center, a (1+ε)-core-set for remote-edge and
+// remote-cycle, Theorem 1), SMM-EXT (per-center delegate sets, a
+// (1+ε)-core-set for remote-clique, -star, -bipartition, and -tree,
+// Theorem 2), SMM-GEN (per-center counts, the generalized core-set of the
+// 2-pass algorithm, Theorem 9), and the end-to-end streaming drivers.
+//
+// All processors consume points one at a time via Process and use memory
+// independent of the stream length: O(k′) points for SMM and SMM-GEN,
+// O(k′·k) for SMM-EXT.
+package streamalg
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// SMM is the streaming doubling algorithm. Each phase i holds a threshold
+// d_i and maintains the invariants (Section 4): every processed point is
+// within 2·d_i of the center set T at the start of the phase, and centers
+// are pairwise at distance ≥ d_i. A merge step (maximal independent set at
+// threshold 2·d_i) shrinks T; the update step accepts a new point only at
+// distance > 4·d_i from T and ends the phase when T reaches k′+1 points.
+//
+// Points of the initial prefix at distance zero from an existing center
+// are folded into it, so streams with duplicates keep the thresholds
+// positive (d_1 is the minimum distance among *distinct* prefix points).
+type SMM[P any] struct {
+	k, kprime int
+	d         metric.Distance[P]
+
+	initialized bool
+	threshold   float64 // d_i of the running phase; 0 until initialized
+	phases      int
+	processed   int64
+
+	centers []P // T, capacity k'+1
+	merged  []P // M: points removed by merge steps of the current phase
+}
+
+// NewSMM returns a streaming core-set processor for the remote-edge and
+// remote-cycle problems. k is the solution size the core-set must
+// support, k′ ≥ k controls the core-set size and accuracy (Lemma 3:
+// k′ = (32/ε′)^D·k yields a (1+ε)-core-set in doubling dimension D).
+func NewSMM[P any](k, kprime int, d metric.Distance[P]) *SMM[P] {
+	if k < 1 || kprime < k {
+		panic(fmt.Sprintf("streamalg: NewSMM requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
+	}
+	return &SMM[P]{k: k, kprime: kprime, d: d}
+}
+
+// Process consumes the next stream point.
+func (s *SMM[P]) Process(p P) {
+	s.processed++
+	if !s.initialized {
+		// Initialization: collect the first k'+1 distinct points.
+		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+			return
+		}
+		s.centers = append(s.centers, p)
+		if len(s.centers) == s.kprime+1 {
+			s.threshold = metric.Farness(s.centers, s.d)
+			s.initialized = true
+			s.startPhase()
+		}
+		return
+	}
+	if dist, _ := metric.MinDistance(p, s.centers, s.d); dist > 4*s.threshold {
+		s.centers = append(s.centers, p)
+		if len(s.centers) == s.kprime+1 {
+			s.threshold *= 2
+			s.startPhase()
+		}
+	}
+}
+
+// startPhase begins a new phase: it resets M and runs merge steps,
+// doubling the threshold as long as the merge fails to bring T back to
+// at most k′ points (a merge that removes nothing is a phase whose update
+// step accepts no points).
+func (s *SMM[P]) startPhase() {
+	s.merged = s.merged[:0]
+	for {
+		s.phases++
+		s.merge()
+		if len(s.centers) <= s.kprime {
+			return
+		}
+		s.threshold *= 2
+	}
+}
+
+// merge replaces T with a maximal independent set of the graph connecting
+// centers at distance ≤ 2·d_i, scanning in insertion order (deterministic)
+// and retaining the removed points in M for the duration of the phase.
+func (s *SMM[P]) merge() {
+	kept := s.centers[:0:len(s.centers)]
+	var removed []P
+	for _, c := range s.centers {
+		independent := true
+		for _, u := range kept {
+			if s.d(u, c) <= 2*s.threshold {
+				independent = false
+				break
+			}
+		}
+		if independent {
+			kept = append(kept, c)
+		} else {
+			removed = append(removed, c)
+		}
+	}
+	s.centers = kept
+	s.merged = append(s.merged, removed...)
+}
+
+// Result returns the core-set after the stream ends. If fewer than k
+// centers survived the final merges, arbitrary points removed during the
+// current phase top the set back up to k (the paper's fix; M ∪ T always
+// holds at least min(k, distinct points) elements). The processor remains
+// usable: more points may be processed and Result called again.
+func (s *SMM[P]) Result() []P {
+	out := make([]P, len(s.centers))
+	copy(out, s.centers)
+	for i := 0; len(out) < s.k && i < len(s.merged); i++ {
+		out = append(out, s.merged[i])
+	}
+	return out
+}
+
+// Threshold returns the running phase threshold d_i (0 while the
+// initialization prefix is still being collected).
+func (s *SMM[P]) Threshold() float64 { return s.threshold }
+
+// CoverageRadius returns 4·d_i, the upper bound on the distance from any
+// processed point to the current center set T guaranteed by the phase
+// invariants (r_T ≤ 4·d_ℓ in the proof of Lemma 3). During initialization
+// it is 0: T contains every distinct processed point.
+func (s *SMM[P]) CoverageRadius() float64 { return 4 * s.threshold }
+
+// Phases returns the number of merge phases run so far.
+func (s *SMM[P]) Phases() int { return s.phases }
+
+// Processed returns the number of stream points consumed.
+func (s *SMM[P]) Processed() int64 { return s.processed }
+
+// StoredPoints returns the number of points currently held in memory
+// (centers plus the retained merge removals); it never exceeds 2(k′+1).
+func (s *SMM[P]) StoredPoints() int { return len(s.centers) + len(s.merged) }
+
+// invariantPairwise returns the minimum pairwise distance of the current
+// centers; exported to tests via export_test.go.
+func (s *SMM[P]) invariantPairwise() float64 {
+	if len(s.centers) < 2 {
+		return math.Inf(1)
+	}
+	return metric.Farness(s.centers, s.d)
+}

@@ -1,0 +1,273 @@
+package streamalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func TestSMMPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSMM[metric.Vector](0, 1, metric.Euclidean) },
+		func() { NewSMM[metric.Vector](3, 2, metric.Euclidean) },
+		func() { NewSMMExt[metric.Vector](0, 1, metric.Euclidean) },
+		func() { NewSMMGen[metric.Vector](3, 2, metric.Euclidean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSMMShortStreamKeepsEverything(t *testing.T) {
+	s := NewSMM[metric.Vector](2, 5, metric.Euclidean)
+	pts := []metric.Vector{{0}, {1}, {2}}
+	for _, p := range pts {
+		s.Process(p)
+	}
+	res := s.Result()
+	if len(res) != 3 {
+		t.Fatalf("short stream result = %d points, want 3", len(res))
+	}
+	if s.Threshold() != 0 || s.Phases() != 0 {
+		t.Fatalf("short stream should stay in initialization: threshold=%v phases=%d", s.Threshold(), s.Phases())
+	}
+}
+
+func TestSMMDuplicatesFolded(t *testing.T) {
+	s := NewSMM[metric.Vector](2, 3, metric.Euclidean)
+	for i := 0; i < 100; i++ {
+		s.Process(metric.Vector{1, 1}) // same point over and over
+	}
+	if got := len(s.Result()); got != 1 {
+		t.Fatalf("duplicate-only stream kept %d points, want 1", got)
+	}
+	if s.Processed() != 100 {
+		t.Fatalf("Processed = %d, want 100", s.Processed())
+	}
+}
+
+func TestSMMInvariants(t *testing.T) {
+	// After any stream: centers pairwise ≥ d_i, every processed point
+	// within 4·d_i of the centers, memory within 2(k'+1).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		n := 30 + rng.Intn(200)
+		pts := randomVectors(rng, n, 2)
+		s := NewSMM(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+			if s.StoredPoints() > 2*(kprime+1) {
+				t.Logf("memory %d exceeds 2(k'+1)=%d (seed %d)", s.StoredPoints(), 2*(kprime+1), seed)
+				return false
+			}
+		}
+		if s.Threshold() > 0 {
+			if s.invariantPairwise() < s.Threshold()-1e-9 {
+				t.Logf("pairwise %v below threshold %v (seed %d)", s.invariantPairwise(), s.Threshold(), seed)
+				return false
+			}
+		}
+		cover := metric.Range(pts, s.centers, metric.Euclidean)
+		if cover > s.CoverageRadius()+1e-9 {
+			t.Logf("coverage %v exceeds radius %v (seed %d)", cover, s.CoverageRadius(), seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMResultTopUpToK(t *testing.T) {
+	// k = k' = 4; the init prefix {0, 0.1, 0.2, 100, 1000} merges at
+	// threshold 0.2 down to fewer than k centers, and Result must top the
+	// set back up to k points from the retained merge removals.
+	s := NewSMM[metric.Vector](4, 4, metric.Euclidean)
+	for _, x := range []float64{0, 0.1, 0.2, 100, 1000} {
+		s.Process(metric.Vector{x})
+	}
+	if got := len(s.Result()); got != 4 {
+		t.Fatalf("topped-up result = %d points, want 4", got)
+	}
+}
+
+func TestSMMCoresetLossBound(t *testing.T) {
+	// Lemma 1 core: div_k over the core-set loses at most 2·coverage for
+	// remote-edge, verified against brute force.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(2)
+		kprime := k + rng.Intn(3)
+		n := 12 + rng.Intn(8) // small enough to brute force
+		pts := randomVectors(rng, n, 2)
+		s := NewSMM(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+		}
+		core := s.Result()
+		if len(core) < k {
+			return true
+		}
+		_, got, _ := sequential.BruteForce(diversity.RemoteEdge, core, k, metric.Euclidean)
+		_, want, _ := sequential.BruteForce(diversity.RemoteEdge, pts, k, metric.Euclidean)
+		return got >= want-2*s.CoverageRadius()-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMLargeKPrimeLossless(t *testing.T) {
+	// k' ≥ distinct points: the stream never leaves initialization and the
+	// core-set is the whole (deduplicated) input.
+	rng := rand.New(rand.NewSource(21))
+	pts := randomVectors(rng, 20, 2)
+	s := NewSMM(3, 50, metric.Euclidean)
+	for _, p := range pts {
+		s.Process(p)
+	}
+	if got := len(s.Result()); got != 20 {
+		t.Fatalf("lossless core-set = %d points, want 20", got)
+	}
+}
+
+func TestSMMWellSeparatedClustersExact(t *testing.T) {
+	// k far-apart tight clusters: the streaming solution must hit every
+	// cluster, achieving the full inter-cluster remote-edge value.
+	rng := rand.New(rand.NewSource(5))
+	var pts []metric.Vector
+	centers := []metric.Vector{{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}}
+	for i := 0; i < 200; i++ {
+		c := centers[i%len(centers)]
+		pts = append(pts, metric.Vector{c[0] + rng.Float64(), c[1] + rng.Float64()})
+	}
+	sol := OnePass(diversity.RemoteEdge, SliceStream(pts), 4, 8, metric.Euclidean)
+	if len(sol) != 4 {
+		t.Fatalf("solution size = %d, want 4", len(sol))
+	}
+	val, _ := diversity.Evaluate(diversity.RemoteEdge, sol, metric.Euclidean)
+	if val < 990 {
+		t.Fatalf("remote-edge value = %v, want ≥ 990 (one point per cluster)", val)
+	}
+}
+
+func TestOnePassEmptyStream(t *testing.T) {
+	sol := OnePass(diversity.RemoteEdge, SliceStream[metric.Vector](nil), 3, 6, metric.Euclidean)
+	if sol != nil {
+		t.Fatalf("empty stream solution = %v, want nil", sol)
+	}
+}
+
+func TestOnePassUsesExtForInjectiveMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomVectors(rng, 150, 2)
+	k, kprime := 4, 6
+	// For injective measures the core-set must be able to exceed k' + 1
+	// points (delegates); for the others it cannot.
+	ext := CollectCoreset(diversity.RemoteClique, SliceStream(pts), k, kprime, metric.Euclidean)
+	plain := CollectCoreset(diversity.RemoteEdge, SliceStream(pts), k, kprime, metric.Euclidean)
+	if len(plain) > kprime+1 {
+		t.Fatalf("SMM core-set has %d points, exceeds k'+1=%d", len(plain), kprime+1)
+	}
+	if len(ext) <= len(plain) {
+		t.Fatalf("SMM-EXT core-set (%d) not larger than SMM core-set (%d) on clustered data", len(ext), len(plain))
+	}
+	if len(ext) > (kprime+1)*k {
+		t.Fatalf("SMM-EXT core-set has %d points, exceeds (k'+1)k=%d", len(ext), (kprime+1)*k)
+	}
+}
+
+func TestSMMStreamOrderIndependenceOfGuarantee(t *testing.T) {
+	// Different stream orders give different core-sets but both must obey
+	// the loss bound.
+	rng := rand.New(rand.NewSource(7))
+	pts := randomVectors(rng, 14, 2)
+	k, kprime := 2, 4
+	for trial := 0; trial < 5; trial++ {
+		shuffled := make([]metric.Vector, len(pts))
+		copy(shuffled, pts)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s := NewSMM(k, kprime, metric.Euclidean)
+		for _, p := range shuffled {
+			s.Process(p)
+		}
+		core := s.Result()
+		_, got, _ := sequential.BruteForce(diversity.RemoteEdge, core, k, metric.Euclidean)
+		_, want, _ := sequential.BruteForce(diversity.RemoteEdge, pts, k, metric.Euclidean)
+		if got < want-2*s.CoverageRadius()-1e-9 {
+			t.Fatalf("trial %d: loss bound violated: %v < %v - 2·%v", trial, got, want, s.CoverageRadius())
+		}
+	}
+}
+
+func TestSMMPhasesMonotoneThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := NewSMM[metric.Vector](2, 3, metric.Euclidean)
+	last := 0.0
+	for i := 0; i < 500; i++ {
+		s.Process(randomVectors(rng, 1, 2)[0])
+		if s.Threshold() < last {
+			t.Fatal("threshold decreased")
+		}
+		last = s.Threshold()
+	}
+	if s.Phases() == 0 {
+		t.Fatal("expected at least one merge phase on 500 random points with k'=3")
+	}
+	if math.IsInf(last, 1) || last <= 0 {
+		t.Fatalf("final threshold = %v", last)
+	}
+}
+
+func TestSMMContinuousQueries(t *testing.T) {
+	// Result must be answerable mid-stream (continuous monitoring) and
+	// improve as more of the stream arrives.
+	rng := rand.New(rand.NewSource(23))
+	s := NewSMM(3, 6, metric.Euclidean)
+	early := randomVectors(rng, 200, 2)
+	for _, p := range early {
+		s.Process(p)
+	}
+	first := s.Result()
+	if len(first) < 3 {
+		t.Fatalf("mid-stream result has %d points", len(first))
+	}
+	// A far-away burst arrives later; the core-set must absorb it.
+	s.Process(metric.Vector{1e6, 1e6})
+	second := s.Result()
+	found := false
+	for _, p := range second {
+		if p[0] == 1e6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("late outlier missing from updated core-set")
+	}
+}

@@ -1,0 +1,314 @@
+package streamalg
+
+import (
+	"fmt"
+
+	"divmax/internal/coreset"
+	"divmax/internal/metric"
+)
+
+// SMMExt is the SMM variant for the four injective-proxy problems
+// (remote-clique, -star, -bipartition, -tree): alongside the center set T
+// it maintains, for each center t, a delegate set E_t of at most k points
+// close to t (including t itself). On a merge, a removed center hands its
+// delegates over to the surviving center that covers it, up to the cap k;
+// on an update, a point within 4·d_i of its nearest center t joins E_t if
+// there is room. The output is T′ = ∪_t E_t (Theorem 2), of size ≤ k·|T|.
+type SMMExt[P any] struct {
+	k, kprime int
+	d         metric.Distance[P]
+
+	initialized bool
+	threshold   float64
+	phases      int
+	processed   int64
+
+	centers   []P
+	delegates [][]P // delegates[i] belongs to centers[i]; contains the center
+	merged    []P   // delegate sets dropped by merges, flattened, current phase
+}
+
+// NewSMMExt returns a streaming core-set processor for the
+// injective-proxy problems. Lemma 4: k′ = (64/ε′)^D·k yields a
+// (1+ε)-core-set of O(k′·k) points in doubling dimension D.
+func NewSMMExt[P any](k, kprime int, d metric.Distance[P]) *SMMExt[P] {
+	if k < 1 || kprime < k {
+		panic(fmt.Sprintf("streamalg: NewSMMExt requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
+	}
+	return &SMMExt[P]{k: k, kprime: kprime, d: d}
+}
+
+// Process consumes the next stream point.
+func (s *SMMExt[P]) Process(p P) {
+	s.processed++
+	if !s.initialized {
+		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+			return
+		}
+		s.centers = append(s.centers, p)
+		s.delegates = append(s.delegates, []P{p})
+		if len(s.centers) == s.kprime+1 {
+			s.threshold = metric.Farness(s.centers, s.d)
+			s.initialized = true
+			s.startPhase()
+		}
+		return
+	}
+	dist, nearest := metric.MinDistance(p, s.centers, s.d)
+	if dist > 4*s.threshold {
+		s.centers = append(s.centers, p)
+		s.delegates = append(s.delegates, []P{p})
+		if len(s.centers) == s.kprime+1 {
+			s.threshold *= 2
+			s.startPhase()
+		}
+		return
+	}
+	if len(s.delegates[nearest]) < s.k {
+		s.delegates[nearest] = append(s.delegates[nearest], p)
+	}
+}
+
+func (s *SMMExt[P]) startPhase() {
+	s.merged = s.merged[:0]
+	for {
+		s.phases++
+		s.merge()
+		if len(s.centers) <= s.kprime {
+			return
+		}
+		s.threshold *= 2
+	}
+}
+
+// merge computes the maximal independent set at threshold 2·d_i and lets
+// each surviving center inherit min(|E_t1|, k−|E_t2|) delegates from each
+// removed center t1 it covers (the paper prints "max", which cannot
+// exceed |E_t1| nor keep |E_t2| ≤ k; min is the reading consistent with
+// the proof of Lemma 4). Delegates that cannot be inherited are retained
+// for the phase so Result can top the output up to k points.
+func (s *SMMExt[P]) merge() {
+	n := len(s.centers)
+	keepIdx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		independent := true
+		for _, j := range keepIdx {
+			if s.d(s.centers[j], s.centers[i]) <= 2*s.threshold {
+				independent = false
+				break
+			}
+		}
+		if independent {
+			keepIdx = append(keepIdx, i)
+		}
+	}
+	inMIS := make([]bool, n)
+	for _, j := range keepIdx {
+		inMIS[j] = true
+	}
+	// Removed centers hand over delegates to a covering survivor.
+	for i := 0; i < n; i++ {
+		if inMIS[i] {
+			continue
+		}
+		for _, j := range keepIdx {
+			if s.d(s.centers[j], s.centers[i]) <= 2*s.threshold {
+				room := s.k - len(s.delegates[j])
+				take := len(s.delegates[i])
+				if take > room {
+					take = room
+				}
+				s.delegates[j] = append(s.delegates[j], s.delegates[i][:take]...)
+				s.merged = append(s.merged, s.delegates[i][take:]...)
+				break
+			}
+		}
+	}
+	newCenters := make([]P, len(keepIdx))
+	newDelegates := make([][]P, len(keepIdx))
+	for out, j := range keepIdx {
+		newCenters[out] = s.centers[j]
+		newDelegates[out] = s.delegates[j]
+	}
+	s.centers = newCenters
+	s.delegates = newDelegates
+}
+
+// Result returns T′ = ∪_t E_t, topped up from the phase's dropped
+// delegates when fewer than k points survive.
+func (s *SMMExt[P]) Result() []P {
+	var out []P
+	for _, set := range s.delegates {
+		out = append(out, set...)
+	}
+	for i := 0; len(out) < s.k && i < len(s.merged); i++ {
+		out = append(out, s.merged[i])
+	}
+	return out
+}
+
+// Centers returns the current kernel T (not the delegates).
+func (s *SMMExt[P]) Centers() []P {
+	out := make([]P, len(s.centers))
+	copy(out, s.centers)
+	return out
+}
+
+// Threshold returns the running phase threshold d_i.
+func (s *SMMExt[P]) Threshold() float64 { return s.threshold }
+
+// CoverageRadius returns 4·d_i, the bound on the distance from any
+// processed point to the kernel (see SMM.CoverageRadius).
+func (s *SMMExt[P]) CoverageRadius() float64 { return 4 * s.threshold }
+
+// Phases returns the number of merge phases run so far.
+func (s *SMMExt[P]) Phases() int { return s.phases }
+
+// Processed returns the number of stream points consumed.
+func (s *SMMExt[P]) Processed() int64 { return s.processed }
+
+// StoredPoints returns the number of points currently in memory:
+// all delegate sets plus retained merge drops, O(k′·k).
+func (s *SMMExt[P]) StoredPoints() int {
+	total := len(s.merged)
+	for _, set := range s.delegates {
+		total += len(set)
+	}
+	return total
+}
+
+// SMMGen is the count-based variant used by the 2-pass streaming
+// algorithm (Theorem 9): it runs exactly like SMMExt but stores only the
+// number of delegates each center stands for, producing a generalized
+// core-set of size |T| with expanded size ≤ k·|T| and memory O(k′).
+type SMMGen[P any] struct {
+	k, kprime int
+	d         metric.Distance[P]
+
+	initialized bool
+	threshold   float64
+	phases      int
+	processed   int64
+
+	centers []P
+	counts  []int
+}
+
+// NewSMMGen returns the generalized-core-set streaming processor.
+func NewSMMGen[P any](k, kprime int, d metric.Distance[P]) *SMMGen[P] {
+	if k < 1 || kprime < k {
+		panic(fmt.Sprintf("streamalg: NewSMMGen requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
+	}
+	return &SMMGen[P]{k: k, kprime: kprime, d: d}
+}
+
+// Process consumes the next stream point.
+func (s *SMMGen[P]) Process(p P) {
+	s.processed++
+	if !s.initialized {
+		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+			return
+		}
+		s.centers = append(s.centers, p)
+		s.counts = append(s.counts, 1)
+		if len(s.centers) == s.kprime+1 {
+			s.threshold = metric.Farness(s.centers, s.d)
+			s.initialized = true
+			s.startPhase()
+		}
+		return
+	}
+	dist, nearest := metric.MinDistance(p, s.centers, s.d)
+	if dist > 4*s.threshold {
+		s.centers = append(s.centers, p)
+		s.counts = append(s.counts, 1)
+		if len(s.centers) == s.kprime+1 {
+			s.threshold *= 2
+			s.startPhase()
+		}
+		return
+	}
+	if s.counts[nearest] < s.k {
+		s.counts[nearest]++
+	}
+}
+
+func (s *SMMGen[P]) startPhase() {
+	for {
+		s.phases++
+		s.merge()
+		if len(s.centers) <= s.kprime {
+			return
+		}
+		s.threshold *= 2
+	}
+}
+
+func (s *SMMGen[P]) merge() {
+	n := len(s.centers)
+	keepIdx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		independent := true
+		for _, j := range keepIdx {
+			if s.d(s.centers[j], s.centers[i]) <= 2*s.threshold {
+				independent = false
+				break
+			}
+		}
+		if independent {
+			keepIdx = append(keepIdx, i)
+		}
+	}
+	inMIS := make([]bool, n)
+	for _, j := range keepIdx {
+		inMIS[j] = true
+	}
+	for i := 0; i < n; i++ {
+		if inMIS[i] {
+			continue
+		}
+		for _, j := range keepIdx {
+			if s.d(s.centers[j], s.centers[i]) <= 2*s.threshold {
+				take := s.counts[i]
+				if room := s.k - s.counts[j]; take > room {
+					take = room
+				}
+				s.counts[j] += take
+				break
+			}
+		}
+	}
+	newCenters := make([]P, len(keepIdx))
+	newCounts := make([]int, len(keepIdx))
+	for out, j := range keepIdx {
+		newCenters[out] = s.centers[j]
+		newCounts[out] = s.counts[j]
+	}
+	s.centers = newCenters
+	s.counts = newCounts
+}
+
+// Result returns the generalized core-set (center, count) pairs.
+func (s *SMMGen[P]) Result() coreset.Generalized[P] {
+	out := make(coreset.Generalized[P], len(s.centers))
+	for i, c := range s.centers {
+		out[i] = coreset.Weighted[P]{Point: c, Mult: s.counts[i]}
+	}
+	return out
+}
+
+// Threshold returns the running phase threshold d_i.
+func (s *SMMGen[P]) Threshold() float64 { return s.threshold }
+
+// CoverageRadius returns 4·d_i, the δ used by the second pass to
+// instantiate delegates (r_T ≤ 4·d_ℓ, proof of Theorem 9).
+func (s *SMMGen[P]) CoverageRadius() float64 { return 4 * s.threshold }
+
+// Phases returns the number of merge phases run so far.
+func (s *SMMGen[P]) Phases() int { return s.phases }
+
+// Processed returns the number of stream points consumed.
+func (s *SMMGen[P]) Processed() int64 { return s.processed }
+
+// StoredPoints returns the number of points in memory, O(k′).
+func (s *SMMGen[P]) StoredPoints() int { return len(s.centers) }

@@ -1,0 +1,187 @@
+package streamalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+func TestSMMExtDelegateCap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(4)
+		pts := randomVectors(rng, 50+rng.Intn(150), 2)
+		s := NewSMMExt(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+			for i, set := range s.delegates {
+				if len(set) > k {
+					t.Logf("delegate set %d has %d > k=%d points (seed %d)", i, len(set), k, seed)
+					return false
+				}
+			}
+			if s.StoredPoints() > 2*(kprime+1)*k {
+				t.Logf("memory %d exceeds 2(k'+1)k (seed %d)", s.StoredPoints(), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMExtDelegatesNearCenters(t *testing.T) {
+	// Lemma 4's induction: every output point lies within 4·d_ℓ of the
+	// kernel (delegates are inherited across merges without drifting
+	// beyond the coverage radius).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(3)
+		pts := randomVectors(rng, 80+rng.Intn(100), 2)
+		s := NewSMMExt(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+		}
+		centers := s.Centers()
+		for _, q := range s.Result() {
+			if d, _ := metric.MinDistance(q, centers, metric.Euclidean); d > s.CoverageRadius()+1e-9 {
+				t.Logf("delegate at distance %v > %v from kernel (seed %d)", d, s.CoverageRadius(), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMExtCliqueLossBound(t *testing.T) {
+	// Injective proxies within 2·coverage: div_k(T′) ≥ div_k(S) −
+	// C(k,2)·2·(2·coverage) for remote-clique, against brute force.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(2)
+		kprime := k + rng.Intn(3)
+		pts := randomVectors(rng, 12+rng.Intn(6), 2)
+		s := NewSMMExt(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+		}
+		core := s.Result()
+		if len(core) < k {
+			return true
+		}
+		_, got, _ := sequential.BruteForce(diversity.RemoteClique, core, k, metric.Euclidean)
+		_, want, _ := sequential.BruteForce(diversity.RemoteClique, pts, k, metric.Euclidean)
+		pairs := float64(k * (k - 1) / 2)
+		return got >= want-pairs*4*s.CoverageRadius()-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMExtShortStream(t *testing.T) {
+	s := NewSMMExt[metric.Vector](3, 5, metric.Euclidean)
+	for _, x := range []float64{0, 10} {
+		s.Process(metric.Vector{x})
+	}
+	if got := len(s.Result()); got != 2 {
+		t.Fatalf("short stream result = %d, want 2", got)
+	}
+}
+
+func TestSMMExtResultAtLeastKOnLongStreams(t *testing.T) {
+	// Delegate inheritance must keep at least k points even when all
+	// centers collapse into one cluster.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(3)
+		// Tight cluster plus a few outliers: heavy merging.
+		var pts []metric.Vector
+		for i := 0; i < 60; i++ {
+			pts = append(pts, metric.Vector{rng.Float64() * 0.01, rng.Float64() * 0.01})
+		}
+		pts = append(pts, metric.Vector{1000, 0}, metric.Vector{0, 1000}, metric.Vector{5000, 5000})
+		rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		s := NewSMMExt(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			s.Process(p)
+		}
+		return len(s.Result()) >= k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMGenCountsMatchExtSizes(t *testing.T) {
+	// SMM-GEN is the count-only encoding of SMM-EXT: same kernel, and
+	// each count equals the corresponding delegate-set size.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		kprime := k + rng.Intn(3)
+		pts := randomVectors(rng, 60+rng.Intn(100), 2)
+		ext := NewSMMExt(k, kprime, metric.Euclidean)
+		gen := NewSMMGen(k, kprime, metric.Euclidean)
+		for _, p := range pts {
+			ext.Process(p)
+			gen.Process(p)
+		}
+		g := gen.Result()
+		if len(g) != len(ext.centers) {
+			t.Logf("kernel sizes differ: gen %d vs ext %d (seed %d)", len(g), len(ext.centers), seed)
+			return false
+		}
+		for i := range g {
+			if metric.Euclidean(g[i].Point, ext.centers[i]) != 0 {
+				t.Logf("kernel point %d differs (seed %d)", i, seed)
+				return false
+			}
+			if g[i].Mult != len(ext.delegates[i]) {
+				t.Logf("count %d = %d, delegate set has %d (seed %d)", i, g[i].Mult, len(ext.delegates[i]), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMMGenValidatesAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomVectors(rng, 200, 2)
+	k, kprime := 3, 5
+	s := NewSMMGen(k, kprime, metric.Euclidean)
+	for _, p := range pts {
+		s.Process(p)
+		if s.StoredPoints() > kprime+1 {
+			t.Fatalf("SMM-GEN memory %d exceeds k'+1", s.StoredPoints())
+		}
+	}
+	g := s.Result()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range g {
+		if w.Mult > k {
+			t.Fatalf("count %d exceeds k=%d", w.Mult, k)
+		}
+	}
+	if g.ExpandedSize() < k {
+		t.Fatalf("expanded size %d below k=%d on a long stream", g.ExpandedSize(), k)
+	}
+}

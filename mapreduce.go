@@ -1,0 +1,71 @@
+package divmax
+
+import (
+	"divmax/internal/mapreduce"
+	"divmax/internal/mrdiv"
+)
+
+// MRConfig tunes the MapReduce solvers: the number of partitions
+// (Parallelism ℓ), the per-partition kernel size KPrime, the partitioning
+// policy, the optional randomized delegate cap of Theorem 7, the worker
+// goroutine bound, and an optional Metrics sink for per-round statistics.
+type MRConfig = mrdiv.Config
+
+// MRPartitioning selects how round 1 distributes points to reducers.
+type MRPartitioning = mrdiv.Partitioning
+
+// Partitioning policies: round-robin dealing (the default arbitrary
+// partition), seeded uniform random keys (Theorem 7), and contiguous
+// chunks (adversarial when the input is spatially sorted, §7.2).
+const (
+	PartitionRoundRobin = mrdiv.PartitionRoundRobin
+	PartitionRandom     = mrdiv.PartitionRandom
+	PartitionChunks     = mrdiv.PartitionChunks
+)
+
+// MRMetrics accumulates per-round MapReduce statistics (reducer counts,
+// local and total memory in points, durations).
+type MRMetrics = mapreduce.Metrics
+
+// RandomizedDelegateCap returns the per-cluster delegate budget
+// Θ(max{log n, k/ℓ}) of the randomized 2-round algorithm (Theorem 7).
+// Set it as MRConfig.DelegateCap together with PartitionRandom.
+func RandomizedDelegateCap(n, k, ell int) int {
+	return mrdiv.RandomizedDelegateCap(n, k, ell)
+}
+
+// MapReduceSolve runs the paper's 2-round MapReduce algorithm
+// (Theorem 6): round 1 builds a composable core-set on each of the ℓ
+// partitions in parallel (GMM for remote-edge/-cycle, GMM-EXT for the
+// rest), round 2 aggregates the union in a single reducer and runs the
+// sequential α-approximation. The approximation factor is α+ε with local
+// memory Θ(√(k′n)) per reducer at ℓ = √(n/k′). Reducers execute as
+// goroutines on the in-process MapReduce engine.
+func MapReduceSolve[P any](m Measure, pts []P, k int, cfg MRConfig, d Distance[P]) ([]P, error) {
+	return mrdiv.TwoRound(m, pts, k, cfg, d)
+}
+
+// MapReduceCoreset runs only round 1 of MapReduceSolve and returns the
+// aggregated composable core-set, for callers that post-process core-sets
+// themselves.
+func MapReduceCoreset[P any](m Measure, pts []P, k int, cfg MRConfig, d Distance[P]) ([]P, error) {
+	return mrdiv.CollectCoreset(m, pts, k, cfg, d)
+}
+
+// MapReduceSolve3 runs the 3-round, memory-reduced algorithm of
+// Theorem 10 for the four delegate-based measures: generalized core-sets
+// (multiplicities instead of delegates) shrink the aggregation round from
+// k·k′ to k′ points per partition; a third round re-materializes the
+// chosen delegates inside their original partitions.
+func MapReduceSolve3[P any](m Measure, pts []P, k int, cfg MRConfig, d Distance[P]) ([]P, error) {
+	return mrdiv.ThreeRound(m, pts, k, cfg, d)
+}
+
+// MapReduceSolveRecursive runs the multi-round algorithm of Theorem 8:
+// when even the union of core-sets exceeds the local memory budget
+// (points per reducer), the core-set construction is reapplied to the
+// union until it fits, then the sequential algorithm finishes. It returns
+// the solution and the number of rounds used.
+func MapReduceSolveRecursive[P any](m Measure, pts []P, k, memBudget int, cfg MRConfig, d Distance[P]) ([]P, int, error) {
+	return mrdiv.Recursive(m, pts, k, memBudget, cfg, d)
+}

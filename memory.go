@@ -1,0 +1,136 @@
+package divmax
+
+import (
+	"fmt"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// Model identifies one of the paper's algorithmic settings (the columns
+// of Table 3).
+type Model int
+
+const (
+	// Streaming1Pass is the single-pass algorithm of Theorem 3.
+	Streaming1Pass Model = iota
+	// Streaming2Pass is the generalized-core-set algorithm of Theorem 9
+	// (delegate-based measures only).
+	Streaming2Pass
+	// MR2Round is the deterministic 2-round algorithm of Theorem 6.
+	MR2Round
+	// MR2RoundRandomized is the randomized 2-round algorithm of
+	// Theorem 7 (delegate-based measures only).
+	MR2RoundRandomized
+	// MR3Round is the deterministic 3-round algorithm of Theorem 10
+	// (delegate-based measures only).
+	MR3Round
+)
+
+var modelNames = map[Model]string{
+	Streaming1Pass:     "streaming (1 pass)",
+	Streaming2Pass:     "streaming (2 passes)",
+	MR2Round:           "MapReduce (2 rounds)",
+	MR2RoundRandomized: "MapReduce (2 rounds, randomized)",
+	MR3Round:           "MapReduce (3 rounds)",
+}
+
+// String names the model as in Table 3.
+func (mo Model) String() string {
+	if s, ok := modelNames[mo]; ok {
+		return s
+	}
+	return fmt.Sprintf("Model(%d)", int(mo))
+}
+
+// MemoryBound instantiates the paper's Table 3: the asymptotic working
+// memory (streaming) or local memory M_L (MapReduce), in points, of the
+// given algorithm for measure m on n points in doubling dimension D with
+// target approximation α+eps. It returns both a concrete estimate
+// (constants dropped, Θ evaluated at the arguments) and the formula it
+// evaluates. Combinations Table 3 leaves blank — the 2-pass, randomized,
+// and 3-round algorithms exist only for the four delegate-based
+// measures — return an error.
+//
+// The estimate is for capacity planning and tests; actual processors
+// report their true usage (e.g. StreamCoreset.StoredPoints, MRMetrics).
+func MemoryBound(m Measure, model Model, n, k int, eps float64, D int) (points int, formula string, err error) {
+	if n < 1 || k < 1 || k > n {
+		return 0, "", fmt.Errorf("divmax: MemoryBound requires 1 <= k <= n, got k=%d n=%d", k, n)
+	}
+	if eps <= 0 || eps > 1 {
+		return 0, "", fmt.Errorf("divmax: MemoryBound requires 0 < eps <= 1, got %g", eps)
+	}
+	if D < 0 {
+		return 0, "", fmt.Errorf("divmax: MemoryBound requires D >= 0, got %d", D)
+	}
+	if !m.Valid() {
+		return 0, "", fmt.Errorf("divmax: invalid measure %d", int(m))
+	}
+	injective := m.NeedsInjectiveProxy()
+	alpha := m.SequentialAlpha()
+	fn, fk := float64(n), float64(k)
+	pow := func(base float64) float64 { return math.Pow(base, float64(D)) }
+	clip := func(x float64) int {
+		if x >= math.MaxInt/2 || math.IsInf(x, 1) {
+			return math.MaxInt
+		}
+		if x < 1 {
+			return 1
+		}
+		return int(math.Ceil(x))
+	}
+	switch model {
+	case Streaming1Pass:
+		if injective {
+			return clip(pow(alpha/eps) * fk * fk), "Θ((α/ε)^D·k²)", nil
+		}
+		return clip(pow(alpha/eps) * fk), "Θ((α/ε)^D·k)", nil
+	case Streaming2Pass:
+		if !injective {
+			return 0, "", fmt.Errorf("divmax: %v has no 2-pass algorithm (already Θ((α/ε)^D·k) in one pass)", m)
+		}
+		return clip(pow(alpha*alpha/eps) * fk), "Θ((α²/ε)^D·k)", nil
+	case MR2Round:
+		if injective {
+			return clip(fk * math.Sqrt(pow(alpha/eps)*fn)), "Θ(k·√((α/ε)^D·n))", nil
+		}
+		return clip(math.Sqrt(pow(alpha/eps) * fk * fn)), "Θ(√((α/ε)^D·k·n))", nil
+	case MR2RoundRandomized:
+		if !injective {
+			return 0, "", fmt.Errorf("divmax: %v does not use the randomized delegate cap", m)
+		}
+		a := pow(alpha/eps) * fk * fk
+		b := math.Sqrt(pow(alpha/eps) * fk * fn * math.Log(fn+1))
+		if a > b {
+			return clip(a), "Θ((α/ε)^D·k²)", nil
+		}
+		return clip(b), "Θ(√((α/ε)^D·k·n·log n))", nil
+	case MR3Round:
+		if !injective {
+			return 0, "", fmt.Errorf("divmax: %v has no 3-round algorithm (2 rounds already reach Θ(√((α/ε)^D·k·n)))", m)
+		}
+		return clip(math.Sqrt(pow(alpha*alpha/eps) * fk * fn)), "Θ(√((α²/ε)^D·k·n))", nil
+	default:
+		return 0, "", fmt.Errorf("divmax: unknown model %d", int(model))
+	}
+}
+
+// TheoreticalKernelSize exposes the kernel sizes k′ = (c/ε′)^D·k of
+// Lemmas 3–6 for callers that want the worst-case guarantee rather than
+// the small empirical multiples of k the experiments use. The variant is
+// chosen by measure and setting: streaming or MapReduce.
+func TheoreticalKernelSize(m Measure, streaming bool, eps float64, dimension, k int) int {
+	var variant metric.Kernel
+	switch {
+	case streaming && m.NeedsInjectiveProxy():
+		variant = metric.KernelSMMExt
+	case streaming:
+		variant = metric.KernelSMM
+	case m.NeedsInjectiveProxy():
+		variant = metric.KernelGMMExt
+	default:
+		variant = metric.KernelGMM
+	}
+	return metric.TheoreticalKernelSize(variant, eps, dimension, k)
+}

@@ -1,0 +1,112 @@
+package divmax_test
+
+import (
+	"strings"
+	"testing"
+
+	"divmax"
+)
+
+func TestMemoryBoundTable3Shapes(t *testing.T) {
+	n, k, eps, D := 1_000_000, 16, 0.5, 3
+
+	// Remote-edge: 1-pass streaming memory independent of n.
+	small, f, err := divmax.MemoryBound(divmax.RemoteEdge, divmax.Streaming1Pass, n, k, eps, D)
+	if err != nil || !strings.Contains(f, "k)") {
+		t.Fatalf("(%d, %q, %v)", small, f, err)
+	}
+	bigger, _, err := divmax.MemoryBound(divmax.RemoteEdge, divmax.Streaming1Pass, 100*n, k, eps, D)
+	if err != nil || bigger != small {
+		t.Fatalf("1-pass streaming memory grew with n: %d -> %d", small, bigger)
+	}
+
+	// Delegate measures pay k² in one pass, k with two passes.
+	onePass, _, err := divmax.MemoryBound(divmax.RemoteClique, divmax.Streaming1Pass, n, k, eps, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoPass, _, err := divmax.MemoryBound(divmax.RemoteClique, divmax.Streaming2Pass, n, k, eps, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoPass >= onePass {
+		t.Fatalf("2-pass memory (%d) not below 1-pass (%d)", twoPass, onePass)
+	}
+
+	// MapReduce: 3 rounds shrink the delegate measures' M_L versus 2 in
+	// the regime the theorems target, k > α^D (comparing Theorems 6 and
+	// 10: k·√((α/ε)^D·n) vs √((α/ε)^D·α^D·k·n)). remote-clique has α=2;
+	// with D=2 and k=16 > α^D=4 the saving shows.
+	mr2, _, err := divmax.MemoryBound(divmax.RemoteClique, divmax.MR2Round, n, 16, eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr3, _, err := divmax.MemoryBound(divmax.RemoteClique, divmax.MR3Round, n, 16, eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr3 >= mr2 {
+		t.Fatalf("3-round M_L (%d) not below 2-round (%d)", mr3, mr2)
+	}
+
+	// MapReduce memory is sublinear in n.
+	if mr2 >= n {
+		t.Fatalf("MR M_L (%d) not sublinear in n (%d)", mr2, n)
+	}
+}
+
+func TestMemoryBoundRandomizedRegimes(t *testing.T) {
+	// Small k: the √(kn log n) branch; huge k: the k² branch.
+	_, f1, err := divmax.MemoryBound(divmax.RemoteClique, divmax.MR2RoundRandomized, 1_000_000, 8, 0.5, 2)
+	if err != nil || !strings.Contains(f1, "log n") {
+		t.Fatalf("(%q, %v), want the √(kn log n) regime", f1, err)
+	}
+	_, f2, err := divmax.MemoryBound(divmax.RemoteClique, divmax.MR2RoundRandomized, 10_000, 2_000, 0.5, 2)
+	if err != nil || !strings.Contains(f2, "k²") {
+		t.Fatalf("(%q, %v), want the k² regime", f2, err)
+	}
+}
+
+func TestMemoryBoundInvalidCombos(t *testing.T) {
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteCycle} {
+		for _, model := range []divmax.Model{divmax.Streaming2Pass, divmax.MR2RoundRandomized, divmax.MR3Round} {
+			if _, _, err := divmax.MemoryBound(m, model, 1000, 4, 0.5, 2); err == nil {
+				t.Errorf("%v/%v: expected error", m, model)
+			}
+		}
+	}
+	if _, _, err := divmax.MemoryBound(divmax.RemoteEdge, divmax.Streaming1Pass, 10, 20, 0.5, 2); err == nil {
+		t.Error("k > n: expected error")
+	}
+	if _, _, err := divmax.MemoryBound(divmax.RemoteEdge, divmax.Streaming1Pass, 100, 4, 0, 2); err == nil {
+		t.Error("eps = 0: expected error")
+	}
+	if _, _, err := divmax.MemoryBound(divmax.RemoteEdge, divmax.Model(99), 100, 4, 0.5, 2); err == nil {
+		t.Error("unknown model: expected error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if s := divmax.MR3Round.String(); !strings.Contains(s, "3 rounds") {
+		t.Errorf("MR3Round.String() = %q", s)
+	}
+	if s := divmax.Model(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("invalid model String = %q", s)
+	}
+}
+
+func TestTheoreticalKernelSizePublicAPI(t *testing.T) {
+	// Streaming kernels are larger than MapReduce kernels (32/64 vs 8/16
+	// constants), and delegate measures dominate their plain peers.
+	k, eps, D := 4, 1.0, 1
+	gmm := divmax.TheoreticalKernelSize(divmax.RemoteEdge, false, eps, D, k)
+	gmmExt := divmax.TheoreticalKernelSize(divmax.RemoteClique, false, eps, D, k)
+	smm := divmax.TheoreticalKernelSize(divmax.RemoteEdge, true, eps, D, k)
+	smmExt := divmax.TheoreticalKernelSize(divmax.RemoteClique, true, eps, D, k)
+	if !(gmm < gmmExt && gmmExt < smm && smm < smmExt) {
+		t.Fatalf("kernel ordering violated: %d %d %d %d", gmm, gmmExt, smm, smmExt)
+	}
+	if gmm != 16*k {
+		t.Fatalf("GMM kernel at eps=1, D=1 = %d, want %d", gmm, 16*k)
+	}
+}

@@ -1,0 +1,68 @@
+package divmax
+
+import (
+	"divmax/internal/streamalg"
+)
+
+// Stream feeds points to a consumer, calling emit once per point in
+// stream order. StreamingSolveTwoPass invokes its stream twice, so the
+// function must replay the same logical sequence on each call.
+type Stream[P any] = streamalg.Stream[P]
+
+// SliceStream adapts an in-memory slice to a Stream.
+func SliceStream[P any](pts []P) Stream[P] { return streamalg.SliceStream(pts) }
+
+// StreamingSolve is the paper's one-pass streaming algorithm (Theorem 3):
+// it builds a core-set on the fly with the SMM doubling algorithm (or
+// SMM-EXT with per-center delegates for the four delegate-based
+// measures), using memory independent of the stream length — O(k′)
+// points, or O(k′·k) with delegates — and then runs the sequential
+// α-approximation on the core-set. The end-to-end factor is α+ε for k′
+// sized per Lemmas 3–4; in practice k′ a small multiple of k suffices.
+func StreamingSolve[P any](m Measure, stream Stream[P], k, kprime int, d Distance[P]) []P {
+	return streamalg.OnePass(m, stream, k, kprime, d)
+}
+
+// StreamingSolveTwoPass is the 2-pass, memory-reduced algorithm of
+// Theorem 9 for remote-clique, -star, -bipartition, and -tree: pass 1
+// builds a generalized core-set with only O(k′) memory (counts instead of
+// delegates), a coherent subset of expanded size k is extracted in
+// memory, and pass 2 instantiates its multiplicities with distinct points
+// from the stream. It returns an error for the two measures that do not
+// need it (remote-edge, remote-cycle — use StreamingSolve, already
+// O(k′)).
+func StreamingSolveTwoPass[P any](m Measure, stream Stream[P], k, kprime int, d Distance[P]) ([]P, error) {
+	return streamalg.TwoPass(m, stream, k, kprime, d)
+}
+
+// StreamCoreset is an incremental core-set builder for callers that drive
+// their own ingestion loop (sockets, files, pipelines): feed points with
+// Process, read the current core-set with Coreset, and hand it to
+// MaxDiversity whenever a solution is needed. Implementations are not
+// safe for concurrent Process calls.
+type StreamCoreset[P any] interface {
+	// Process consumes the next stream point.
+	Process(p P)
+	// Coreset returns the core-set of everything processed so far.
+	Coreset() []P
+	// StoredPoints reports current memory use in points.
+	StoredPoints() int
+}
+
+type smmAdapter[P any] struct{ *streamalg.SMM[P] }
+
+func (a smmAdapter[P]) Coreset() []P { return a.Result() }
+
+type smmExtAdapter[P any] struct{ *streamalg.SMMExt[P] }
+
+func (a smmExtAdapter[P]) Coreset() []P { return a.Result() }
+
+// NewStreamCoreset returns the streaming core-set processor appropriate
+// for measure m: SMM for remote-edge and remote-cycle, SMM-EXT for the
+// delegate-based measures. It panics if k < 1 or kprime < k.
+func NewStreamCoreset[P any](m Measure, k, kprime int, d Distance[P]) StreamCoreset[P] {
+	if m.NeedsInjectiveProxy() {
+		return smmExtAdapter[P]{streamalg.NewSMMExt(k, kprime, d)}
+	}
+	return smmAdapter[P]{streamalg.NewSMM(k, kprime, d)}
+}
