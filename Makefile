@@ -1,0 +1,28 @@
+# Targets mirror .github/workflows/ci.yml exactly, so local runs and CI
+# cannot drift: CI calls these same targets.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every benchmark once (no timing comparisons) so bench code keeps
+# compiling and running.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test race

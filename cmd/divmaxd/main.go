@@ -1,0 +1,83 @@
+// Command divmaxd is the resident sharded diversity service: it ingests
+// points continuously over HTTP, maintains composable streaming
+// core-sets on N independent shards, and answers diversity-maximization
+// queries for any of the paper's six measures by merging the shards on
+// demand (see internal/server).
+//
+// Usage:
+//
+//	divmaxd -addr :8377 -shards 4 -maxk 16
+//
+// Quickstart:
+//
+//	curl -X POST localhost:8377/ingest -d '{"points": [[0,0], [3,4], [10,0]]}'
+//	curl 'localhost:8377/query?k=2&measure=remote-edge'
+//	curl localhost:8377/stats
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains every
+// buffered batch into the shards, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"divmax/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8377", "listen address")
+		shards = flag.Int("shards", 0, "number of core-set shards (0 = GOMAXPROCS)")
+		maxk   = flag.Int("maxk", 16, "largest solution size queries may request")
+		kprime = flag.Int("kprime", 0, "per-shard kernel size k' (0 = 4*maxk)")
+		buffer = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divmaxd:", err)
+		os.Exit(2)
+	}
+	cfg := srv.Config()
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Guard the long-running daemon against stalled clients pinning
+		// connections; no ReadTimeout so large ingest bodies may stream.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("divmaxd listening on %s (shards=%d maxk=%d kprime=%d)", *addr, cfg.Shards, cfg.MaxK, cfg.KPrime)
+
+	select {
+	case <-ctx.Done():
+		log.Print("divmaxd: shutting down, draining shards")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("divmaxd: shutdown: %v", err)
+		}
+		srv.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "divmaxd:", err)
+			os.Exit(1)
+		}
+	}
+}

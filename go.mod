@@ -1,0 +1,3 @@
+module divmax
+
+go 1.24

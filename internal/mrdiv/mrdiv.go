@@ -112,36 +112,35 @@ func TwoRound[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.D
 	if k < 1 {
 		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
 	}
-	if err := cfg.validate(k); err != nil {
+	core, err := CollectCoreset(m, pts, k, cfg, d)
+	if err != nil || len(core) == 0 {
 		return nil, err
 	}
-	if len(pts) == 0 {
+	return SolveCoresets(m, [][]P{core}, k, cfg, d)
+}
+
+// SolveCoresets runs only round 2 of TwoRound on composable core-sets
+// built elsewhere — round-1 partitions, CollectCoreset outputs, or the
+// per-shard SMM/SMM-EXT core-sets of a streaming service: the union is
+// aggregated in a single reducer which runs the sequential
+// α-approximation. Composability (Theorems 4–5) guarantees the result is
+// within α+ε of the optimum over the union of the original inputs, no
+// matter how the data was split. Only Workers, LocalMemoryLimit, and
+// Metrics are read from cfg; the round is recorded under the name
+// "solve".
+func SolveCoresets[P any](m diversity.Measure, coresets [][]P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
+	}
+	var union []mapreduce.Pair[int, P]
+	for _, core := range coresets {
+		for _, p := range core {
+			union = append(union, mapreduce.Pair[int, P]{Key: 0, Value: p})
+		}
+	}
+	if len(union) == 0 {
 		return nil, nil
 	}
-	delegateCap := k - 1
-	if m.NeedsInjectiveProxy() && cfg.DelegateCap > 0 {
-		delegateCap = cfg.DelegateCap
-	}
-
-	// Round 1: per-partition composable core-sets, all keyed to reducer 0
-	// for the round-2 aggregation.
-	union := mapreduce.Run(scatter(cfg, pts),
-		func(part int, local []P) []mapreduce.Pair[int, P] {
-			var core []P
-			if m.NeedsInjectiveProxy() {
-				core = coreset.GMMExtCapped(local, k, cfg.KPrime, delegateCap, 0, d)
-			} else {
-				core = coreset.GMM(local, cfg.KPrime, 0, d).Points
-			}
-			out := make([]mapreduce.Pair[int, P], len(core))
-			for i, p := range core {
-				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}
-			}
-			return out
-		},
-		mapreduce.Options{Name: "coreset", Workers: cfg.Workers, LocalMemoryLimit: cfg.LocalMemoryLimit, Metrics: cfg.Metrics})
-
-	// Round 2: one reducer solves sequentially on the aggregated core-set.
 	final := mapreduce.Run(union,
 		func(_ int, core []P) []mapreduce.Pair[int, P] {
 			sol := sequential.Solve(m, core, k, d)

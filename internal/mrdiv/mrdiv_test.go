@@ -242,6 +242,75 @@ func TestCollectCoresetSizes(t *testing.T) {
 	}
 }
 
+func TestSolveCoresetsValidation(t *testing.T) {
+	if _, err := SolveCoresets(diversity.RemoteEdge, [][]metric.Vector{{{0, 0}}}, 0, cfg(1, 4), metric.Euclidean); err == nil {
+		t.Error("k=0: expected error")
+	}
+	sol, err := SolveCoresets[metric.Vector](diversity.RemoteEdge, nil, 3, cfg(1, 4), metric.Euclidean)
+	if err != nil || sol != nil {
+		t.Fatalf("no core-sets = (%v, %v)", sol, err)
+	}
+}
+
+func TestSolveCoresetsMatchesTwoRound(t *testing.T) {
+	// Feeding round-1 core-sets built shard by shard into SolveCoresets
+	// must reproduce TwoRound exactly: same union, same deterministic
+	// sequential solve. This is the merge path the divmaxd shards use.
+	rng := rand.New(rand.NewSource(10))
+	pts := clusteredVectors(rng, []metric.Vector{{0, 0}, {900, 0}, {0, 900}}, 60, 5)
+	k, kprime, ell := 3, 9, 4
+	for _, m := range []diversity.Measure{diversity.RemoteEdge, diversity.RemoteClique} {
+		direct, err := TwoRound(m, pts, k, cfg(ell, kprime), metric.Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the same per-partition core-sets one shard at a time.
+		shards := make([][]metric.Vector, ell)
+		for i := range shards {
+			var local []metric.Vector
+			for j := i; j < len(pts); j += ell {
+				local = append(local, pts[j])
+			}
+			core, err := CollectCoreset(m, local, k, cfg(1, kprime), metric.Euclidean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[i] = core
+		}
+		merged, err := SolveCoresets(m, shards, k, cfg(ell, kprime), metric.Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) != len(direct) {
+			t.Fatalf("%v: sizes differ: %d vs %d", m, len(merged), len(direct))
+		}
+		got, _ := diversity.Evaluate(m, merged, metric.Euclidean)
+		want, _ := diversity.Evaluate(m, direct, metric.Euclidean)
+		if got != want {
+			t.Fatalf("%v: merged value %v, TwoRound value %v", m, got, want)
+		}
+	}
+}
+
+func TestSolveCoresetsMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomVectors(rng, 60, 2)
+	core, err := CollectCoreset(diversity.RemoteEdge, pts, 3, cfg(2, 6), metric.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics mapreduce.Metrics
+	c := cfg(2, 6)
+	c.Metrics = &metrics
+	if _, err := SolveCoresets(diversity.RemoteEdge, [][]metric.Vector{core}, 3, c, metric.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+	rounds := metrics.Rounds()
+	if len(rounds) != 1 || rounds[0].Name != "solve" || rounds[0].Reducers != 1 {
+		t.Fatalf("rounds = %+v, want one single-reducer solve round", rounds)
+	}
+}
+
 func TestPartitioningModesAllWork(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	pts := randomVectors(rng, 120, 2)

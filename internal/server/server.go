@@ -1,0 +1,400 @@
+// Package server implements divmaxd, the resident sharded diversity
+// service. Points stream in over HTTP and are dealt round-robin to N
+// independent shards; each shard is a single goroutine folding its slice
+// of the stream into composable streaming core-sets (SMM and SMM-EXT,
+// Section 4 of the paper), so per-shard state stays O(k′·k) points no
+// matter how much data has been ingested. A query snapshots every
+// shard's core-set and merges them through the same round-2 aggregation
+// MapReduceSolve uses (internal/mrdiv.SolveCoresets) — the paper's
+// round-1/round-2 split, kept resident and online — answering
+// MaxDiversity for any of the six measures within the usual α+ε
+// envelope, without ever rescanning the data.
+//
+// Endpoints:
+//
+//	POST /ingest  {"points": [[x,y,...], ...]}       — batched ingest
+//	GET  /query?k=5&measure=remote-edge              — merge + solve
+//	GET  /stats                                      — shard counters
+//	GET  /healthz                                    — liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"divmax"
+	"divmax/internal/dataset"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Shards is the number of independent core-set shards, each a
+	// goroutine owning its own SMM and SMM-EXT processors (default
+	// runtime.GOMAXPROCS(0), minimum 1).
+	Shards int
+	// MaxK is the largest solution size queries may request; core-sets
+	// are sized to support it (default 16).
+	MaxK int
+	// KPrime is the per-shard kernel size k′ ≥ MaxK controlling core-set
+	// accuracy (0 = 4·MaxK; an explicit value below MaxK is an error).
+	KPrime int
+	// Buffer is the per-shard ingest queue capacity in batches; a full
+	// queue applies backpressure to /ingest (default 64).
+	Buffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxK < 1 {
+		c.MaxK = 16
+	}
+	if c.KPrime == 0 {
+		c.KPrime = 4 * c.MaxK
+	}
+	if c.Buffer < 1 {
+		c.Buffer = 64
+	}
+	return c
+}
+
+// maxIngestBody bounds a single /ingest request body.
+const maxIngestBody = 32 << 20
+
+var errDraining = errors.New("server: draining, not accepting requests")
+
+// Server is the sharded diversity service. Create one with New, mount
+// Handler on an http.Server, and Close it to drain.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// next deals ingested points round-robin across shards — the paper's
+	// "arbitrary partition", which composability makes quality-neutral.
+	next atomic.Uint64
+	// dim pins the point dimensionality to that of the first batch.
+	dim atomic.Int64
+
+	// mu guards channel sends against Close: senders hold it for
+	// reading, Close sets draining under the write lock so no send can
+	// race the channel close.
+	mu       sync.RWMutex
+	draining bool
+
+	queries    atomic.Int64
+	merges     atomic.Int64
+	mergeNanos atomic.Int64 // duration of the last merge+solve
+}
+
+// New starts the shard goroutines and returns the service. It rejects an
+// explicitly-set KPrime below MaxK rather than silently overriding it
+// (matching the k′ ≥ k contract of the core-set constructions).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.KPrime < cfg.MaxK {
+		return nil, fmt.Errorf("server: kprime (%d) must be at least maxk (%d), or 0 for the default", cfg.KPrime, cfg.MaxK)
+	}
+	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg)
+		s.wg.Add(1)
+		go s.shards[i].run(&s.wg)
+	}
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Close drains the service: new requests are rejected with 503, every
+// batch already accepted is processed, and the shard goroutines exit.
+// It is idempotent and safe to call concurrently with requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type ingestRequest struct {
+	Points []divmax.Vector `json:"points"`
+}
+
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	Shards   int `json:"shards"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes; split the batch", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "trailing data after the points object")
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, ingestResponse{Accepted: 0, Shards: len(s.shards)})
+		return
+	}
+	if err := dataset.ValidateVectors(req.Points); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dim := int64(len(req.Points[0]))
+	if dim == 0 {
+		httpError(w, http.StatusBadRequest, "points must have at least one coordinate")
+		return
+	}
+	if !s.dim.CompareAndSwap(0, dim) && s.dim.Load() != dim {
+		httpError(w, http.StatusBadRequest, "point dimension %d does not match the dataset dimension %d", dim, s.dim.Load())
+		return
+	}
+
+	// Deal the batch round-robin, continuing where the previous request
+	// left off so small batches still spread across shards.
+	n := uint64(len(req.Points))
+	start := s.next.Add(n) - n
+	batches := make([][]divmax.Vector, len(s.shards))
+	for i, p := range req.Points {
+		sh := (start + uint64(i)) % uint64(len(s.shards))
+		batches[sh] = append(batches[sh], p)
+	}
+
+	if err := s.send(batches); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, ingestResponse{Accepted: len(req.Points), Shards: len(s.shards)})
+}
+
+// send delivers one batch per shard, holding the read lock so Close
+// cannot close the channels mid-send. A full shard queue blocks here,
+// which is the service's backpressure.
+func (s *Server) send(batches [][]divmax.Vector) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	for i, b := range batches {
+		if len(b) > 0 {
+			s.shards[i].ch <- shardMsg{batch: b}
+		}
+	}
+	return nil
+}
+
+// snapshots asks every shard for a point-in-time view of the core-set
+// family serving measure m. The requests ride the same channels as
+// ingest batches, so each snapshot reflects everything its shard
+// accepted before the request — no locks around the processors are ever
+// needed.
+func (s *Server) snapshots(m divmax.Measure) ([]divmax.CoresetSnapshot[divmax.Vector], error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	proxy := m.NeedsInjectiveProxy()
+	replies := make([]chan divmax.CoresetSnapshot[divmax.Vector], len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan divmax.CoresetSnapshot[divmax.Vector], 1)
+		sh.ch <- shardMsg{snap: replies[i], proxy: proxy}
+	}
+	out := make([]divmax.CoresetSnapshot[divmax.Vector], len(s.shards))
+	for i, ch := range replies {
+		out[i] = <-ch
+	}
+	return out, nil
+}
+
+type queryResponse struct {
+	Measure     string          `json:"measure"`
+	K           int             `json:"k"`
+	Solution    []divmax.Vector `json:"solution"`
+	Value       float64         `json:"value"`
+	Exact       bool            `json:"exact_value"`
+	CoresetSize int             `json:"coreset_size"`
+	Processed   int64           `json:"processed"`
+	MergeMillis float64         `json:"merge_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	m := divmax.RemoteEdge
+	if name := q.Get("measure"); name != "" {
+		var err error
+		if m, err = divmax.ParseMeasure(name); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	k := s.cfg.MaxK
+	if arg := q.Get("k"); arg != "" {
+		var err error
+		if k, err = strconv.Atoi(arg); err != nil {
+			httpError(w, http.StatusBadRequest, "bad k: %v", err)
+			return
+		}
+	}
+	if k < 1 || k > s.cfg.MaxK {
+		httpError(w, http.StatusBadRequest, "k must be in [1, %d] (the server's maxk), got %d", s.cfg.MaxK, k)
+		return
+	}
+	snaps, err := s.snapshots(m)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	cores := make([][]divmax.Vector, 0, len(snaps))
+	var processed int64
+	for _, snap := range snaps {
+		processed += snap.Processed
+		if len(snap.Points) > 0 {
+			cores = append(cores, snap.Points)
+		}
+	}
+
+	// The merge: round-2 aggregation over the composable per-shard
+	// core-sets, exactly as MapReduceSolve would run it.
+	start := time.Now()
+	sol, err := divmax.MapReduceSolveCoresets(m, cores, k, divmax.MRConfig{}, divmax.Euclidean)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "merge failed: %v", err)
+		return
+	}
+	val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
+	if math.IsInf(val, 0) || math.IsNaN(val) {
+		// Min-based measures evaluate to +Inf on fewer than 2 points
+		// (empty server, or k=1); JSON cannot encode non-finite numbers,
+		// so report the degenerate diversity as 0 and flag it inexact.
+		val, exact = 0, false
+	}
+	elapsed := time.Since(start)
+	s.merges.Add(1)
+	s.mergeNanos.Store(int64(elapsed))
+
+	size := 0
+	for _, c := range cores {
+		size += len(c)
+	}
+	if sol == nil {
+		sol = []divmax.Vector{}
+	}
+	writeJSON(w, queryResponse{
+		Measure:     m.String(),
+		K:           k,
+		Solution:    sol,
+		Value:       val,
+		Exact:       exact,
+		CoresetSize: size,
+		Processed:   processed,
+		MergeMillis: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+type shardStats struct {
+	ID       int   `json:"id"`
+	Ingested int64 `json:"ingested"`
+	Batches  int64 `json:"batches"`
+	Stored   int64 `json:"stored_points"`
+}
+
+type statsResponse struct {
+	Shards        []shardStats `json:"shards"`
+	IngestedTotal int64        `json:"ingested_total"`
+	Queries       int64        `json:"queries"`
+	Merges        int64        `json:"merges"`
+	LastMergeMS   float64      `json:"last_merge_ms"`
+	MaxK          int          `json:"max_k"`
+	KPrime        int          `json:"kprime"`
+	Draining      bool         `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := statsResponse{
+		Shards:      make([]shardStats, len(s.shards)),
+		Queries:     s.queries.Load(),
+		Merges:      s.merges.Load(),
+		LastMergeMS: float64(s.mergeNanos.Load()) / float64(time.Millisecond),
+		MaxK:        s.cfg.MaxK,
+		KPrime:      s.cfg.KPrime,
+	}
+	s.mu.RLock()
+	resp.Draining = s.draining
+	s.mu.RUnlock()
+	for i, sh := range s.shards {
+		resp.Shards[i] = shardStats{
+			ID:       sh.id,
+			Ingested: sh.ingested.Load(),
+			Batches:  sh.batches.Load(),
+			Stored:   sh.stored.Load(),
+		}
+		resp.IngestedTotal += resp.Shards[i].Ingested
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

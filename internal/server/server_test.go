@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"divmax"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// tryIngest and tryQuery return errors instead of failing the test, so
+// they are safe to call from worker goroutines (t.Fatal must only run on
+// the test goroutine).
+func tryIngest(url string, pts []divmax.Vector) (ingestResponse, error) {
+	var out ingestResponse
+	body, err := json.Marshal(ingestRequest{Points: pts})
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(url+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("ingest: status %d", resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func tryQuery(url string, k int, m divmax.Measure) (queryResponse, error) {
+	var out queryResponse
+	resp, err := http.Get(fmt.Sprintf("%s/query?k=%d&measure=%s", url, k, m))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("query: status %d", resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func postIngest(t *testing.T, url string, pts []divmax.Vector) ingestResponse {
+	t.Helper()
+	out, err := tryIngest(url, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getQuery(t *testing.T, url string, k int, m divmax.Measure) queryResponse {
+	t.Helper()
+	out, err := tryQuery(url, k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func clusterPoints(rng *rand.Rand, centers []divmax.Vector, perCluster int, spread float64) []divmax.Vector {
+	var pts []divmax.Vector
+	for i := 0; i < perCluster; i++ {
+		for _, c := range centers {
+			p := make(divmax.Vector, len(c))
+			for j := range c {
+				p[j] = c[j] + rng.Float64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func TestMergedShardsStayInEnvelope(t *testing.T) {
+	// The shard-merge quality contract: for every measure, the merged
+	// per-shard core-set solution must land in the same neighbourhood the
+	// repo's integration test demands of every offline pipeline — at
+	// least half the sequential value on well-separated clusters.
+	rng := rand.New(rand.NewSource(99))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {800, 0}, {0, 800}, {800, 800}, {400, 400}}, 60, 10)
+	k := 5
+
+	_, ts := newTestServer(t, Config{Shards: 4, MaxK: k, KPrime: 15, Buffer: 8})
+	for i := 0; i < len(pts); i += 50 {
+		end := i + 50
+		if end > len(pts) {
+			end = len(pts)
+		}
+		postIngest(t, ts.URL, pts[i:end])
+	}
+
+	for _, m := range divmax.Measures {
+		_, seqVal := divmax.MaxDiversity(m, pts, k, divmax.Euclidean)
+		got := getQuery(t, ts.URL, k, m)
+		if got.Processed != int64(len(pts)) {
+			t.Fatalf("%v: processed %d, want %d", m, got.Processed, len(pts))
+		}
+		if len(got.Solution) != k {
+			t.Fatalf("%v: solution size %d, want %d", m, len(got.Solution), k)
+		}
+		val, _ := divmax.Evaluate(m, got.Solution, divmax.Euclidean)
+		if val < seqVal/2 {
+			t.Errorf("%v: merged value %v below half of sequential %v", m, val, seqVal)
+		}
+		if got.Value != val {
+			t.Errorf("%v: reported value %v, recomputed %v", m, got.Value, val)
+		}
+	}
+}
+
+func TestParallelIngestAndQuery(t *testing.T) {
+	// The -race contract: writers hammering /ingest while readers hammer
+	// /query and /stats must be free of data races and every response
+	// must be well-formed.
+	rng := rand.New(rand.NewSource(7))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {500, 0}, {0, 500}}, 80, 5)
+
+	_, ts := newTestServer(t, Config{Shards: 3, MaxK: 4, KPrime: 12, Buffer: 4})
+
+	const writers, readers, batches = 4, 4, 10
+	batch := len(pts) / (writers * batches)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				off := (w*batches + b) * batch
+				if _, err := tryIngest(ts.URL, pts[off:off+batch]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m := divmax.Measures[r%len(divmax.Measures)]
+			for i := 0; i < 5; i++ {
+				got, err := tryQuery(ts.URL, 3, m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got.Solution) > 3 {
+					t.Errorf("query returned %d points for k=3", len(got.Solution))
+				}
+				if resp, err := http.Get(ts.URL + "/stats"); err != nil {
+					t.Error(err)
+					return
+				} else {
+					resp.Body.Close()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// The query first: its snapshot requests queue behind every batch the
+	// writers enqueued, so once it returns the shards have processed
+	// everything and the stats counters are settled.
+	final := getQuery(t, ts.URL, 3, divmax.RemoteEdge)
+	want := int64(writers * batches * batch)
+	if final.Processed != want {
+		t.Fatalf("processed %d, want %d", final.Processed, want)
+	}
+	if len(final.Solution) != 3 {
+		t.Fatalf("final solution size %d, want 3", len(final.Solution))
+	}
+	stats := getStats(t, ts.URL)
+	if stats.IngestedTotal != want {
+		t.Fatalf("ingested %d, want %d", stats.IngestedTotal, want)
+	}
+}
+
+func TestDrainProcessesEverythingThenRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {100, 100}}, 50, 1)
+
+	srv, err := New(Config{Shards: 2, MaxK: 3, KPrime: 6, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postIngest(t, ts.URL, pts)
+	srv.Close()
+	srv.Close() // idempotent
+
+	var total int64
+	for _, sh := range srv.shards {
+		total += sh.ingested.Load()
+	}
+	if total != int64(len(pts)) {
+		t.Fatalf("drained %d points, want %d", total, len(pts))
+	}
+
+	body, _ := json.Marshal(ingestRequest{Points: pts[:1]})
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after Close: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/query?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after Close: status %d, want 503", resp.StatusCode)
+	}
+	stats := getStats(t, ts.URL)
+	if !stats.Draining {
+		t.Fatal("stats does not report draining after Close")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	// An explicit kprime below maxk is a configuration error, not
+	// something to silently rewrite; 0 takes the 4*maxk default.
+	if _, err := New(Config{MaxK: 16, KPrime: 10}); err == nil {
+		t.Error("kprime < maxk: expected error")
+	}
+	srv, err := New(Config{MaxK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Config().KPrime; got != 64 {
+		t.Errorf("defaulted kprime = %d, want 64", got)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 3, KPrime: 6})
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"points": [[1,2], [3]]}`); code != http.StatusBadRequest {
+		t.Errorf("mixed dimensions: status %d, want 400", code)
+	}
+	if code := post(`{"points": [[]]}`); code != http.StatusBadRequest {
+		t.Errorf("zero-dimensional point: status %d, want 400", code)
+	}
+	if code := post(`not json`); code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", code)
+	}
+	if code := post(`{"points": [[1,2]]}{"points": [[3,4]]}`); code != http.StatusBadRequest {
+		t.Errorf("concatenated bodies: status %d, want 400", code)
+	}
+	if code := post(`{"points": [[1,2]]}`); code != http.StatusOK {
+		t.Errorf("valid ingest: status %d, want 200", code)
+	}
+	if code := post(`{"points": [[1,2,3]]}`); code != http.StatusBadRequest {
+		t.Errorf("dimension change across requests: status %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 3, KPrime: 6})
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/query?k=0"); code != http.StatusBadRequest {
+		t.Errorf("k=0: status %d, want 400", code)
+	}
+	if code := get("/query?k=4"); code != http.StatusBadRequest {
+		t.Errorf("k>maxk: status %d, want 400", code)
+	}
+	if code := get("/query?measure=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad measure: status %d, want 400", code)
+	}
+
+	// Query on an empty server: well-formed, empty solution. Remote-edge
+	// matters here: it evaluates to +Inf on fewer than 2 points, which
+	// the handler must report as 0 (JSON cannot encode non-finite
+	// numbers).
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		got := getQuery(t, ts.URL, 2, m)
+		if len(got.Solution) != 0 || got.Processed != 0 || got.Value != 0 {
+			t.Errorf("%v: empty server query = %+v, want empty with value 0", m, got)
+		}
+	}
+
+	// k=1 on a populated server: min-based measures are degenerate on a
+	// single point and must also report value 0, not an empty body.
+	postIngest(t, ts.URL, []divmax.Vector{{0, 0}, {5, 5}})
+	got := getQuery(t, ts.URL, 1, divmax.RemoteEdge)
+	if len(got.Solution) != 1 || got.Value != 0 {
+		t.Errorf("k=1 query = %+v, want 1 point with value 0", got)
+	}
+}
+
+func TestQueryDefaultsAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8})
+	postIngest(t, ts.URL, []divmax.Vector{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {9, 2}})
+
+	// No parameters: k defaults to MaxK, measure to remote-edge.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 4 || got.Measure != divmax.RemoteEdge.String() {
+		t.Errorf("defaults = (k=%d, measure=%s), want (4, remote-edge)", got.K, got.Measure)
+	}
+	if len(got.Solution) != 4 {
+		t.Errorf("solution size %d, want 4", len(got.Solution))
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", hr.StatusCode)
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"divmax"
+)
+
+// shardMsg is the single message type flowing over a shard's channel:
+// either a batch of points to ingest, or (when snap is non-nil) a request
+// for a point-in-time snapshot of the core-set family a query needs —
+// proxy selects SMM-EXT (the four delegate-based measures) over SMM
+// (remote-edge, remote-cycle). Funnelling both through one channel
+// serializes them against the shard goroutine, which is what lets the
+// StreamCoreset processors stay lock-free: only the shard goroutine ever
+// touches them.
+type shardMsg struct {
+	batch []divmax.Vector
+	snap  chan<- divmax.CoresetSnapshot[divmax.Vector]
+	proxy bool
+}
+
+// shard owns one slice of the stream. Every point it receives is folded
+// into two streaming core-sets — SMM for the kernel-only measures and
+// SMM-EXT for the delegate-based ones — so a query for any of the six
+// measures can be answered from the matching family. Memory stays
+// O(k′·k) per shard regardless of how many points have been ingested.
+type shard struct {
+	id    int
+	ch    chan shardMsg
+	edge  divmax.StreamCoreset[divmax.Vector]
+	proxy divmax.StreamCoreset[divmax.Vector]
+
+	// Monitoring counters, updated by the shard goroutine after each
+	// batch and read lock-free by /stats.
+	ingested atomic.Int64
+	batches  atomic.Int64
+	stored   atomic.Int64
+}
+
+func newShard(id int, cfg Config) *shard {
+	return &shard{
+		id: id,
+		ch: make(chan shardMsg, cfg.Buffer),
+		// RemoteEdge and RemoteClique are representatives of their
+		// core-set families; the processors serve every measure of the
+		// same family.
+		edge:  divmax.NewStreamCoreset(divmax.RemoteEdge, cfg.MaxK, cfg.KPrime, divmax.Euclidean),
+		proxy: divmax.NewStreamCoreset(divmax.RemoteClique, cfg.MaxK, cfg.KPrime, divmax.Euclidean),
+	}
+}
+
+// run is the shard goroutine: it drains the channel until it is closed,
+// processing batches in arrival order and answering snapshot requests
+// between them. Closing the channel (Server.Close) drains whatever is
+// buffered before the goroutine exits, so no accepted point is lost.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range s.ch {
+		if msg.snap != nil {
+			if msg.proxy {
+				msg.snap <- s.proxy.Snapshot()
+			} else {
+				msg.snap <- s.edge.Snapshot()
+			}
+			continue
+		}
+		for _, p := range msg.batch {
+			s.edge.Process(p)
+			s.proxy.Process(p)
+		}
+		s.ingested.Add(int64(len(msg.batch)))
+		s.batches.Add(1)
+		s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+	}
+}

@@ -52,6 +52,19 @@ func MapReduceCoreset[P any](m Measure, pts []P, k int, cfg MRConfig, d Distance
 	return mrdiv.CollectCoreset(m, pts, k, cfg, d)
 }
 
+// MapReduceSolveCoresets runs only round 2 of MapReduceSolve on
+// composable core-sets built elsewhere — by Coreset, MapReduceCoreset, or
+// independent StreamCoreset processors (e.g. the shards of a long-running
+// service): the union is aggregated in one reducer and solved with the
+// sequential α-approximation. Because the core-sets are composable
+// (Theorems 4–5), the answer is within α+ε of the optimum over the union
+// of the inputs the core-sets were built from, regardless of how the data
+// was split. Only Workers, LocalMemoryLimit, and Metrics are read from
+// cfg.
+func MapReduceSolveCoresets[P any](m Measure, coresets [][]P, k int, cfg MRConfig, d Distance[P]) ([]P, error) {
+	return mrdiv.SolveCoresets(m, coresets, k, cfg, d)
+}
+
 // MapReduceSolve3 runs the 3-round, memory-reduced algorithm of
 // Theorem 10 for the four delegate-based measures: generalized core-sets
 // (multiplicities instead of delegates) shrink the aggregation round from

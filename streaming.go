@@ -45,17 +45,65 @@ type StreamCoreset[P any] interface {
 	Process(p P)
 	// Coreset returns the core-set of everything processed so far.
 	Coreset() []P
+	// Snapshot returns the core-set together with the processing
+	// statistics needed to merge and monitor independent processors.
+	// Like Coreset, it may be called between Process calls but not
+	// concurrently with them.
+	Snapshot() CoresetSnapshot[P]
 	// StoredPoints reports current memory use in points.
 	StoredPoints() int
+}
+
+// CoresetSnapshot is a point-in-time view of a StreamCoreset. Because the
+// underlying core-sets are composable, snapshots taken from independent
+// processors fed disjoint shards of a stream can be merged — hand their
+// Points to MapReduceSolveCoresets (or union them and call MaxDiversity)
+// for a solution over everything any shard has processed, with the same
+// α+ε guarantee as a single processor over the whole stream. This is the
+// paper's round-1/round-2 split kept resident and online; the divmaxd
+// server is built on it.
+type CoresetSnapshot[P any] struct {
+	// Points is the core-set of everything processed so far.
+	Points []P
+	// Radius bounds the distance from any processed point to the kernel
+	// (4·d_i, see the phase invariants of Section 4). It is 0 while the
+	// initialization prefix is still being collected.
+	Radius float64
+	// Processed counts the stream points consumed so far.
+	Processed int64
+	// Stored counts the points currently held in memory.
+	Stored int
+}
+
+// snapshotter is the slice of the SMM/SMM-EXT API a CoresetSnapshot is
+// built from.
+type snapshotter[P any] interface {
+	Result() []P
+	CoverageRadius() float64
+	Processed() int64
+	StoredPoints() int
+}
+
+func snapshotOf[P any](s snapshotter[P]) CoresetSnapshot[P] {
+	return CoresetSnapshot[P]{
+		Points:    s.Result(),
+		Radius:    s.CoverageRadius(),
+		Processed: s.Processed(),
+		Stored:    s.StoredPoints(),
+	}
 }
 
 type smmAdapter[P any] struct{ *streamalg.SMM[P] }
 
 func (a smmAdapter[P]) Coreset() []P { return a.Result() }
 
+func (a smmAdapter[P]) Snapshot() CoresetSnapshot[P] { return snapshotOf[P](a.SMM) }
+
 type smmExtAdapter[P any] struct{ *streamalg.SMMExt[P] }
 
 func (a smmExtAdapter[P]) Coreset() []P { return a.Result() }
+
+func (a smmExtAdapter[P]) Snapshot() CoresetSnapshot[P] { return snapshotOf[P](a.SMMExt) }
 
 // NewStreamCoreset returns the streaming core-set processor appropriate
 // for measure m: SMM for remote-edge and remote-cycle, SMM-EXT for the

@@ -1,0 +1,75 @@
+package divmax_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"divmax"
+)
+
+func TestStreamCoresetSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randomVectors(rng, 500, 2)
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		sc := divmax.NewStreamCoreset(m, 4, 12, divmax.Euclidean)
+		for _, p := range pts {
+			sc.Process(p)
+		}
+		snap := sc.Snapshot()
+		if snap.Processed != int64(len(pts)) {
+			t.Errorf("%v: processed %d, want %d", m, snap.Processed, len(pts))
+		}
+		if snap.Stored != sc.StoredPoints() {
+			t.Errorf("%v: stored %d, want %d", m, snap.Stored, sc.StoredPoints())
+		}
+		if snap.Radius <= 0 {
+			t.Errorf("%v: radius %v, want > 0 after %d points", m, snap.Radius, len(pts))
+		}
+		core := sc.Coreset()
+		if len(snap.Points) != len(core) {
+			t.Fatalf("%v: snapshot has %d points, Coreset %d", m, len(snap.Points), len(core))
+		}
+		for i := range core {
+			if divmax.Euclidean(snap.Points[i], core[i]) != 0 {
+				t.Fatalf("%v: snapshot and Coreset diverge at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestSnapshotMergeAcrossShards(t *testing.T) {
+	// Composability, the server's foundation: independent StreamCoresets
+	// fed disjoint shards of the data, merged with MapReduceSolveCoresets,
+	// must land in the same quality neighbourhood as the sequential solver
+	// on the whole data (the envelope integration_test.go demands of every
+	// pipeline).
+	rng := rand.New(rand.NewSource(22))
+	pts := clusters(rng, []divmax.Vector{{0, 0}, {800, 0}, {0, 800}, {800, 800}, {400, 400}}, 60, 10)
+	k, kprime, shards := 5, 15, 4
+
+	for _, m := range divmax.Measures {
+		_, seqVal := divmax.MaxDiversity(m, pts, k, divmax.Euclidean)
+		scs := make([]divmax.StreamCoreset[divmax.Vector], shards)
+		for i := range scs {
+			scs[i] = divmax.NewStreamCoreset(m, k, kprime, divmax.Euclidean)
+		}
+		for i, p := range pts {
+			scs[i%shards].Process(p)
+		}
+		cores := make([][]divmax.Vector, shards)
+		for i, sc := range scs {
+			cores[i] = sc.Snapshot().Points
+		}
+		sol, err := divmax.MapReduceSolveCoresets(m, cores, k, divmax.MRConfig{}, divmax.Euclidean)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(sol) != k {
+			t.Fatalf("%v: solution size %d, want %d", m, len(sol), k)
+		}
+		val, _ := divmax.Evaluate(m, sol, divmax.Euclidean)
+		if val < seqVal/2 {
+			t.Errorf("%v: merged value %v below half of sequential %v", m, val, seqVal)
+		}
+	}
+}
