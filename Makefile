@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 # compiling and running.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regenerate the performance trajectory (BENCH_PR2.json): GMM fast vs
+# pre-PR generic, SMM ingest, and end-to-end divmaxd throughput across
+# n ∈ {10k,100k}, d ∈ {2,8,32}. CI uploads the JSON as an artifact.
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_PR2.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -13,6 +13,34 @@ func benchPoints(n int) []metric.Vector {
 	return randomVectors(rng, n, 3)
 }
 
+// BenchmarkGMMFastVsGeneric pits the flat squared-distance kernel
+// against the generic Distance[P] scan (reached through a wrapper the
+// dispatcher does not recognize). Note the baseline here wraps the
+// CURRENT four-lane Euclidean — a slightly faster (so conservative)
+// baseline than the pre-PR in-order-sum distance that cmd/bench
+// reconstructs for the committed BENCH_PR2.json trajectory, whose GMM
+// n=100k/d=8 cell carries the PR's ≥2× acceptance number.
+func BenchmarkGMMFastVsGeneric(b *testing.B) {
+	generic := func(a, c metric.Vector) float64 { return metric.Euclidean(a, c) }
+	for _, cfg := range []struct{ n, dim int }{{10000, 2}, {10000, 8}, {100000, 8}} {
+		rng := rand.New(rand.NewSource(7))
+		pts := randomVectors(rng, cfg.n, cfg.dim)
+		const kprime = 64
+		b.Run(fmt.Sprintf("n=%d/d=%d/fast", cfg.n, cfg.dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GMM(pts, kprime, 0, metric.Euclidean)
+			}
+			b.ReportMetric(float64(cfg.n)*float64(kprime)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+		b.Run(fmt.Sprintf("n=%d/d=%d/generic", cfg.n, cfg.dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GMM(pts, kprime, 0, metric.Distance[metric.Vector](generic))
+			}
+			b.ReportMetric(float64(cfg.n)*float64(kprime)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
 func BenchmarkGMM(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		for _, kprime := range []int{16, 128} {

@@ -1,0 +1,204 @@
+package coreset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+// genericEuclid has the same semantics as metric.Euclidean but is a
+// distinct function, so IsEuclidean does not recognize it and every
+// construction driven by it takes the generic path. The equivalence
+// tests below use it as the reference implementation.
+func genericEuclid(a, b metric.Vector) float64 { return metric.Euclidean(a, b) }
+
+// tieHeavyVectors draws coordinates from a small integer grid, so the
+// input is dense with exact duplicate points and exactly tied distances
+// — the regime where any tie-breaking divergence between the fast and
+// generic paths would surface.
+func tieHeavyVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = float64(rng.Intn(4))
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func sameResult(t *testing.T, label string, fast, slow Result[metric.Vector]) {
+	t.Helper()
+	if len(fast.Indices) != len(slow.Indices) {
+		t.Fatalf("%s: fast selected %d points, generic %d", label, len(fast.Indices), len(slow.Indices))
+	}
+	for i := range fast.Indices {
+		if fast.Indices[i] != slow.Indices[i] {
+			t.Fatalf("%s: selection %d differs: fast index %d, generic index %d",
+				label, i, fast.Indices[i], slow.Indices[i])
+		}
+	}
+	for i := range fast.Assign {
+		if fast.Assign[i] != slow.Assign[i] {
+			t.Fatalf("%s: assignment of point %d differs: fast %d, generic %d",
+				label, i, fast.Assign[i], slow.Assign[i])
+		}
+	}
+	if math.Float64bits(fast.Radius) != math.Float64bits(slow.Radius) {
+		t.Fatalf("%s: Radius differs: fast %v, generic %v", label, fast.Radius, slow.Radius)
+	}
+	if math.Float64bits(fast.LastDist) != math.Float64bits(slow.LastDist) {
+		t.Fatalf("%s: LastDist differs: fast %v, generic %v", label, fast.LastDist, slow.LastDist)
+	}
+}
+
+// TestGMMFastPathDispatches pins that Euclidean-over-Vector actually
+// takes the flat kernel (a regression here would silently turn the fast
+// path off and only show up in benchmarks).
+func TestGMMFastPathDispatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 50, 3)
+	if _, ok := gmmFast(pts, 5, 0, metric.Euclidean); !ok {
+		t.Fatal("gmmFast rejected Euclidean over Vector")
+	}
+	if _, ok := gmmFast(pts, 5, 0, metric.Distance[metric.Vector](genericEuclid)); ok {
+		t.Fatal("gmmFast accepted a wrapper distance")
+	}
+	if _, ok := gmmFast(pts, 5, 0, metric.Manhattan); ok {
+		t.Fatal("gmmFast accepted Manhattan")
+	}
+	ragged := []metric.Vector{{1, 2}, {3}}
+	if _, ok := gmmFast(ragged, 1, 0, metric.Euclidean); ok {
+		t.Fatal("gmmFast accepted ragged input")
+	}
+}
+
+// TestGMMFastMatchesGeneric is the tentpole equivalence test: across
+// seeds, dimensions, kernel sizes, starts, and tie-heavy inputs, the
+// flat squared-distance traversal selects bit-identical indices,
+// assignments, Radius, and LastDist.
+func TestGMMFastMatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, dim := range []int{1, 2, 3, 4, 8, 32} {
+			for _, n := range []int{1, 2, 7, 120} {
+				var pts []metric.Vector
+				if seed%2 == 0 {
+					pts = randomVectors(rng, n, dim)
+				} else {
+					pts = tieHeavyVectors(rng, n, dim)
+				}
+				k := 1 + rng.Intn(n+3) // exercises k > n clamping too
+				start := rng.Intn(n)
+				fast := GMM(pts, k, start, metric.Euclidean)
+				slow := GMM(pts, k, start, metric.Distance[metric.Vector](genericEuclid))
+				sameResult(t, "GMM", fast, slow)
+			}
+		}
+	}
+}
+
+// TestGMMParallelFastMatchesSequential: the sharded flat traversal must
+// agree with the sequential one (which TestGMMFastMatchesGeneric ties to
+// the generic scan), including on duplicate-heavy inputs where the
+// reduce step's tie-breaking matters.
+func TestGMMParallelFastMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5000 // above the minParallel crossover
+		var pts []metric.Vector
+		if seed%2 == 0 {
+			pts = randomVectors(rng, n, 3)
+		} else {
+			pts = tieHeavyVectors(rng, n, 2)
+		}
+		k := 1 + rng.Intn(24)
+		start := rng.Intn(n)
+		for _, workers := range []int{2, 3, 8} {
+			par := GMMParallel(pts, k, start, workers, metric.Euclidean)
+			seq := GMM(pts, k, start, metric.Euclidean)
+			sameResult(t, "GMMParallel", par, seq)
+		}
+	}
+}
+
+// TestGMMExtGenFastMatchesGeneric: the delegate and multiplicity
+// constructions are pure functions of the kernel Result, so they must
+// produce identical core-sets on both paths.
+func TestGMMExtGenFastMatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := tieHeavyVectors(rng, 80, 2)
+		if seed%2 == 0 {
+			pts = randomVectors(rng, 80, 3)
+		}
+		k := 2 + rng.Intn(4)
+		kprime := k + rng.Intn(6)
+		fastExt := GMMExt(pts, k, kprime, 0, metric.Euclidean)
+		slowExt := GMMExt(pts, k, kprime, 0, metric.Distance[metric.Vector](genericEuclid))
+		if len(fastExt) != len(slowExt) {
+			t.Fatalf("GMMExt sizes differ: fast %d, generic %d", len(fastExt), len(slowExt))
+		}
+		for i := range fastExt {
+			if metric.Euclidean(fastExt[i], slowExt[i]) != 0 {
+				t.Fatalf("GMMExt point %d differs", i)
+			}
+		}
+		fastGen := GMMGen(pts, k, kprime, 0, metric.Euclidean)
+		slowGen := GMMGen(pts, k, kprime, 0, metric.Distance[metric.Vector](genericEuclid))
+		if len(fastGen) != len(slowGen) {
+			t.Fatalf("GMMGen sizes differ: fast %d, generic %d", len(fastGen), len(slowGen))
+		}
+		for i := range fastGen {
+			if fastGen[i].Mult != slowGen[i].Mult || metric.Euclidean(fastGen[i].Point, slowGen[i].Point) != 0 {
+				t.Fatalf("GMMGen pair %d differs: fast %+v, generic %+v", i, fastGen[i], slowGen[i])
+			}
+		}
+	}
+}
+
+// TestGMMRadiusFoldMatchesRescan guards the folded Radius: it must equal
+// an explicit post-hoc re-scan of the clustering radius.
+func TestGMMRadiusFoldMatchesRescan(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomVectors(rng, 60, 2)
+		k := 1 + rng.Intn(8)
+		for _, d := range []metric.Distance[metric.Vector]{metric.Euclidean, genericEuclid, metric.Manhattan} {
+			res := GMM(pts, k, 0, d)
+			want := metric.Range(pts, res.Points, d)
+			if math.Float64bits(res.Radius) != math.Float64bits(want) {
+				t.Fatalf("seed %d: folded Radius %v != re-scan %v", seed, res.Radius, want)
+			}
+		}
+	}
+}
+
+// FuzzGMMFastEquivalence drives both paths with byte-quantized
+// coordinates (heavy exact ties and duplicates) and arbitrary k/start.
+func FuzzGMMFastEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 0, 0, 9, 9}, uint8(3), uint8(0), uint8(2))
+	f.Add([]byte{5, 5, 5, 5}, uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, startRaw, dimRaw uint8) {
+		dim := 1 + int(dimRaw)%4
+		var pts []metric.Vector
+		for i := 0; i+dim <= len(data); i += dim {
+			v := make(metric.Vector, dim)
+			for j := 0; j < dim; j++ {
+				v[j] = float64(data[i+j])
+			}
+			pts = append(pts, v)
+		}
+		if len(pts) == 0 {
+			return
+		}
+		k := 1 + int(kRaw)%8
+		start := int(startRaw) % len(pts)
+		fast := GMM(pts, k, start, metric.Euclidean)
+		slow := GMM(pts, k, start, metric.Distance[metric.Vector](genericEuclid))
+		sameResult(t, "GMM", fast, slow)
+	})
+}

@@ -1,0 +1,187 @@
+package coreset
+
+import (
+	"math"
+	"sync"
+
+	"divmax/internal/metric"
+)
+
+// Euclidean-over-Vector fast path for the farthest-first traversal.
+//
+// The traversal only ever compares distances with one another, so it can
+// run on squared Euclidean distances over a flat row-major copy of the
+// input (metric.Points) and take square roots only where Result reports
+// real distances (Radius, LastDist). The kernels accumulate in the same
+// order as metric.Euclidean, so the squared values are exactly the
+// squares the generic path feeds to math.Sqrt and the selected indices,
+// assignments, Radius, and LastDist are bit-identical — the equivalence
+// tests in fast_test.go and the fuzz target pin this down. (The one
+// theoretical exception: two distinct squared distances so close that
+// correctly-rounded sqrt collapses them to the same float64, which the
+// generic path would treat as a tie; that needs the squares to differ
+// by under one unit in the last place.)
+
+// euclideanVectors reports whether the (pts, d) pair is Euclidean
+// distance over dense vectors, unlocking the flat kernels.
+func euclideanVectors[P any](pts []P, d metric.Distance[P]) ([]metric.Vector, bool) {
+	if !metric.IsEuclidean(d) {
+		return nil, false
+	}
+	vecs, ok := any(pts).([]metric.Vector)
+	return vecs, ok
+}
+
+// gmmScratch pools the traversal's internal buffers — the flat
+// row-major copy of the input and the min-distance array — so repeated
+// constructions (MapReduce reducers, the experiment sweeps, benchmarks)
+// skip the multi-megabyte allocate-and-fault per call. Only buffers
+// that never escape the call are pooled; Assign, Points, and Indices
+// are returned to the caller and always freshly allocated.
+var gmmScratch = sync.Pool{New: func() any { return new(scratchBuffers) }}
+
+type scratchBuffers struct {
+	flat  metric.Points
+	minSq []float64
+}
+
+// gmmFast dispatches the validated traversal (1 ≤ k ≤ len(pts), start in
+// range) to the flat kernel. ok=false — non-Vector points, a distance
+// other than metric.Euclidean, or rows of mixed dimension — keeps the
+// generic path, which also preserves the generic path's panic on mixed
+// dimensions.
+func gmmFast[P any](pts []P, k, start int, d metric.Distance[P]) (Result[P], bool) {
+	vecs, ok := euclideanVectors(pts, d)
+	if !ok {
+		return Result[P]{}, false
+	}
+	sc := gmmScratch.Get().(*scratchBuffers)
+	if !sc.flat.Fill(vecs) {
+		gmmScratch.Put(sc)
+		return Result[P]{}, false
+	}
+	res := gmmFlat(vecs, sc, k, start)
+	gmmScratch.Put(sc)
+	out, _ := any(res).(Result[P])
+	return out, true
+}
+
+// minSqInit returns sc.minSq resized to n and reset to +Inf.
+func (sc *scratchBuffers) minSqInit(n int) []float64 {
+	if cap(sc.minSq) < n {
+		sc.minSq = make([]float64, n)
+	}
+	minSq := sc.minSq[:n]
+	inf := math.Inf(1)
+	for i := range minSq {
+		minSq[i] = inf
+	}
+	return minSq
+}
+
+// gmmFlat is gmmGeneric over a flat store: one RelaxMinSqRange pass per
+// selected center, square roots only at the Result boundary. The
+// returned Points alias rows of pts, exactly as the generic path's do.
+func gmmFlat(pts []metric.Vector, sc *scratchBuffers, k, start int) Result[metric.Vector] {
+	n := len(pts)
+	res := Result[metric.Vector]{
+		Points:  make([]metric.Vector, 0, k),
+		Indices: make([]int, 0, k),
+		Assign:  make([]int, n),
+	}
+	minSq := sc.minSqInit(n)
+	res.LastDist = math.Inf(1)
+
+	cur := start
+	nextSq := math.Inf(-1)
+	for sel := 0; sel < k; sel++ {
+		if sel > 0 {
+			res.LastDist = math.Sqrt(minSq[cur])
+		}
+		res.Points = append(res.Points, pts[cur])
+		res.Indices = append(res.Indices, cur)
+		cur, nextSq = sc.flat.RelaxMinSqRange(0, n, cur, sel, minSq, res.Assign, cur, math.Inf(-1))
+	}
+	if nextSq > 0 {
+		res.Radius = math.Sqrt(nextSq)
+	}
+	return res
+}
+
+// gmmFastParallel is gmmFlat with each relaxation pass sharded across
+// worker goroutines, mirroring the generic GMMParallel shard/reduce
+// structure so it returns exactly the same Result (ties resolved by
+// lowest index). Arguments are validated and clamped by GMMParallel.
+func gmmFastParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) (Result[P], bool) {
+	vecs, ok := euclideanVectors(pts, d)
+	if !ok {
+		return Result[P]{}, false
+	}
+	sc := gmmScratch.Get().(*scratchBuffers)
+	if !sc.flat.Fill(vecs) {
+		gmmScratch.Put(sc)
+		return Result[P]{}, false
+	}
+	defer gmmScratch.Put(sc)
+	flat := &sc.flat
+	n := len(vecs)
+	res := Result[metric.Vector]{
+		Points:  make([]metric.Vector, 0, k),
+		Indices: make([]int, 0, k),
+		Assign:  make([]int, n),
+	}
+	minSq := sc.minSqInit(n)
+	res.LastDist = math.Inf(1)
+
+	type shardMax struct {
+		idx int
+		sq  float64
+	}
+	shards := workers
+	chunk := (n + shards - 1) / shards
+	maxes := make([]shardMax, shards)
+	var wg sync.WaitGroup
+
+	cur := start
+	last := shardMax{idx: -1, sq: -1}
+	for sel := 0; sel < k; sel++ {
+		if sel > 0 {
+			res.LastDist = math.Sqrt(minSq[cur])
+		}
+		res.Points = append(res.Points, vecs[cur])
+		res.Indices = append(res.Indices, cur)
+		for s := 0; s < shards; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				maxes[s] = shardMax{idx: -1, sq: -1}
+				continue
+			}
+			wg.Add(1)
+			go func(s, lo, hi, cur, sel int) {
+				defer wg.Done()
+				// Shards write disjoint ranges of minSq/Assign.
+				idx, sq := flat.RelaxMinSqRange(lo, hi, cur, sel, minSq, res.Assign, lo, -1)
+				maxes[s] = shardMax{idx: idx, sq: sq}
+			}(s, lo, hi, cur, sel)
+		}
+		wg.Wait()
+		// Reduce shard maxima; lowest index wins ties, matching GMM.
+		next := shardMax{idx: -1, sq: -1}
+		for _, sm := range maxes {
+			if sm.idx >= 0 && (sm.sq > next.sq || (sm.sq == next.sq && next.idx >= 0 && sm.idx < next.idx)) {
+				next = sm
+			}
+		}
+		cur = next.idx
+		last = next
+	}
+	if last.sq > 0 {
+		res.Radius = math.Sqrt(last.sq)
+	}
+	out, _ := any(res).(Result[P])
+	return out, true
+}

@@ -41,6 +41,11 @@ type Result[P any] struct {
 // construction. The traversal starts from pts[start]; the paper allows an
 // arbitrary start, and the experiments average over random starts.
 // It panics if k < 1 or start is out of range.
+//
+// When the points are metric.Vector and d is metric.Euclidean, the
+// traversal dispatches to the flat-buffer squared-distance kernel
+// (fastgmm.go), which selects the same points; every other (pts, d)
+// combination runs the generic scan below.
 func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
 	if k < 1 {
 		panic(fmt.Sprintf("coreset: GMM requires k >= 1, got %d", k))
@@ -55,7 +60,16 @@ func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
 	if k > n {
 		k = n
 	}
+	if res, ok := gmmFast(pts, k, start, d); ok {
+		return res
+	}
+	return gmmGeneric(pts, k, start, d)
+}
 
+// gmmGeneric is the distance-agnostic farthest-first traversal; GMM
+// validates and clamps its arguments (1 ≤ k ≤ len(pts), start in range).
+func gmmGeneric[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
+	n := len(pts)
 	res := Result[P]{
 		Points:  make([]P, 0, k),
 		Indices: make([]int, 0, k),
@@ -68,6 +82,7 @@ func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
 	res.LastDist = math.Inf(1)
 
 	cur := start
+	nextDist := math.Inf(-1)
 	for sel := 0; sel < k; sel++ {
 		if sel > 0 {
 			res.LastDist = minDist[cur]
@@ -76,7 +91,8 @@ func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
 		res.Indices = append(res.Indices, cur)
 		// Relax distances against the new center; strict '<' keeps ties on
 		// the earliest-selected center.
-		next, nextDist := cur, math.Inf(-1)
+		next := cur
+		nextDist = math.Inf(-1)
 		for i := 0; i < n; i++ {
 			if dist := d(pts[cur], pts[i]); dist < minDist[i] {
 				minDist[i] = dist
@@ -88,12 +104,10 @@ func GMM[P any](pts []P, k int, start int, d metric.Distance[P]) Result[P] {
 		}
 		cur = next
 	}
-	// After k selections, the farthest remaining min-distance is r_T.
-	res.Radius = 0
-	for i := 0; i < n; i++ {
-		if minDist[i] > res.Radius {
-			res.Radius = minDist[i]
-		}
+	// The last relaxation pass already maximized over the fully relaxed
+	// min-distances, so its running max IS r_T — no O(n) re-scan needed.
+	if nextDist > 0 {
+		res.Radius = nextDist
 	}
 	return res
 }

@@ -18,6 +18,9 @@ import (
 // This is an engineering extension beyond the paper: the paper's
 // per-reducer work is sequential, and the MapReduce drivers default to
 // plain GMM; BenchmarkAblationParallelGMM quantifies the crossover.
+//
+// Like GMM, it dispatches to the flat squared-distance kernel when the
+// points are metric.Vector under metric.Euclidean (fastgmm.go).
 func GMMParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) Result[P] {
 	n := len(pts)
 	if workers <= 0 {
@@ -36,6 +39,9 @@ func GMMParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) Re
 	}
 	if k > n {
 		k = n
+	}
+	if res, ok := gmmFastParallel(pts, k, start, workers, d); ok {
+		return res
 	}
 
 	res := Result[P]{
@@ -59,6 +65,7 @@ func GMMParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) Re
 	var wg sync.WaitGroup
 
 	cur := start
+	last := shardMax{idx: -1, dist: -1}
 	for sel := 0; sel < k; sel++ {
 		if sel > 0 {
 			res.LastDist = minDist[cur]
@@ -101,12 +108,12 @@ func GMMParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) Re
 			}
 		}
 		cur = next.idx
+		last = next
 	}
-	res.Radius = 0
-	for i := 0; i < n; i++ {
-		if minDist[i] > res.Radius {
-			res.Radius = minDist[i]
-		}
+	// The final reduce already holds the maximum fully relaxed
+	// min-distance, which is r_T — no O(n) re-scan needed.
+	if last.dist > 0 {
+		res.Radius = last.dist
 	}
 	return res
 }

@@ -1,0 +1,109 @@
+package metric
+
+import "fmt"
+
+// Points is a flat, cache-friendly store of n points of a fixed
+// dimension: row i occupies data[i*dim : (i+1)*dim] of a single
+// row-major []float64 backing array. Scanning rows touches memory
+// strictly sequentially, so the hardware prefetcher streams the whole
+// store — unlike a []Vector, whose slice headers point at individually
+// allocated, heap-scattered rows.
+//
+// Points is the substrate of the squared-Euclidean fast path used by
+// the GMM and SMM hot loops (see kernel.go): construct one with
+// FlattenVectors (bulk) or Append (incremental), then drive the batched
+// kernels RelaxMinSqRange and MinSq.
+type Points struct {
+	data []float64
+	n    int
+	dim  int
+}
+
+// FlattenVectors copies vs into a flat row-major store. It reports
+// ok=false when the rows disagree on dimension or the dimension is zero
+// — inputs the batched kernels cannot represent — in which case callers
+// must keep the generic path (which surfaces the same ragged-input
+// errors the flat path would otherwise mask).
+func FlattenVectors(vs []Vector) (Points, bool) {
+	if len(vs) == 0 {
+		return Points{}, true
+	}
+	dim := len(vs[0])
+	if dim == 0 {
+		return Points{}, false
+	}
+	data := make([]float64, 0, len(vs)*dim)
+	for _, v := range vs {
+		if len(v) != dim {
+			return Points{}, false
+		}
+		data = append(data, v...)
+	}
+	return Points{data: data, n: len(vs), dim: dim}, true
+}
+
+// Len returns the number of stored points.
+func (p *Points) Len() int { return p.n }
+
+// Dim returns the point dimension (0 until the first Append).
+func (p *Points) Dim() int { return p.dim }
+
+// Row returns the i-th point as a slice view into the backing array.
+// The view stays valid until the next Append or Reset.
+func (p *Points) Row(i int) []float64 {
+	d := p.dim
+	return p.data[i*d : i*d+d]
+}
+
+// Vector returns the i-th point as a Vector view (no copy); see Row for
+// the aliasing caveat.
+func (p *Points) Vector(i int) Vector { return Vector(p.Row(i)) }
+
+// Append copies row into the store. The first Append fixes the
+// dimension; it panics on a mismatched later row, mirroring the panic
+// the generic path raises inside Euclidean on mixed datasets.
+func (p *Points) Append(row []float64) {
+	if p.n == 0 {
+		p.dim = len(row)
+	} else if len(row) != p.dim {
+		panic(fmt.Sprintf("metric: appending a %d-dimensional point to a %d-dimensional flat store", len(row), p.dim))
+	}
+	p.data = append(p.data, row...)
+	p.n++
+}
+
+// Reset empties the store, retaining the backing array for reuse.
+func (p *Points) Reset() {
+	p.data = p.data[:0]
+	p.n = 0
+	p.dim = 0
+}
+
+// Fill resets the store and bulk-loads vs, reusing the backing array
+// when its capacity suffices (the allocation-free path GMM's scratch
+// pool depends on). Like FlattenVectors it reports ok=false — leaving
+// the store empty — when the rows disagree on dimension or the
+// dimension is zero.
+func (p *Points) Fill(vs []Vector) bool {
+	p.Reset()
+	if len(vs) == 0 {
+		return true
+	}
+	dim := len(vs[0])
+	if dim == 0 {
+		return false
+	}
+	if need := len(vs) * dim; cap(p.data) < need {
+		p.data = make([]float64, 0, need)
+	}
+	for _, v := range vs {
+		if len(v) != dim {
+			p.Reset()
+			return false
+		}
+		p.data = append(p.data, v...)
+	}
+	p.n = len(vs)
+	p.dim = dim
+	return true
+}

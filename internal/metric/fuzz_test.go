@@ -82,6 +82,56 @@ func FuzzParseSet(f *testing.F) {
 	})
 }
 
+// FuzzSqDistKernels cross-checks the batched flat kernels against the
+// scalar distance functions on arbitrary bit patterns (including NaN,
+// ±Inf, subnormals): SqDist must equal SquaredEuclidean bit for bit,
+// and the flat nearest-row scan must agree with MinDistance.
+func FuzzSqDistKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Add([]byte{0xff, 0xf0, 0, 0, 0, 0, 0, 1}, uint8(1)) // NaN-ish bits
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, dimRaw uint8) {
+		dim := 1 + int(dimRaw)%12
+		// Interpret data as float64 bit patterns, 8 bytes per coordinate.
+		var coords []float64
+		for i := 0; i+8 <= len(data); i += 8 {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(data[i+j])
+			}
+			coords = append(coords, math.Float64frombits(bits))
+		}
+		if len(coords) < 2*dim {
+			return
+		}
+		rows := make([]Vector, 0, len(coords)/dim)
+		for i := 0; i+dim <= len(coords); i += dim {
+			rows = append(rows, Vector(coords[i:i+dim]))
+		}
+		q := rows[0]
+		rows = rows[1:]
+		for _, r := range rows {
+			got := SqDist(q, r)
+			want := SquaredEuclidean(q, r)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("SqDist %v != SquaredEuclidean %v on q=%v r=%v", got, want, q, r)
+			}
+		}
+		flat, ok := FlattenVectors(rows)
+		if !ok {
+			t.Fatalf("FlattenVectors rejected regular rows of dim %d", dim)
+		}
+		gotSq, gotIdx := flat.MinSq(q)
+		wantDist, wantIdx := MinDistance(q, rows, Euclidean)
+		if gotIdx != wantIdx {
+			t.Fatalf("MinSq index %d, MinDistance index %d (q=%v rows=%v)", gotIdx, wantIdx, q, rows)
+		}
+		if gotIdx >= 0 && math.Float64bits(math.Sqrt(gotSq)) != math.Float64bits(wantDist) {
+			t.Fatalf("sqrt(MinSq) %v != MinDistance %v", math.Sqrt(gotSq), wantDist)
+		}
+	})
+}
+
 func FuzzJaccardMetric(f *testing.F) {
 	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, []byte{9})
 	f.Add([]byte{}, []byte{0}, []byte{255, 255})

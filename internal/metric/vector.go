@@ -16,32 +16,27 @@ type Vector []float64
 // Euclidean returns the L2 distance between a and b.
 // It panics if the vectors have different lengths, which always indicates
 // a programming error (mixed datasets).
+//
+// The sum of squares is evaluated in the package's canonical four-lane
+// order (see kernel.go), the same order the batched flat kernels use,
+// so the generic and fast code paths agree bit for bit.
 func Euclidean(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("metric: euclidean distance of vectors with mismatched dimensions %d and %d", len(a), len(b)))
 	}
-	var sum float64
-	for i := range a {
-		diff := a[i] - b[i]
-		sum += diff * diff
-	}
-	return math.Sqrt(sum)
+	return math.Sqrt(sqDist(a, b))
 }
 
 // SquaredEuclidean returns the squared L2 distance. It is NOT a metric
 // (the triangle inequality fails) and must not be fed to the core-set
 // algorithms; it exists for cheap nearest-neighbour comparisons where only
-// the ordering of distances matters.
+// the ordering of distances matters. Like Euclidean, it evaluates the
+// canonical four-lane sum of kernel.go.
 func SquaredEuclidean(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("metric: squared euclidean distance of vectors with mismatched dimensions %d and %d", len(a), len(b)))
 	}
-	var sum float64
-	for i := range a {
-		diff := a[i] - b[i]
-		sum += diff * diff
-	}
-	return sum
+	return sqDist(a, b)
 }
 
 // Manhattan returns the L1 (rectilinear) distance between a and b.

@@ -160,9 +160,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req ingestRequest
+	// Decode into a pooled buffer: the outer []Vector backing array is
+	// recycled across requests (the Vectors themselves are fresh — the
+	// shards retain accepted points). The buffer is safe to release when
+	// the handler returns because the per-shard batches copy the point
+	// headers they need.
+	bufp := getVecSlice()
+	defer putVecSlice(bufp)
+	req := ingestRequest{Points: *bufp}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	if len(req.Points) > 0 {
+		*bufp = req.Points // hand any grown backing array back to the pool
+	}
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes; split the batch", tooBig.Limit)
@@ -193,14 +204,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Deal the batch round-robin, continuing where the previous request
-	// left off so small batches still spread across shards.
+	// Deal the batch round-robin into pooled per-shard batches,
+	// continuing where the previous request left off so small batches
+	// still spread across shards.
 	n := uint64(len(req.Points))
 	start := s.next.Add(n) - n
-	batches := make([][]divmax.Vector, len(s.shards))
+	batches := make([]*[]divmax.Vector, len(s.shards))
+	for i := range batches {
+		batches[i] = getVecSlice()
+	}
 	for i, p := range req.Points {
 		sh := (start + uint64(i)) % uint64(len(s.shards))
-		batches[sh] = append(batches[sh], p)
+		*batches[sh] = append(*batches[sh], p)
 	}
 
 	if err := s.send(batches); err != nil {
@@ -212,17 +227,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // send delivers one batch per shard, holding the read lock so Close
 // cannot close the channels mid-send. A full shard queue blocks here,
-// which is the service's backpressure.
-func (s *Server) send(batches [][]divmax.Vector) error {
+// which is the service's backpressure. Non-empty batches are released
+// back to the pool by the receiving shard goroutine; empty ones (and
+// every batch, when the server is draining) are released here.
+func (s *Server) send(batches []*[]divmax.Vector) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
+		for _, b := range batches {
+			putVecSlice(b)
+		}
 		return errDraining
 	}
 	for i, b := range batches {
-		if len(b) > 0 {
-			s.shards[i].ch <- shardMsg{batch: b}
+		if len(*b) == 0 {
+			putVecSlice(b)
+			continue
 		}
+		s.shards[i].ch <- shardMsg{batch: b}
 	}
 	return nil
 }
@@ -345,7 +367,12 @@ type shardStats struct {
 	ID       int   `json:"id"`
 	Ingested int64 `json:"ingested"`
 	Batches  int64 `json:"batches"`
-	Stored   int64 `json:"stored_points"`
+	// LastBatch and AvgBatch report the per-shard batch sizes the ingest
+	// path is achieving; small averages mean the fast path is amortizing
+	// little and callers should send bigger /ingest bodies.
+	LastBatch int64   `json:"last_batch"`
+	AvgBatch  float64 `json:"avg_batch"`
+	Stored    int64   `json:"stored_points"`
 }
 
 type statsResponse struct {
@@ -376,13 +403,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Draining = s.draining
 	s.mu.RUnlock()
 	for i, sh := range s.shards {
-		resp.Shards[i] = shardStats{
-			ID:       sh.id,
-			Ingested: sh.ingested.Load(),
-			Batches:  sh.batches.Load(),
-			Stored:   sh.stored.Load(),
+		st := shardStats{
+			ID:        sh.id,
+			Ingested:  sh.ingested.Load(),
+			Batches:   sh.batches.Load(),
+			LastBatch: sh.lastBatch.Load(),
+			Stored:    sh.stored.Load(),
 		}
-		resp.IngestedTotal += resp.Shards[i].Ingested
+		if st.Batches > 0 {
+			st.AvgBatch = float64(st.Ingested) / float64(st.Batches)
+		}
+		resp.Shards[i] = st
+		resp.IngestedTotal += st.Ingested
 	}
 	writeJSON(w, resp)
 }

@@ -389,3 +389,60 @@ func TestQueryDefaultsAndHealthz(t *testing.T) {
 		t.Errorf("healthz: status %d", hr.StatusCode)
 	}
 }
+
+func TestStatsReportBatchSizes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4})
+	rng := rand.New(rand.NewSource(31))
+	// Two ingests of 20 points (2 clusters × 10) over 2 shards: each
+	// shard sees 2 batches of 10 points.
+	for r := 0; r < 2; r++ {
+		postIngest(t, ts.URL, clusterPoints(rng, []divmax.Vector{{0, 0}, {50, 50}}, 10, 1))
+	}
+	// A query drains the shard channels (snapshot requests are answered
+	// in order after the buffered batches), so the counters are settled.
+	getQuery(t, ts.URL, 2, divmax.RemoteEdge)
+	stats := getStats(t, ts.URL)
+	for _, sh := range stats.Shards {
+		if sh.Batches != 2 || sh.Ingested != 20 {
+			t.Fatalf("shard %d: %d batches of %d points, want 2 of 20", sh.ID, sh.Batches, sh.Ingested)
+		}
+		if sh.LastBatch != 10 {
+			t.Fatalf("shard %d: last_batch %d, want 10", sh.ID, sh.LastBatch)
+		}
+		if sh.AvgBatch != 10 {
+			t.Fatalf("shard %d: avg_batch %v, want 10", sh.ID, sh.AvgBatch)
+		}
+	}
+}
+
+// TestPooledBuffersDoNotAliasRetainedPoints guards the buffer recycling
+// on the ingest path: shards retain accepted points indefinitely, so a
+// recycled decode or batch buffer that still referenced them would let a
+// later request corrupt the stored core-set. Every queried solution
+// point must be bit-identical to some ingested point.
+func TestPooledBuffersDoNotAliasRetainedPoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 3, MaxK: 4})
+	seen := make(map[[2]float64]bool)
+	rng := rand.New(rand.NewSource(33))
+	// Many small sequential requests maximize pool reuse.
+	for r := 0; r < 60; r++ {
+		batch := make([]divmax.Vector, 5)
+		for i := range batch {
+			p := divmax.Vector{rng.Float64() * 1000, rng.Float64() * 1000}
+			batch[i] = p
+			seen[[2]float64{p[0], p[1]}] = true
+		}
+		postIngest(t, ts.URL, batch)
+	}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		res := getQuery(t, ts.URL, 4, m)
+		if len(res.Solution) == 0 {
+			t.Fatalf("%v: empty solution", m)
+		}
+		for _, p := range res.Solution {
+			if len(p) != 2 || !seen[[2]float64{p[0], p[1]}] {
+				t.Fatalf("%v: solution point %v was never ingested (buffer corruption?)", m, p)
+			}
+		}
+	}
+}

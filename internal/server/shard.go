@@ -15,8 +15,12 @@ import (
 // serializes them against the shard goroutine, which is what lets the
 // StreamCoreset processors stay lock-free: only the shard goroutine ever
 // touches them.
+//
+// batch points at a pooled slice (see pool.go): the sender fills it, the
+// shard goroutine consumes it with ProcessBatch and returns it to the
+// pool, so steady-state ingest allocates no batch buffers at all.
 type shardMsg struct {
-	batch []divmax.Vector
+	batch *[]divmax.Vector
 	snap  chan<- divmax.CoresetSnapshot[divmax.Vector]
 	proxy bool
 }
@@ -34,9 +38,10 @@ type shard struct {
 
 	// Monitoring counters, updated by the shard goroutine after each
 	// batch and read lock-free by /stats.
-	ingested atomic.Int64
-	batches  atomic.Int64
-	stored   atomic.Int64
+	ingested  atomic.Int64
+	batches   atomic.Int64
+	lastBatch atomic.Int64
+	stored    atomic.Int64
 }
 
 func newShard(id int, cfg Config) *shard {
@@ -66,12 +71,13 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			}
 			continue
 		}
-		for _, p := range msg.batch {
-			s.edge.Process(p)
-			s.proxy.Process(p)
-		}
-		s.ingested.Add(int64(len(msg.batch)))
+		batch := *msg.batch
+		s.edge.ProcessBatch(batch)
+		s.proxy.ProcessBatch(batch)
+		s.ingested.Add(int64(len(batch)))
 		s.batches.Add(1)
+		s.lastBatch.Store(int64(len(batch)))
 		s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+		putVecSlice(msg.batch)
 	}
 }

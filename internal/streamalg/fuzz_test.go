@@ -18,16 +18,25 @@ func FuzzSMMInvariants(f *testing.F) {
 		k := 1 + int(kRaw)%4
 		kprime := k + int(kpRaw)%5
 		s := NewSMM(k, kprime, metric.Euclidean)
+		// ref runs the generic scan (the wrapper defeats the Euclidean
+		// fast path): the scalar and batched kernels must agree step for
+		// step on arbitrary streams.
+		ref := NewSMM(k, kprime, metric.Distance[metric.Vector](genericEuclid))
 		var all []metric.Vector
 		for i := 0; i+1 < len(data); i += 2 {
 			p := metric.Vector{float64(data[i]), float64(data[i+1])}
 			all = append(all, p)
 			s.Process(p)
+			ref.Process(p)
 			if got := len(s.centers); got > kprime+1 {
 				t.Fatalf("center count %d exceeds k'+1=%d", got, kprime+1)
 			}
 			if s.StoredPoints() > 2*(kprime+1) {
 				t.Fatalf("memory %d exceeds 2(k'+1)", s.StoredPoints())
+			}
+			if len(s.centers) != len(ref.centers) || s.Threshold() != ref.Threshold() {
+				t.Fatalf("fast path diverged from generic: %d centers at threshold %v vs %d at %v",
+					len(s.centers), s.Threshold(), len(ref.centers), ref.Threshold())
 			}
 		}
 		if len(all) == 0 {

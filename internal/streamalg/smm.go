@@ -31,6 +31,7 @@ import (
 type SMM[P any] struct {
 	k, kprime int
 	d         metric.Distance[P]
+	scan      centerScanner[P] // flat Euclidean mirror of centers; nil on the generic path
 
 	initialized bool
 	threshold   float64 // d_i of the running phase; 0 until initialized
@@ -49,7 +50,25 @@ func NewSMM[P any](k, kprime int, d metric.Distance[P]) *SMM[P] {
 	if k < 1 || kprime < k {
 		panic(fmt.Sprintf("streamalg: NewSMM requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
 	}
-	return &SMM[P]{k: k, kprime: kprime, d: d}
+	return &SMM[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d)}
+}
+
+// minDist is the nearest-center scan: the flat squared-distance kernel
+// when the space is Euclidean over dense vectors, the generic loop
+// otherwise. Both return identical (distance, index) pairs.
+func (s *SMM[P]) minDist(p P) (float64, int) {
+	if s.scan != nil {
+		return s.scan.MinDist(p)
+	}
+	return metric.MinDistance(p, s.centers, s.d)
+}
+
+// addCenter appends p to T and keeps the fast-path mirror in sync.
+func (s *SMM[P]) addCenter(p P) {
+	s.centers = append(s.centers, p)
+	if s.scan != nil {
+		s.scan.Append(p)
+	}
 }
 
 // Process consumes the next stream point.
@@ -57,10 +76,10 @@ func (s *SMM[P]) Process(p P) {
 	s.processed++
 	if !s.initialized {
 		// Initialization: collect the first k'+1 distinct points.
-		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+		if dist, _ := s.minDist(p); dist == 0 && len(s.centers) > 0 {
 			return
 		}
-		s.centers = append(s.centers, p)
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold = metric.Farness(s.centers, s.d)
 			s.initialized = true
@@ -68,12 +87,22 @@ func (s *SMM[P]) Process(p P) {
 		}
 		return
 	}
-	if dist, _ := metric.MinDistance(p, s.centers, s.d); dist > 4*s.threshold {
-		s.centers = append(s.centers, p)
+	if dist, _ := s.minDist(p); dist > 4*s.threshold {
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold *= 2
 			s.startPhase()
 		}
+	}
+}
+
+// ProcessBatch consumes a slice of stream points, equivalent to calling
+// Process on each in order. Batch ingestion keeps the center set hot in
+// cache across the whole slice and is the natural feed for callers that
+// already receive points in chunks (the divmaxd shards).
+func (s *SMM[P]) ProcessBatch(batch []P) {
+	for _, p := range batch {
+		s.Process(p)
 	}
 }
 
@@ -114,6 +143,9 @@ func (s *SMM[P]) merge() {
 		}
 	}
 	s.centers = kept
+	if s.scan != nil {
+		s.scan.Rebuild(s.centers)
+	}
 	s.merged = append(s.merged, removed...)
 }
 

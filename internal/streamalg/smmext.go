@@ -17,6 +17,7 @@ import (
 type SMMExt[P any] struct {
 	k, kprime int
 	d         metric.Distance[P]
+	scan      centerScanner[P] // flat Euclidean mirror of centers; nil on the generic path
 
 	initialized bool
 	threshold   float64
@@ -35,18 +36,35 @@ func NewSMMExt[P any](k, kprime int, d metric.Distance[P]) *SMMExt[P] {
 	if k < 1 || kprime < k {
 		panic(fmt.Sprintf("streamalg: NewSMMExt requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
 	}
-	return &SMMExt[P]{k: k, kprime: kprime, d: d}
+	return &SMMExt[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d)}
+}
+
+// minDist is the nearest-center scan; see SMM.minDist.
+func (s *SMMExt[P]) minDist(p P) (float64, int) {
+	if s.scan != nil {
+		return s.scan.MinDist(p)
+	}
+	return metric.MinDistance(p, s.centers, s.d)
+}
+
+// addCenter appends a new center with its singleton delegate set and
+// keeps the fast-path mirror in sync.
+func (s *SMMExt[P]) addCenter(p P) {
+	s.centers = append(s.centers, p)
+	s.delegates = append(s.delegates, []P{p})
+	if s.scan != nil {
+		s.scan.Append(p)
+	}
 }
 
 // Process consumes the next stream point.
 func (s *SMMExt[P]) Process(p P) {
 	s.processed++
 	if !s.initialized {
-		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+		if dist, _ := s.minDist(p); dist == 0 && len(s.centers) > 0 {
 			return
 		}
-		s.centers = append(s.centers, p)
-		s.delegates = append(s.delegates, []P{p})
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold = metric.Farness(s.centers, s.d)
 			s.initialized = true
@@ -54,10 +72,9 @@ func (s *SMMExt[P]) Process(p P) {
 		}
 		return
 	}
-	dist, nearest := metric.MinDistance(p, s.centers, s.d)
+	dist, nearest := s.minDist(p)
 	if dist > 4*s.threshold {
-		s.centers = append(s.centers, p)
-		s.delegates = append(s.delegates, []P{p})
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold *= 2
 			s.startPhase()
@@ -66,6 +83,14 @@ func (s *SMMExt[P]) Process(p P) {
 	}
 	if len(s.delegates[nearest]) < s.k {
 		s.delegates[nearest] = append(s.delegates[nearest], p)
+	}
+}
+
+// ProcessBatch consumes a slice of stream points, equivalent to calling
+// Process on each in order; see SMM.ProcessBatch.
+func (s *SMMExt[P]) ProcessBatch(batch []P) {
+	for _, p := range batch {
+		s.Process(p)
 	}
 }
 
@@ -132,6 +157,9 @@ func (s *SMMExt[P]) merge() {
 	}
 	s.centers = newCenters
 	s.delegates = newDelegates
+	if s.scan != nil {
+		s.scan.Rebuild(s.centers)
+	}
 }
 
 // Result returns T′ = ∪_t E_t, topped up from the phase's dropped
@@ -184,6 +212,7 @@ func (s *SMMExt[P]) StoredPoints() int {
 type SMMGen[P any] struct {
 	k, kprime int
 	d         metric.Distance[P]
+	scan      centerScanner[P] // flat Euclidean mirror of centers; nil on the generic path
 
 	initialized bool
 	threshold   float64
@@ -199,18 +228,35 @@ func NewSMMGen[P any](k, kprime int, d metric.Distance[P]) *SMMGen[P] {
 	if k < 1 || kprime < k {
 		panic(fmt.Sprintf("streamalg: NewSMMGen requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
 	}
-	return &SMMGen[P]{k: k, kprime: kprime, d: d}
+	return &SMMGen[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d)}
+}
+
+// minDist is the nearest-center scan; see SMM.minDist.
+func (s *SMMGen[P]) minDist(p P) (float64, int) {
+	if s.scan != nil {
+		return s.scan.MinDist(p)
+	}
+	return metric.MinDistance(p, s.centers, s.d)
+}
+
+// addCenter appends a new unit-count center and keeps the fast-path
+// mirror in sync.
+func (s *SMMGen[P]) addCenter(p P) {
+	s.centers = append(s.centers, p)
+	s.counts = append(s.counts, 1)
+	if s.scan != nil {
+		s.scan.Append(p)
+	}
 }
 
 // Process consumes the next stream point.
 func (s *SMMGen[P]) Process(p P) {
 	s.processed++
 	if !s.initialized {
-		if dist, _ := metric.MinDistance(p, s.centers, s.d); dist == 0 && len(s.centers) > 0 {
+		if dist, _ := s.minDist(p); dist == 0 && len(s.centers) > 0 {
 			return
 		}
-		s.centers = append(s.centers, p)
-		s.counts = append(s.counts, 1)
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold = metric.Farness(s.centers, s.d)
 			s.initialized = true
@@ -218,10 +264,9 @@ func (s *SMMGen[P]) Process(p P) {
 		}
 		return
 	}
-	dist, nearest := metric.MinDistance(p, s.centers, s.d)
+	dist, nearest := s.minDist(p)
 	if dist > 4*s.threshold {
-		s.centers = append(s.centers, p)
-		s.counts = append(s.counts, 1)
+		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold *= 2
 			s.startPhase()
@@ -230,6 +275,14 @@ func (s *SMMGen[P]) Process(p P) {
 	}
 	if s.counts[nearest] < s.k {
 		s.counts[nearest]++
+	}
+}
+
+// ProcessBatch consumes a slice of stream points, equivalent to calling
+// Process on each in order; see SMM.ProcessBatch.
+func (s *SMMGen[P]) ProcessBatch(batch []P) {
+	for _, p := range batch {
+		s.Process(p)
 	}
 }
 
@@ -286,6 +339,9 @@ func (s *SMMGen[P]) merge() {
 	}
 	s.centers = newCenters
 	s.counts = newCounts
+	if s.scan != nil {
+		s.scan.Rebuild(s.centers)
+	}
 }
 
 // Result returns the generalized core-set (center, count) pairs.

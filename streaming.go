@@ -43,6 +43,13 @@ func StreamingSolveTwoPass[P any](m Measure, stream Stream[P], k, kprime int, d 
 type StreamCoreset[P any] interface {
 	// Process consumes the next stream point.
 	Process(p P)
+	// ProcessBatch consumes a slice of stream points, equivalent to
+	// calling Process on each in order. Prefer it when points already
+	// arrive in chunks: the scan of the center set stays hot in cache
+	// across the batch, and on the Euclidean fast path (metric.Vector
+	// points under the Euclidean distance) the whole batch runs on the
+	// flat squared-distance kernels.
+	ProcessBatch(batch []P)
 	// Coreset returns the core-set of everything processed so far.
 	Coreset() []P
 	// Snapshot returns the core-set together with the processing
