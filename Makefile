@@ -19,11 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR2.json): GMM fast vs
-# pre-PR generic, SMM ingest, and end-to-end divmaxd throughput across
-# n ∈ {10k,100k}, d ∈ {2,8,32}. CI uploads the JSON as an artifact.
+# Regenerate the performance trajectory (BENCH_PR3.json): GMM fast vs
+# pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
+# round-2 solve path (matrix vs generic), and cached vs cold /query.
+# CI uploads the JSON as an artifact alongside the committed
+# BENCH_PR2.json baseline.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR2.json
+	$(GO) run ./cmd/bench -out BENCH_PR3.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

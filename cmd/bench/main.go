@@ -1,22 +1,32 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR2.json in the repo root, via
+// and writes the results as JSON (BENCH_PR3.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
-// Three suites cover the layers the flat-buffer distance engine
-// touches, each over n ∈ {10k, 100k} points and d ∈ {2, 8, 32}
-// dimensions:
+// Five suites cover the layers the flat-buffer distance engine and the
+// round-2 solve engine touch:
 //
 //   - gmm: one farthest-first core-set construction (k′ = 64), fast
-//     path versus the pre-PR generic path. The generic baseline runs
-//     GMM through a wrapper distance implementing the pre-PR Euclidean
-//     (plain in-order sum + sqrt per pair, indirect call, scattered
-//     rows), which the fast-path dispatcher deliberately does not
-//     recognize.
+//     path versus the pre-PR-2 generic path, over n ∈ {10k, 100k} and
+//     d ∈ {2, 8, 32}. The generic baseline runs GMM through a wrapper
+//     distance implementing the pre-PR-2 Euclidean (plain in-order
+//     sum plus a sqrt per pair, indirect call, scattered rows), which
+//     the fast-path dispatcher deliberately does not recognize.
 //   - smm_ingest: streaming SMM core-set ingestion (k = 16, k′ = 64),
-//     batched fast path versus the same pre-PR generic baseline.
+//     batched fast path versus the same pre-PR-2 generic baseline.
 //   - divmaxd: end-to-end service throughput over HTTP — JSON ingest
-//     into sharded streaming core-sets, then merge+solve queries.
+//     into sharded streaming core-sets, then merge+solve queries. Since
+//     PR 3 the repeated queries hit the service's snapshot cache, so
+//     the reported minima are cached-path latencies; the query_cache
+//     suite reports the cold/cached split explicitly.
+//   - solve: the round-2 solvers on merged-core-set-sized unions —
+//     MaxDispersionPairs, LocalSearchClique, and SolveCoresets —
+//     matrix-indexed (including the parallel matrix fill) versus the
+//     generic callback path, which a wrapper around metric.Euclidean
+//     keeps on the pre-PR-3 code.
+//   - query_cache: divmaxd /query against an unchanged stream — the
+//     first query after an ingest (cold: snapshot + merge + matrix
+//     fill + solve) versus a repeated one (cached).
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -36,8 +46,10 @@ import (
 	"runtime"
 	"time"
 
+	"divmax"
 	"divmax/internal/coreset"
 	"divmax/internal/metric"
+	"divmax/internal/sequential"
 	"divmax/internal/server"
 	"divmax/internal/streamalg"
 )
@@ -89,18 +101,50 @@ type serverCase struct {
 	CoresetAfter int     `json:"coreset_size_remote_edge"`
 }
 
+type solveCase struct {
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	K    int    `json:"k"`
+	// FillMS is the one-time parallel matrix fill; MatrixMS is the
+	// matrix-indexed solver against the built matrix — the steady-state
+	// cost once the fill is amortized (divmaxd's snapshot cache) or run
+	// wide across cores. Speedup compares MatrixMS to GenericMS;
+	// ColdSpeedup charges the fill to a single one-shot solve
+	// (fill+solve vs generic), the worst case for the matrix path.
+	FillMS      float64 `json:"fill_ms"`
+	MatrixMS    float64 `json:"matrix_ms"`
+	GenericMS   float64 `json:"generic_ms"`
+	Speedup     float64 `json:"speedup"`
+	ColdSpeedup float64 `json:"cold_speedup"`
+}
+
+type queryCacheCase struct {
+	N           int     `json:"n"`
+	Dim         int     `json:"dim"`
+	Shards      int     `json:"shards"`
+	Measure     string  `json:"measure"`
+	K           int     `json:"k"`
+	CoresetSize int     `json:"coreset_size"`
+	ColdMS      float64 `json:"cold_ms"`
+	CachedMS    float64 `json:"cached_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
 type report struct {
-	PR      int          `json:"pr"`
-	Date    string       `json:"date"`
-	Go      string       `json:"go"`
-	GOOS    string       `json:"goos"`
-	GOARCH  string       `json:"goarch"`
-	CPUs    int          `json:"cpus"`
-	Reps    int          `json:"reps"`
-	GMMReps int          `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
-	GMM     []gmmCase    `json:"gmm"`
-	SMM     []smmCase    `json:"smm_ingest"`
-	Divmaxd []serverCase `json:"divmaxd"`
+	PR         int              `json:"pr"`
+	Date       string           `json:"date"`
+	Go         string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	Reps       int              `json:"reps"`
+	GMMReps    int              `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
+	GMM        []gmmCase        `json:"gmm"`
+	SMM        []smmCase        `json:"smm_ingest"`
+	Divmaxd    []serverCase     `json:"divmaxd"`
+	Solve      []solveCase      `json:"solve"`
+	QueryCache []queryCacheCase `json:"query_cache"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -160,15 +204,41 @@ func minTime2(reps int, a, b func()) (time.Duration, time.Duration) {
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
+// genericEuclid has the same semantics as metric.Euclidean but is a
+// distinct function the matrix dispatcher does not recognize, so
+// algorithms driven by it run the pre-PR-3 generic callback path (which
+// already includes the PR-2 four-lane Euclidean) — the honest baseline
+// for the round-2 solve suite.
+func genericEuclid(a, b metric.Vector) float64 { return metric.Euclidean(a, b) }
+
+// mustEqualSolutions aborts the run when two solver paths diverge; the
+// committed numbers are only meaningful if the contenders do identical
+// work.
+func mustEqualSolutions(label string, a, b []metric.Vector) {
+	ok := len(a) == len(b)
+	for i := 0; ok && i < len(a); i++ {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: %s: matrix/generic solutions diverge\n", label)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      2,
+		PR:      3,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -316,6 +386,169 @@ func main() {
 		}
 	}
 
+	// Suite 4: the round-2 solvers on merged-core-set-sized unions,
+	// matrix-indexed versus the generic callback path, which a wrapper
+	// around metric.Euclidean keeps on the pre-PR-3 code. The matrix
+	// contenders drive the explicit entry points (the code the divmaxd
+	// cache and mrdiv.SolveCoresets run), with the one-time fill timed
+	// separately from the solver it feeds. d = 8 matches the acceptance
+	// gate.
+	generic3 := metric.Distance[metric.Vector](genericEuclid)
+	const solveDim, solveK = 8, 16
+	solveBench := func(algo string, pts []metric.Vector, k int,
+		matrixSolve func(dm *metric.DistMatrix) []metric.Vector,
+		genericSolve func() []metric.Vector) {
+		dm := sequential.BuildMatrix(pts, metric.Euclidean, 0)
+		if dm == nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: BuildMatrix rejected the input\n", algo)
+			os.Exit(1)
+		}
+		mustEqualSolutions(algo, matrixSolve(dm), genericSolve())
+		// Flush garbage from earlier suites (the divmaxd run leaves ~100MB
+		// of JSON bodies behind): on one core a major GC landing inside
+		// the first timed fill would otherwise dominate it.
+		runtime.GC()
+		fill := minTime(*reps, func() { sequential.BuildMatrix(pts, metric.Euclidean, 0) })
+		runtime.GC()
+		mat, gen := minTime2(*reps,
+			func() { matrixSolve(dm) },
+			func() { genericSolve() })
+		rep.Solve = append(rep.Solve, solveCase{
+			Algo: algo, N: len(pts), Dim: solveDim, K: k,
+			FillMS: ms(fill), MatrixMS: ms(mat), GenericMS: ms(gen),
+			Speedup:     float64(gen) / float64(mat),
+			ColdSpeedup: float64(gen) / float64(fill+mat),
+		})
+		fmt.Printf("solve   %-22s n=%-6d d=%-3d fill %8.2fms  matrix %8.2fms  generic %8.2fms  speedup %.2fx (cold %.2fx)\n",
+			algo, len(pts), solveDim, ms(fill), ms(mat), ms(gen),
+			float64(gen)/float64(mat), float64(gen)/float64(fill+mat))
+	}
+	{
+		rng := rand.New(rand.NewSource(101))
+		pts := randomVectors(rng, 4096, solveDim)
+		solveBench("max_dispersion_pairs", pts, solveK,
+			func(dm *metric.DistMatrix) []metric.Vector {
+				return sequential.MaxDispersionPairsMatrix(pts, dm, solveK)
+			},
+			func() []metric.Vector { return sequential.MaxDispersionPairs(pts, solveK, generic3) })
+	}
+	{
+		rng := rand.New(rand.NewSource(102))
+		pts := randomVectors(rng, 2048, solveDim)
+		const lsK, lsSweeps = 24, 16
+		solveBench("local_search_clique", pts, lsK,
+			func(dm *metric.DistMatrix) []metric.Vector {
+				return sequential.LocalSearchCliqueMatrix(pts, dm, lsK, lsSweeps)
+			},
+			func() []metric.Vector { return sequential.LocalSearchClique(pts, lsK, lsSweeps, generic3) })
+	}
+	{
+		// Round 2 as the service runs it: four shard-sized remote-clique
+		// core-sets whose union is the solver's input. The generic
+		// contender is the full pre-PR-3 SolveCoresets round.
+		rng := rand.New(rand.NewSource(103))
+		cores := make([][]metric.Vector, 4)
+		var union []metric.Vector
+		for i := range cores {
+			cores[i] = randomVectors(rng, 1024, solveDim)
+			union = append(union, cores[i]...)
+		}
+		solveBench("solve_coresets", union, solveK,
+			func(dm *metric.DistMatrix) []metric.Vector {
+				return sequential.SolveMatrix(divmax.RemoteClique, union, dm, solveK)
+			},
+			func() []metric.Vector {
+				sol, err := divmax.MapReduceSolveCoresets(divmax.RemoteClique, cores, solveK, divmax.MRConfig{}, generic3)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				return sol
+			})
+	}
+
+	// Suite 5: /query against an unchanged stream, cold (first query
+	// after an ingest: snapshot + merge + matrix fill + solve) versus
+	// cached (every later one). A one-point ingest before each cold rep
+	// invalidates the cache without meaningfully changing the stream.
+	{
+		const n, dim, shards, k = 50000, 8, 4, 16
+		rng := rand.New(rand.NewSource(104))
+		pts := randomVectors(rng, n, dim)
+		srv, err := server.New(server.Config{Shards: shards, MaxK: k})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		client := ts.Client()
+		ingest := func(batch []metric.Vector) {
+			body, err := json.Marshal(map[string][]metric.Vector{"points": batch})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "bench: ingest failed:", err, resp)
+				os.Exit(1)
+			}
+			resp.Body.Close()
+		}
+		for lo := 0; lo < n; lo += ingestBatch {
+			ingest(pts[lo:min(lo+ingestBatch, n)])
+		}
+		var size int
+		query := func(wantCached bool) time.Duration {
+			start := time.Now()
+			resp, err := client.Get(ts.URL + "/query?k=16&measure=remote-clique")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+				os.Exit(1)
+			}
+			var qr struct {
+				Cached      bool `json:"cached"`
+				CoresetSize int  `json:"coreset_size"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
+				os.Exit(1)
+			}
+			resp.Body.Close()
+			elapsed := time.Since(start)
+			if qr.Cached != wantCached {
+				fmt.Fprintf(os.Stderr, "bench: query cached=%v, want %v\n", qr.Cached, wantCached)
+				os.Exit(1)
+			}
+			size = qr.CoresetSize
+			return elapsed
+		}
+		cold := time.Duration(math.MaxInt64)
+		cached := time.Duration(math.MaxInt64)
+		for r := 0; r < *reps; r++ {
+			i := rng.Intn(n - 1)
+			ingest(pts[i : i+1]) // a one-point batch invalidates the cache
+			if el := query(false); el < cold {
+				cold = el
+			}
+			for i := 0; i < 3; i++ {
+				if el := query(true); el < cached {
+					cached = el
+				}
+			}
+		}
+		ts.Close()
+		srv.Close()
+		rep.QueryCache = append(rep.QueryCache, queryCacheCase{
+			N: n, Dim: dim, Shards: shards, Measure: "remote-clique", K: k,
+			CoresetSize: size,
+			ColdMS:      ms(cold), CachedMS: ms(cached),
+			Speedup: float64(cold) / float64(cached),
+		})
+		fmt.Printf("query   cache n=%-6d d=%-3d coreset=%-5d cold %8.2fms  cached %8.4fms  speedup %.1fx\n",
+			n, dim, size, ms(cold), ms(cached), float64(cold)/float64(cached))
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -328,12 +561,21 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 
-	// The PR-2 acceptance gate: flat GMM ≥ 2× the pre-PR generic path
-	// at n=100k, d=8. Surface it loudly so a regression is visible in
-	// CI logs without parsing the JSON.
+	// The acceptance gates, surfaced loudly so a regression is visible
+	// in CI logs without parsing the JSON: PR 2's (flat GMM ≥ 2× at
+	// n=100k d=8) and PR 3's (matrix MaxDispersionPairs ≥ 2× at n=4096
+	// d=8; cached /query ≥ 5× cold).
 	for _, c := range rep.GMM {
 		if c.N == 100000 && c.Dim == 8 {
 			fmt.Printf("acceptance: GMM n=100k d=8 speedup %.2fx (target >= 2.0x)\n", c.Speedup)
 		}
+	}
+	for _, c := range rep.Solve {
+		if c.Algo == "max_dispersion_pairs" && c.N == 4096 && c.Dim == 8 {
+			fmt.Printf("acceptance: MaxDispersionPairs n=4096 d=8 speedup %.2fx (target >= 2.0x)\n", c.Speedup)
+		}
+	}
+	for _, c := range rep.QueryCache {
+		fmt.Printf("acceptance: cached /query speedup %.1fx (target >= 5.0x)\n", c.Speedup)
 	}
 }

@@ -109,9 +109,10 @@ func gmmFlat(pts []metric.Vector, sc *scratchBuffers, k, start int) Result[metri
 }
 
 // gmmFastParallel is gmmFlat with each relaxation pass sharded across
-// worker goroutines, mirroring the generic GMMParallel shard/reduce
-// structure so it returns exactly the same Result (ties resolved by
-// lowest index). Arguments are validated and clamped by GMMParallel.
+// worker goroutines through metric's RelaxMinSqParallel, whose
+// lowest-index reduce returns exactly the same (next, nextSq) as the
+// sequential pass — so the Result is identical to GMM's. Arguments are
+// validated and clamped by GMMParallel.
 func gmmFastParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]) (Result[P], bool) {
 	vecs, ok := euclideanVectors(pts, d)
 	if !ok {
@@ -133,54 +134,18 @@ func gmmFastParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]
 	minSq := sc.minSqInit(n)
 	res.LastDist = math.Inf(1)
 
-	type shardMax struct {
-		idx int
-		sq  float64
-	}
-	shards := workers
-	chunk := (n + shards - 1) / shards
-	maxes := make([]shardMax, shards)
-	var wg sync.WaitGroup
-
 	cur := start
-	last := shardMax{idx: -1, sq: -1}
+	lastSq := -1.0
 	for sel := 0; sel < k; sel++ {
 		if sel > 0 {
 			res.LastDist = math.Sqrt(minSq[cur])
 		}
 		res.Points = append(res.Points, vecs[cur])
 		res.Indices = append(res.Indices, cur)
-		for s := 0; s < shards; s++ {
-			lo := s * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				maxes[s] = shardMax{idx: -1, sq: -1}
-				continue
-			}
-			wg.Add(1)
-			go func(s, lo, hi, cur, sel int) {
-				defer wg.Done()
-				// Shards write disjoint ranges of minSq/Assign.
-				idx, sq := flat.RelaxMinSqRange(lo, hi, cur, sel, minSq, res.Assign, lo, -1)
-				maxes[s] = shardMax{idx: idx, sq: sq}
-			}(s, lo, hi, cur, sel)
-		}
-		wg.Wait()
-		// Reduce shard maxima; lowest index wins ties, matching GMM.
-		next := shardMax{idx: -1, sq: -1}
-		for _, sm := range maxes {
-			if sm.idx >= 0 && (sm.sq > next.sq || (sm.sq == next.sq && next.idx >= 0 && sm.idx < next.idx)) {
-				next = sm
-			}
-		}
-		cur = next.idx
-		last = next
+		cur, lastSq = flat.RelaxMinSqParallel(cur, sel, workers, minSq, res.Assign)
 	}
-	if last.sq > 0 {
-		res.Radius = math.Sqrt(last.sq)
+	if lastSq > 0 {
+		res.Radius = math.Sqrt(lastSq)
 	}
 	out, _ := any(res).(Result[P])
 	return out, true

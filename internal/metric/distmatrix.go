@@ -1,0 +1,276 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DistMatrix is a flat, row-major n×n buffer of pairwise squared
+// Euclidean distances: sq[i*n+j] = SqDist(row i, row j). It is the
+// substrate of the round-2 solve fast path (internal/sequential): the
+// sequential α-approximation algorithms run on the merged core-set
+// union are Ω(n²) in distance evaluations, so materializing every pair
+// once — in parallel, on the canonical four-lane kernel — turns them
+// from distance-bound to memory-bound. Because every entry is the
+// canonical four-lane square (kernel.go), math.Sqrt of an entry is
+// bit-identical to Euclidean on the same rows, and solvers driven by
+// At make exactly the same comparisons as the generic callback path.
+//
+// A DistMatrix is immutable after NewDistMatrix returns and safe for
+// concurrent reads, which is what lets the divmaxd query cache share
+// one matrix across queries.
+type DistMatrix struct {
+	sq []float64
+	n  int
+}
+
+// distMatrixMinRows is the minimum number of rows a fill worker must
+// have before another goroutine is worth spawning; below it the spawn
+// and join overhead exceeds the row work.
+const distMatrixMinRows = 32
+
+// NewDistMatrix materializes the pairwise squared-distance matrix of p,
+// filling row ranges in parallel across worker goroutines (workers ≤ 0
+// means runtime.NumCPU(); the count is clamped so every worker owns at
+// least distMatrixMinRows rows). Each worker computes full rows of the
+// canonical four-lane square sqDist, so writes are strictly sequential
+// and disjoint across workers; the symmetric cell (j,i) is computed
+// independently from the same coordinates and is bit-identical because
+// (a−b)² = (b−a)² exactly in IEEE arithmetic.
+func NewDistMatrix(p *Points, workers int) *DistMatrix {
+	n := p.Len()
+	m := &DistMatrix{sq: make([]float64, n*n), n: n}
+	if n == 0 {
+		return m
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if maxw := (n + distMatrixMinRows - 1) / distMatrixMinRows; workers > maxw {
+		workers = maxw
+	}
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.sqDistRowsInto(i, m.sq[i*n:i*n+n])
+		}
+	}
+	if workers <= 1 {
+		fill(0, n)
+		return m
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return m
+}
+
+// sqDistRowsInto writes the squared distances from row c to every row
+// into out (len ≥ n): one DistMatrix row. It is RelaxMinSqRange's
+// traversal without the min/assign bookkeeping — the same
+// dimension-specialized kernels (two/three-coordinate direct forms, the
+// 8-dimensional four-rows-per-step unroll), the same canonical four-lane
+// summation order, so every value is bit-identical to sqDist on the same
+// rows.
+func (p *Points) sqDistRowsInto(c int, out []float64) {
+	n := p.n
+	d := p.dim
+	data := p.data
+	_ = out[n-1]
+	switch d {
+	case 2:
+		c0, c1 := data[2*c], data[2*c+1]
+		for i := 0; i < n; i++ {
+			d0 := c0 - data[2*i]
+			d1 := c1 - data[2*i+1]
+			out[i] = d0*d0 + d1*d1
+		}
+	case 3:
+		c0, c1, c2 := data[3*c], data[3*c+1], data[3*c+2]
+		for i := 0; i < n; i++ {
+			row := data[3*i : 3*i+3]
+			d0 := c0 - row[0]
+			d1 := c1 - row[1]
+			d2 := c2 - row[2]
+			out[i] = d0*d0 + d1*d1 + d2*d2
+		}
+	case 8:
+		center := data[8*c : 8*c+8]
+		c0, c1, c2, c3 := center[0], center[1], center[2], center[3]
+		c4, c5, c6, c7 := center[4], center[5], center[6], center[7]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			row := data[8*i : 8*i+32]
+			d0 := c0 - row[0]
+			d1 := c1 - row[1]
+			d2 := c2 - row[2]
+			d3 := c3 - row[3]
+			s0 := d0 * d0
+			s1 := d1 * d1
+			s2 := d2 * d2
+			s3 := d3 * d3
+			d4 := c4 - row[4]
+			d5 := c5 - row[5]
+			d6 := c6 - row[6]
+			d7 := c7 - row[7]
+			s0 += d4 * d4
+			s1 += d5 * d5
+			s2 += d6 * d6
+			s3 += d7 * d7
+			out[i] = (s0 + s1) + (s2 + s3)
+			d0 = c0 - row[8]
+			d1 = c1 - row[9]
+			d2 = c2 - row[10]
+			d3 = c3 - row[11]
+			s0 = d0 * d0
+			s1 = d1 * d1
+			s2 = d2 * d2
+			s3 = d3 * d3
+			d4 = c4 - row[12]
+			d5 = c5 - row[13]
+			d6 = c6 - row[14]
+			d7 = c7 - row[15]
+			s0 += d4 * d4
+			s1 += d5 * d5
+			s2 += d6 * d6
+			s3 += d7 * d7
+			out[i+1] = (s0 + s1) + (s2 + s3)
+			d0 = c0 - row[16]
+			d1 = c1 - row[17]
+			d2 = c2 - row[18]
+			d3 = c3 - row[19]
+			s0 = d0 * d0
+			s1 = d1 * d1
+			s2 = d2 * d2
+			s3 = d3 * d3
+			d4 = c4 - row[20]
+			d5 = c5 - row[21]
+			d6 = c6 - row[22]
+			d7 = c7 - row[23]
+			s0 += d4 * d4
+			s1 += d5 * d5
+			s2 += d6 * d6
+			s3 += d7 * d7
+			out[i+2] = (s0 + s1) + (s2 + s3)
+			d0 = c0 - row[24]
+			d1 = c1 - row[25]
+			d2 = c2 - row[26]
+			d3 = c3 - row[27]
+			s0 = d0 * d0
+			s1 = d1 * d1
+			s2 = d2 * d2
+			s3 = d3 * d3
+			d4 = c4 - row[28]
+			d5 = c5 - row[29]
+			d6 = c6 - row[30]
+			d7 = c7 - row[31]
+			s0 += d4 * d4
+			s1 += d5 * d5
+			s2 += d6 * d6
+			s3 += d7 * d7
+			out[i+3] = (s0 + s1) + (s2 + s3)
+		}
+		for ; i < n; i++ {
+			out[i] = sqDist(center, data[8*i:8*i+8])
+		}
+	default:
+		center := data[c*d : c*d+d]
+		for i := 0; i < n; i++ {
+			out[i] = sqDist(center, data[i*d:i*d+d])
+		}
+	}
+}
+
+// Len returns the number of points the matrix was built over.
+func (m *DistMatrix) Len() int { return m.n }
+
+// Bytes returns the size of the backing buffer in bytes (monitoring).
+func (m *DistMatrix) Bytes() int64 { return int64(len(m.sq)) * 8 }
+
+// SqAt returns the squared distance between points i and j,
+// bit-identical to SquaredEuclidean on the underlying rows.
+func (m *DistMatrix) SqAt(i, j int) float64 { return m.sq[i*m.n+j] }
+
+// At returns the distance between points i and j, bit-identical to
+// Euclidean on the underlying rows (one load and one correctly-rounded
+// square root).
+func (m *DistMatrix) At(i, j int) float64 { return math.Sqrt(m.sq[i*m.n+j]) }
+
+// SqRow returns row i of the matrix as a slice view: SqRow(i)[j] is the
+// squared distance between points i and j. Solver inner loops scan rows
+// through this view so the bounds check hoists out of the loop.
+func (m *DistMatrix) SqRow(i int) []float64 { return m.sq[i*m.n : i*m.n+m.n] }
+
+// RelaxMinSqParallel is RelaxMinSqRange over all rows, sharded across
+// worker goroutines: contiguous row ranges relax independently (their
+// minSq/assign writes are disjoint) and the per-shard maxima are reduced
+// with ties toward the lowest index — exactly the bookkeeping of a
+// single ascending strict-'>' scan, so the result is independent of the
+// worker count and identical to RelaxMinSqRange(0, n, ...) seeded with
+// (next, nextSq) = (first row, -Inf). It returns (-1, -1) on an empty
+// store; workers ≤ 0 means runtime.NumCPU(), and the count is clamped
+// so every shard owns at least relaxMinRows rows. It is the engine of
+// GMMParallel's flat fast path.
+func (p *Points) RelaxMinSqParallel(c, sel, workers int, minSq []float64, assign []int) (int, float64) {
+	n := p.n
+	if n == 0 {
+		return -1, -1
+	}
+	if len(minSq) < n || len(assign) < n {
+		panic(fmt.Sprintf("metric: RelaxMinSqParallel buffers of %d and %d rows for a %d-row store", len(minSq), len(assign), n))
+	}
+	const relaxMinRows = 512
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if maxw := (n + relaxMinRows - 1) / relaxMinRows; workers > maxw {
+		workers = maxw
+	}
+	if workers <= 1 {
+		return p.RelaxMinSqRange(0, n, c, sel, minSq, assign, 0, math.Inf(-1))
+	}
+	type shardMax struct {
+		idx int
+		sq  float64
+	}
+	chunk := (n + workers - 1) / workers
+	maxes := make([]shardMax, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			maxes[s] = shardMax{idx: -1, sq: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			idx, sq := p.RelaxMinSqRange(lo, hi, c, sel, minSq, assign, lo, math.Inf(-1))
+			maxes[s] = shardMax{idx: idx, sq: sq}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	next := shardMax{idx: -1, sq: math.Inf(-1)}
+	for _, sm := range maxes {
+		if sm.idx >= 0 && (next.idx < 0 || sm.sq > next.sq || (sm.sq == next.sq && sm.idx < next.idx)) {
+			next = sm
+		}
+	}
+	return next.idx, next.sq
+}

@@ -1,0 +1,157 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fillPoints builds a flat store of n random rows (or tie-heavy integer
+// rows when ties is set, the regime where bit-identity matters).
+func fillPoints(rng *rand.Rand, n, dim int, ties bool) *Points {
+	var p Points
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			if ties {
+				row[j] = float64(rng.Intn(3))
+			} else {
+				row[j] = rng.Float64() * 10
+			}
+		}
+		p.Append(row)
+	}
+	return &p
+}
+
+// TestDistMatrixMatchesSquaredEuclidean pins every cell to the scalar
+// canonical square — bit-identical, symmetric, zero diagonal — across
+// dimensions (covering every specialized kernel case) and worker counts
+// (including more workers than rows).
+func TestDistMatrixMatchesSquaredEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{1, 2, 3, 4, 8, 9, 32} {
+		for _, n := range []int{0, 1, 2, 17, 130} {
+			p := fillPoints(rng, n, dim, n%2 == 0)
+			for _, workers := range []int{1, 3, 64} {
+				m := NewDistMatrix(p, workers)
+				if m.Len() != n {
+					t.Fatalf("dim=%d n=%d: Len() = %d", dim, n, m.Len())
+				}
+				if m.Bytes() != int64(n*n)*8 {
+					t.Fatalf("dim=%d n=%d: Bytes() = %d", dim, n, m.Bytes())
+				}
+				for i := 0; i < n; i++ {
+					row := m.SqRow(i)
+					for j := 0; j < n; j++ {
+						want := SquaredEuclidean(p.Vector(i), p.Vector(j))
+						if math.Float64bits(row[j]) != math.Float64bits(want) {
+							t.Fatalf("dim=%d n=%d workers=%d: SqAt(%d,%d) = %v, want %v",
+								dim, n, workers, i, j, row[j], want)
+						}
+						if math.Float64bits(m.SqAt(i, j)) != math.Float64bits(m.SqAt(j, i)) {
+							t.Fatalf("dim=%d n=%d: matrix not symmetric at (%d,%d)", dim, n, i, j)
+						}
+						if math.Float64bits(m.At(i, j)) != math.Float64bits(Euclidean(p.Vector(i), p.Vector(j))) {
+							t.Fatalf("dim=%d n=%d: At(%d,%d) differs from Euclidean", dim, n, i, j)
+						}
+					}
+					if row[i] != 0 {
+						t.Fatalf("dim=%d n=%d: diagonal (%d,%d) = %v", dim, n, i, i, row[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxMinSqParallelMatchesSequential: the sharded relax must return
+// exactly the sequential pass's (next, nextSq) and leave identical
+// minSq/assign buffers, for every worker count — including on tie-heavy
+// inputs where the lowest-index reduce is what's under test.
+func TestRelaxMinSqParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, dim := range []int{2, 3, 8, 5} {
+			n := 700 + rng.Intn(800)
+			p := fillPoints(rng, n, dim, seed%2 == 0)
+			seqMin := make([]float64, n)
+			parMin := make([]float64, n)
+			seqAssign := make([]int, n)
+			parAssign := make([]int, n)
+			for i := range seqMin {
+				seqMin[i] = math.Inf(1)
+				parMin[i] = math.Inf(1)
+			}
+			// Several relax passes from different centers, as a traversal
+			// would issue them.
+			for sel := 0; sel < 6; sel++ {
+				c := rng.Intn(n)
+				wantIdx, wantSq := p.RelaxMinSqRange(0, n, c, sel, seqMin, seqAssign, 0, math.Inf(-1))
+				for _, workers := range []int{1, 2, 5, 16} {
+					scratchMin := append([]float64(nil), parMin...)
+					scratchAssign := append([]int(nil), parAssign...)
+					gotIdx, gotSq := p.RelaxMinSqParallel(c, sel, workers, scratchMin, scratchAssign)
+					if gotIdx != wantIdx || math.Float64bits(gotSq) != math.Float64bits(wantSq) {
+						t.Fatalf("seed=%d dim=%d sel=%d workers=%d: parallel relax (%d, %v), sequential (%d, %v)",
+							seed, dim, sel, workers, gotIdx, gotSq, wantIdx, wantSq)
+					}
+					for i := range scratchMin {
+						if math.Float64bits(scratchMin[i]) != math.Float64bits(seqMin[i]) || scratchAssign[i] != seqAssign[i] {
+							t.Fatalf("seed=%d dim=%d sel=%d workers=%d: buffers diverge at row %d",
+								seed, dim, sel, workers, i)
+						}
+					}
+				}
+				// Advance the reference state for the next pass.
+				p.RelaxMinSqRange(0, n, c, sel, parMin, parAssign, 0, math.Inf(-1))
+			}
+		}
+	}
+}
+
+// TestRelaxMinSqParallelEmptyAndValidation covers the empty-store
+// sentinel and the short-buffer panic.
+func TestRelaxMinSqParallelEmptyAndValidation(t *testing.T) {
+	var empty Points
+	if idx, sq := empty.RelaxMinSqParallel(0, 0, 4, nil, nil); idx != -1 || sq != -1 {
+		t.Fatalf("empty store: got (%d, %v), want (-1, -1)", idx, sq)
+	}
+	p := fillPoints(rand.New(rand.NewSource(1)), 8, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short buffers")
+		}
+	}()
+	p.RelaxMinSqParallel(0, 0, 2, make([]float64, 3), make([]int, 8))
+}
+
+// TestDistMatrixAndRelaxConcurrency exercises the parallel fill and the
+// parallel relax under concurrent invocations — the -race CI job turns
+// this into a data-race detector for the worker sharding.
+func TestDistMatrixAndRelaxConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, dim = 3000, 8
+	p := fillPoints(rng, n, dim, false)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := NewDistMatrix(p, 8)
+			if m.Len() != n {
+				t.Errorf("goroutine %d: Len() = %d", g, m.Len())
+			}
+			minSq := make([]float64, n)
+			assign := make([]int, n)
+			for i := range minSq {
+				minSq[i] = math.Inf(1)
+			}
+			for sel := 0; sel < 4; sel++ {
+				p.RelaxMinSqParallel(sel*37, sel, 8, minSq, assign)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

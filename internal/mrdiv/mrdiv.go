@@ -128,6 +128,16 @@ func TwoRound[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.D
 // matter how the data was split. Only Workers, LocalMemoryLimit, and
 // Metrics are read from cfg; the round is recorded under the name
 // "solve".
+//
+// For remote-clique on the Euclidean-over-Vector fast path — the one
+// measure whose sequential solver is Ω(n²) in distance evaluations —
+// the reducer builds the union's DistMatrix once (rows filled in
+// parallel across cfg.Workers goroutines, gated on the machine actually
+// having cores to fill with; see sequential.AutoMatrix) and hands it to
+// the matrix-indexed solver, which selects a bit-identical solution.
+// The other measures run the O(n·k) farthest-first traversal, which
+// dispatches to the flat kernels on its own without paying a matrix
+// fill.
 func SolveCoresets[P any](m diversity.Measure, coresets [][]P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
@@ -143,7 +153,15 @@ func SolveCoresets[P any](m diversity.Measure, coresets [][]P, k int, cfg Config
 	}
 	final := mapreduce.Run(union,
 		func(_ int, core []P) []mapreduce.Pair[int, P] {
-			sol := sequential.Solve(m, core, k, d)
+			var sol []P
+			if m == diversity.RemoteClique {
+				if dm := sequential.AutoMatrix(core, d, cfg.Workers); dm != nil {
+					sol = sequential.SolveMatrix(m, core, dm, k)
+				}
+			}
+			if sol == nil {
+				sol = sequential.Solve(m, core, k, d)
+			}
 			out := make([]mapreduce.Pair[int, P], len(sol))
 			for i, p := range sol {
 				out[i] = mapreduce.Pair[int, P]{Key: 0, Value: p}

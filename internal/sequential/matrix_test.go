@@ -1,0 +1,253 @@
+package sequential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/diversity"
+	"divmax/internal/metric"
+)
+
+// genericEuclid has the same semantics as metric.Euclidean but is a
+// distinct function, so IsEuclidean does not recognize it and every
+// solver driven by it takes the generic callback path — the reference
+// implementation of the equivalence tests (mirroring
+// internal/coreset/fast_test.go).
+func genericEuclid(a, b metric.Vector) float64 { return metric.Euclidean(a, b) }
+
+// tieHeavyVectors draws coordinates from a small integer grid, so the
+// input is dense with duplicate points and exactly tied distances — the
+// regime where any divergence between the matrix and generic paths
+// would surface.
+func tieHeavyVectors(rng *rand.Rand, n, dim int) []metric.Vector {
+	pts := make([]metric.Vector, n)
+	for i := range pts {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = float64(rng.Intn(4))
+		}
+		pts[i] = v
+	}
+	return pts
+}
+
+func sameSolution(t *testing.T, label string, fast, slow []metric.Vector) {
+	t.Helper()
+	if len(fast) != len(slow) {
+		t.Fatalf("%s: matrix selected %d points, generic %d", label, len(fast), len(slow))
+	}
+	for i := range fast {
+		if len(fast[i]) != len(slow[i]) {
+			t.Fatalf("%s: point %d dimension differs", label, i)
+		}
+		for j := range fast[i] {
+			if math.Float64bits(fast[i][j]) != math.Float64bits(slow[i][j]) {
+				t.Fatalf("%s: point %d differs: matrix %v, generic %v", label, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func testVectors(rng *rand.Rand, seed int64, n, dim int) []metric.Vector {
+	if seed%2 == 0 {
+		return randomVectors(rng, n, dim)
+	}
+	return tieHeavyVectors(rng, n, dim)
+}
+
+// forceAutoMatrix pins the solvers' internal matrix dispatch on or off
+// for the duration of a test, so the equivalence suites exercise the
+// matrix path regardless of the machine's core count (the gate defaults
+// to off on single-core machines).
+func forceAutoMatrix(t testing.TB, on bool) {
+	t.Helper()
+	orig := autoMatrixSolve
+	autoMatrixSolve = on
+	t.Cleanup(func() { autoMatrixSolve = orig })
+}
+
+// TestMatrixFastPathDispatches pins that Euclidean-over-Vector actually
+// builds a matrix (a regression here would silently turn the fast path
+// off and only show up in benchmarks), and that wrappers, other metrics,
+// ragged rows, singletons, and over-cap inputs keep the generic path.
+func TestMatrixFastPathDispatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVectors(rng, 50, 3)
+	if BuildMatrix(pts, metric.Euclidean, 0) == nil {
+		t.Fatal("BuildMatrix rejected Euclidean over Vector")
+	}
+	if BuildMatrix(pts, metric.Distance[metric.Vector](genericEuclid), 0) != nil {
+		t.Fatal("BuildMatrix accepted a wrapper distance")
+	}
+	if BuildMatrix(pts, metric.Manhattan, 0) != nil {
+		t.Fatal("BuildMatrix accepted Manhattan")
+	}
+	if BuildMatrix([]metric.Vector{{1, 2}, {3}}, metric.Euclidean, 0) != nil {
+		t.Fatal("BuildMatrix accepted ragged input")
+	}
+	if BuildMatrix(pts[:1], metric.Euclidean, 0) != nil {
+		t.Fatal("BuildMatrix accepted a singleton (nothing to materialize)")
+	}
+	if buildMatrixCapped(pts, metric.Euclidean, 0, 49) != nil {
+		t.Fatal("BuildMatrix exceeded the point cap")
+	}
+	if dm := buildMatrixCapped(pts, metric.Euclidean, 0, 50); dm == nil || dm.Len() != 50 {
+		t.Fatal("BuildMatrix rejected an input at the point cap")
+	}
+	forceAutoMatrix(t, false)
+	if AutoMatrix(pts, metric.Euclidean, 0) != nil {
+		t.Fatal("AutoMatrix built despite the dispatch gate being off")
+	}
+	forceAutoMatrix(t, true)
+	if AutoMatrix(pts, metric.Euclidean, 0) == nil {
+		t.Fatal("AutoMatrix did not build with the dispatch gate on")
+	}
+}
+
+// TestMaxDispersionPairsMatrixMatchesGeneric is the tentpole equivalence
+// test for the remote-clique solver: across seeds, dimensions, sizes,
+// and k (odd, even, and above n), the matrix-indexed path returns
+// bit-identical solutions — including on tie-heavy inputs. It pins both
+// the internal dispatch (MaxDispersionPairs with metric.Euclidean) and
+// the explicit-matrix entry point.
+func TestMaxDispersionPairsMatrixMatchesGeneric(t *testing.T) {
+	forceAutoMatrix(t, true)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, dim := range []int{1, 2, 3, 4, 8} {
+			for _, n := range []int{2, 3, 7, 60, 150} {
+				pts := testVectors(rng, seed, n, dim)
+				k := 1 + rng.Intn(n+3)
+				fast := MaxDispersionPairs(pts, k, metric.Euclidean)
+				slow := MaxDispersionPairs(pts, k, metric.Distance[metric.Vector](genericEuclid))
+				sameSolution(t, "MaxDispersionPairs", fast, slow)
+				explicit := MaxDispersionPairsMatrix(pts, BuildMatrix(pts, metric.Euclidean, 0), k)
+				sameSolution(t, "MaxDispersionPairsMatrix", explicit, slow)
+			}
+		}
+	}
+}
+
+// TestLocalSearchCliqueMatrixMatchesGeneric: every sweep of the
+// matrix-indexed local search must apply the same exchange as the
+// generic path, so the final solutions agree bit for bit across sweep
+// budgets (including unbounded).
+func TestLocalSearchCliqueMatrixMatchesGeneric(t *testing.T) {
+	forceAutoMatrix(t, true)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range []int{2, 9, 40, 120} {
+			pts := testVectors(rng, seed, n, 1+int(seed%4))
+			k := 1 + rng.Intn(n+2)
+			for _, sweeps := range []int{0, 1, 5} {
+				fast := LocalSearchClique(pts, k, sweeps, metric.Euclidean)
+				slow := LocalSearchClique(pts, k, sweeps, metric.Distance[metric.Vector](genericEuclid))
+				sameSolution(t, "LocalSearchClique", fast, slow)
+			}
+			if k <= n {
+				explicit := LocalSearchCliqueMatrix(pts, BuildMatrix(pts, metric.Euclidean, 0), k, 3)
+				slow := LocalSearchClique(pts, k, 3, metric.Distance[metric.Vector](genericEuclid))
+				sameSolution(t, "LocalSearchCliqueMatrix", explicit, slow)
+			}
+		}
+	}
+}
+
+// TestSolveMatrixMatchesSolve: SolveMatrix over a prebuilt matrix must
+// agree with Solve's own fast path for every measure — the contract the
+// divmaxd query cache relies on when it reuses one matrix across
+// queries.
+func TestSolveMatrixMatchesSolve(t *testing.T) {
+	forceAutoMatrix(t, true)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(90)
+		pts := testVectors(rng, seed, n, 2+int(seed%3))
+		dm := BuildMatrix(pts, metric.Euclidean, 0)
+		if dm == nil {
+			t.Fatal("BuildMatrix rejected Euclidean over Vector")
+		}
+		k := 1 + rng.Intn(12)
+		for _, m := range diversity.Measures {
+			viaMatrix := SolveMatrix(m, pts, dm, k)
+			direct := Solve(m, pts, k, metric.Euclidean)
+			sameSolution(t, "SolveMatrix/"+m.String(), viaMatrix, direct)
+		}
+	}
+}
+
+// TestSolveFastPathMatchesGeneric ties Solve's Euclidean fast path to
+// the generic callback path across all six measures. (The clique branch
+// is unconditionally bit-identical; the GMM branch compares squares, so
+// it matches the generic traversal exactly as the flat-kernel
+// equivalence tests in internal/coreset pin.)
+func TestSolveFastPathMatchesGeneric(t *testing.T) {
+	forceAutoMatrix(t, true)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		pts := testVectors(rng, seed, n, 1+int(seed%4))
+		k := 1 + rng.Intn(n+2)
+		for _, m := range diversity.Measures {
+			fast := Solve(m, pts, k, metric.Euclidean)
+			slow := Solve(m, pts, k, metric.Distance[metric.Vector](genericEuclid))
+			sameSolution(t, "Solve/"+m.String(), fast, slow)
+		}
+	}
+}
+
+func TestSolveMatrixValidation(t *testing.T) {
+	pts := randomVectors(rand.New(rand.NewSource(2)), 10, 2)
+	dm := BuildMatrix(pts, metric.Euclidean, 0)
+	if got := SolveMatrix(diversity.RemoteClique, []metric.Vector{}, dm, 3); got != nil {
+		t.Errorf("SolveMatrix on empty input = %v, want nil", got)
+	}
+	for _, fn := range []func(){
+		func() { SolveMatrix(diversity.RemoteClique, pts, dm, 0) },
+		func() { SolveMatrix(diversity.RemoteClique, pts[:5], dm, 2) },
+		func() { SolveMatrix(diversity.RemoteEdge, pts, nil, 2) },
+		func() { MaxDispersionPairsMatrix(pts[:5], dm, 2) },
+		func() { LocalSearchCliqueMatrix(pts[:5], dm, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzMaxDispersionPairsMatrixEquivalence drives both remote-clique
+// paths with byte-quantized coordinates (heavy exact ties and
+// duplicates) and arbitrary k, mirroring FuzzGMMFastEquivalence in
+// internal/coreset.
+func FuzzMaxDispersionPairsMatrixEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 0, 0, 9, 9}, uint8(3), uint8(2))
+	f.Add([]byte{5, 5, 5, 5, 1, 9}, uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, dimRaw uint8) {
+		dim := 1 + int(dimRaw)%4
+		var pts []metric.Vector
+		for i := 0; i+dim <= len(data); i += dim {
+			v := make(metric.Vector, dim)
+			for j := 0; j < dim; j++ {
+				v[j] = float64(data[i+j])
+			}
+			pts = append(pts, v)
+		}
+		if len(pts) == 0 {
+			return
+		}
+		k := 1 + int(kRaw)%8
+		forceAutoMatrix(t, true)
+		fast := MaxDispersionPairs(pts, k, metric.Euclidean)
+		slow := MaxDispersionPairs(pts, k, metric.Distance[metric.Vector](genericEuclid))
+		sameSolution(t, "MaxDispersionPairs", fast, slow)
+		fastLS := LocalSearchClique(pts, k, 4, metric.Euclidean)
+		slowLS := LocalSearchClique(pts, k, 4, metric.Distance[metric.Vector](genericEuclid))
+		sameSolution(t, "LocalSearchClique", fastLS, slowLS)
+	})
+}

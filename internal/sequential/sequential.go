@@ -27,6 +27,16 @@ import (
 
 // Solve returns an α-approximate solution with min(k, len(pts)) points
 // for measure m, where α is m.SequentialAlpha(). It panics if k < 1.
+//
+// On the Euclidean-over-Vector fast path both branches avoid per-pair
+// distance callbacks: the remote-clique branch dispatches (inside
+// MaxDispersionPairs) to the matrix-indexed solver of matrix.go, and the
+// GMM branch dispatches (inside coreset.GMM) to the flat squared-distance
+// kernel — the traversal is O(n·k) distance evaluations, so it relaxes
+// against flat rows directly rather than paying an O(n²) matrix fill.
+// Callers that already hold a DistMatrix (mrdiv.SolveCoresets, the
+// divmaxd query cache) use SolveMatrix instead, where the GMM branch
+// also runs on matrix rows.
 func Solve[P any](m diversity.Measure, pts []P, k int, d metric.Distance[P]) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: Solve requires k >= 1, got %d", k))
@@ -51,9 +61,17 @@ func Solve[P any](m diversity.Measure, pts []P, k int, d metric.Distance[P]) []P
 // at them, which are recomputed on demand. Total time is O(n² + k·n)
 // distance evaluations instead of the naive O(k·n²), with O(n) extra
 // space — this is the round-2 hot path of every remote-clique pipeline.
+//
+// When the points are metric.Vector, d is metric.Euclidean, and more
+// than one core is available to fill it, the O(n²) pass runs against a
+// parallel-filled DistMatrix instead of per-pair callbacks (matrix.go),
+// selecting a bit-identical solution.
 func MaxDispersionPairs[P any](pts []P, k int, d metric.Distance[P]) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: MaxDispersionPairs requires k >= 1, got %d", k))
+	}
+	if dm := AutoMatrix(pts, d, 0); dm != nil {
+		return maxDispersionPairsMatrix(pts, dm, k)
 	}
 	n := len(pts)
 	if k > n {
@@ -159,15 +177,25 @@ func MaxDispersionPairs[P any](pts []P, k int, d metric.Distance[P]) []P {
 // time is superlinear in n, which Table 4 measures. maxSweeps bounds the
 // number of swap rounds (≤ 0 means no bound beyond convergence, capped at
 // a package-internal safety limit).
+//
+// When the points are metric.Vector, d is metric.Euclidean, and more
+// than one core is available to fill it, the contribution and swap scans
+// run against a parallel-filled DistMatrix instead of per-pair callbacks
+// (matrix.go), applying bit-identical sweeps.
 func LocalSearchClique[P any](pts []P, k int, maxSweeps int, d metric.Distance[P]) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: LocalSearchClique requires k >= 1, got %d", k))
 	}
 	n := len(pts)
 	if k >= n {
+		// Trivial before any matrix is built: the whole input is the
+		// solution.
 		out := make([]P, n)
 		copy(out, pts)
 		return out
+	}
+	if dm := AutoMatrix(pts, d, 0); dm != nil {
+		return localSearchCliqueMatrix(pts, dm, k, maxSweeps)
 	}
 	const safetyLimit = 1000
 	if maxSweeps <= 0 || maxSweeps > safetyLimit {

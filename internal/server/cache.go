@@ -1,0 +1,172 @@
+package server
+
+import (
+	"slices"
+	"sync"
+
+	"divmax"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+)
+
+// Query-path snapshot cache.
+//
+// The expensive part of /query is not the sequential solve alone: it is
+// snapshotting every shard, merging the per-shard core-sets, and — on
+// the remote-clique path — filling the union's pairwise DistMatrix. None
+// of that depends on (k, measure) beyond the core-set family, and all of
+// it is a pure function of how many batches each shard has folded in. So
+// the server keeps, per family, the last merged state keyed by the
+// per-shard ingest epochs: while no shard has accepted a new batch, a
+// query reuses the previously merged core-set and its matrix (and, for a
+// repeated (measure, k), the previously solved answer) instead of
+// re-merging and re-filling from scratch. Any /ingest bumps an accepted
+// epoch and the next query rebuilds — the cache can never serve a state
+// older than what was accepted before the query arrived, preserving the
+// service's read-your-writes snapshot semantics.
+//
+// Results are identical with and without the cache: the cached state is
+// exactly the state an uncached query would rebuild (same epochs, same
+// snapshots), and the solver it feeds — SolveMatrix over the retained
+// matrix — selects the same solution as the uncached solve path
+// (internal/sequential's matrix equivalence tests pin this bit for bit).
+
+// cacheFamilies indexes the two core-set families: 0 — SMM (remote-edge,
+// remote-cycle), 1 — SMM-EXT (the four injective-proxy measures).
+const cacheFamilies = 2
+
+func cacheIndex(proxy bool) int {
+	if proxy {
+		return 1
+	}
+	return 0
+}
+
+// solutionKey memoizes solved answers within one merged state; the state
+// is immutable, so a (measure, k) solve is a pure function of it.
+type solutionKey struct {
+	measure divmax.Measure
+	k       int
+}
+
+// solvedQuery is a memoized answer, stored response-ready (non-nil
+// solution, finite value).
+type solvedQuery struct {
+	sol   []divmax.Vector
+	val   float64
+	exact bool
+}
+
+// mergeState is one family's merged view of the stream at a fixed vector
+// of shard epochs. union and matrix are immutable after construction and
+// shared by every query that hits this state; solutions is guarded by
+// the owning familyCache's mutex.
+type mergeState struct {
+	// epochs[i] is shard i's processed-batch count at snapshot time.
+	epochs []uint64
+	// union is the merged per-shard core-set family.
+	union []divmax.Vector
+	// matrix is the union's pairwise squared-distance matrix, nil when
+	// the fast path does not apply (union of 0–1 points, or larger than
+	// the build cap — the solver then falls back to the generic path).
+	matrix *metric.DistMatrix
+	// processed is the total number of stream points the snapshots
+	// reflect.
+	processed int64
+	// solutions memoizes solved (measure, k) answers against this state.
+	solutions map[solutionKey]solvedQuery
+}
+
+// familyCache holds one family's latest mergeState. mu guards the state
+// pointer and the solutions map of whichever state it points at (held
+// only for pointer/map operations); rebuild serializes the expensive
+// snapshot + merge + matrix fill so a burst of queries arriving after an
+// invalidation performs one rebuild, not one per query.
+type familyCache struct {
+	mu      sync.Mutex
+	rebuild sync.Mutex
+	state   *mergeState
+}
+
+// current reports whether st is up to date with the accepted epochs.
+func (st *mergeState) current(accepted []uint64) bool {
+	return st != nil && slices.Equal(st.epochs, accepted)
+}
+
+// acceptedEpochs reads every shard's accepted-batch counter.
+func (s *Server) acceptedEpochs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.accEpoch.Load()
+	}
+	return out
+}
+
+// merged returns the family cache and an up-to-date merged state for
+// measure m, rebuilding the state — snapshot, merge, matrix fill — when
+// any shard accepted a batch since the cached one. The boolean reports a
+// cache hit (merge and matrix fill skipped).
+func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, bool, error) {
+	// A draining server rejects queries even on a cache hit: Close means
+	// no more answers, not answers from the last snapshot.
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		return nil, nil, false, errDraining
+	}
+	c := &s.caches[cacheIndex(m.NeedsInjectiveProxy())]
+	c.mu.Lock()
+	st := c.state
+	c.mu.Unlock()
+	if st.current(s.acceptedEpochs()) {
+		s.cacheHits.Add(1)
+		return c, st, true, nil
+	}
+	// Serialize the rebuild: concurrent queries that missed together wait
+	// here, then re-check — all but the first are served by the rebuild
+	// the first one performed.
+	c.rebuild.Lock()
+	defer c.rebuild.Unlock()
+	c.mu.Lock()
+	st = c.state
+	c.mu.Unlock()
+	if st.current(s.acceptedEpochs()) {
+		s.cacheHits.Add(1)
+		return c, st, true, nil
+	}
+	s.cacheMisses.Add(1)
+	snaps, epochs, err := s.snapshots(m)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	st = &mergeState{
+		epochs:    epochs,
+		solutions: make(map[solutionKey]solvedQuery),
+	}
+	for _, snap := range snaps {
+		st.processed += snap.Processed
+		st.union = append(st.union, snap.Points...)
+	}
+	// The matrix is filled here, once per stream state, in parallel
+	// across rows; every query against this state reuses it.
+	st.matrix = sequential.BuildMatrix(st.union, divmax.Euclidean, 0)
+	c.mu.Lock()
+	c.state = st
+	c.mu.Unlock()
+	return c, st, false, nil
+}
+
+// solveMerged runs the round-2 sequential α-approximation on a merged
+// state: index-based against the retained matrix when one was built,
+// generic otherwise. Identical output either way (the matrix solvers'
+// bit-identical-selection contract).
+func solveMerged(m divmax.Measure, st *mergeState, k int) []divmax.Vector {
+	if len(st.union) == 0 {
+		return nil
+	}
+	if st.matrix != nil {
+		return sequential.SolveMatrix(m, st.union, st.matrix, k)
+	}
+	return sequential.Solve(m, st.union, k, divmax.Euclidean)
+}

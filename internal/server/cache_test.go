@@ -1,0 +1,185 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"divmax"
+)
+
+// TestQueryCacheHitAndInvalidation is the cache contract test: a
+// repeated query hits (identical response, merge skipped), a query with
+// a different k still hits the merged state, /stats reports the
+// counters and the retained matrix, and an /ingest invalidates so the
+// next query reflects the new points.
+func TestQueryCacheHitAndInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {600, 0}, {0, 600}, {600, 600}}, 40, 8)
+
+	_, ts := newTestServer(t, Config{Shards: 3, MaxK: 5, KPrime: 15})
+	postIngest(t, ts.URL, pts)
+
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		cold := getQuery(t, ts.URL, 4, m)
+		if cold.Cached {
+			t.Fatalf("%v: first query after ingest reported cached", m)
+		}
+		warm := getQuery(t, ts.URL, 4, m)
+		if !warm.Cached {
+			t.Fatalf("%v: repeated query did not hit the cache", m)
+		}
+		if !reflect.DeepEqual(warm.Solution, cold.Solution) {
+			t.Fatalf("%v: cached solution %v differs from uncached %v", m, warm.Solution, cold.Solution)
+		}
+		if math.Float64bits(warm.Value) != math.Float64bits(cold.Value) ||
+			warm.Exact != cold.Exact ||
+			warm.Processed != cold.Processed ||
+			warm.CoresetSize != cold.CoresetSize {
+			t.Fatalf("%v: cached response %+v differs from uncached %+v", m, warm, cold)
+		}
+		otherK := getQuery(t, ts.URL, 3, m)
+		if !otherK.Cached {
+			t.Fatalf("%v: different k against the same stream state missed the cache", m)
+		}
+		if len(otherK.Solution) != 3 {
+			t.Fatalf("%v: cached-state query with k=3 returned %d points", m, len(otherK.Solution))
+		}
+	}
+
+	stats := getStats(t, ts.URL)
+	// Per family: one miss then two hits; two families.
+	if stats.CacheMisses != 2 || stats.CacheHits != 4 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 4 / 2", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.CachedCoresetPoints <= 0 {
+		t.Fatal("stats report no cached core-set points after queries")
+	}
+	if stats.CachedMatrixBytes <= 0 {
+		t.Fatal("stats report no cached matrix after queries")
+	}
+
+	// Invalidation: any accepted batch must force a re-merge that sees
+	// the new points.
+	extra := clusterPoints(rng, []divmax.Vector{{3000, 3000}}, 10, 1)
+	postIngest(t, ts.URL, extra)
+	after := getQuery(t, ts.URL, 4, divmax.RemoteEdge)
+	if after.Cached {
+		t.Fatal("query after ingest still served the stale cache")
+	}
+	if want := int64(len(pts) + len(extra)); after.Processed != want {
+		t.Fatalf("query after ingest processed %d, want %d", after.Processed, want)
+	}
+	again := getQuery(t, ts.URL, 4, divmax.RemoteEdge)
+	if !again.Cached || !reflect.DeepEqual(again.Solution, after.Solution) {
+		t.Fatal("re-query after invalidation did not serve the rebuilt state")
+	}
+}
+
+// TestQueryCacheMatchesFreshServer pins cached-path correctness against
+// an independent, never-cached reference: a twin server fed the same
+// batches answers its first (cold) query with exactly the solution the
+// first server serves from cache.
+func TestQueryCacheMatchesFreshServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	batches := [][]divmax.Vector{
+		clusterPoints(rng, []divmax.Vector{{0, 0}, {400, 0}}, 30, 4),
+		clusterPoints(rng, []divmax.Vector{{0, 400}, {400, 400}}, 30, 4),
+	}
+	cfg := Config{Shards: 2, MaxK: 4, KPrime: 12}
+	_, cachedTS := newTestServer(t, cfg)
+	_, freshTS := newTestServer(t, cfg)
+	for _, b := range batches {
+		postIngest(t, cachedTS.URL, b)
+		postIngest(t, freshTS.URL, b)
+	}
+	coldFamilies := make(map[bool]bool) // family → already built on the fresh server
+	for _, m := range divmax.Measures {
+		getQuery(t, cachedTS.URL, 4, m) // populate the cache
+		cached := getQuery(t, cachedTS.URL, 4, m)
+		if !cached.Cached {
+			t.Fatalf("%v: second query did not hit the cache", m)
+		}
+		fresh := getQuery(t, freshTS.URL, 4, m)
+		// Measures sharing a core-set family share the merged state, so
+		// only the first measure of each family is cold on the fresh
+		// server.
+		family := m.NeedsInjectiveProxy()
+		if fresh.Cached == !coldFamilies[family] {
+			t.Fatalf("%v: fresh server's query cached=%v, want %v", m, fresh.Cached, coldFamilies[family])
+		}
+		coldFamilies[family] = true
+		if !reflect.DeepEqual(cached.Solution, fresh.Solution) {
+			t.Fatalf("%v: cached solution %v differs from fresh server's %v", m, cached.Solution, fresh.Solution)
+		}
+		if math.Float64bits(cached.Value) != math.Float64bits(fresh.Value) {
+			t.Fatalf("%v: cached value %v differs from fresh server's %v", m, cached.Value, fresh.Value)
+		}
+	}
+}
+
+// TestQueryCacheEmptyServer: the cache must also work on a pointless
+// (sic) stream — an empty merge is a valid state to cache and must not
+// wedge later queries.
+func TestQueryCacheEmptyServer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 3, KPrime: 6})
+	first := getQuery(t, ts.URL, 2, divmax.RemoteEdge)
+	if first.Cached || len(first.Solution) != 0 {
+		t.Fatalf("empty server first query = %+v", first)
+	}
+	second := getQuery(t, ts.URL, 2, divmax.RemoteEdge)
+	if !second.Cached || len(second.Solution) != 0 {
+		t.Fatalf("empty server repeated query = %+v", second)
+	}
+	postIngest(t, ts.URL, []divmax.Vector{{0, 0}, {9, 9}})
+	after := getQuery(t, ts.URL, 2, divmax.RemoteEdge)
+	if after.Cached || len(after.Solution) != 2 {
+		t.Fatalf("query after first ingest = %+v", after)
+	}
+}
+
+// failingWriter is an http.ResponseWriter whose body writes always fail,
+// as they do when the client hangs up mid-response.
+type failingWriter struct{ header http.Header }
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *failingWriter) WriteHeader(int)           {}
+func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteJSONLogsEncodeError covers the /stats handler with a broken
+// response writer: the encode error must reach the log instead of being
+// silently dropped.
+func TestWriteJSONLogsEncodeError(t *testing.T) {
+	var logged []string
+	orig := logf
+	logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	defer func() { logf = orig }()
+
+	srv, err := New(Config{Shards: 1, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.handleStats(&failingWriter{}, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if len(logged) != 1 || !strings.Contains(logged[0], "client went away") {
+		t.Fatalf("encode error was not logged: %q", logged)
+	}
+
+	// A healthy writer must log nothing.
+	logged = nil
+	srv.handleStats(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if len(logged) != 0 {
+		t.Fatalf("unexpected log output on a healthy writer: %q", logged)
+	}
+}

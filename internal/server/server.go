@@ -10,11 +10,18 @@
 // MaxDiversity for any of the six measures within the usual α+ε
 // envelope, without ever rescanning the data.
 //
+// The query path is cached (cache.go): while no shard has accepted a new
+// batch, repeated queries — any k, any measure of the same family —
+// reuse the previously merged core-set and its pairwise distance matrix
+// instead of re-snapshotting, re-merging, and re-filling; any /ingest
+// invalidates via per-shard epochs. Results are identical with and
+// without the cache.
+//
 // Endpoints:
 //
 //	POST /ingest  {"points": [[x,y,...], ...]}       — batched ingest
 //	GET  /query?k=5&measure=remote-edge              — merge + solve
-//	GET  /stats                                      — shard counters
+//	GET  /stats                                      — shard + cache counters
 //	GET  /healthz                                    — liveness
 package server
 
@@ -22,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
@@ -90,6 +98,11 @@ type Server struct {
 	// race the channel close.
 	mu       sync.RWMutex
 	draining bool
+
+	// caches holds the per-family query-path snapshot caches (cache.go).
+	caches      [cacheFamilies]familyCache
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 
 	queries    atomic.Int64
 	merges     atomic.Int64
@@ -244,33 +257,42 @@ func (s *Server) send(batches []*[]divmax.Vector) error {
 			putVecSlice(b)
 			continue
 		}
+		// Bump the accepted epoch before the channel send: once /ingest
+		// returns, every accepted batch is visible to the query cache's
+		// epoch check, so no later query can serve a merge that predates
+		// this batch.
+		s.shards[i].accEpoch.Add(1)
 		s.shards[i].ch <- shardMsg{batch: b}
 	}
 	return nil
 }
 
 // snapshots asks every shard for a point-in-time view of the core-set
-// family serving measure m. The requests ride the same channels as
-// ingest batches, so each snapshot reflects everything its shard
-// accepted before the request — no locks around the processors are ever
-// needed.
-func (s *Server) snapshots(m divmax.Measure) ([]divmax.CoresetSnapshot[divmax.Vector], error) {
+// family serving measure m, returning the views together with each
+// shard's ingest epoch at snapshot time. The requests ride the same
+// channels as ingest batches, so each snapshot reflects everything its
+// shard accepted before the request — no locks around the processors are
+// ever needed.
+func (s *Server) snapshots(m divmax.Measure) ([]divmax.CoresetSnapshot[divmax.Vector], []uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
-		return nil, errDraining
+		return nil, nil, errDraining
 	}
 	proxy := m.NeedsInjectiveProxy()
-	replies := make([]chan divmax.CoresetSnapshot[divmax.Vector], len(s.shards))
+	replies := make([]chan snapReply, len(s.shards))
 	for i, sh := range s.shards {
-		replies[i] = make(chan divmax.CoresetSnapshot[divmax.Vector], 1)
+		replies[i] = make(chan snapReply, 1)
 		sh.ch <- shardMsg{snap: replies[i], proxy: proxy}
 	}
 	out := make([]divmax.CoresetSnapshot[divmax.Vector], len(s.shards))
+	epochs := make([]uint64, len(s.shards))
 	for i, ch := range replies {
-		out[i] = <-ch
+		reply := <-ch
+		out[i] = reply.snap
+		epochs[i] = reply.epoch
 	}
-	return out, nil
+	return out, epochs, nil
 }
 
 type queryResponse struct {
@@ -282,6 +304,11 @@ type queryResponse struct {
 	CoresetSize int             `json:"coreset_size"`
 	Processed   int64           `json:"processed"`
 	MergeMillis float64         `json:"merge_ms"`
+	// Cached reports that the merged core-set and its distance matrix
+	// were reused from the snapshot cache (no shard accepted a batch
+	// since they were built); merge_ms then covers only the solve — or
+	// nothing at all when the (measure, k) answer itself was memoized.
+	Cached bool `json:"cached"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -310,56 +337,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be in [1, %d] (the server's maxk), got %d", s.cfg.MaxK, k)
 		return
 	}
-	snaps, err := s.snapshots(m)
+	// The merge: round-2 aggregation over the composable per-shard
+	// core-sets — served from the snapshot cache while no shard accepted
+	// a batch since it was built, rebuilt (snapshot + merge + matrix
+	// fill) otherwise.
+	cache, st, hit, err := s.merged(m)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.queries.Add(1)
-	cores := make([][]divmax.Vector, 0, len(snaps))
-	var processed int64
-	for _, snap := range snaps {
-		processed += snap.Processed
-		if len(snap.Points) > 0 {
-			cores = append(cores, snap.Points)
+
+	key := solutionKey{measure: m, k: k}
+	cache.mu.Lock()
+	memo, haveMemo := st.solutions[key]
+	cache.mu.Unlock()
+	var elapsed time.Duration
+	if !haveMemo {
+		start := time.Now()
+		sol := solveMerged(m, st, k)
+		val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
+		if math.IsInf(val, 0) || math.IsNaN(val) {
+			// Min-based measures evaluate to +Inf on fewer than 2 points
+			// (empty server, or k=1); JSON cannot encode non-finite
+			// numbers, so report the degenerate diversity as 0 and flag
+			// it inexact.
+			val, exact = 0, false
 		}
+		elapsed = time.Since(start)
+		s.merges.Add(1)
+		s.mergeNanos.Store(int64(elapsed))
+		if sol == nil {
+			sol = []divmax.Vector{}
+		}
+		memo = solvedQuery{sol: sol, val: val, exact: exact}
+		cache.mu.Lock()
+		st.solutions[key] = memo
+		cache.mu.Unlock()
 	}
 
-	// The merge: round-2 aggregation over the composable per-shard
-	// core-sets, exactly as MapReduceSolve would run it.
-	start := time.Now()
-	sol, err := divmax.MapReduceSolveCoresets(m, cores, k, divmax.MRConfig{}, divmax.Euclidean)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "merge failed: %v", err)
-		return
-	}
-	val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
-	if math.IsInf(val, 0) || math.IsNaN(val) {
-		// Min-based measures evaluate to +Inf on fewer than 2 points
-		// (empty server, or k=1); JSON cannot encode non-finite numbers,
-		// so report the degenerate diversity as 0 and flag it inexact.
-		val, exact = 0, false
-	}
-	elapsed := time.Since(start)
-	s.merges.Add(1)
-	s.mergeNanos.Store(int64(elapsed))
-
-	size := 0
-	for _, c := range cores {
-		size += len(c)
-	}
-	if sol == nil {
-		sol = []divmax.Vector{}
-	}
 	writeJSON(w, queryResponse{
 		Measure:     m.String(),
 		K:           k,
-		Solution:    sol,
-		Value:       val,
-		Exact:       exact,
-		CoresetSize: size,
-		Processed:   processed,
+		Solution:    memo.sol,
+		Value:       memo.val,
+		Exact:       memo.exact,
+		CoresetSize: len(st.union),
+		Processed:   st.processed,
 		MergeMillis: float64(elapsed) / float64(time.Millisecond),
+		Cached:      hit,
 	})
 }
 
@@ -381,9 +407,18 @@ type statsResponse struct {
 	Queries       int64        `json:"queries"`
 	Merges        int64        `json:"merges"`
 	LastMergeMS   float64      `json:"last_merge_ms"`
-	MaxK          int          `json:"max_k"`
-	KPrime        int          `json:"kprime"`
-	Draining      bool         `json:"draining"`
+	// Query-path snapshot cache counters: a hit served the merged
+	// core-set (and its distance matrix) without touching the shards; a
+	// miss re-snapshotted, re-merged, and re-filled. CachedCoresetPoints
+	// and CachedMatrixBytes size what the caches currently retain,
+	// summed over the two core-set families.
+	CacheHits           int64 `json:"query_cache_hits"`
+	CacheMisses         int64 `json:"query_cache_misses"`
+	CachedCoresetPoints int   `json:"cached_coreset_points"`
+	CachedMatrixBytes   int64 `json:"cached_matrix_bytes"`
+	MaxK                int   `json:"max_k"`
+	KPrime              int   `json:"kprime"`
+	Draining            bool  `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -396,8 +431,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:     s.queries.Load(),
 		Merges:      s.merges.Load(),
 		LastMergeMS: float64(s.mergeNanos.Load()) / float64(time.Millisecond),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
 		MaxK:        s.cfg.MaxK,
 		KPrime:      s.cfg.KPrime,
+	}
+	for i := range s.caches {
+		c := &s.caches[i]
+		c.mu.Lock()
+		if st := c.state; st != nil {
+			resp.CachedCoresetPoints += len(st.union)
+			if st.matrix != nil {
+				resp.CachedMatrixBytes += st.matrix.Bytes()
+			}
+		}
+		c.mu.Unlock()
 	}
 	s.mu.RLock()
 	resp.Draining = s.draining
@@ -419,10 +467,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// logf is the server's error logger; a variable so tests can intercept
+// what gets logged.
+var logf = log.Printf
+
+// writeJSON encodes v onto the response. An encode failure here almost
+// always means the client hung up mid-response; the response cannot be
+// salvaged (the status line is already out), so the error is logged
+// rather than silently dropped.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("server: encoding response: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

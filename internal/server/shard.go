@@ -7,6 +7,16 @@ import (
 	"divmax"
 )
 
+// snapReply is a shard's answer to a snapshot request: the point-in-time
+// core-set view plus the shard's ingest epoch at the moment the snapshot
+// was taken — the number of batches folded in so far. The query cache
+// compares cached epochs against the shards' accepted-batch counters to
+// decide whether a previously merged core-set is still current.
+type snapReply struct {
+	snap  divmax.CoresetSnapshot[divmax.Vector]
+	epoch uint64
+}
+
 // shardMsg is the single message type flowing over a shard's channel:
 // either a batch of points to ingest, or (when snap is non-nil) a request
 // for a point-in-time snapshot of the core-set family a query needs —
@@ -21,7 +31,7 @@ import (
 // pool, so steady-state ingest allocates no batch buffers at all.
 type shardMsg struct {
 	batch *[]divmax.Vector
-	snap  chan<- divmax.CoresetSnapshot[divmax.Vector]
+	snap  chan<- snapReply
 	proxy bool
 }
 
@@ -35,6 +45,16 @@ type shard struct {
 	ch    chan shardMsg
 	edge  divmax.StreamCoreset[divmax.Vector]
 	proxy divmax.StreamCoreset[divmax.Vector]
+
+	// Ingest epochs. accEpoch counts batches accepted for this shard
+	// (bumped by Server.send immediately before the channel send, so by
+	// the time /ingest returns every accepted batch is visible to epoch
+	// readers); procEpoch counts batches the shard goroutine has folded
+	// in. A query-cache entry recorded at procEpoch e is current exactly
+	// while accEpoch == e: nothing has been accepted that the cached
+	// merge has not seen.
+	accEpoch  atomic.Uint64
+	procEpoch atomic.Uint64
 
 	// Monitoring counters, updated by the shard goroutine after each
 	// batch and read lock-free by /stats.
@@ -64,11 +84,13 @@ func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for msg := range s.ch {
 		if msg.snap != nil {
+			reply := snapReply{epoch: s.procEpoch.Load()}
 			if msg.proxy {
-				msg.snap <- s.proxy.Snapshot()
+				reply.snap = s.proxy.Snapshot()
 			} else {
-				msg.snap <- s.edge.Snapshot()
+				reply.snap = s.edge.Snapshot()
 			}
+			msg.snap <- reply
 			continue
 		}
 		batch := *msg.batch
@@ -78,6 +100,10 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		s.batches.Add(1)
 		s.lastBatch.Store(int64(len(batch)))
 		s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+		// The epoch bump comes after the core-sets are updated, so a
+		// snapshot taken at procEpoch e reflects exactly the first e
+		// accepted batches.
+		s.procEpoch.Add(1)
 		putVecSlice(msg.batch)
 	}
 }

@@ -68,7 +68,11 @@ type StreamCoreset[P any] interface {
 // for a solution over everything any shard has processed, with the same
 // α+ε guarantee as a single processor over the whole stream. This is the
 // paper's round-1/round-2 split kept resident and online; the divmaxd
-// server is built on it.
+// server is built on it. The round-2 solve over a merged snapshot union
+// runs on the flat distance-matrix engine when the points are Vectors
+// under Euclidean (see internal/sequential), and divmaxd additionally
+// caches the merged union and its matrix across queries of an unchanged
+// stream.
 type CoresetSnapshot[P any] struct {
 	// Points is the core-set of everything processed so far.
 	Points []P
