@@ -19,13 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR3.json): GMM fast vs
+# Regenerate the performance trajectory (BENCH_PR4.json): GMM fast vs
 # pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
-# round-2 solve path (matrix vs generic), and cached vs cold /query.
-# CI uploads the JSON as an artifact alongside the committed
-# BENCH_PR2.json baseline.
+# round-2 solve path (matrix vs generic), cached vs cold /query, and
+# the sharded/tiled solve-parallel worker sweep. CI uploads the JSON as
+# an artifact alongside the committed BENCH_PR*.json baselines.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -out BENCH_PR4.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

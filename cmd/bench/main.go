@@ -1,9 +1,9 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR3.json in the repo root, via
+// and writes the results as JSON (BENCH_PR4.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
-// Five suites cover the layers the flat-buffer distance engine and the
+// Six suites cover the layers the flat-buffer distance engine and the
 // round-2 solve engine touch:
 //
 //   - gmm: one farthest-first core-set construction (k′ = 64), fast
@@ -27,6 +27,12 @@
 //   - query_cache: divmaxd /query against an unchanged stream — the
 //     first query after an ingest (cold: snapshot + merge + matrix
 //     fill + solve) versus a repeated one (cached).
+//   - solve_parallel: the sharded O(n²) farthest-partner scan across a
+//     worker sweep — matrix mode at n = 4096 (solve against a prebuilt
+//     matrix), tiled mode at n = 16384 (streamed row-blocks, past the
+//     memory budget where the pre-PR-4 cap bailed to callbacks) — each
+//     worker count against the 1-worker engine baseline, plus the
+//     generic callback path for reference.
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -119,6 +125,25 @@ type solveCase struct {
 	ColdSpeedup float64 `json:"cold_speedup"`
 }
 
+type solveParallelCase struct {
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	K    int    `json:"k"`
+	// Mode is "matrix" (solve against a prebuilt DistMatrix) or "tiled"
+	// (no n² buffer: the scan streams row-blocks, fill fused with the
+	// sharded scan — the mode that lifts the old 4096-point cap).
+	Mode    string  `json:"mode"`
+	Workers int     `json:"workers"`
+	MS      float64 `json:"ms"`
+	// SeqMS is the 1-worker engine baseline of the same mode; Speedup is
+	// SeqMS/MS (the multi-worker win on the O(n²) pass). GenericMS, on
+	// the 1-worker rows, is the pre-engine per-pair callback path.
+	SeqMS     float64 `json:"seq_ms"`
+	Speedup   float64 `json:"speedup"`
+	GenericMS float64 `json:"generic_ms,omitempty"`
+}
+
 type queryCacheCase struct {
 	N           int     `json:"n"`
 	Dim         int     `json:"dim"`
@@ -132,19 +157,20 @@ type queryCacheCase struct {
 }
 
 type report struct {
-	PR         int              `json:"pr"`
-	Date       string           `json:"date"`
-	Go         string           `json:"go"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	CPUs       int              `json:"cpus"`
-	Reps       int              `json:"reps"`
-	GMMReps    int              `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
-	GMM        []gmmCase        `json:"gmm"`
-	SMM        []smmCase        `json:"smm_ingest"`
-	Divmaxd    []serverCase     `json:"divmaxd"`
-	Solve      []solveCase      `json:"solve"`
-	QueryCache []queryCacheCase `json:"query_cache"`
+	PR            int                 `json:"pr"`
+	Date          string              `json:"date"`
+	Go            string              `json:"go"`
+	GOOS          string              `json:"goos"`
+	GOARCH        string              `json:"goarch"`
+	CPUs          int                 `json:"cpus"`
+	Reps          int                 `json:"reps"`
+	GMMReps       int                 `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
+	GMM           []gmmCase           `json:"gmm"`
+	SMM           []smmCase           `json:"smm_ingest"`
+	Divmaxd       []serverCase        `json:"divmaxd"`
+	Solve         []solveCase         `json:"solve"`
+	QueryCache    []queryCacheCase    `json:"query_cache"`
+	SolveParallel []solveParallelCase `json:"solve_parallel"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -230,15 +256,36 @@ func mustEqualSolutions(label string, a, b []metric.Vector) {
 	}
 }
 
+// minTimeN generalizes minTime2 to any number of contenders: every rep
+// runs them all, rotating which goes first, and each one's minimum is
+// reported.
+func minTimeN(reps int, fns ...func()) []time.Duration {
+	best := make([]time.Duration, len(fns))
+	for i := range best {
+		best[i] = time.Duration(math.MaxInt64)
+	}
+	for r := 0; r < reps; r++ {
+		for o := 0; o < len(fns); o++ {
+			i := (r + o) % len(fns)
+			start := time.Now()
+			fns[i]()
+			if el := time.Since(start); el < best[i] {
+				best[i] = el
+			}
+		}
+	}
+	return best
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      3,
+		PR:      4,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -549,6 +596,77 @@ func main() {
 			n, dim, size, ms(cold), ms(cached), float64(cold)/float64(cached))
 	}
 
+	// Suite 6: the sharded O(n²) farthest-partner scan across a worker
+	// sweep. n = 4096 sits exactly at the matrix budget, so the engine
+	// solves against a prebuilt matrix (the fill is excluded, as in the
+	// divmaxd cache's steady state); n = 16384 is past it — 2 GiB as a
+	// full matrix — so the engine streams row-block tiles, fill fused
+	// with the sharded scan (before PR 4 this size silently fell back to
+	// the per-pair callback path, timed here as generic_ms). Every
+	// worker count is validated bit-identical before timing.
+	{
+		const spDim, spK = 8, 16
+		sweep := []int{1, 2, 4}
+		if nc := runtime.NumCPU(); nc > 4 {
+			sweep = append(sweep, nc)
+		}
+		for _, n := range []int{4096, 16384} {
+			rng := rand.New(rand.NewSource(int64(200 + n)))
+			pts := randomVectors(rng, n, spDim)
+			base := sequential.BuildEngine(pts, metric.Euclidean, sweep[0])
+			if base == nil {
+				fmt.Fprintf(os.Stderr, "bench: solve_parallel: BuildEngine rejected n=%d\n", n)
+				os.Exit(1)
+			}
+			// One fill, shared across the sweep: the per-worker engines
+			// differ only in their scan sharding.
+			engines := make([]*sequential.Engine, len(sweep))
+			for i, w := range sweep {
+				engines[i] = base.WithWorkers(w)
+			}
+			mode := "matrix"
+			if engines[0].Tiled() {
+				mode = "tiled"
+			}
+			if wantTiled := n > 4096; engines[0].Tiled() != wantTiled {
+				fmt.Fprintf(os.Stderr, "bench: solve_parallel: n=%d built %s mode\n", n, mode)
+				os.Exit(1)
+			}
+			want := sequential.MaxDispersionPairs(pts, spK, generic3)
+			for i := range engines {
+				mustEqualSolutions("solve_parallel", sequential.MaxDispersionPairsEngine(pts, engines[i], spK), want)
+			}
+			spReps := *reps
+			if n > 8192 && spReps > 3 {
+				spReps = 3 // the tiled cells run whole-seconds each
+			}
+			fns := make([]func(), 0, len(sweep)+1)
+			for i := range engines {
+				e := engines[i]
+				fns = append(fns, func() { sequential.MaxDispersionPairsEngine(pts, e, spK) })
+			}
+			fns = append(fns, func() { sequential.MaxDispersionPairs(pts, spK, generic3) })
+			runtime.GC()
+			times := minTimeN(spReps, fns...)
+			seq, genericTime := times[0], times[len(times)-1]
+			for i, w := range sweep {
+				c := solveParallelCase{
+					Algo: "max_dispersion_pairs", N: n, Dim: spDim, K: spK,
+					Mode: mode, Workers: w,
+					MS:    ms(times[i]),
+					SeqMS: ms(seq), Speedup: float64(seq) / float64(times[i]),
+				}
+				if w == 1 {
+					c.GenericMS = ms(genericTime)
+				}
+				rep.SolveParallel = append(rep.SolveParallel, c)
+				fmt.Printf("solvepar %-6s n=%-6d w=%-2d scan %8.2fms  seq %8.2fms  speedup %.2fx\n",
+					mode, n, w, ms(times[i]), ms(seq), float64(seq)/float64(times[i]))
+			}
+			fmt.Printf("solvepar %-6s n=%-6d generic(callback) %8.2fms\n", mode, n, ms(genericTime))
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -577,5 +695,15 @@ func main() {
 	}
 	for _, c := range rep.QueryCache {
 		fmt.Printf("acceptance: cached /query speedup %.1fx (target >= 5.0x)\n", c.Speedup)
+	}
+	for _, c := range rep.SolveParallel {
+		if c.Workers > 1 && c.Workers <= runtime.NumCPU() {
+			fmt.Printf("acceptance: solve_parallel %s n=%d w=%d speedup %.2fx over 1-worker\n",
+				c.Mode, c.N, c.Workers, c.Speedup)
+		}
+		if c.Mode == "tiled" && c.Workers == 1 {
+			fmt.Printf("acceptance: tiled n=%d solved without the n² buffer (%.2fms; callback path %.2fms)\n",
+				c.N, c.MS, c.GenericMS)
+		}
 	}
 }

@@ -35,15 +35,20 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8377", "listen address")
-		shards = flag.Int("shards", 0, "number of core-set shards (0 = GOMAXPROCS)")
-		maxk   = flag.Int("maxk", 16, "largest solution size queries may request")
-		kprime = flag.Int("kprime", 0, "per-shard kernel size k' (0 = 4*maxk)")
-		buffer = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
+		addr    = flag.String("addr", ":8377", "listen address")
+		shards  = flag.Int("shards", 0, "number of core-set shards (0 = GOMAXPROCS)")
+		maxk    = flag.Int("maxk", 16, "largest solution size queries may request")
+		kprime  = flag.Int("kprime", 0, "per-shard kernel size k' (0 = 4*maxk)")
+		buffer  = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
+		workers = flag.Int("solve-workers", 0, "round-2 solver parallelism: matrix fill + sharded scans (0 = GOMAXPROCS)")
+		memo    = flag.Int("solution-memo", 0, "per-state (measure, k) answer memo capacity, LRU-evicted (0 = 128)")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer})
+	srv, err := server.New(server.Config{
+		Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer,
+		SolveWorkers: *workers, SolutionMemo: *memo,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)
 		os.Exit(2)

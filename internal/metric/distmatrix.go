@@ -40,41 +40,85 @@ const distMatrixMinRows = 32
 // independently from the same coordinates and is bit-identical because
 // (a−b)² = (b−a)² exactly in IEEE arithmetic.
 func NewDistMatrix(p *Points, workers int) *DistMatrix {
-	n := p.Len()
-	m := &DistMatrix{sq: make([]float64, n*n), n: n}
-	if n == 0 {
-		return m
+	m := NewDistMatrixEmpty(p.Len())
+	m.FillRows(p, 0, m.n, workers)
+	return m
+}
+
+// NewDistMatrixEmpty allocates an unfilled n×n matrix for incremental
+// construction: callers stream row ranges in with FillRows (the divmaxd
+// cache's incremental-maintenance path, and any builder that wants to
+// overlap filling with other work). The matrix is only safe to read
+// once every row has been filled.
+func NewDistMatrixEmpty(n int) *DistMatrix {
+	return &DistMatrix{sq: make([]float64, n*n), n: n}
+}
+
+// FillRows computes rows [lo, hi) of the matrix from p, sharding the
+// range across worker goroutines. p must be the store the matrix was
+// sized for; distinct row ranges write to disjoint memory, so
+// concurrent FillRows calls on non-overlapping ranges are safe.
+func (m *DistMatrix) FillRows(p *Points, lo, hi, workers int) {
+	if p.Len() != m.n {
+		panic(fmt.Sprintf("metric: FillRows from a %d-row store into a %d-point matrix", p.Len(), m.n))
+	}
+	if lo < 0 || hi > m.n || lo > hi {
+		panic(fmt.Sprintf("metric: FillRows range [%d, %d) outside matrix of %d rows", lo, hi, m.n))
+	}
+	p.FillSqRows(lo, hi, m.sq[lo*m.n:hi*m.n], workers)
+}
+
+// FillSqRows writes rows [lo, hi) of the virtual pairwise
+// squared-distance matrix into dst — (hi−lo)·n entries, row-major, row
+// lo first — sharding the rows across worker goroutines (≤ 0 means
+// runtime.NumCPU(); the count is clamped so every worker owns at least
+// distMatrixMinRows rows). It is the range kernel under NewDistMatrix
+// and the tiled round-2 solve engine (internal/sequential), which
+// streams row-blocks through this call instead of materializing the
+// full 8·n² buffer. Every entry is the canonical four-lane square of
+// sqDistRowsInto, so math.Sqrt of it is bit-identical to Euclidean on
+// the same rows. dst must hold at least (hi−lo)·n values.
+func (p *Points) FillSqRows(lo, hi int, dst []float64, workers int) {
+	n := p.n
+	if lo < 0 || hi > n || lo > hi {
+		panic(fmt.Sprintf("metric: FillSqRows range [%d, %d) outside a %d-row store", lo, hi, n))
+	}
+	rows := hi - lo
+	if rows == 0 {
+		return
+	}
+	if len(dst) < rows*n {
+		panic(fmt.Sprintf("metric: FillSqRows destination of %d values for %d rows of %d", len(dst), rows, n))
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if maxw := (n + distMatrixMinRows - 1) / distMatrixMinRows; workers > maxw {
+	if maxw := (rows + distMatrixMinRows - 1) / distMatrixMinRows; workers > maxw {
 		workers = maxw
 	}
-	fill := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p.sqDistRowsInto(i, m.sq[i*n:i*n+n])
+	fill := func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			p.sqDistRowsInto(i, dst[(i-lo)*n:(i-lo)*n+n])
 		}
 	}
 	if workers <= 1 {
-		fill(0, n)
-		return m
+		fill(lo, hi)
+		return
 	}
-	chunk := (n + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	for flo := lo; flo < hi; flo += chunk {
+		fhi := flo + chunk
+		if fhi > hi {
+			fhi = hi
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(flo, fhi int) {
 			defer wg.Done()
-			fill(lo, hi)
-		}(lo, hi)
+			fill(flo, fhi)
+		}(flo, fhi)
 	}
 	wg.Wait()
-	return m
 }
 
 // sqDistRowsInto writes the squared distances from row c to every row

@@ -66,6 +66,81 @@ func TestDistMatrixMatchesSquaredEuclidean(t *testing.T) {
 	}
 }
 
+// TestFillSqRowsMatchesMatrix pins the range kernel under the tiled
+// solve engine: any [lo, hi) block it writes must be bit-identical to
+// the corresponding rows of a full NewDistMatrix build, for every
+// worker count, including empty and single-row blocks.
+func TestFillSqRowsMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{1, 2, 3, 8, 11} {
+		for _, n := range []int{1, 2, 29, 150} {
+			p := fillPoints(rng, n, dim, dim%2 == 0)
+			want := NewDistMatrix(p, 1)
+			for _, blk := range [][2]int{{0, n}, {0, 1}, {n - 1, n}, {n / 3, 2 * n / 3}, {n / 2, n / 2}} {
+				lo, hi := blk[0], blk[1]
+				rows := hi - lo
+				if rows < 0 {
+					continue
+				}
+				for _, workers := range []int{1, 3, 64} {
+					dst := make([]float64, rows*n)
+					p.FillSqRows(lo, hi, dst, workers)
+					for i := lo; i < hi; i++ {
+						for j := 0; j < n; j++ {
+							if math.Float64bits(dst[(i-lo)*n+j]) != math.Float64bits(want.SqAt(i, j)) {
+								t.Fatalf("dim=%d n=%d block [%d,%d) workers=%d: row %d col %d differs",
+									dim, n, lo, hi, workers, i, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalFillRowsMatchesBulkBuild: a matrix assembled through
+// NewDistMatrixEmpty + FillRows over arbitrary row ranges must equal
+// the one-shot NewDistMatrix build cell for cell.
+func TestIncrementalFillRowsMatchesBulkBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, dim = 97, 3
+	p := fillPoints(rng, n, dim, false)
+	want := NewDistMatrix(p, 2)
+	got := NewDistMatrixEmpty(n)
+	for lo := 0; lo < n; {
+		hi := lo + 1 + rng.Intn(17)
+		if hi > n {
+			hi = n
+		}
+		got.FillRows(p, lo, hi, 1+rng.Intn(4))
+		lo = hi
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Float64bits(got.SqAt(i, j)) != math.Float64bits(want.SqAt(i, j)) {
+				t.Fatalf("incremental build differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Validation: a mismatched store and an out-of-range block must panic.
+	for _, fn := range []func(){
+		func() { got.FillRows(fillPoints(rng, n-1, dim, false), 0, 1, 1) },
+		func() { got.FillRows(p, 0, n+1, 1) },
+		func() { p.FillSqRows(0, 2, make([]float64, n), 1) },
+		func() { p.FillSqRows(2, 1, make([]float64, 2*n), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 // TestRelaxMinSqParallelMatchesSequential: the sharded relax must return
 // exactly the sequential pass's (next, nextSq) and leave identical
 // minSq/assign buffers, for every worker count — including on tie-heavy

@@ -131,13 +131,14 @@ func TwoRound[P any](m diversity.Measure, pts []P, k int, cfg Config, d metric.D
 //
 // For remote-clique on the Euclidean-over-Vector fast path — the one
 // measure whose sequential solver is Ω(n²) in distance evaluations —
-// the reducer builds the union's DistMatrix once (rows filled in
-// parallel across cfg.Workers goroutines, gated on the machine actually
-// having cores to fill with; see sequential.AutoMatrix) and hands it to
-// the matrix-indexed solver, which selects a bit-identical solution.
-// The other measures run the O(n·k) farthest-first traversal, which
-// dispatches to the flat kernels on its own without paying a matrix
-// fill.
+// the reducer builds the union's solve engine once (sequential.Engine:
+// a DistMatrix filled in parallel across cfg.Workers goroutines within
+// the memory budget, streamed row-block tiles beyond it, gated on the
+// machine actually having cores to scan with; see sequential.AutoEngine)
+// and runs the sharded engine solver, which selects a bit-identical
+// solution for any worker count. The other measures run the O(n·k)
+// farthest-first traversal, which dispatches to the flat kernels on its
+// own without paying a matrix fill.
 func SolveCoresets[P any](m diversity.Measure, coresets [][]P, k int, cfg Config, d metric.Distance[P]) ([]P, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mrdiv: k must be >= 1, got %d", k)
@@ -155,8 +156,8 @@ func SolveCoresets[P any](m diversity.Measure, coresets [][]P, k int, cfg Config
 		func(_ int, core []P) []mapreduce.Pair[int, P] {
 			var sol []P
 			if m == diversity.RemoteClique {
-				if dm := sequential.AutoMatrix(core, d, cfg.Workers); dm != nil {
-					sol = sequential.SolveMatrix(m, core, dm, k)
+				if e := sequential.AutoEngine(core, d, cfg.Workers); e != nil {
+					sol = sequential.SolveEngine(m, core, e, k)
 				}
 			}
 			if sol == nil {

@@ -9,21 +9,23 @@ import (
 	"divmax/internal/metric"
 )
 
-// Matrix-indexed round-2 solve engine.
+// Matrix-indexed round-2 solve entry points.
 //
 // The sequential α-approximation algorithms this package runs on merged
 // core-set unions are Ω(n²) in distance evaluations (MaxDispersionPairs'
 // farthest-pair index, LocalSearchClique's swap scans), so on the
-// Euclidean-over-Vector fast path they run index-based against a
-// metric.DistMatrix: every pairwise squared distance is materialized
-// once, filled in parallel on the canonical four-lane kernel, and the
-// solvers replace each d(pts[i], pts[j]) callback with one load (plus
-// one hardware square root where the generic path compared or summed
-// real distances). Because matrix entries are the canonical squares,
-// math.Sqrt of an entry is bit-identical to metric.Euclidean on the same
-// rows, so MaxDispersionPairsMatrix and LocalSearchCliqueMatrix perform
-// exactly the comparisons and sums of their generic counterparts and
-// select bit-identical solutions — unconditionally, with no tie caveat.
+// Euclidean-over-Vector fast path they run index-based against the
+// solve engine of engine.go: every pairwise squared distance is either
+// materialized once in a metric.DistMatrix (filled in parallel on the
+// canonical four-lane kernel) or streamed through row-block tiles when
+// the matrix would blow the memory budget, and the solvers replace each
+// d(pts[i], pts[j]) callback with one load (plus one hardware square
+// root where the generic path compared or summed real distances).
+// Because every entry is the canonical square, math.Sqrt of an entry is
+// bit-identical to metric.Euclidean on the same rows, so the engine
+// solvers perform exactly the comparisons and sums of their generic
+// counterparts and select bit-identical solutions — unconditionally,
+// with no tie caveat, for every worker count and both engine modes.
 // The GMM branch of SolveMatrix compares raw squares instead, matching
 // the flat GMM kernel it mirrors (same selections as the generic
 // traversal up to the sqrt-collapse caveat documented in
@@ -34,29 +36,30 @@ import (
 // other metrics keep the generic path. A false negative only costs
 // speed, never correctness.
 
-// maxMatrixPoints caps the automatic matrix build: beyond it the n²
-// buffer (8·n² bytes — 128 MiB at the cap) would risk dwarfing the
-// core-set it serves. Callers with a known budget can still build
-// bigger matrices explicitly via metric.NewDistMatrix.
-const maxMatrixPoints = 4096
-
-// autoMatrixSolve gates the solvers' internal dispatch to the matrix
-// engine. A one-shot solve does the same Θ(n²) pair work either way, so
-// the matrix only beats the callback path when the fill runs wider than
-// the solve — i.e. on more than one core; on a single core the fill is
-// pure added latency. Explicit-matrix callers are unaffected: when the
-// fill is amortized across queries (the divmaxd snapshot cache) or
-// handed down prebuilt (SolveMatrix), the matrix path wins regardless
-// of core count. A variable so tests can force both paths on any
-// machine.
+// autoMatrixSolve gates the solvers' internal dispatch to the engine.
+// A one-shot solve does the same Θ(n²) pair work either way, so the
+// engine only beats the callback path when its fills and scans run
+// wider than one core; on a single core the fill is pure added latency.
+// Explicit-matrix callers are unaffected: when the fill is amortized
+// across queries (the divmaxd snapshot cache) or handed down prebuilt
+// (SolveMatrix), the engine path wins regardless of core count. A
+// variable so tests can force both paths on any machine.
 var autoMatrixSolve = runtime.NumCPU() > 1
 
-// AutoMatrix is BuildMatrix behind the autoMatrixSolve gate: it builds
-// only when a one-shot matrix solve is expected to beat the callback
-// path. It is the entry point of the solvers' internal dispatch and of
-// mrdiv.SolveCoresets' per-union build; callers that amortize the fill
-// across several solves (the divmaxd query cache) use BuildMatrix
-// directly.
+// maxBudgetPoints returns the largest point count whose full matrix
+// (8·n² bytes) fits MatrixBudget — the matrix/tiled mode boundary.
+func maxBudgetPoints() int {
+	n := int(math.Sqrt(float64(MatrixBudget) / 8))
+	for int64(n)*int64(n)*8 > MatrixBudget && n > 0 {
+		n--
+	}
+	return n
+}
+
+// AutoMatrix is BuildMatrix behind the autoMatrixSolve gate; see
+// AutoEngine, which supersedes it for callers that also want tiled
+// mode. It returns nil when the gate is off or the matrix does not
+// apply.
 func AutoMatrix[P any](pts []P, d metric.Distance[P], workers int) *metric.DistMatrix {
 	if !autoMatrixSolve {
 		return nil
@@ -66,18 +69,18 @@ func AutoMatrix[P any](pts []P, d metric.Distance[P], workers int) *metric.DistM
 
 // BuildMatrix materializes the pairwise squared-distance matrix of pts
 // when the matrix fast path applies — d is metric.Euclidean, the points
-// are []metric.Vector of uniform dimension, and 2 ≤ n ≤ 4096 — filling
-// rows in parallel across workers goroutines (≤ 0 means NumCPU). It
-// returns nil when the fast path does not apply, in which case callers
-// run the generic solvers. mrdiv.SolveCoresets builds one matrix per
-// round-2 union and hands it to SolveMatrix; the divmaxd query cache
+// are []metric.Vector of uniform dimension, n ≥ 2, and the 8·n² buffer
+// fits MatrixBudget — filling rows in parallel across workers
+// goroutines (≤ 0 means NumCPU). It returns nil when the fast path does
+// not apply, in which case callers run the generic solvers or, past the
+// budget, the tiled engine (BuildEngine). The divmaxd query cache
 // retains the matrix across queries of an unchanged stream.
 func BuildMatrix[P any](pts []P, d metric.Distance[P], workers int) *metric.DistMatrix {
-	return buildMatrixCapped(pts, d, workers, maxMatrixPoints)
+	return buildMatrixCapped(pts, d, workers, maxBudgetPoints())
 }
 
 // buildMatrixCapped is BuildMatrix with an explicit point cap (tests
-// exercise the cap without paying for a 4096-point build).
+// exercise the cap without paying for a budget-sized build).
 func buildMatrixCapped[P any](pts []P, d metric.Distance[P], workers, cap int) *metric.DistMatrix {
 	if len(pts) < 2 || len(pts) > cap || !metric.IsEuclidean(d) {
 		return nil
@@ -95,8 +98,10 @@ func buildMatrixCapped[P any](pts []P, d metric.Distance[P], workers, cap int) *
 
 // SolveMatrix is Solve run index-based against a precomputed DistMatrix
 // over the same points: MaxDispersionPairsMatrix for remote-clique, the
-// matrix-indexed farthest-first traversal for every other measure. It
-// panics if k < 1 or the matrix size disagrees with len(pts).
+// matrix-indexed farthest-first traversal for every other measure. The
+// Ω(n²) scans shard across NumCPU workers (SolveEngine takes an
+// explicit worker count). It panics if k < 1 or the matrix size
+// disagrees with len(pts).
 func SolveMatrix[P any](m diversity.Measure, pts []P, dm *metric.DistMatrix, k int) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: SolveMatrix requires k >= 1, got %d", k))
@@ -107,10 +112,7 @@ func SolveMatrix[P any](m diversity.Measure, pts []P, dm *metric.DistMatrix, k i
 	if dm == nil || dm.Len() != len(pts) {
 		panic(fmt.Sprintf("sequential: SolveMatrix matrix over %d points for %d input points", matrixLen(dm), len(pts)))
 	}
-	if m == diversity.RemoteClique {
-		return maxDispersionPairsMatrix(pts, dm, k)
-	}
-	return gmmMatrix(pts, dm, k)
+	return SolveEngine(m, pts, engineFromMatrix(dm, 0), k)
 }
 
 func matrixLen(dm *metric.DistMatrix) int {
@@ -120,49 +122,10 @@ func matrixLen(dm *metric.DistMatrix) int {
 	return dm.Len()
 }
 
-// gmmMatrix is the farthest-first traversal of Solve's GMM branch run on
-// matrix rows: relaxing against a new center scans its row once, one
-// load per point. It compares raw squares with the flat GMM kernel's
-// bookkeeping (strict '<' keeps ties on the earliest center, strict '>'
-// on an ascending scan keeps the lowest index), so it selects exactly
-// the points coreset.GMM's fast path selects. Starts from index 0, as
-// Solve does.
-func gmmMatrix[P any](pts []P, dm *metric.DistMatrix, k int) []P {
-	n := len(pts)
-	if k > n {
-		k = n
-	}
-	minSq := make([]float64, n)
-	for i := range minSq {
-		minSq[i] = math.Inf(1)
-	}
-	out := make([]P, 0, k)
-	cur := 0
-	for sel := 0; sel < k; sel++ {
-		out = append(out, pts[cur])
-		row := dm.SqRow(cur)
-		next, nextSq := cur, math.Inf(-1)
-		for i := 0; i < n; i++ {
-			m := minSq[i]
-			if sq := row[i]; sq < m {
-				m = sq
-				minSq[i] = sq
-			}
-			if m > nextSq {
-				next, nextSq = i, m
-			}
-		}
-		cur = next
-	}
-	return out
-}
-
 // MaxDispersionPairsMatrix is MaxDispersionPairs run index-based against
-// a precomputed DistMatrix over the same points: the O(n²) farthest-
-// partner pass and every recomputation read matrix rows instead of
-// evaluating distances. Each consulted entry is square-rooted, so every
-// comparison and the odd-k distance sums operate on values bit-identical
-// to the generic path's — the selected solution is identical. It panics
+// a precomputed DistMatrix over the same points, with the O(n²)
+// farthest-partner pass sharded across NumCPU workers; the selected
+// solution is bit-identical to the generic path's (engine.go). It panics
 // if k < 1 or the matrix size disagrees with len(pts).
 func MaxDispersionPairsMatrix[P any](pts []P, dm *metric.DistMatrix, k int) []P {
 	if k < 1 {
@@ -171,113 +134,14 @@ func MaxDispersionPairsMatrix[P any](pts []P, dm *metric.DistMatrix, k int) []P 
 	if dm == nil || dm.Len() != len(pts) {
 		panic(fmt.Sprintf("sequential: MaxDispersionPairsMatrix matrix over %d points for %d input points", matrixLen(dm), len(pts)))
 	}
-	return maxDispersionPairsMatrix(pts, dm, k)
-}
-
-// maxDispersionPairsMatrix is the validated body of
-// MaxDispersionPairsMatrix; it mirrors MaxDispersionPairs line for line
-// with d(pts[i], pts[j]) replaced by a row load + math.Sqrt.
-func maxDispersionPairsMatrix[P any](pts []P, dm *metric.DistMatrix, k int) []P {
-	n := len(pts)
-	if k > n {
-		k = n
-	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	farDist := make([]float64, n)
-	farIdx := make([]int, n)
-	for i := range farIdx {
-		farIdx[i] = -1
-		farDist[i] = math.Inf(-1)
-	}
-	for i := 0; i < n; i++ {
-		row := dm.SqRow(i)
-		for j := i + 1; j < n; j++ {
-			dist := math.Sqrt(row[j])
-			if dist > farDist[i] {
-				farDist[i], farIdx[i] = dist, j
-			}
-			if dist > farDist[j] {
-				farDist[j], farIdx[j] = dist, i
-			}
-		}
-	}
-	recompute := func(i int) {
-		farDist[i], farIdx[i] = math.Inf(-1), -1
-		row := dm.SqRow(i)
-		for j := 0; j < n; j++ {
-			if j == i || !alive[j] {
-				continue
-			}
-			if dist := math.Sqrt(row[j]); dist > farDist[i] {
-				farDist[i], farIdx[i] = dist, j
-			}
-		}
-	}
-	farthestAlivePair := func() (int, int) {
-		for {
-			bi := -1
-			for i := 0; i < n; i++ {
-				if alive[i] && (bi == -1 || farDist[i] > farDist[bi]) {
-					bi = i
-				}
-			}
-			if bi == -1 {
-				return -1, -1
-			}
-			if bj := farIdx[bi]; bj >= 0 && alive[bj] {
-				return bi, bj
-			}
-			recompute(bi)
-			if farIdx[bi] == -1 {
-				return -1, -1
-			}
-		}
-	}
-	out := make([]P, 0, k)
-	taken := make([]int, 0, k)
-	for len(out)+2 <= k {
-		bi, bj := farthestAlivePair()
-		if bi == -1 {
-			break
-		}
-		alive[bi], alive[bj] = false, false
-		out = append(out, pts[bi], pts[bj])
-		taken = append(taken, bi, bj)
-	}
-	if len(out) < k {
-		// Odd k: the distance sum accumulates sqrt'd entries in the same
-		// order the generic path sums d(pts[i], q), so the sums — and the
-		// chosen point — are bit-identical.
-		bi, best := -1, math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				continue
-			}
-			row := dm.SqRow(i)
-			var sum float64
-			for _, j := range taken {
-				sum += math.Sqrt(row[j])
-			}
-			if sum > best {
-				bi, best = i, sum
-			}
-		}
-		if bi >= 0 {
-			alive[bi] = false
-			out = append(out, pts[bi])
-		}
-	}
-	return out
+	return pick(pts, maxDispersionPairsEngine(engineFromMatrix(dm, 0), k))
 }
 
 // LocalSearchCliqueMatrix is LocalSearchClique run index-based against a
-// precomputed DistMatrix over the same points. Contribution sums and
-// swap deltas consume square-rooted entries in the generic path's exact
-// order, so every sweep applies the same exchange and the final solution
-// is bit-identical. It panics if k < 1 or the matrix size disagrees with
+// precomputed DistMatrix over the same points, with each swap sweep
+// sharded across NumCPU workers; every sweep applies the same exchange
+// as the generic path and the final solution is bit-identical
+// (engine.go). It panics if k < 1 or the matrix size disagrees with
 // len(pts).
 func LocalSearchCliqueMatrix[P any](pts []P, dm *metric.DistMatrix, k, maxSweeps int) []P {
 	if k < 1 {
@@ -286,66 +150,5 @@ func LocalSearchCliqueMatrix[P any](pts []P, dm *metric.DistMatrix, k, maxSweeps
 	if dm == nil || dm.Len() != len(pts) {
 		panic(fmt.Sprintf("sequential: LocalSearchCliqueMatrix matrix over %d points for %d input points", matrixLen(dm), len(pts)))
 	}
-	return localSearchCliqueMatrix(pts, dm, k, maxSweeps)
-}
-
-// localSearchCliqueMatrix is the validated body of
-// LocalSearchCliqueMatrix, mirroring LocalSearchClique line for line.
-func localSearchCliqueMatrix[P any](pts []P, dm *metric.DistMatrix, k, maxSweeps int) []P {
-	n := len(pts)
-	if k >= n {
-		out := make([]P, n)
-		copy(out, pts)
-		return out
-	}
-	const safetyLimit = 1000
-	if maxSweeps <= 0 || maxSweeps > safetyLimit {
-		maxSweeps = safetyLimit
-	}
-	inSol := make([]bool, n)
-	sol := make([]int, k)
-	for i := 0; i < k; i++ {
-		inSol[i] = true
-		sol[i] = i
-	}
-	contrib := make([]float64, n)
-	for i := 0; i < n; i++ {
-		row := dm.SqRow(i)
-		for _, j := range sol {
-			contrib[i] += math.Sqrt(row[j])
-		}
-	}
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		bestDelta, bestOut, bestIn := 1e-12, -1, -1
-		for si, i := range sol {
-			row := dm.SqRow(i)
-			ci := contrib[i]
-			for j := 0; j < n; j++ {
-				if inSol[j] {
-					continue
-				}
-				delta := contrib[j] - math.Sqrt(row[j]) - ci
-				if delta > bestDelta {
-					bestDelta, bestOut, bestIn = delta, si, j
-				}
-			}
-		}
-		if bestOut < 0 {
-			break
-		}
-		oldIdx := sol[bestOut]
-		newIdx := bestIn
-		inSol[oldIdx], inSol[newIdx] = false, true
-		sol[bestOut] = newIdx
-		newRow := dm.SqRow(newIdx)
-		oldRow := dm.SqRow(oldIdx)
-		for i := 0; i < n; i++ {
-			contrib[i] += math.Sqrt(newRow[i]) - math.Sqrt(oldRow[i])
-		}
-	}
-	out := make([]P, k)
-	for i, j := range sol {
-		out[i] = pts[j]
-	}
-	return out
+	return LocalSearchCliqueEngine(pts, engineFromMatrix(dm, 0), k, maxSweeps)
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sequential
+
+// raceEnabled lets tests scale their input sizes down under the race
+// detector, whose instrumentation slows the O(n²) scans ~10×.
+const raceEnabled = false

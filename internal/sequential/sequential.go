@@ -63,15 +63,16 @@ func Solve[P any](m diversity.Measure, pts []P, k int, d metric.Distance[P]) []P
 // space — this is the round-2 hot path of every remote-clique pipeline.
 //
 // When the points are metric.Vector, d is metric.Euclidean, and more
-// than one core is available to fill it, the O(n²) pass runs against a
-// parallel-filled DistMatrix instead of per-pair callbacks (matrix.go),
-// selecting a bit-identical solution.
+// than one core is available, the O(n²) pass runs sharded across cores
+// against the solve engine (engine.go) — a parallel-filled DistMatrix
+// within the memory budget, streamed row-block tiles beyond it —
+// instead of per-pair callbacks, selecting a bit-identical solution.
 func MaxDispersionPairs[P any](pts []P, k int, d metric.Distance[P]) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: MaxDispersionPairs requires k >= 1, got %d", k))
 	}
-	if dm := AutoMatrix(pts, d, 0); dm != nil {
-		return maxDispersionPairsMatrix(pts, dm, k)
+	if e := AutoEngine(pts, d, 0); e != nil {
+		return pick(pts, maxDispersionPairsEngine(e, k))
 	}
 	n := len(pts)
 	if k > n {
@@ -179,23 +180,25 @@ func MaxDispersionPairs[P any](pts []P, k int, d metric.Distance[P]) []P {
 // a package-internal safety limit).
 //
 // When the points are metric.Vector, d is metric.Euclidean, and more
-// than one core is available to fill it, the contribution and swap scans
-// run against a parallel-filled DistMatrix instead of per-pair callbacks
-// (matrix.go), applying bit-identical sweeps.
+// than one core is available, the contribution and swap scans run
+// sharded across cores against the solve engine (engine.go) — a
+// parallel-filled DistMatrix within the memory budget, streamed
+// row-block tiles beyond it — instead of per-pair callbacks, applying
+// bit-identical sweeps.
 func LocalSearchClique[P any](pts []P, k int, maxSweeps int, d metric.Distance[P]) []P {
 	if k < 1 {
 		panic(fmt.Sprintf("sequential: LocalSearchClique requires k >= 1, got %d", k))
 	}
 	n := len(pts)
 	if k >= n {
-		// Trivial before any matrix is built: the whole input is the
+		// Trivial before any engine is built: the whole input is the
 		// solution.
 		out := make([]P, n)
 		copy(out, pts)
 		return out
 	}
-	if dm := AutoMatrix(pts, d, 0); dm != nil {
-		return localSearchCliqueMatrix(pts, dm, k, maxSweeps)
+	if e := AutoEngine(pts, d, 0); e != nil {
+		return pick(pts, localSearchCliqueEngine(e, k, maxSweeps))
 	}
 	const safetyLimit = 1000
 	if maxSweeps <= 0 || maxSweeps > safetyLimit {

@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"divmax"
-	"divmax/internal/metric"
 	"divmax/internal/sequential"
 )
 
@@ -13,23 +12,27 @@ import (
 //
 // The expensive part of /query is not the sequential solve alone: it is
 // snapshotting every shard, merging the per-shard core-sets, and — on
-// the remote-clique path — filling the union's pairwise DistMatrix. None
-// of that depends on (k, measure) beyond the core-set family, and all of
-// it is a pure function of how many batches each shard has folded in. So
-// the server keeps, per family, the last merged state keyed by the
-// per-shard ingest epochs: while no shard has accepted a new batch, a
-// query reuses the previously merged core-set and its matrix (and, for a
-// repeated (measure, k), the previously solved answer) instead of
-// re-merging and re-filling from scratch. Any /ingest bumps an accepted
-// epoch and the next query rebuilds — the cache can never serve a state
-// older than what was accepted before the query arrived, preserving the
-// service's read-your-writes snapshot semantics.
+// the remote-clique path — building the union's solve engine (the
+// pairwise DistMatrix fill within the memory budget, the flat store
+// behind tiled solves beyond it). None of that depends on (k, measure)
+// beyond the core-set family, and all of it is a pure function of how
+// many batches each shard has folded in. So the server keeps, per
+// family, the last merged state keyed by the per-shard ingest epochs:
+// while no shard has accepted a new batch, a query reuses the
+// previously merged core-set and its engine (and, for a repeated
+// (measure, k), the previously solved answer) instead of re-merging and
+// re-building from scratch. Any /ingest bumps an accepted epoch and the
+// next query rebuilds — the cache can never serve a state older than
+// what was accepted before the query arrived, preserving the service's
+// read-your-writes snapshot semantics.
 //
 // Results are identical with and without the cache: the cached state is
 // exactly the state an uncached query would rebuild (same epochs, same
-// snapshots), and the solver it feeds — SolveMatrix over the retained
-// matrix — selects the same solution as the uncached solve path
-// (internal/sequential's matrix equivalence tests pin this bit for bit).
+// snapshots), and the solver it feeds — SolveEngine over the retained
+// engine, sharded across the server's solve workers — selects the same
+// solution as the uncached solve path (internal/sequential's engine
+// equivalence tests pin this bit for bit, for every worker count and
+// both engine modes).
 
 // cacheFamilies indexes the two core-set families: 0 — SMM (remote-edge,
 // remote-cycle), 1 — SMM-EXT (the four injective-proxy measures).
@@ -58,7 +61,7 @@ type solvedQuery struct {
 }
 
 // mergeState is one family's merged view of the stream at a fixed vector
-// of shard epochs. union and matrix are immutable after construction and
+// of shard epochs. union and engine are immutable after construction and
 // shared by every query that hits this state; solutions is guarded by
 // the owning familyCache's mutex.
 type mergeState struct {
@@ -66,15 +69,17 @@ type mergeState struct {
 	epochs []uint64
 	// union is the merged per-shard core-set family.
 	union []divmax.Vector
-	// matrix is the union's pairwise squared-distance matrix, nil when
-	// the fast path does not apply (union of 0–1 points, or larger than
-	// the build cap — the solver then falls back to the generic path).
-	matrix *metric.DistMatrix
+	// engine is the union's round-2 solve engine — a retained distance
+	// matrix within the memory budget, the tiled flat store beyond it —
+	// nil when the fast path does not apply (union of 0–1 points; the
+	// solver then falls back to the generic path).
+	engine *sequential.Engine
 	// processed is the total number of stream points the snapshots
 	// reflect.
 	processed int64
-	// solutions memoizes solved (measure, k) answers against this state.
-	solutions map[solutionKey]solvedQuery
+	// solutions memoizes solved (measure, k) answers against this state,
+	// LRU-bounded by Config.SolutionMemo.
+	solutions *solutionMemo
 }
 
 // familyCache holds one family's latest mergeState. mu guards the state
@@ -142,15 +147,17 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, bool, erro
 	}
 	st = &mergeState{
 		epochs:    epochs,
-		solutions: make(map[solutionKey]solvedQuery),
+		solutions: newSolutionMemo(s.cfg.SolutionMemo),
 	}
 	for _, snap := range snaps {
 		st.processed += snap.Processed
 		st.union = append(st.union, snap.Points...)
 	}
-	// The matrix is filled here, once per stream state, in parallel
-	// across rows; every query against this state reuses it.
-	st.matrix = sequential.BuildMatrix(st.union, divmax.Euclidean, 0)
+	// The engine is built here, once per stream state — the matrix fill
+	// runs in parallel across the solve workers; in tiled mode only the
+	// flat store is retained — and every query against this state reuses
+	// it.
+	st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
 	c.mu.Lock()
 	c.state = st
 	c.mu.Unlock()
@@ -158,15 +165,20 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, bool, erro
 }
 
 // solveMerged runs the round-2 sequential α-approximation on a merged
-// state: index-based against the retained matrix when one was built,
-// generic otherwise. Identical output either way (the matrix solvers'
+// state: index-based against the retained engine when one was built —
+// the Ω(n²) scans sharded across the server's solve workers, streaming
+// row-blocks when the union is past the matrix budget — generic
+// otherwise. Identical output either way (the engine solvers'
 // bit-identical-selection contract).
-func solveMerged(m divmax.Measure, st *mergeState, k int) []divmax.Vector {
+func (s *Server) solveMerged(m divmax.Measure, st *mergeState, k int) []divmax.Vector {
 	if len(st.union) == 0 {
 		return nil
 	}
-	if st.matrix != nil {
-		return sequential.SolveMatrix(m, st.union, st.matrix, k)
+	if st.engine != nil {
+		if st.engine.Tiled() {
+			s.tiledSolves.Add(1)
+		}
+		return sequential.SolveEngine(m, st.union, st.engine, k)
 	}
 	return sequential.Solve(m, st.union, k, divmax.Euclidean)
 }

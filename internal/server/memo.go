@@ -1,0 +1,63 @@
+package server
+
+import "container/list"
+
+// solutionMemo is the bounded per-state (measure, k) answer memo: a map
+// over a recency list, evicting the least-recently-used entry once the
+// capacity is exceeded. The natural key space is 6 measures × MaxK
+// sizes, so small servers never evict; the bound exists so a large MaxK
+// cannot let one retained merge state accumulate answers without limit
+// (ROADMAP "Solution memo bounds"). Callers synchronize access — the
+// owning familyCache's mutex guards every get/put, as it did the plain
+// map this replaces.
+type solutionMemo struct {
+	cap     int
+	entries map[solutionKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type memoEntry struct {
+	key solutionKey
+	val solvedQuery
+}
+
+func newSolutionMemo(cap int) *solutionMemo {
+	if cap < 1 {
+		cap = 1
+	}
+	return &solutionMemo{
+		cap:     cap,
+		entries: make(map[solutionKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the memoized answer for key, marking it most recently
+// used.
+func (m *solutionMemo) get(key solutionKey) (solvedQuery, bool) {
+	el, ok := m.entries[key]
+	if !ok {
+		return solvedQuery{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoEntry).val, true
+}
+
+// put inserts or refreshes key's answer, evicting the least recently
+// used entry when the memo is over capacity.
+func (m *solutionMemo) put(key solutionKey, val solvedQuery) {
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memoEntry).val = val
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.order.PushFront(&memoEntry{key: key, val: val})
+	if m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoEntry).key)
+	}
+}
+
+// len returns the number of memoized answers.
+func (m *solutionMemo) len() int { return m.order.Len() }

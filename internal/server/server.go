@@ -57,6 +57,16 @@ type Config struct {
 	// Buffer is the per-shard ingest queue capacity in batches; a full
 	// queue applies backpressure to /ingest (default 64).
 	Buffer int
+	// SolveWorkers bounds the goroutines the round-2 solve engine uses
+	// per query — the parallel matrix fill and the sharded Ω(n²) scans
+	// (default runtime.GOMAXPROCS(0)). Selections are bit-identical for
+	// every value.
+	SolveWorkers int
+	// SolutionMemo caps the per-state (measure, k) answer memo; beyond
+	// it the least-recently-used answer is evicted (default 128 —
+	// comfortably above the 6·MaxK key space of the default MaxK, so
+	// small servers never evict).
+	SolutionMemo int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +81,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Buffer < 1 {
 		c.Buffer = 64
+	}
+	if c.SolveWorkers < 1 {
+		c.SolveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolutionMemo < 1 {
+		c.SolutionMemo = 128
 	}
 	return c
 }
@@ -103,6 +119,9 @@ type Server struct {
 	caches      [cacheFamilies]familyCache
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// tiledSolves counts solves served through the tiled engine (merged
+	// union past the matrix memory budget — no n² buffer materialized).
+	tiledSolves atomic.Int64
 
 	queries    atomic.Int64
 	merges     atomic.Int64
@@ -350,12 +369,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	key := solutionKey{measure: m, k: k}
 	cache.mu.Lock()
-	memo, haveMemo := st.solutions[key]
+	memo, haveMemo := st.solutions.get(key)
 	cache.mu.Unlock()
 	var elapsed time.Duration
 	if !haveMemo {
 		start := time.Now()
-		sol := solveMerged(m, st, k)
+		sol := s.solveMerged(m, st, k)
 		val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
 		if math.IsInf(val, 0) || math.IsNaN(val) {
 			// Min-based measures evaluate to +Inf on fewer than 2 points
@@ -372,7 +391,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		memo = solvedQuery{sol: sol, val: val, exact: exact}
 		cache.mu.Lock()
-		st.solutions[key] = memo
+		st.solutions.put(key, memo)
 		cache.mu.Unlock()
 	}
 
@@ -408,17 +427,23 @@ type statsResponse struct {
 	Merges        int64        `json:"merges"`
 	LastMergeMS   float64      `json:"last_merge_ms"`
 	// Query-path snapshot cache counters: a hit served the merged
-	// core-set (and its distance matrix) without touching the shards; a
-	// miss re-snapshotted, re-merged, and re-filled. CachedCoresetPoints
+	// core-set (and its solve engine) without touching the shards; a
+	// miss re-snapshotted, re-merged, and re-built. CachedCoresetPoints
 	// and CachedMatrixBytes size what the caches currently retain,
-	// summed over the two core-set families.
+	// summed over the two core-set families (tiled engines retain no
+	// matrix, so they contribute 0 bytes).
 	CacheHits           int64 `json:"query_cache_hits"`
 	CacheMisses         int64 `json:"query_cache_misses"`
 	CachedCoresetPoints int   `json:"cached_coreset_points"`
 	CachedMatrixBytes   int64 `json:"cached_matrix_bytes"`
-	MaxK                int   `json:"max_k"`
-	KPrime              int   `json:"kprime"`
-	Draining            bool  `json:"draining"`
+	// SolveWorkers is the configured round-2 solver parallelism;
+	// TiledSolves counts solves that ran through the tiled engine
+	// (merged union past the matrix memory budget).
+	SolveWorkers int   `json:"solve_workers"`
+	TiledSolves  int64 `json:"tiled_solves"`
+	MaxK         int   `json:"max_k"`
+	KPrime       int   `json:"kprime"`
+	Draining     bool  `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -427,22 +452,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statsResponse{
-		Shards:      make([]shardStats, len(s.shards)),
-		Queries:     s.queries.Load(),
-		Merges:      s.merges.Load(),
-		LastMergeMS: float64(s.mergeNanos.Load()) / float64(time.Millisecond),
-		CacheHits:   s.cacheHits.Load(),
-		CacheMisses: s.cacheMisses.Load(),
-		MaxK:        s.cfg.MaxK,
-		KPrime:      s.cfg.KPrime,
+		Shards:       make([]shardStats, len(s.shards)),
+		Queries:      s.queries.Load(),
+		Merges:       s.merges.Load(),
+		LastMergeMS:  float64(s.mergeNanos.Load()) / float64(time.Millisecond),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		SolveWorkers: s.cfg.SolveWorkers,
+		TiledSolves:  s.tiledSolves.Load(),
+		MaxK:         s.cfg.MaxK,
+		KPrime:       s.cfg.KPrime,
 	}
 	for i := range s.caches {
 		c := &s.caches[i]
 		c.mu.Lock()
 		if st := c.state; st != nil {
 			resp.CachedCoresetPoints += len(st.union)
-			if st.matrix != nil {
-				resp.CachedMatrixBytes += st.matrix.Bytes()
+			if st.engine != nil {
+				resp.CachedMatrixBytes += st.engine.MatrixBytes()
 			}
 		}
 		c.mu.Unlock()

@@ -7,10 +7,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 
 	"divmax"
+	"divmax/internal/sequential"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -412,6 +414,57 @@ func TestStatsReportBatchSizes(t *testing.T) {
 		if sh.AvgBatch != 10 {
 			t.Fatalf("shard %d: avg_batch %v, want 10", sh.ID, sh.AvgBatch)
 		}
+	}
+}
+
+// TestStatsReportSolveWorkersAndTiledSolves pins the new solver
+// telemetry: solve_workers reflects the configured (or defaulted)
+// round-2 parallelism, and tiled_solves counts exactly the solves that
+// ran through the tiled engine — forced here by shrinking the matrix
+// budget below the merged union, which must not change any answer.
+func TestStatsReportSolveWorkersAndTiledSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {300, 0}, {0, 300}}, 30, 5)
+
+	srvDefault, tsDefault := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8})
+	if got := srvDefault.Config().SolveWorkers; got < 1 {
+		t.Fatalf("defaulted SolveWorkers = %d, want >= 1", got)
+	}
+	postIngest(t, tsDefault.URL, pts)
+	matrixAnswer := getQuery(t, tsDefault.URL, 4, divmax.RemoteClique)
+	stats := getStats(t, tsDefault.URL)
+	if stats.SolveWorkers != srvDefault.Config().SolveWorkers {
+		t.Fatalf("stats solve_workers = %d, want %d", stats.SolveWorkers, srvDefault.Config().SolveWorkers)
+	}
+	if stats.TiledSolves != 0 {
+		t.Fatalf("tiled_solves = %d under the default budget, want 0", stats.TiledSolves)
+	}
+	if stats.CachedMatrixBytes <= 0 {
+		t.Fatal("no retained matrix under the default budget")
+	}
+
+	// Force every merged union past the matrix budget: solves now run
+	// tiled — counted, matrix-free, and bit-identical.
+	origBudget := sequential.MatrixBudget
+	sequential.MatrixBudget = 8
+	t.Cleanup(func() { sequential.MatrixBudget = origBudget })
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8, SolveWorkers: 3})
+	postIngest(t, ts.URL, pts)
+	tiledAnswer := getQuery(t, ts.URL, 4, divmax.RemoteClique)
+	if !reflect.DeepEqual(tiledAnswer.Solution, matrixAnswer.Solution) {
+		t.Fatalf("tiled solve answer %v differs from matrix solve %v", tiledAnswer.Solution, matrixAnswer.Solution)
+	}
+	getQuery(t, ts.URL, 4, divmax.RemoteClique) // memo hit: must not re-solve
+	getQuery(t, ts.URL, 3, divmax.RemoteClique) // same state, new k: one more tiled solve
+	stats = getStats(t, ts.URL)
+	if stats.SolveWorkers != 3 {
+		t.Fatalf("stats solve_workers = %d, want 3", stats.SolveWorkers)
+	}
+	if stats.TiledSolves != 2 {
+		t.Fatalf("tiled_solves = %d, want 2 (two distinct (measure,k) solves)", stats.TiledSolves)
+	}
+	if stats.CachedMatrixBytes != 0 {
+		t.Fatalf("cached_matrix_bytes = %d in tiled mode, want 0", stats.CachedMatrixBytes)
 	}
 }
 
