@@ -156,6 +156,41 @@ type queryCacheCase struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+type incrementalCase struct {
+	N          int    `json:"n_ingested"`
+	Dim        int    `json:"dim"`
+	Shards     int    `json:"shards"`
+	MaxK       int    `json:"maxk"`
+	KPrime     int    `json:"kprime"`
+	Rounds     int    `json:"rounds"`
+	RoundBatch int    `json:"round_batch"`
+	UnionSize  int    `json:"coreset_union"`
+	Mode       string `json:"engine_mode"`
+	// A round is one small /ingest followed by one remote-clique /query
+	// — the steady-state churn of a live service. Patched rounds run
+	// against the default delta-patching cache (empty-delta rounds reuse
+	// everything; grown rounds append matrix rows instead of refilling);
+	// Rebuild rounds run the same stream with -delta-budget -1, the
+	// pre-PR-5 invalidate-and-refill behavior. Min is the best round
+	// (for patching, typically an absorbed batch), Avg the mean over all
+	// rounds including generation-bump fallbacks.
+	PatchedMinMS float64 `json:"patched_min_ms"`
+	PatchedAvgMS float64 `json:"patched_avg_ms"`
+	RebuildMinMS float64 `json:"rebuild_min_ms"`
+	RebuildAvgMS float64 `json:"rebuild_avg_ms"`
+	SpeedupMin   float64 `json:"speedup_min"`
+	SpeedupAvg   float64 `json:"speedup_avg"`
+	DeltaPatches int64   `json:"delta_patches"`
+	FullRebuilds int64   `json:"full_rebuilds"`
+}
+
+// statsSnapshot is the slice of /stats the incremental suite reads.
+type statsSnapshot struct {
+	DeltaPatches int64 `json:"delta_patches"`
+	FullRebuilds int64 `json:"full_rebuilds"`
+	TiledSolves  int64 `json:"tiled_solves"`
+}
+
 type report struct {
 	PR            int                 `json:"pr"`
 	Date          string              `json:"date"`
@@ -171,6 +206,7 @@ type report struct {
 	Solve         []solveCase         `json:"solve"`
 	QueryCache    []queryCacheCase    `json:"query_cache"`
 	SolveParallel []solveParallelCase `json:"solve_parallel"`
+	Incremental   []incrementalCase   `json:"incremental_ingest"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -278,14 +314,14 @@ func minTimeN(reps int, fns ...func()) []time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      4,
+		PR:      5,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -522,7 +558,10 @@ func main() {
 		const n, dim, shards, k = 50000, 8, 4, 16
 		rng := rand.New(rand.NewSource(104))
 		pts := randomVectors(rng, n, dim)
-		srv, err := server.New(server.Config{Shards: shards, MaxK: k})
+		// Patching disabled so "cold" keeps meaning a full snapshot +
+		// merge + fill; the incremental_ingest suite measures the
+		// patched path explicitly.
+		srv, err := server.New(server.Config{Shards: shards, MaxK: k, DeltaBudget: -1})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
@@ -667,6 +706,132 @@ func main() {
 		}
 	}
 
+	// Suite 7: incremental_ingest — ingest-then-query churn against a
+	// live service, delta-patched cache versus forced full rebuilds.
+	// Each round is one small /ingest followed by one remote-clique
+	// /query; both servers see the identical stream. The SMM-EXT union
+	// sizes with MaxK·KPrime, so the small config solves matrix-mode
+	// within the default budget and the large one crosses into tiled.
+	for _, cc := range []struct {
+		maxK, kprime, n int
+	}{
+		// Small config: the union fits the matrix budget. Large config:
+		// the union crosses into tiled mode, and the longer initial
+		// stream saturates the delegate sets so churn rounds include
+		// absorbed batches (empty deltas — the steady state of a
+		// long-lived service, where a patch also carries the answer
+		// memo over).
+		{16, 64, 12000},
+		{32, 128, 40000},
+	} {
+		n := cc.n
+		const (
+			dim        = 8
+			shards     = 2
+			rounds     = 10
+			roundBatch = 100
+		)
+		churn := func(deltaBudget float64) (minRound, avgRound time.Duration, st statsSnapshot, union int) {
+			rng := rand.New(rand.NewSource(int64(7000 + cc.maxK)))
+			pts := randomVectors(rng, n+rounds*roundBatch, dim)
+			srv, err := server.New(server.Config{
+				Shards: shards, MaxK: cc.maxK, KPrime: cc.kprime, DeltaBudget: deltaBudget,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Close() }()
+			client := ts.Client()
+			ingest := func(batch []metric.Vector) {
+				body, err := json.Marshal(map[string][]metric.Vector{"points": batch})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fmt.Fprintln(os.Stderr, "bench: ingest failed:", err, resp)
+					os.Exit(1)
+				}
+				resp.Body.Close()
+			}
+			for lo := 0; lo < n; lo += ingestBatch {
+				ingest(pts[lo:min(lo+ingestBatch, n)])
+			}
+			query := func() int {
+				resp, err := client.Get(fmt.Sprintf("%s/query?k=%d&measure=remote-clique", ts.URL, cc.maxK))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+					os.Exit(1)
+				}
+				var qr struct {
+					CoresetSize int `json:"coreset_size"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
+					os.Exit(1)
+				}
+				resp.Body.Close()
+				return qr.CoresetSize
+			}
+			query() // build the initial cached state outside the timed rounds
+			minRound = time.Duration(math.MaxInt64)
+			var sum time.Duration
+			for r := 0; r < rounds; r++ {
+				lo := n + r*roundBatch
+				start := time.Now()
+				ingest(pts[lo : lo+roundBatch])
+				union = query()
+				el := time.Since(start)
+				sum += el
+				if el < minRound {
+					minRound = el
+				}
+			}
+			avgRound = sum / rounds
+			resp, err := client.Get(ts.URL + "/stats")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "bench: stats failed:", err, resp)
+				os.Exit(1)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: decoding stats:", err)
+				os.Exit(1)
+			}
+			resp.Body.Close()
+			return minRound, avgRound, st, union
+		}
+		patchedMin, patchedAvg, patchedStats, union := churn(0) // 0 = the default budget
+		rebuildMin, rebuildAvg, _, _ := churn(-1)               // patching disabled
+		if patchedStats.DeltaPatches == 0 {
+			fmt.Fprintln(os.Stderr, "bench: incremental_ingest churn performed no delta patches")
+			os.Exit(1)
+		}
+		mode := "matrix"
+		if patchedStats.TiledSolves > 0 {
+			mode = "tiled"
+		}
+		rep.Incremental = append(rep.Incremental, incrementalCase{
+			N: n + rounds*roundBatch, Dim: dim, Shards: shards,
+			MaxK: cc.maxK, KPrime: cc.kprime,
+			Rounds: rounds, RoundBatch: roundBatch,
+			UnionSize: union, Mode: mode,
+			PatchedMinMS: ms(patchedMin), PatchedAvgMS: ms(patchedAvg),
+			RebuildMinMS: ms(rebuildMin), RebuildAvgMS: ms(rebuildAvg),
+			SpeedupMin:   float64(rebuildMin) / float64(patchedMin),
+			SpeedupAvg:   float64(rebuildAvg) / float64(patchedAvg),
+			DeltaPatches: patchedStats.DeltaPatches,
+			FullRebuilds: patchedStats.FullRebuilds,
+		})
+		fmt.Printf("incr    %-6s n=%-6d union=%-5d patched %8.2f/%8.2fms  rebuild %8.2f/%8.2fms  speedup %.1f/%.1fx  patches=%d\n",
+			mode, n+rounds*roundBatch, union,
+			ms(patchedMin), ms(patchedAvg), ms(rebuildMin), ms(rebuildAvg),
+			float64(rebuildMin)/float64(patchedMin), float64(rebuildAvg)/float64(patchedAvg),
+			patchedStats.DeltaPatches)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -695,6 +860,10 @@ func main() {
 	}
 	for _, c := range rep.QueryCache {
 		fmt.Printf("acceptance: cached /query speedup %.1fx (target >= 5.0x)\n", c.Speedup)
+	}
+	for _, c := range rep.Incremental {
+		fmt.Printf("acceptance: incremental_ingest %s n=%d patched vs rebuild %.1fx min / %.1fx avg (target: patched faster at n>=10k)\n",
+			c.Mode, c.N, c.SpeedupMin, c.SpeedupAvg)
 	}
 	for _, c := range rep.SolveParallel {
 		if c.Workers > 1 && c.Workers <= runtime.NumCPU() {

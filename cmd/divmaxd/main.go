@@ -42,12 +42,13 @@ func main() {
 		buffer  = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
 		workers = flag.Int("solve-workers", 0, "round-2 solver parallelism: matrix fill + sharded scans (0 = GOMAXPROCS)")
 		memo    = flag.Int("solution-memo", 0, "per-state (measure, k) answer memo capacity, LRU-evicted (0 = 128)")
+		budget  = flag.Float64("delta-budget", 0, "max core-set delta, as a fraction of the cached merged union, a stale query may patch incrementally instead of fully rebuilding (0 = default 0.25; negative disables patching)")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
 		Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer,
-		SolveWorkers: *workers, SolutionMemo: *memo,
+		SolveWorkers: *workers, SolutionMemo: *memo, DeltaBudget: *budget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)

@@ -20,10 +20,19 @@ import (
 //
 // A DistMatrix is immutable after NewDistMatrix returns and safe for
 // concurrent reads, which is what lets the divmaxd query cache share
-// one matrix across queries.
+// one matrix across queries. Grown extends a matrix to cover appended
+// points without invalidating readers of the original: the returned
+// matrix is a new header, and when the backing buffer has spare
+// capacity (stride > n) the new rows and column stripes land in cells
+// no reader of the original can see.
 type DistMatrix struct {
 	sq []float64
 	n  int
+	// stride is the row stride of sq — the point capacity of the
+	// backing buffer. It equals n for matrices built by NewDistMatrix;
+	// Grown over-allocates (capacity doubling) so repeated appends
+	// reuse the buffer instead of recopying n² entries each time.
+	stride int
 }
 
 // distMatrixMinRows is the minimum number of rows a fill worker must
@@ -51,7 +60,7 @@ func NewDistMatrix(p *Points, workers int) *DistMatrix {
 // overlap filling with other work). The matrix is only safe to read
 // once every row has been filled.
 func NewDistMatrixEmpty(n int) *DistMatrix {
-	return &DistMatrix{sq: make([]float64, n*n), n: n}
+	return &DistMatrix{sq: make([]float64, n*n), n: n, stride: n}
 }
 
 // FillRows computes rows [lo, hi) of the matrix from p, sharding the
@@ -65,7 +74,112 @@ func (m *DistMatrix) FillRows(p *Points, lo, hi, workers int) {
 	if lo < 0 || hi > m.n || lo > hi {
 		panic(fmt.Sprintf("metric: FillRows range [%d, %d) outside matrix of %d rows", lo, hi, m.n))
 	}
-	p.FillSqRows(lo, hi, m.sq[lo*m.n:hi*m.n], workers)
+	if m.stride == m.n {
+		p.FillSqRows(lo, hi, m.sq[lo*m.n:hi*m.n], workers)
+		return
+	}
+	// Over-allocated (grown) matrix: rows are not contiguous, so fill
+	// row by row at the stride, sharded like FillSqRows.
+	parallelRowRange(lo, hi, workers, func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			p.sqDistRowsInto(i, m.sq[i*m.stride:i*m.stride+m.n])
+		}
+	})
+}
+
+// Grown returns a matrix extended to cover every row of p, whose first
+// m.Len() rows must be the points m was built over. Existing entries
+// are reused, the new rows are computed on the canonical kernels, and
+// the old×new column stripe is copied through matrix symmetry
+// ((a−b)² = (b−a)² exactly in IEEE arithmetic), so every cell is
+// bit-identical to what NewDistMatrix over all of p would produce.
+//
+// Readers of m stay valid: when the backing buffer has spare capacity
+// the new cells occupy memory outside every existing reader's view and
+// the buffer is shared; otherwise a fresh buffer of at least double the
+// capacity (clamped to strideCap points when strideCap > 0) is
+// allocated and the old rows copied. Because forks of one buffer write
+// to the same spare cells, only the latest matrix of a Grown chain may
+// be grown again — the divmaxd cache serializes its patches exactly
+// this way. workers bounds the fill/copy goroutines (≤ 0 means
+// runtime.NumCPU()).
+func (m *DistMatrix) Grown(p *Points, strideCap, workers int) *DistMatrix {
+	newN := p.Len()
+	if newN < m.n {
+		panic(fmt.Sprintf("metric: Grown from a %d-row store below the %d-point matrix", newN, m.n))
+	}
+	oldN := m.n
+	g := &DistMatrix{sq: m.sq, n: newN, stride: m.stride}
+	if newN > m.stride {
+		stride := 2 * m.stride
+		if strideCap > 0 && stride > strideCap {
+			stride = strideCap
+		}
+		if stride < newN {
+			stride = newN
+		}
+		g = &DistMatrix{sq: make([]float64, stride*stride), n: newN, stride: stride}
+		parallelRowRange(0, oldN, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(g.sq[i*g.stride:i*g.stride+oldN], m.sq[i*m.stride:i*m.stride+oldN])
+			}
+		})
+	}
+	if newN == oldN {
+		return g
+	}
+	// New rows: full kernel rows over the grown store.
+	parallelRowRange(oldN, newN, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.sqDistRowsInto(i, g.sq[i*g.stride:i*g.stride+newN])
+		}
+	})
+	// Old×new column stripe, read from the just-filled rows through
+	// symmetry: the new rows stay resident while each old row's short
+	// stripe is written contiguously.
+	parallelRowRange(0, oldN, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := g.sq[i*g.stride : i*g.stride+newN]
+			for j := oldN; j < newN; j++ {
+				dst[j] = g.sq[j*g.stride+i]
+			}
+		}
+	})
+	return g
+}
+
+// parallelRowRange shards rows [lo, hi) across worker goroutines
+// (≤ 0 means runtime.NumCPU(); clamped so every worker owns at least
+// distMatrixMinRows rows), invoking fn once per contiguous sub-range.
+func parallelRowRange(lo, hi, workers int, fn func(lo, hi int)) {
+	rows := hi - lo
+	if rows <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if maxw := (rows + distMatrixMinRows - 1) / distMatrixMinRows; workers > maxw {
+		workers = maxw
+	}
+	if workers <= 1 {
+		fn(lo, hi)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for flo := lo; flo < hi; flo += chunk {
+		fhi := flo + chunk
+		if fhi > hi {
+			fhi = hi
+		}
+		wg.Add(1)
+		go func(flo, fhi int) {
+			defer wg.Done()
+			fn(flo, fhi)
+		}(flo, fhi)
+	}
+	wg.Wait()
 }
 
 // FillSqRows writes rows [lo, hi) of the virtual pairwise
@@ -79,46 +193,37 @@ func (m *DistMatrix) FillRows(p *Points, lo, hi, workers int) {
 // sqDistRowsInto, so math.Sqrt of it is bit-identical to Euclidean on
 // the same rows. dst must hold at least (hi−lo)·n values.
 func (p *Points) FillSqRows(lo, hi int, dst []float64, workers int) {
+	p.FillSqRowsRange(lo, hi, 0, p.n, dst, workers)
+}
+
+// FillSqRowsRange is FillSqRows restricted to a column range: for each
+// row i in [lo, hi) it writes the squared distances to points
+// [colLo, colHi) — (hi−lo)·(colHi−colLo) entries, row-major, row lo
+// first. It is what lets the tiled farthest-partner pass walk only the
+// upper triangle (n²/2 kernel evaluations instead of n²): each entry is
+// the same canonical four-lane square FillSqRows produces for that
+// (row, column) pair, bit for bit, just restricted to the columns the
+// triangular walk needs. Sharding across workers matches FillSqRows.
+func (p *Points) FillSqRowsRange(lo, hi, colLo, colHi int, dst []float64, workers int) {
 	n := p.n
 	if lo < 0 || hi > n || lo > hi {
-		panic(fmt.Sprintf("metric: FillSqRows range [%d, %d) outside a %d-row store", lo, hi, n))
+		panic(fmt.Sprintf("metric: FillSqRowsRange range [%d, %d) outside a %d-row store", lo, hi, n))
 	}
-	rows := hi - lo
-	if rows == 0 {
+	if colLo < 0 || colHi > n || colLo > colHi {
+		panic(fmt.Sprintf("metric: FillSqRowsRange columns [%d, %d) outside a %d-row store", colLo, colHi, n))
+	}
+	rows, w := hi-lo, colHi-colLo
+	if rows == 0 || w == 0 {
 		return
 	}
-	if len(dst) < rows*n {
-		panic(fmt.Sprintf("metric: FillSqRows destination of %d values for %d rows of %d", len(dst), rows, n))
+	if len(dst) < rows*w {
+		panic(fmt.Sprintf("metric: FillSqRowsRange destination of %d values for %d rows of %d", len(dst), rows, w))
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if maxw := (rows + distMatrixMinRows - 1) / distMatrixMinRows; workers > maxw {
-		workers = maxw
-	}
-	fill := func(flo, fhi int) {
+	parallelRowRange(lo, hi, workers, func(flo, fhi int) {
 		for i := flo; i < fhi; i++ {
-			p.sqDistRowsInto(i, dst[(i-lo)*n:(i-lo)*n+n])
+			p.sqDistRangeInto(i, colLo, colHi, dst[(i-lo)*w:(i-lo)*w+w])
 		}
-	}
-	if workers <= 1 {
-		fill(lo, hi)
-		return
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for flo := lo; flo < hi; flo += chunk {
-		fhi := flo + chunk
-		if fhi > hi {
-			fhi = hi
-		}
-		wg.Add(1)
-		go func(flo, fhi int) {
-			defer wg.Done()
-			fill(flo, fhi)
-		}(flo, fhi)
-	}
-	wg.Wait()
+	})
 }
 
 // sqDistRowsInto writes the squared distances from row c to every row
@@ -129,33 +234,46 @@ func (p *Points) FillSqRows(lo, hi int, dst []float64, workers int) {
 // summation order, so every value is bit-identical to sqDist on the same
 // rows.
 func (p *Points) sqDistRowsInto(c int, out []float64) {
-	n := p.n
+	p.sqDistRangeInto(c, 0, p.n, out)
+}
+
+// sqDistRangeInto is sqDistRowsInto restricted to rows [jlo, jhi),
+// writing jhi−jlo entries starting at out[0]. Every entry's value is
+// computed by the same self-contained per-entry formula as the full
+// row — the d=8 four-rows-per-step unroll only interleaves independent
+// entries — so out[j−jlo] is bit-identical to the full row's entry j
+// regardless of where the range starts.
+func (p *Points) sqDistRangeInto(c, jlo, jhi int, out []float64) {
+	n := jhi - jlo
+	if n == 0 {
+		return
+	}
 	d := p.dim
 	data := p.data
 	_ = out[n-1]
 	switch d {
 	case 2:
 		c0, c1 := data[2*c], data[2*c+1]
-		for i := 0; i < n; i++ {
+		for i := jlo; i < jhi; i++ {
 			d0 := c0 - data[2*i]
 			d1 := c1 - data[2*i+1]
-			out[i] = d0*d0 + d1*d1
+			out[i-jlo] = d0*d0 + d1*d1
 		}
 	case 3:
 		c0, c1, c2 := data[3*c], data[3*c+1], data[3*c+2]
-		for i := 0; i < n; i++ {
+		for i := jlo; i < jhi; i++ {
 			row := data[3*i : 3*i+3]
 			d0 := c0 - row[0]
 			d1 := c1 - row[1]
 			d2 := c2 - row[2]
-			out[i] = d0*d0 + d1*d1 + d2*d2
+			out[i-jlo] = d0*d0 + d1*d1 + d2*d2
 		}
 	case 8:
 		center := data[8*c : 8*c+8]
 		c0, c1, c2, c3 := center[0], center[1], center[2], center[3]
 		c4, c5, c6, c7 := center[4], center[5], center[6], center[7]
-		i := 0
-		for ; i+4 <= n; i += 4 {
+		i := jlo
+		for ; i+4 <= jhi; i += 4 {
 			row := data[8*i : 8*i+32]
 			d0 := c0 - row[0]
 			d1 := c1 - row[1]
@@ -173,7 +291,7 @@ func (p *Points) sqDistRowsInto(c int, out []float64) {
 			s1 += d5 * d5
 			s2 += d6 * d6
 			s3 += d7 * d7
-			out[i] = (s0 + s1) + (s2 + s3)
+			out[i-jlo] = (s0 + s1) + (s2 + s3)
 			d0 = c0 - row[8]
 			d1 = c1 - row[9]
 			d2 = c2 - row[10]
@@ -190,7 +308,7 @@ func (p *Points) sqDistRowsInto(c int, out []float64) {
 			s1 += d5 * d5
 			s2 += d6 * d6
 			s3 += d7 * d7
-			out[i+1] = (s0 + s1) + (s2 + s3)
+			out[i-jlo+1] = (s0 + s1) + (s2 + s3)
 			d0 = c0 - row[16]
 			d1 = c1 - row[17]
 			d2 = c2 - row[18]
@@ -207,7 +325,7 @@ func (p *Points) sqDistRowsInto(c int, out []float64) {
 			s1 += d5 * d5
 			s2 += d6 * d6
 			s3 += d7 * d7
-			out[i+2] = (s0 + s1) + (s2 + s3)
+			out[i-jlo+2] = (s0 + s1) + (s2 + s3)
 			d0 = c0 - row[24]
 			d1 = c1 - row[25]
 			d2 = c2 - row[26]
@@ -224,15 +342,15 @@ func (p *Points) sqDistRowsInto(c int, out []float64) {
 			s1 += d5 * d5
 			s2 += d6 * d6
 			s3 += d7 * d7
-			out[i+3] = (s0 + s1) + (s2 + s3)
+			out[i-jlo+3] = (s0 + s1) + (s2 + s3)
 		}
-		for ; i < n; i++ {
-			out[i] = sqDist(center, data[8*i:8*i+8])
+		for ; i < jhi; i++ {
+			out[i-jlo] = sqDist(center, data[8*i:8*i+8])
 		}
 	default:
 		center := data[c*d : c*d+d]
-		for i := 0; i < n; i++ {
-			out[i] = sqDist(center, data[i*d:i*d+d])
+		for i := jlo; i < jhi; i++ {
+			out[i-jlo] = sqDist(center, data[i*d:i*d+d])
 		}
 	}
 }
@@ -245,17 +363,17 @@ func (m *DistMatrix) Bytes() int64 { return int64(len(m.sq)) * 8 }
 
 // SqAt returns the squared distance between points i and j,
 // bit-identical to SquaredEuclidean on the underlying rows.
-func (m *DistMatrix) SqAt(i, j int) float64 { return m.sq[i*m.n+j] }
+func (m *DistMatrix) SqAt(i, j int) float64 { return m.sq[i*m.stride+j] }
 
 // At returns the distance between points i and j, bit-identical to
 // Euclidean on the underlying rows (one load and one correctly-rounded
 // square root).
-func (m *DistMatrix) At(i, j int) float64 { return math.Sqrt(m.sq[i*m.n+j]) }
+func (m *DistMatrix) At(i, j int) float64 { return math.Sqrt(m.sq[i*m.stride+j]) }
 
 // SqRow returns row i of the matrix as a slice view: SqRow(i)[j] is the
 // squared distance between points i and j. Solver inner loops scan rows
 // through this view so the bounds check hoists out of the loop.
-func (m *DistMatrix) SqRow(i int) []float64 { return m.sq[i*m.n : i*m.n+m.n] }
+func (m *DistMatrix) SqRow(i int) []float64 { return m.sq[i*m.stride : i*m.stride+m.n] }
 
 // RelaxMinSqParallel is RelaxMinSqRange over all rows, sharded across
 // worker goroutines: contiguous row ranges relax independently (their

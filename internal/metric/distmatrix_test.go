@@ -230,3 +230,165 @@ func TestDistMatrixAndRelaxConcurrency(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestFillSqRowsRangeMatchesFullRows pins the column-offset fill — the
+// kernel under the triangular tiled farthest-partner pass — to the
+// full-row fill: for any (row, column) window, every entry must be the
+// bit-identical canonical square of the same pair, across the
+// dimension-specialized kernels (the d=8 unroll included, at offsets
+// that misalign its four-rows-per-step grouping) and worker counts.
+func TestFillSqRowsRangeMatchesFullRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{1, 2, 3, 4, 8, 9} {
+		for _, n := range []int{1, 2, 13, 70} {
+			p := fillPoints(rng, n, dim, n%2 == 0)
+			full := make([]float64, n*n)
+			p.FillSqRows(0, n, full, 1)
+			for _, win := range [][4]int{
+				{0, n, 0, n},
+				{0, n, n / 2, n},
+				{n / 3, n, 1, n - n/3},
+				{n - 1, n, n - 1, n},
+				{0, 1, 0, n},
+				{2 % n, n, 3 % n, n},
+				{0, 0, 0, n},         // empty row range
+				{0, n, 5 % n, 5 % n}, // empty column range
+			} {
+				lo, hi, clo, chi := win[0], win[1], win[2], win[3]
+				if clo > chi {
+					clo, chi = chi, clo
+				}
+				w := chi - clo
+				for _, workers := range []int{1, 4} {
+					dst := make([]float64, (hi-lo)*w)
+					for i := range dst {
+						dst[i] = math.NaN()
+					}
+					p.FillSqRowsRange(lo, hi, clo, chi, dst, workers)
+					for i := lo; i < hi; i++ {
+						for j := clo; j < chi; j++ {
+							got := dst[(i-lo)*w+(j-clo)]
+							want := full[i*n+j]
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("dim=%d n=%d window=%v workers=%d: entry (%d,%d) = %v, want %v",
+									dim, n, win, workers, i, j, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFillSqRowsRangeValidation covers the bounds panics.
+func TestFillSqRowsRangeValidation(t *testing.T) {
+	p := fillPoints(rand.New(rand.NewSource(1)), 4, 2, false)
+	for name, fn := range map[string]func(){
+		"rows":    func() { p.FillSqRowsRange(0, 5, 0, 4, make([]float64, 20), 1) },
+		"columns": func() { p.FillSqRowsRange(0, 4, 2, 5, make([]float64, 20), 1) },
+		"dst":     func() { p.FillSqRowsRange(0, 4, 0, 4, make([]float64, 15), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDistMatrixGrownMatchesBulkBuild is the incremental-extension
+// contract: growing a prefix matrix to cover appended rows — reusing
+// the old cells, kernel-filling the new rows, symmetry-copying the
+// old×new stripe — must reproduce the from-scratch matrix cell for
+// cell, through chained growths (exercising both the shared-capacity
+// and the reallocate-and-copy paths) and stride caps.
+func TestDistMatrixGrownMatchesBulkBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, dim := range []int{1, 2, 3, 8, 5} {
+		for _, steps := range [][]int{
+			{2, 3},       // grow within / past capacity from a tiny matrix
+			{1, 1, 1, 1}, // repeated single-point appends
+			{7, 0, 12},   // an empty growth step in the chain
+			{2, 30},      // one large jump past double capacity
+		} {
+			for _, strideCap := range []int{0, 64} {
+				ties := dim%2 == 0
+				var p Points
+				total := 0
+				for _, step := range steps {
+					total += step
+				}
+				all := fillPoints(rng, total, dim, ties)
+				grown := 0
+				var m *DistMatrix
+				for _, step := range steps {
+					for i := 0; i < step; i++ {
+						p.Append(all.Row(grown))
+						grown++
+					}
+					if m == nil {
+						m = NewDistMatrix(&p, 1)
+					} else {
+						m = m.Grown(&p, strideCap, 2)
+					}
+					want := NewDistMatrix(&p, 1)
+					if m.Len() != want.Len() {
+						t.Fatalf("dim=%d steps=%v: grown Len %d want %d", dim, steps, m.Len(), want.Len())
+					}
+					for i := 0; i < m.Len(); i++ {
+						for j := 0; j < m.Len(); j++ {
+							if math.Float64bits(m.SqAt(i, j)) != math.Float64bits(want.SqAt(i, j)) {
+								t.Fatalf("dim=%d steps=%v cap=%d after %d rows: cell (%d,%d) = %v, want %v",
+									dim, steps, strideCap, grown, i, j, m.SqAt(i, j), want.SqAt(i, j))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistMatrixGrownPreservesReaders pins the copy-safety contract:
+// after a growth, every cell of the ORIGINAL matrix header still reads
+// exactly what it read before — whether the buffer was shared (spare
+// capacity) or reallocated — so solves running on the original are
+// undisturbed.
+func TestDistMatrixGrownPreservesReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var p Points
+	all := fillPoints(rng, 20, 3, false)
+	for i := 0; i < 8; i++ {
+		p.Append(all.Row(i))
+	}
+	m := NewDistMatrix(&p, 1)
+	before := make([]float64, 8*8)
+	for i := 0; i < 8; i++ {
+		copy(before[i*8:i*8+8], m.SqRow(i))
+	}
+	cur := m
+	for grown := 8; grown < 20; grown += 3 {
+		hi := grown + 3
+		if hi > 20 {
+			hi = 20
+		}
+		for i := grown; i < hi; i++ {
+			p.Append(all.Row(i))
+		}
+		cur = cur.Grown(&p, 0, 1)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if math.Float64bits(m.SqAt(i, j)) != math.Float64bits(before[i*8+j]) {
+					t.Fatalf("growth to %d rows disturbed original cell (%d,%d)", cur.Len(), i, j)
+				}
+			}
+		}
+		if m.Len() != 8 {
+			t.Fatalf("original Len changed to %d", m.Len())
+		}
+	}
+}

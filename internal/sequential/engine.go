@@ -17,7 +17,7 @@ import (
 // swap sweeps — shard across worker goroutines here, with reductions
 // that keep every selection bit-identical to the sequential scans:
 //
-//   - The farthest-partner pass shards, in matrix mode, by column
+//   - The farthest-partner pass shards, in both modes, by column
 //     ranges of the triangular pair walk — each worker owns the pairs
 //     whose larger index falls in its range, accumulates per-shard
 //     partial (farDist, farIdx) arrays, and the partials merge in shard
@@ -25,13 +25,12 @@ import (
 //     subsequences in range order reproduces the sequential ascending
 //     candidate order, so the merge keeps exactly the partner the
 //     sequential scan keeps, at the sequential pass's n²/2 total work.
-//     In tiled mode it shards by row ranges instead — each row's result
-//     has a single writer, and a full ascending scan of row i (skipping
-//     j == i) consults exactly the candidates the triangular pass feeds
-//     to farDist[i] — pairs (p, i) for p < i in ascending p, then
-//     (i, j) for j > i in ascending j — on values bit-identical by
-//     matrix symmetry ((a−b)² = (b−a)² in IEEE arithmetic). Same
-//     comparisons, same strict '>', same result.
+//     Matrix mode reads the materialized rows; tiled mode computes
+//     exactly the walked entries on demand through column-range fills
+//     (metric.Points.FillSqRowsRange) — n²/2 kernel evaluations, half
+//     of what the pre-PR-5 full-row tiled fills cost — on values
+//     bit-identical by matrix symmetry ((a−b)² = (b−a)² in IEEE
+//     arithmetic). Same comparisons, same strict '>', same result.
 //   - The swap sweeps shard by candidate (column) ranges; each shard
 //     reports its best improvement in the sequential scan order, and
 //     the shard winners reduce by strictly-larger delta with exact ties
@@ -89,14 +88,14 @@ var (
 // a materialized distance matrix or the tiling parameters to stream one.
 // It is immutable after construction — solver scratch is per call — so
 // one Engine may serve concurrent solves (the divmaxd query cache holds
-// one per merged state).
+// one per merged state). Fork + Append extend an engine incrementally
+// without touching the original's view (the cache's delta-patch path).
 type Engine struct {
 	n  int
 	dm *metric.DistMatrix // full matrix; nil in tiled mode
-	// flat backs tiled mode's streamed fills and on-demand rows; it is
-	// released once a matrix is materialized (every matrix-mode read
-	// goes through dm), so a retained matrix-mode engine holds no
-	// second copy of the points.
+	// flat backs tiled mode's streamed fills and on-demand rows, and is
+	// the coordinate source for incremental Appends in both modes. At
+	// n·d values it is negligible next to the 8·n² matrix it feeds.
 	flat    metric.Points
 	workers int
 }
@@ -132,9 +131,76 @@ func buildEngineVectors(vecs []metric.Vector, workers int) *Engine {
 	e := &Engine{n: flat.Len(), flat: flat, workers: resolveWorkers(workers)}
 	if int64(e.n)*int64(e.n)*8 <= MatrixBudget {
 		e.dm = metric.NewDistMatrix(&e.flat, workers)
-		e.flat = metric.Points{}
 	}
 	return e
+}
+
+// Fork returns a copy of the engine that may be Appended without
+// affecting solves running concurrently on e: the copy shares e's
+// immutable prefix (matrix cells and flat rows below e.Len()), and an
+// Append on it only ever writes memory outside that prefix or freshly
+// allocated buffers. Forks chain — fork the result to append again —
+// but because chained forks reuse one buffer's spare capacity, only the
+// latest engine of a chain may be extended (the divmaxd cache
+// serializes its patches exactly this way).
+func (e *Engine) Fork() *Engine {
+	c := *e
+	return &c
+}
+
+// Append extends the engine with vecs, as if BuildEngine had been
+// called on the concatenated point set: the flat store grows in place,
+// and in matrix mode the retained matrix gains the new rows (canonical
+// kernel fills) plus the old×new column stripe (copied through matrix
+// symmetry) via capacity-doubling DistMatrix.Grown — so every cell, and
+// therefore every solve, is bit-identical to a from-scratch build over
+// all the points. An append that pushes 8·n² past MatrixBudget drops
+// the matrix and crosses into tiled mode, exactly where BuildEngine
+// would have started tiled. It reports false — leaving the engine
+// unchanged — when the engine has no flat store to grow (built by
+// SolveMatrix's explicit-matrix entry points) or a row's dimension
+// disagrees with the store's; callers then rebuild from scratch.
+func (e *Engine) Append(vecs []metric.Vector) bool {
+	if len(vecs) == 0 {
+		return true
+	}
+	if e.flat.Len() != e.n || e.flat.Dim() == 0 {
+		return false
+	}
+	for _, v := range vecs {
+		if len(v) != e.flat.Dim() {
+			return false
+		}
+	}
+	for _, v := range vecs {
+		e.flat.Append(v)
+	}
+	e.n = e.flat.Len()
+	if e.dm != nil {
+		if int64(e.n)*int64(e.n)*8 <= MatrixBudget {
+			e.dm = e.dm.Grown(&e.flat, maxBudgetPoints(), e.workers)
+		} else {
+			e.dm = nil
+		}
+	}
+	return true
+}
+
+// AppendEngine is Append behind the same point-type gate as
+// BuildEngine: it extends e with pts when they are []metric.Vector of
+// the engine's dimension, reporting false (engine unchanged) otherwise.
+func AppendEngine[P any](e *Engine, pts []P) bool {
+	if e == nil {
+		return false
+	}
+	if len(pts) == 0 {
+		return true
+	}
+	vecs, ok := any(pts).([]metric.Vector)
+	if !ok {
+		return false
+	}
+	return e.Append(vecs)
 }
 
 // AutoEngine is BuildEngine behind the autoMatrixSolve gate: it builds
@@ -259,68 +325,31 @@ func (e *Engine) sqRowInto(i int, buf []float64) []float64 {
 	return buf[:e.n]
 }
 
-// tileRows sizes a worker-private row-block tile for tiled scans.
-func (e *Engine) tileRows() int {
-	rows := int(tileBudgetBytes / (8 * int64(e.n)))
-	if rows < 1 {
-		rows = 1
-	}
-	if rows > e.n {
-		rows = e.n
-	}
-	return rows
-}
-
 // farthestPartners runs the Ω(n²) farthest-partner pass: on return,
 // farDist[i]/farIdx[i] hold the distance to and index of the point
 // farthest from i (ties on the lowest index), exactly as the sequential
-// triangular pass of MaxDispersionPairs computes them. In matrix mode
-// the triangular pair walk shards by column ranges at the sequential
-// pass's n²/2 work; in tiled mode each worker streams its row range
-// through a private tile (no n² buffer ever exists) and scans full
-// rows — there the fill dominates, and it shards perfectly by rows.
-// Callers initialize farDist to −Inf and farIdx to −1.
+// triangular pass of MaxDispersionPairs computes them. Both modes walk
+// the triangular pair set — n²/2 kernel evaluations in tiled mode too,
+// streamed through FillSqRowsRange column tiles instead of the full
+// rows the pre-PR-5 tiled pass computed — sharded by column ranges of
+// the walk with per-shard partials merged in shard order (see
+// farthestTriangularShard for the order argument). Callers initialize
+// farDist to −Inf and farIdx to −1.
 func (e *Engine) farthestPartners(farDist []float64, farIdx []int) {
 	n := e.n
-	if e.dm != nil {
-		// Clamp so each shard owns on average at least minScanRows rows'
-		// worth of pairs.
-		workers := e.workers
-		if maxw := max(1, (n-1)/(2*minScanRows)); workers > maxw {
-			workers = maxw
-		}
-		if workers <= 1 {
-			// One worker: the triangular pass, exactly as the generic scan
-			// runs it.
-			for i := 0; i < n; i++ {
-				row := e.dm.SqRow(i)
-				for j := i + 1; j < n; j++ {
-					dist := math.Sqrt(row[j])
-					if dist > farDist[i] {
-						farDist[i], farIdx[i] = dist, j
-					}
-					if dist > farDist[j] {
-						farDist[j], farIdx[j] = dist, i
-					}
-				}
-			}
-			return
-		}
-		e.farthestPartnersTriangular(workers, farDist, farIdx)
+	// Clamp so each shard owns on average at least minScanRows rows'
+	// worth of pairs.
+	workers := e.workers
+	if maxw := max(1, (n-1)/(2*minScanRows)); workers > maxw {
+		workers = maxw
+	}
+	if workers <= 1 {
+		// One worker: the triangular pass over the whole pair set,
+		// exactly as the generic scan runs it.
+		e.farthestTriangularShard(0, n, farDist, farIdx)
 		return
 	}
-	ranges := shardRanges(n, e.workers, minScanRows)
-	runShards(ranges, func(_, lo, hi int) {
-		rows := min(e.tileRows(), hi-lo)
-		tile := make([]float64, rows*n)
-		for tlo := lo; tlo < hi; tlo += rows {
-			thi := min(tlo+rows, hi)
-			e.flat.FillSqRows(tlo, thi, tile, 1)
-			for i := tlo; i < thi; i++ {
-				scanFarthest(tile[(i-tlo)*n:(i-tlo)*n+n], i, farDist, farIdx)
-			}
-		}
-	})
+	e.farthestPartnersTriangular(workers, farDist, farIdx)
 }
 
 // triangularBounds splits the columns of the triangular pair walk into
@@ -368,26 +397,13 @@ func (e *Engine) farthestPartnersTriangular(workers int, farDist []float64, farI
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			lo, hi := bounds[s], bounds[s+1]
 			fd := partDist[s*n : s*n+n]
 			fi := partIdx[s*n : s*n+n]
 			for i := range fd {
 				fd[i] = math.Inf(-1)
 				fi[i] = -1
 			}
-			for i := 0; i < hi; i++ {
-				row := e.dm.SqRow(i)
-				jlo := max(lo, i+1)
-				for j := jlo; j < hi; j++ {
-					dist := math.Sqrt(row[j])
-					if dist > fd[i] {
-						fd[i], fi[i] = dist, j
-					}
-					if dist > fd[j] {
-						fd[j], fi[j] = dist, i
-					}
-				}
-			}
+			e.farthestTriangularShard(bounds[s], bounds[s+1], fd, fi)
 		}(s)
 	}
 	wg.Wait()
@@ -400,23 +416,96 @@ func (e *Engine) farthestPartnersTriangular(workers int, farDist []float64, farI
 	}
 }
 
-// scanFarthest writes row i's farthest partner from one ascending scan.
-// The candidate order — j ascending, skipping i — and the strict '>'
-// match what the triangular pass feeds to entry i: pairs (p, i) for
-// p < i arrive in ascending p, then (i, j) for j > i in ascending j, on
-// values bit-identical by matrix symmetry. Same comparison sequence,
-// same result, so triangular and sharded passes agree bit for bit.
-func scanFarthest(row []float64, i int, farDist []float64, farIdx []int) {
-	best, bi := math.Inf(-1), -1
-	for j, sq := range row {
-		if j == i {
-			continue
+// farthestTriangularShard walks the pairs (i, j) with i < j and j in
+// the column range [lo, hi), in the sequential order — i ascending,
+// j ascending within each i, both endpoints updated with strict '>' —
+// accumulating into fd/fi (the caller's partial, pre-initialized to
+// −Inf/−1). Matrix mode reads the materialized rows. Tiled mode
+// computes exactly the walked entries on demand — the rectangular
+// [0, lo)×[lo, hi) block streamed through a private column tile, then
+// the diagonal block row by row from each row's i+1 offset — via
+// FillSqRowsRange, so the pass totals n²/2 kernel evaluations across
+// shards, half of what full-row fills cost. The entries are the same
+// canonical squares either way, consumed in the same order, so matrix
+// and tiled shards produce bit-identical partials.
+// Within one outer row i, entry i is only ever updated as the pair's
+// smaller endpoint (every inner j is strictly greater), so each branch
+// below keeps row i's running (best, idx) in locals and writes it back
+// once per row — the same comparisons against the same values, without
+// a bounds-checked fd[i] access per pair.
+func (e *Engine) farthestTriangularShard(lo, hi int, fd []float64, fi []int) {
+	if e.dm != nil {
+		for i := 0; i < hi; i++ {
+			row := e.dm.SqRow(i)
+			best, bi := fd[i], fi[i]
+			for j := max(lo, i+1); j < hi; j++ {
+				dist := math.Sqrt(row[j])
+				if dist > best {
+					best, bi = dist, j
+				}
+				if dist > fd[j] {
+					fd[j], fi[j] = dist, i
+				}
+			}
+			fd[i], fi[i] = best, bi
 		}
-		if dist := math.Sqrt(sq); dist > best {
-			best, bi = dist, j
+		return
+	}
+	w := hi - lo
+	if w <= 0 {
+		return
+	}
+	// Rectangular block: rows [0, lo) need columns [lo, hi), streamed
+	// through a tile within the per-worker budget.
+	if lo > 0 {
+		rows := int(tileBudgetBytes / (8 * int64(w)))
+		if rows < 1 {
+			rows = 1
+		}
+		if rows > lo {
+			rows = lo
+		}
+		tile := make([]float64, rows*w)
+		for b0 := 0; b0 < lo; b0 += rows {
+			b1 := min(b0+rows, lo)
+			e.flat.FillSqRowsRange(b0, b1, lo, hi, tile, 1)
+			for i := b0; i < b1; i++ {
+				seg := tile[(i-b0)*w : (i-b0)*w+w]
+				best, bi := fd[i], fi[i]
+				for jj, sq := range seg {
+					j := lo + jj
+					dist := math.Sqrt(sq)
+					if dist > best {
+						best, bi = dist, j
+					}
+					if dist > fd[j] {
+						fd[j], fi[j] = dist, i
+					}
+				}
+				fd[i], fi[i] = best, bi
+			}
 		}
 	}
-	farDist[i], farIdx[i] = best, bi
+	// Diagonal block: row i in [lo, hi) needs columns [i+1, hi) — the
+	// triangular tail, filled per row from its own offset.
+	buf := make([]float64, w)
+	for i := lo; i < hi-1; i++ {
+		jlo := i + 1
+		seg := buf[:hi-jlo]
+		e.flat.FillSqRowsRange(i, i+1, jlo, hi, seg, 1)
+		best, bi := fd[i], fi[i]
+		for jj, sq := range seg {
+			j := jlo + jj
+			dist := math.Sqrt(sq)
+			if dist > best {
+				best, bi = dist, j
+			}
+			if dist > fd[j] {
+				fd[j], fi[j] = dist, i
+			}
+		}
+		fd[i], fi[i] = best, bi
+	}
 }
 
 // swapThreshold is the minimum improvement a 1-swap must bring to be

@@ -8,7 +8,7 @@ import (
 	"divmax/internal/sequential"
 )
 
-// Query-path snapshot cache.
+// Query-path snapshot cache, with incremental (copy-on-patch) merges.
 //
 // The expensive part of /query is not the sequential solve alone: it is
 // snapshotting every shard, merging the per-shard core-sets, and — on
@@ -21,18 +21,43 @@ import (
 // while no shard has accepted a new batch, a query reuses the
 // previously merged core-set and its engine (and, for a repeated
 // (measure, k), the previously solved answer) instead of re-merging and
-// re-building from scratch. Any /ingest bumps an accepted epoch and the
-// next query rebuilds — the cache can never serve a state older than
-// what was accepted before the query arrived, preserving the service's
-// read-your-writes snapshot semantics.
+// re-building from scratch.
 //
-// Results are identical with and without the cache: the cached state is
-// exactly the state an uncached query would rebuild (same epochs, same
-// snapshots), and the solver it feeds — SolveEngine over the retained
-// engine, sharded across the server's solve workers — selects the same
-// solution as the uncached solve path (internal/sequential's engine
-// equivalence tests pin this bit for bit, for every worker count and
-// both engine modes).
+// When a shard HAS accepted a batch, the cache patches instead of
+// rebuilding whenever it can. Each shard's StreamCoreset reports, via
+// SnapshotSince, either a pure delta — the points that joined its
+// core-set since the cached state, valid exactly while the core-set has
+// not restructured (its generation is unchanged) — or a full snapshot.
+// If every shard reports a pure delta and the deltas total at most
+// Config.DeltaBudget × the cached union, the stale query patches: it
+// clones the union header, appends the deltas (in shard order), extends
+// a copy-safe fork of the solve engine — new matrix rows plus the
+// old×new column stripe via capacity-doubling DistMatrix.Grown, or just
+// the flat store in tiled mode — and installs the new state. A single
+// accepted point therefore costs O(delta·union) instead of the
+// O(union²) refill the pre-PR-5 cache paid. If any shard's generation
+// moved, or the deltas exceed the budget, the query falls back to the
+// full snapshot + merge + fill path.
+//
+// Correctness. A patched union is the cached union plus every point
+// that joined any shard's core-set since — a set of genuine stream
+// points that contains each shard's current core-set as a subset (see
+// divmax.CoresetDelta), so solving over it keeps the full α+ε core-set
+// guarantee. A patched union's ORDER is the cached order with deltas
+// appended, which is not the order a from-scratch shard concatenation
+// would produce; the engine equivalence that matters — and that the
+// interleaving fuzz harness pins — is that a patched state is
+// bit-identical, solutions and engine mode, to rebuilding the engine
+// from scratch over the same patched union (BuildEngine(prefix) +
+// Append(delta) ≡ BuildEngine(all), internal/sequential's append
+// equivalence tests). Config.DisableDeltaPatch switches a server to
+// exactly that reference behavior: identical patch/fallback decisions
+// and identical unions, every engine built from scratch.
+//
+// Results are identical with and without the cache on an unchanged
+// stream: a cache hit serves exactly the state an uncached query would
+// rebuild, and the engine solvers select bit-identically to the generic
+// path for every worker count and both engine modes.
 
 // cacheFamilies indexes the two core-set families: 0 — SMM (remote-edge,
 // remote-cycle), 1 — SMM-EXT (the four injective-proxy measures).
@@ -67,7 +92,14 @@ type solvedQuery struct {
 type mergeState struct {
 	// epochs[i] is shard i's processed-batch count at snapshot time.
 	epochs []uint64
-	// union is the merged per-shard core-set family.
+	// gens[i] and poss[i] are shard i's core-set generation and
+	// append-log position at snapshot time (per family), handed back to
+	// SnapshotSince so the next stale query can request a pure delta.
+	gens []uint64
+	poss []int
+	// union is the merged per-shard core-set family: a concatenation of
+	// full shard snapshots after a rebuild, or the previous union plus
+	// the per-shard deltas after a patch.
 	union []divmax.Vector
 	// engine is the union's round-2 solve engine — a retained distance
 	// matrix within the memory budget, the tiled flat store beyond it —
@@ -85,13 +117,28 @@ type mergeState struct {
 // familyCache holds one family's latest mergeState. mu guards the state
 // pointer and the solutions map of whichever state it points at (held
 // only for pointer/map operations); rebuild serializes the expensive
-// snapshot + merge + matrix fill so a burst of queries arriving after an
+// snapshot + merge + fill (and every engine patch, which is what makes
+// chained engine forks safe) so a burst of queries arriving after an
 // invalidation performs one rebuild, not one per query.
 type familyCache struct {
 	mu      sync.Mutex
 	rebuild sync.Mutex
 	state   *mergeState
 }
+
+// mergeHow reports how a query's merged state was obtained.
+type mergeHow int
+
+const (
+	// mergeHit: the cached state was current; nothing was touched.
+	mergeHit mergeHow = iota
+	// mergePatched: the cached state was stale but patchable — the new
+	// state reuses the cached union and engine, extended by the
+	// per-shard deltas.
+	mergePatched
+	// mergeRebuilt: full snapshot + merge + fill.
+	mergeRebuilt
+)
 
 // current reports whether st is up to date with the accepted epochs.
 func (st *mergeState) current(accepted []uint64) bool {
@@ -108,17 +155,17 @@ func (s *Server) acceptedEpochs() []uint64 {
 }
 
 // merged returns the family cache and an up-to-date merged state for
-// measure m, rebuilding the state — snapshot, merge, matrix fill — when
-// any shard accepted a batch since the cached one. The boolean reports a
-// cache hit (merge and matrix fill skipped).
-func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, bool, error) {
+// measure m, patching the cached state — union clone + delta append +
+// engine extension — when every shard can serve a pure delta within the
+// delta budget, and rebuilding it (snapshot, merge, fill) otherwise.
+func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, error) {
 	// A draining server rejects queries even on a cache hit: Close means
 	// no more answers, not answers from the last snapshot.
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
 	if draining {
-		return nil, nil, false, errDraining
+		return nil, nil, mergeRebuilt, errDraining
 	}
 	c := &s.caches[cacheIndex(m.NeedsInjectiveProxy())]
 	c.mu.Lock()
@@ -126,42 +173,156 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, bool, erro
 	c.mu.Unlock()
 	if st.current(s.acceptedEpochs()) {
 		s.cacheHits.Add(1)
-		return c, st, true, nil
+		return c, st, mergeHit, nil
 	}
 	// Serialize the rebuild: concurrent queries that missed together wait
 	// here, then re-check — all but the first are served by the rebuild
-	// the first one performed.
+	// (or patch) the first one performed.
 	c.rebuild.Lock()
 	defer c.rebuild.Unlock()
 	c.mu.Lock()
-	st = c.state
+	prev := c.state
 	c.mu.Unlock()
-	if st.current(s.acceptedEpochs()) {
+	if prev.current(s.acceptedEpochs()) {
 		s.cacheHits.Add(1)
-		return c, st, true, nil
+		return c, prev, mergeHit, nil
 	}
-	s.cacheMisses.Add(1)
-	snaps, epochs, err := s.snapshots(m)
+	// Miss counters are bumped only once a resolution commits (alongside
+	// the matching deltaPatches/fullRebuilds increment), so a snapshot
+	// round aborted by a concurrent drain cannot break the invariant
+	// misses == patches + rebuilds.
+
+	if prev != nil && s.cfg.DeltaBudget >= 0 {
+		replies, err := s.snapshots(m, prev)
+		if err != nil {
+			return nil, nil, mergeRebuilt, err
+		}
+		if st, how, ok := s.patchState(prev, replies); ok {
+			s.missesInvalidated.Add(1)
+			c.mu.Lock()
+			c.state = st
+			c.mu.Unlock()
+			return c, st, how, nil
+		}
+		// Some shard restructured, or the deltas exceeded the budget:
+		// fall through to a fresh full-snapshot round (the delta replies
+		// hold deltas, not complete core-sets).
+	}
+
+	replies, err := s.snapshots(m, nil)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, mergeRebuilt, err
 	}
 	st = &mergeState{
-		epochs:    epochs,
+		epochs:    make([]uint64, len(replies)),
+		gens:      make([]uint64, len(replies)),
+		poss:      make([]int, len(replies)),
 		solutions: newSolutionMemo(s.cfg.SolutionMemo),
 	}
-	for _, snap := range snaps {
-		st.processed += snap.Processed
-		st.union = append(st.union, snap.Points...)
+	for i, r := range replies {
+		st.epochs[i] = r.epoch
+		st.gens[i] = r.delta.Gen
+		st.poss[i] = r.delta.Pos
+		st.processed += r.delta.Processed
+		st.union = append(st.union, r.delta.Points...)
 	}
 	// The engine is built here, once per stream state — the matrix fill
 	// runs in parallel across the solve workers; in tiled mode only the
 	// flat store is retained — and every query against this state reuses
-	// it.
+	// or extends it.
 	st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
+	if prev == nil {
+		s.missesCold.Add(1)
+	} else {
+		s.missesInvalidated.Add(1)
+	}
+	s.fullRebuilds.Add(1)
 	c.mu.Lock()
 	c.state = st
 	c.mu.Unlock()
-	return c, st, false, nil
+	return c, st, mergeRebuilt, nil
+}
+
+// patchState builds the successor of prev from per-shard delta replies,
+// reporting how its engine was obtained — mergePatched when the cached
+// engine carried over or was extended, mergeRebuilt when it was built
+// from scratch (reference mode), so /query's patched flag always agrees
+// with the delta_patches/full_rebuilds stats. It reports ok=false when
+// any shard could not serve a pure delta (its core-set restructured
+// since prev) or the deltas exceed the configured fraction of the
+// cached union — the caller then takes the full path.
+func (s *Server) patchState(prev *mergeState, replies []snapReply) (*mergeState, mergeHow, bool) {
+	total := 0
+	for _, r := range replies {
+		if !r.delta.Partial {
+			return nil, mergeRebuilt, false
+		}
+		total += len(r.delta.Points)
+	}
+	if float64(total) > s.cfg.DeltaBudget*float64(len(prev.union)) {
+		return nil, mergeRebuilt, false
+	}
+	st := &mergeState{
+		epochs: make([]uint64, len(replies)),
+		gens:   make([]uint64, len(replies)),
+		poss:   make([]int, len(replies)),
+	}
+	var delta []divmax.Vector
+	for i, r := range replies {
+		st.epochs[i] = r.epoch
+		st.gens[i] = r.delta.Gen
+		st.poss[i] = r.delta.Pos
+		st.processed += r.delta.Processed
+		delta = append(delta, r.delta.Points...)
+	}
+	if len(delta) == 0 && !s.cfg.DisableDeltaPatch {
+		// Batches were accepted but every point was absorbed without
+		// growing any core-set — the steady state of a saturated stream.
+		// The union, engine, and even the (measure, k) answers carry
+		// over untouched.
+		st.union = prev.union
+		st.engine = prev.engine
+		st.solutions = prev.solutions
+		s.deltaPatches.Add(1)
+		return st, mergePatched, true
+	}
+	// Clone the union header (full-slice expression forces a fresh
+	// backing array) and append the deltas in shard order; readers of
+	// prev.union are untouched.
+	st.union = append(prev.union[:len(prev.union):len(prev.union)], delta...)
+	st.solutions = newSolutionMemo(s.cfg.SolutionMemo)
+	how := mergePatched
+	switch {
+	case s.cfg.DisableDeltaPatch:
+		// Reference mode (the interleaving fuzz harness): identical
+		// patch decisions and unions, but every engine is built from
+		// scratch — what the append-equivalence contract says patching
+		// must match bit for bit.
+		st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
+		s.fullRebuilds.Add(1)
+		how = mergeRebuilt
+	case prev.engine == nil:
+		// Nothing to extend (cached union of 0–1 points): build fresh
+		// over the patched union.
+		st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
+		s.deltaPatches.Add(1)
+	default:
+		// The copy-safe fork: concurrent solves on prev.engine keep
+		// reading their immutable prefix while the fork gains the new
+		// rows and column stripe (or, in tiled mode, just the grown flat
+		// store). The rebuild mutex guarantees only the latest fork of
+		// the chain is ever extended.
+		eng := prev.engine.Fork()
+		if sequential.AppendEngine(eng, delta) {
+			st.engine = eng
+		} else {
+			// Unreachable with /ingest-validated vectors; kept as a safe
+			// fallback.
+			st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
+		}
+		s.deltaPatches.Add(1)
+	}
+	return st, how, true
 }
 
 // solveMerged runs the round-2 sequential α-approximation on a merged

@@ -67,6 +67,21 @@ type Config struct {
 	// comfortably above the 6·MaxK key space of the default MaxK, so
 	// small servers never evict).
 	SolutionMemo int
+	// DeltaBudget caps the incremental patch of the query cache: a
+	// stale query patches the cached merged state — appending the
+	// per-shard core-set deltas and extending the retained solve engine
+	// — only when the deltas total at most DeltaBudget × the cached
+	// union size; beyond it (or when any shard's core-set restructured)
+	// the query falls back to a full snapshot + merge + fill. 0 means
+	// the default (0.25); a negative value disables delta patching
+	// entirely, restoring the rebuild-on-every-ingest behavior.
+	DeltaBudget float64
+	// DisableDeltaPatch keeps every patch/fallback decision and every
+	// merged-union layout identical but builds each engine from scratch
+	// instead of extending the cached one — the reference mode the
+	// interleaving fuzz harness compares delta patching against. Not
+	// useful in production (it only costs CPU).
+	DisableDeltaPatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolutionMemo < 1 {
 		c.SolutionMemo = 128
+	}
+	if c.DeltaBudget == 0 {
+		c.DeltaBudget = 0.25
 	}
 	return c
 }
@@ -116,9 +134,18 @@ type Server struct {
 	draining bool
 
 	// caches holds the per-family query-path snapshot caches (cache.go).
-	caches      [cacheFamilies]familyCache
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	caches    [cacheFamilies]familyCache
+	cacheHits atomic.Int64
+	// Cache misses split by cause: missesCold counts first queries
+	// against a family (no state to patch or reuse — server start or
+	// first query of that family), missesInvalidated counts queries
+	// that found the cached state stale because a shard accepted a
+	// batch. Every miss resolves as either a delta patch or a full
+	// rebuild.
+	missesCold        atomic.Int64
+	missesInvalidated atomic.Int64
+	deltaPatches      atomic.Int64
+	fullRebuilds      atomic.Int64
 	// tiledSolves counts solves served through the tiled engine (merged
 	// union past the matrix memory budget — no n² buffer materialized).
 	tiledSolves atomic.Int64
@@ -288,30 +315,34 @@ func (s *Server) send(batches []*[]divmax.Vector) error {
 
 // snapshots asks every shard for a point-in-time view of the core-set
 // family serving measure m, returning the views together with each
-// shard's ingest epoch at snapshot time. The requests ride the same
-// channels as ingest batches, so each snapshot reflects everything its
-// shard accepted before the request — no locks around the processors are
-// ever needed.
-func (s *Server) snapshots(m divmax.Measure) ([]divmax.CoresetSnapshot[divmax.Vector], []uint64, error) {
+// shard's ingest epoch at snapshot time. When prev is non-nil the
+// request is incremental: each shard answers with a pure delta of the
+// points that joined its core-set since prev's (generation, position)
+// for that shard, or a full snapshot if it restructured. prev == nil
+// forces full snapshots. The requests ride the same channels as ingest
+// batches, so each snapshot reflects everything its shard accepted
+// before the request — no locks around the processors are ever needed.
+func (s *Server) snapshots(m divmax.Measure, prev *mergeState) ([]snapReply, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
-		return nil, nil, errDraining
+		return nil, errDraining
 	}
 	proxy := m.NeedsInjectiveProxy()
 	replies := make([]chan snapReply, len(s.shards))
 	for i, sh := range s.shards {
 		replies[i] = make(chan snapReply, 1)
-		sh.ch <- shardMsg{snap: replies[i], proxy: proxy}
+		msg := shardMsg{snap: replies[i], proxy: proxy, pos: -1}
+		if prev != nil {
+			msg.gen, msg.pos = prev.gens[i], prev.poss[i]
+		}
+		sh.ch <- msg
 	}
-	out := make([]divmax.CoresetSnapshot[divmax.Vector], len(s.shards))
-	epochs := make([]uint64, len(s.shards))
+	out := make([]snapReply, len(s.shards))
 	for i, ch := range replies {
-		reply := <-ch
-		out[i] = reply.snap
-		epochs[i] = reply.epoch
+		out[i] = <-ch
 	}
-	return out, epochs, nil
+	return out, nil
 }
 
 type queryResponse struct {
@@ -328,6 +359,11 @@ type queryResponse struct {
 	// since they were built); merge_ms then covers only the solve — or
 	// nothing at all when the (measure, k) answer itself was memoized.
 	Cached bool `json:"cached"`
+	// Patched reports that this query found the cache stale and
+	// repaired it incrementally — per-shard core-set deltas appended to
+	// the cached union, the retained solve engine extended — instead of
+	// re-snapshotting, re-merging, and re-filling from scratch.
+	Patched bool `json:"patched"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -358,9 +394,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The merge: round-2 aggregation over the composable per-shard
 	// core-sets — served from the snapshot cache while no shard accepted
-	// a batch since it was built, rebuilt (snapshot + merge + matrix
-	// fill) otherwise.
-	cache, st, hit, err := s.merged(m)
+	// a batch since it was built, patched in place when the shards can
+	// serve pure deltas, rebuilt (snapshot + merge + matrix fill)
+	// otherwise.
+	cache, st, how, err := s.merged(m)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -404,7 +441,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CoresetSize: len(st.union),
 		Processed:   st.processed,
 		MergeMillis: float64(elapsed) / float64(time.Millisecond),
-		Cached:      hit,
+		Cached:      how == mergeHit,
+		Patched:     how == mergePatched,
 	})
 }
 
@@ -428,12 +466,22 @@ type statsResponse struct {
 	LastMergeMS   float64      `json:"last_merge_ms"`
 	// Query-path snapshot cache counters: a hit served the merged
 	// core-set (and its solve engine) without touching the shards; a
-	// miss re-snapshotted, re-merged, and re-built. CachedCoresetPoints
-	// and CachedMatrixBytes size what the caches currently retain,
-	// summed over the two core-set families (tiled engines retain no
-	// matrix, so they contribute 0 bytes).
+	// miss found no current state. Misses split by cause — cold (first
+	// query of a family: server start, nothing cached yet) versus
+	// invalidated (a shard accepted a batch since the cached merge) —
+	// and every miss resolves as either a delta patch (the cached union
+	// and engine extended by the per-shard core-set deltas) or a full
+	// rebuild (snapshot + merge + fill from scratch), counted under
+	// DeltaPatches and FullRebuilds. CacheMisses remains the total.
+	// CachedCoresetPoints and CachedMatrixBytes size what the caches
+	// currently retain, summed over the two core-set families (tiled
+	// engines retain no matrix, so they contribute 0 bytes).
 	CacheHits           int64 `json:"query_cache_hits"`
 	CacheMisses         int64 `json:"query_cache_misses"`
+	MissesCold          int64 `json:"query_cache_misses_cold"`
+	MissesInvalidated   int64 `json:"query_cache_misses_invalidated"`
+	DeltaPatches        int64 `json:"delta_patches"`
+	FullRebuilds        int64 `json:"full_rebuilds"`
 	CachedCoresetPoints int   `json:"cached_coreset_points"`
 	CachedMatrixBytes   int64 `json:"cached_matrix_bytes"`
 	// SolveWorkers is the configured round-2 solver parallelism;
@@ -452,16 +500,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statsResponse{
-		Shards:       make([]shardStats, len(s.shards)),
-		Queries:      s.queries.Load(),
-		Merges:       s.merges.Load(),
-		LastMergeMS:  float64(s.mergeNanos.Load()) / float64(time.Millisecond),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		SolveWorkers: s.cfg.SolveWorkers,
-		TiledSolves:  s.tiledSolves.Load(),
-		MaxK:         s.cfg.MaxK,
-		KPrime:       s.cfg.KPrime,
+		Shards:            make([]shardStats, len(s.shards)),
+		Queries:           s.queries.Load(),
+		Merges:            s.merges.Load(),
+		LastMergeMS:       float64(s.mergeNanos.Load()) / float64(time.Millisecond),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.missesCold.Load() + s.missesInvalidated.Load(),
+		MissesCold:        s.missesCold.Load(),
+		MissesInvalidated: s.missesInvalidated.Load(),
+		DeltaPatches:      s.deltaPatches.Load(),
+		FullRebuilds:      s.fullRebuilds.Load(),
+		SolveWorkers:      s.cfg.SolveWorkers,
+		TiledSolves:       s.tiledSolves.Load(),
+		MaxK:              s.cfg.MaxK,
+		KPrime:            s.cfg.KPrime,
 	}
 	for i := range s.caches {
 		c := &s.caches[i]

@@ -499,3 +499,89 @@ func TestPooledBuffersDoNotAliasRetainedPoints(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsSplitCacheMissCauses covers the observability split of
+// query_cache_misses: a cold miss (first query of a family, nothing
+// cached yet) versus an invalidated miss (a shard accepted a batch
+// since the cached merge), and the resolution counters — every miss
+// ends as either a delta patch or a full rebuild, and a server with
+// patching disabled (negative DeltaBudget) resolves every miss as a
+// full rebuild.
+func TestStatsSplitCacheMissCauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := clusterPoints(rng, []divmax.Vector{{0, 0}, {300, 300}}, 20, 5)
+
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8})
+	postIngest(t, ts.URL, pts)
+	getQuery(t, ts.URL, 3, divmax.RemoteEdge)   // cold: SMM family
+	getQuery(t, ts.URL, 3, divmax.RemoteClique) // cold: SMM-EXT family
+	st := getStats(t, ts.URL)
+	if st.MissesCold != 2 || st.MissesInvalidated != 0 {
+		t.Fatalf("after first queries: cold=%d invalidated=%d, want 2/0", st.MissesCold, st.MissesInvalidated)
+	}
+	if st.FullRebuilds != 2 || st.DeltaPatches != 0 {
+		t.Fatalf("cold misses resolved as %d rebuilds / %d patches, want 2/0", st.FullRebuilds, st.DeltaPatches)
+	}
+
+	postIngest(t, ts.URL, clusterPoints(rng, []divmax.Vector{{900, 900}}, 6, 2))
+	getQuery(t, ts.URL, 3, divmax.RemoteEdge) // stale: ingest invalidated
+	getQuery(t, ts.URL, 3, divmax.RemoteEdge) // current again: a hit
+	st = getStats(t, ts.URL)
+	if st.MissesCold != 2 || st.MissesInvalidated != 1 {
+		t.Fatalf("after ingest: cold=%d invalidated=%d, want 2/1", st.MissesCold, st.MissesInvalidated)
+	}
+	if st.CacheMisses != st.MissesCold+st.MissesInvalidated {
+		t.Fatalf("total misses %d ≠ cold %d + invalidated %d", st.CacheMisses, st.MissesCold, st.MissesInvalidated)
+	}
+	if st.CacheMisses != st.DeltaPatches+st.FullRebuilds {
+		t.Fatalf("misses %d ≠ patches %d + rebuilds %d", st.CacheMisses, st.DeltaPatches, st.FullRebuilds)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("hits = %d, want 1", st.CacheHits)
+	}
+
+	// Patching disabled: the same churn resolves every miss as a full
+	// rebuild and reports no patches.
+	_, off := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8, DeltaBudget: -1})
+	postIngest(t, off.URL, pts)
+	getQuery(t, off.URL, 3, divmax.RemoteEdge)
+	postIngest(t, off.URL, pts[:3])
+	getQuery(t, off.URL, 3, divmax.RemoteEdge)
+	ost := getStats(t, off.URL)
+	if ost.DeltaPatches != 0 || ost.FullRebuilds != ost.CacheMisses || ost.MissesInvalidated != 1 {
+		t.Fatalf("patching-disabled server: patches=%d rebuilds=%d misses=%d invalidated=%d",
+			ost.DeltaPatches, ost.FullRebuilds, ost.CacheMisses, ost.MissesInvalidated)
+	}
+}
+
+// TestQueryReportsPatched: the /query response must flag the query that
+// repaired a stale cache incrementally, and only that query.
+func TestQueryReportsPatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8, DeltaBudget: 16})
+	postIngest(t, ts.URL, clusterPoints(rng, []divmax.Vector{{0, 0}, {500, 500}}, 15, 4))
+	cold := getQuery(t, ts.URL, 3, divmax.RemoteEdge)
+	if cold.Cached || cold.Patched {
+		t.Fatalf("cold query reported cached=%v patched=%v", cold.Cached, cold.Patched)
+	}
+	// Churn until a query reports a patch (absorbed batches patch with
+	// empty deltas; grown core-sets patch with appends — either way the
+	// flag must surface).
+	patchedSeen := false
+	for round := 0; round < 10 && !patchedSeen; round++ {
+		postIngest(t, ts.URL, clusterPoints(rng, []divmax.Vector{{float64(10 * round), 250}}, 2, 1))
+		q := getQuery(t, ts.URL, 3, divmax.RemoteEdge)
+		if q.Cached && q.Patched {
+			t.Fatal("query reported both cached and patched")
+		}
+		patchedSeen = patchedSeen || q.Patched
+		again := getQuery(t, ts.URL, 3, divmax.RemoteEdge)
+		if !again.Cached || again.Patched {
+			t.Fatalf("repeat query reported cached=%v patched=%v", again.Cached, again.Patched)
+		}
+	}
+	if !patchedSeen {
+		st := getStats(t, ts.URL)
+		t.Fatalf("no query reported patched across the churn (stats: %+v)", st)
+	}
+}

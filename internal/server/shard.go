@@ -8,12 +8,16 @@ import (
 )
 
 // snapReply is a shard's answer to a snapshot request: the point-in-time
-// core-set view plus the shard's ingest epoch at the moment the snapshot
-// was taken — the number of batches folded in so far. The query cache
-// compares cached epochs against the shards' accepted-batch counters to
-// decide whether a previously merged core-set is still current.
+// core-set view — a pure delta of the points appended since the
+// requested (generation, position), or a full snapshot when the
+// core-set restructured or the request demanded one — plus the shard's
+// ingest epoch at the moment the snapshot was taken, the number of
+// batches folded in so far. The query cache compares cached epochs
+// against the shards' accepted-batch counters to decide whether a
+// previously merged core-set is still current, and uses the delta's
+// generation/position to patch a stale one instead of rebuilding it.
 type snapReply struct {
-	snap  divmax.CoresetSnapshot[divmax.Vector]
+	delta divmax.CoresetDelta[divmax.Vector]
 	epoch uint64
 }
 
@@ -21,10 +25,11 @@ type snapReply struct {
 // either a batch of points to ingest, or (when snap is non-nil) a request
 // for a point-in-time snapshot of the core-set family a query needs —
 // proxy selects SMM-EXT (the four delegate-based measures) over SMM
-// (remote-edge, remote-cycle). Funnelling both through one channel
-// serializes them against the shard goroutine, which is what lets the
-// StreamCoreset processors stay lock-free: only the shard goroutine ever
-// touches them.
+// (remote-edge, remote-cycle), and (gen, pos) request a delta relative
+// to an earlier snapshot (pos = -1 forces a full snapshot). Funnelling
+// both through one channel serializes them against the shard goroutine,
+// which is what lets the StreamCoreset processors stay lock-free: only
+// the shard goroutine ever touches them.
 //
 // batch points at a pooled slice (see pool.go): the sender fills it, the
 // shard goroutine consumes it with ProcessBatch and returns it to the
@@ -33,6 +38,8 @@ type shardMsg struct {
 	batch *[]divmax.Vector
 	snap  chan<- snapReply
 	proxy bool
+	gen   uint64
+	pos   int
 }
 
 // shard owns one slice of the stream. Every point it receives is folded
@@ -86,9 +93,9 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		if msg.snap != nil {
 			reply := snapReply{epoch: s.procEpoch.Load()}
 			if msg.proxy {
-				reply.snap = s.proxy.Snapshot()
+				reply.delta = s.proxy.SnapshotSince(msg.gen, msg.pos)
 			} else {
-				reply.snap = s.edge.Snapshot()
+				reply.delta = s.edge.SnapshotSince(msg.gen, msg.pos)
 			}
 			msg.snap <- reply
 			continue

@@ -40,6 +40,16 @@ type SMM[P any] struct {
 
 	centers []P // T, capacity k'+1
 	merged  []P // M: points removed by merge steps of the current phase
+
+	// Incremental-snapshot bookkeeping (Generation/AppendedSince): gen
+	// counts restructurings — merge phases, where centers move or drop —
+	// and appended logs every point accepted since the last one, so
+	// between restructurings the core-set only ever grows by the logged
+	// points. The log holds point headers already retained in centers
+	// and is cleared on every restructure, so it adds no asymptotic
+	// memory.
+	gen      uint64
+	appended []P
 }
 
 // NewSMM returns a streaming core-set processor for the remote-edge and
@@ -63,9 +73,11 @@ func (s *SMM[P]) minDist(p P) (float64, int) {
 	return metric.MinDistance(p, s.centers, s.d)
 }
 
-// addCenter appends p to T and keeps the fast-path mirror in sync.
+// addCenter appends p to T and keeps the fast-path mirror and the
+// append log in sync.
 func (s *SMM[P]) addCenter(p P) {
 	s.centers = append(s.centers, p)
+	s.appended = append(s.appended, p)
 	if s.scan != nil {
 		s.scan.Append(p)
 	}
@@ -109,8 +121,11 @@ func (s *SMM[P]) ProcessBatch(batch []P) {
 // startPhase begins a new phase: it resets M and runs merge steps,
 // doubling the threshold as long as the merge fails to bring T back to
 // at most k′ points (a merge that removes nothing is a phase whose update
-// step accepts no points).
+// step accepts no points). A phase restructures the core-set, so it
+// bumps the generation and restarts the append log.
 func (s *SMM[P]) startPhase() {
+	s.gen++
+	s.appended = s.appended[:0]
 	s.merged = s.merged[:0]
 	for {
 		s.phases++
@@ -175,6 +190,26 @@ func (s *SMM[P]) CoverageRadius() float64 { return 4 * s.threshold }
 
 // Phases returns the number of merge phases run so far.
 func (s *SMM[P]) Phases() int { return s.phases }
+
+// Generation counts the restructurings of the core-set (merge phases:
+// cluster merges and the threshold doublings they run under). While it
+// is unchanged, the point set underlying Result only grows, by exactly
+// the points AppendedSince reports — the contract divmaxd's
+// delta-patched query cache is built on.
+func (s *SMM[P]) Generation() uint64 { return s.gen }
+
+// AppendLogLen returns the length of the current generation's append
+// log — the position to pass to a later AppendedSince.
+func (s *SMM[P]) AppendLogLen() int { return len(s.appended) }
+
+// AppendedSince returns a copy of the points accepted into the core-set
+// since append-log position pos of the current generation (0 ≤ pos ≤
+// AppendLogLen; the log restarts empty at each Generation bump).
+func (s *SMM[P]) AppendedSince(pos int) []P {
+	out := make([]P, len(s.appended)-pos)
+	copy(out, s.appended[pos:])
+	return out
+}
 
 // Processed returns the number of stream points consumed.
 func (s *SMM[P]) Processed() int64 { return s.processed }

@@ -27,6 +27,12 @@ type SMMExt[P any] struct {
 	centers   []P
 	delegates [][]P // delegates[i] belongs to centers[i]; contains the center
 	merged    []P   // delegate sets dropped by merges, flattened, current phase
+
+	// Incremental-snapshot bookkeeping; see SMM. For SMM-EXT the append
+	// log records both new centers and accepted delegates — everything
+	// that joins T′ between restructurings.
+	gen      uint64
+	appended []P
 }
 
 // NewSMMExt returns a streaming core-set processor for the
@@ -52,6 +58,7 @@ func (s *SMMExt[P]) minDist(p P) (float64, int) {
 func (s *SMMExt[P]) addCenter(p P) {
 	s.centers = append(s.centers, p)
 	s.delegates = append(s.delegates, []P{p})
+	s.appended = append(s.appended, p)
 	if s.scan != nil {
 		s.scan.Append(p)
 	}
@@ -83,6 +90,7 @@ func (s *SMMExt[P]) Process(p P) {
 	}
 	if len(s.delegates[nearest]) < s.k {
 		s.delegates[nearest] = append(s.delegates[nearest], p)
+		s.appended = append(s.appended, p)
 	}
 }
 
@@ -95,6 +103,8 @@ func (s *SMMExt[P]) ProcessBatch(batch []P) {
 }
 
 func (s *SMMExt[P]) startPhase() {
+	s.gen++
+	s.appended = s.appended[:0]
 	s.merged = s.merged[:0]
 	for {
 		s.phases++
@@ -191,6 +201,25 @@ func (s *SMMExt[P]) CoverageRadius() float64 { return 4 * s.threshold }
 
 // Phases returns the number of merge phases run so far.
 func (s *SMMExt[P]) Phases() int { return s.phases }
+
+// Generation counts the restructurings of the core-set; see
+// SMM.Generation. Between bumps the union of the delegate sets only
+// grows, by exactly the points AppendedSince reports (new centers and
+// accepted delegates).
+func (s *SMMExt[P]) Generation() uint64 { return s.gen }
+
+// AppendLogLen returns the length of the current generation's append
+// log; see SMM.AppendLogLen.
+func (s *SMMExt[P]) AppendLogLen() int { return len(s.appended) }
+
+// AppendedSince returns a copy of the points that joined the core-set
+// since append-log position pos of the current generation; see
+// SMM.AppendedSince.
+func (s *SMMExt[P]) AppendedSince(pos int) []P {
+	out := make([]P, len(s.appended)-pos)
+	copy(out, s.appended[pos:])
+	return out
+}
 
 // Processed returns the number of stream points consumed.
 func (s *SMMExt[P]) Processed() int64 { return s.processed }

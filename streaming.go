@@ -57,6 +57,13 @@ type StreamCoreset[P any] interface {
 	// Like Coreset, it may be called between Process calls but not
 	// concurrently with them.
 	Snapshot() CoresetSnapshot[P]
+	// SnapshotSince returns an incremental view relative to an earlier
+	// snapshot identified by its generation and append-log position: a
+	// pure delta of the points that joined the core-set since, when the
+	// core-set has not restructured (Partial), or a full snapshot when
+	// it has (the generation moved). Pass (0, -1) for an unconditional
+	// full snapshot. Same concurrency contract as Snapshot.
+	SnapshotSince(gen uint64, pos int) CoresetDelta[P]
 	// StoredPoints reports current memory use in points.
 	StoredPoints() int
 }
@@ -86,6 +93,39 @@ type CoresetSnapshot[P any] struct {
 	Stored int
 }
 
+// CoresetDelta is the incremental view SnapshotSince returns. The
+// underlying SMM/SMM-EXT processors restructure only during merge
+// phases; between two restructurings the core-set's point set only ever
+// grows, and the processors log exactly the points that join it. A
+// delta therefore comes in two shapes:
+//
+//   - Partial: the earlier snapshot's core-set has not restructured —
+//     Points holds only the points appended since (possibly none), and
+//     the earlier point set united with Points is a superset of the
+//     processor's current core-set that still contains every current
+//     core-set point. Solving over that union keeps the full core-set
+//     guarantee: it is a set of genuine stream points sandwiched
+//     between the current core-set and the processed prefix.
+//   - Full (!Partial): the core-set restructured (Gen moved past the
+//     caller's) — Points is a complete Snapshot and the earlier view
+//     must be discarded.
+//
+// Gen and Pos identify this view for the next SnapshotSince call. The
+// divmaxd query cache uses deltas to patch its merged union and extend
+// its solve engine instead of rebuilding both on every ingest.
+type CoresetDelta[P any] struct {
+	CoresetSnapshot[P]
+	// Gen counts the processor's restructurings (cluster merges and the
+	// radius doublings they run under) at snapshot time.
+	Gen uint64
+	// Pos is the processor's append-log position at snapshot time; pass
+	// Gen and Pos back to a later SnapshotSince for the next delta.
+	Pos int
+	// Partial reports that Points extends the earlier view instead of
+	// replacing it.
+	Partial bool
+}
+
 // snapshotter is the slice of the SMM/SMM-EXT API a CoresetSnapshot is
 // built from.
 type snapshotter[P any] interface {
@@ -93,6 +133,16 @@ type snapshotter[P any] interface {
 	CoverageRadius() float64
 	Processed() int64
 	StoredPoints() int
+}
+
+// deltaSnapshotter adds the incremental-snapshot slice of the SMM and
+// SMM-EXT API: the restructure counter and the per-generation append
+// log.
+type deltaSnapshotter[P any] interface {
+	snapshotter[P]
+	Generation() uint64
+	AppendLogLen() int
+	AppendedSince(pos int) []P
 }
 
 func snapshotOf[P any](s snapshotter[P]) CoresetSnapshot[P] {
@@ -104,17 +154,41 @@ func snapshotOf[P any](s snapshotter[P]) CoresetSnapshot[P] {
 	}
 }
 
+func deltaOf[P any](s deltaSnapshotter[P], gen uint64, pos int) CoresetDelta[P] {
+	out := CoresetDelta[P]{Gen: s.Generation(), Pos: s.AppendLogLen()}
+	if pos >= 0 && gen == out.Gen && pos <= out.Pos {
+		out.Partial = true
+		out.CoresetSnapshot = CoresetSnapshot[P]{
+			Points:    s.AppendedSince(pos),
+			Radius:    s.CoverageRadius(),
+			Processed: s.Processed(),
+			Stored:    s.StoredPoints(),
+		}
+		return out
+	}
+	out.CoresetSnapshot = snapshotOf[P](s)
+	return out
+}
+
 type smmAdapter[P any] struct{ *streamalg.SMM[P] }
 
 func (a smmAdapter[P]) Coreset() []P { return a.Result() }
 
 func (a smmAdapter[P]) Snapshot() CoresetSnapshot[P] { return snapshotOf[P](a.SMM) }
 
+func (a smmAdapter[P]) SnapshotSince(gen uint64, pos int) CoresetDelta[P] {
+	return deltaOf[P](a.SMM, gen, pos)
+}
+
 type smmExtAdapter[P any] struct{ *streamalg.SMMExt[P] }
 
 func (a smmExtAdapter[P]) Coreset() []P { return a.Result() }
 
 func (a smmExtAdapter[P]) Snapshot() CoresetSnapshot[P] { return snapshotOf[P](a.SMMExt) }
+
+func (a smmExtAdapter[P]) SnapshotSince(gen uint64, pos int) CoresetDelta[P] {
+	return deltaOf[P](a.SMMExt, gen, pos)
+}
 
 // NewStreamCoreset returns the streaming core-set processor appropriate
 // for measure m: SMM for remote-edge and remote-cycle, SMM-EXT for the

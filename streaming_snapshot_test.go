@@ -73,3 +73,90 @@ func TestSnapshotMergeAcrossShards(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotSinceContract pins the incremental-snapshot contract the
+// divmaxd delta-patched query cache rests on, for both core-set
+// families over random and adversarial (tiny integer grid, duplicate-
+// and tie-heavy, restructure-prone) streams:
+//
+//   - a (0, -1) request is always a full snapshot, identical to
+//     Snapshot;
+//   - while the generation is unchanged, SnapshotSince returns a pure
+//     delta, and the earlier view's points plus every delta since form
+//     a superset of the current core-set made only of stream points;
+//   - a generation bump yields a full snapshot, after which the chain
+//     restarts.
+func TestSnapshotSinceContract(t *testing.T) {
+	key := func(p divmax.Vector) [2]float64 { return [2]float64{p[0], p[1]} }
+	for name, gen := range map[string]func(rng *rand.Rand, i int) divmax.Vector{
+		"random": func(rng *rand.Rand, i int) divmax.Vector {
+			return divmax.Vector{rng.Float64() * 1000, rng.Float64() * 1000}
+		},
+		"adversarial-grid": func(rng *rand.Rand, i int) divmax.Vector {
+			return divmax.Vector{float64(rng.Intn(7)), float64(rng.Intn(7))}
+		},
+		"expanding": func(rng *rand.Rand, i int) divmax.Vector {
+			scale := float64(int64(1) << (i / 40 % 20))
+			return divmax.Vector{scale * rng.Float64(), scale * rng.Float64()}
+		},
+	} {
+		for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+			rng := rand.New(rand.NewSource(int64(len(name))*7 + int64(m)))
+			sc := divmax.NewStreamCoreset(m, 3, 5, divmax.Euclidean)
+			seen := make(map[[2]float64]bool) // every point ever streamed
+			union := make(map[[2]float64]bool)
+			prev := sc.SnapshotSince(0, -1)
+			if prev.Partial {
+				t.Fatalf("%s/%v: (0,-1) request returned a partial snapshot", name, m)
+			}
+			restructures, deltas := 0, 0
+			for round := 0; round < 60; round++ {
+				for i := 0; i < 1+rng.Intn(9); i++ {
+					p := gen(rng, round*9+i)
+					seen[key(p)] = true
+					sc.Process(p)
+				}
+				d := sc.SnapshotSince(prev.Gen, prev.Pos)
+				if d.Processed != sc.Snapshot().Processed || d.Stored != sc.StoredPoints() {
+					t.Fatalf("%s/%v: delta stats diverge from Snapshot", name, m)
+				}
+				if !d.Partial {
+					restructures++
+					if d.Gen == prev.Gen {
+						t.Fatalf("%s/%v: full snapshot without a generation bump", name, m)
+					}
+					full := sc.Snapshot()
+					if len(d.Points) != len(full.Points) {
+						t.Fatalf("%s/%v: full delta has %d points, Snapshot %d", name, m, len(d.Points), len(full.Points))
+					}
+					union = make(map[[2]float64]bool)
+				} else {
+					deltas++
+					if d.Gen != prev.Gen {
+						t.Fatalf("%s/%v: partial delta across a generation bump", name, m)
+					}
+					if d.Pos < prev.Pos || len(d.Points) != d.Pos-prev.Pos {
+						t.Fatalf("%s/%v: delta of %d points for positions %d→%d", name, m, len(d.Points), prev.Pos, d.Pos)
+					}
+				}
+				for _, p := range d.Points {
+					if !seen[key(p)] {
+						t.Fatalf("%s/%v: snapshot invented a point %v", name, m, p)
+					}
+					union[key(p)] = true
+				}
+				// The accumulated view must contain the whole current
+				// core-set: solving over it keeps the core-set guarantee.
+				for _, p := range sc.Coreset() {
+					if !union[key(p)] {
+						t.Fatalf("%s/%v round %d: core-set point %v missing from the accumulated delta view", name, m, round, p)
+					}
+				}
+				prev = d
+			}
+			if restructures == 0 || deltas == 0 {
+				t.Fatalf("%s/%v: schedule exercised %d restructures and %d pure deltas; want both > 0", name, m, restructures, deltas)
+			}
+		}
+	}
+}
