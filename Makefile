@@ -19,15 +19,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR5.json): GMM fast vs
+# Regenerate the performance trajectory (BENCH_PR6.json): GMM fast vs
 # pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
 # round-2 solve path (matrix vs generic), cached vs cold /query, the
-# sharded/tiled solve-parallel worker sweep, and the incremental_ingest
-# churn suite (delta-patched cache vs forced full rebuilds). CI uploads
-# the JSON as an artifact alongside the committed BENCH_PR*.json
+# sharded/tiled solve-parallel worker sweep, the incremental_ingest
+# churn suite (delta-patched cache vs forced full rebuilds), and the
+# dynamic_churn insert/delete/query interleave over the /v1 API. CI
+# uploads the JSON as an artifact alongside the committed BENCH_PR*.json
 # baselines.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR5.json
+	$(GO) run ./cmd/bench -out BENCH_PR6.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

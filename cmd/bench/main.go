@@ -1,9 +1,9 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR4.json in the repo root, via
+// and writes the results as JSON (BENCH_PR6.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
-// Six suites cover the layers the flat-buffer distance engine and the
+// The suites cover the layers the flat-buffer distance engine and the
 // round-2 solve engine touch:
 //
 //   - gmm: one farthest-first core-set construction (k′ = 64), fast
@@ -33,6 +33,14 @@
 //     memory budget where the pre-PR-4 cap bailed to callbacks) — each
 //     worker count against the 1-worker engine baseline, plus the
 //     generic callback path for reference.
+//   - dynamic_churn: the fully dynamic steady state — every round is a
+//     small /v1/ingest, a couple of /v1/delete calls against random
+//     earlier stream values (almost all absorbed, so the deletes are
+//     tombstone broadcasts that leave the core-set generations alone),
+//     and one /v1/query. Delta-patched cache versus forced full
+//     rebuilds, plus the delete-outcome split and the warm-start count;
+//     the acceptance gate requires delta patches to outnumber full
+//     rebuilds across the churn.
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -53,6 +61,7 @@ import (
 	"time"
 
 	"divmax"
+	"divmax/internal/api"
 	"divmax/internal/coreset"
 	"divmax/internal/metric"
 	"divmax/internal/sequential"
@@ -184,6 +193,36 @@ type incrementalCase struct {
 	FullRebuilds int64   `json:"full_rebuilds"`
 }
 
+type dynamicChurnCase struct {
+	N          int    `json:"n_ingested"`
+	Dim        int    `json:"dim"`
+	Shards     int    `json:"shards"`
+	MaxK       int    `json:"maxk"`
+	KPrime     int    `json:"kprime"`
+	Rounds     int    `json:"rounds"`
+	RoundBatch int    `json:"round_batch"`
+	Deletes    int    `json:"deletes_per_round"`
+	Measure    string `json:"measure"`
+	// A round is one small /v1/ingest, Deletes /v1/delete calls against
+	// random earlier stream values, and one /v1/query. Patched rounds
+	// run the default delta-patching cache; Rebuild rounds run the same
+	// schedule with -delta-budget -1. The delete split shows the churn
+	// is tombstone-dominated (non-evicting, so the patched server keeps
+	// patching); WarmStarts counts queries served from a replayed stale
+	// memo instead of a fresh solve.
+	PatchedMinMS float64 `json:"patched_min_ms"`
+	PatchedAvgMS float64 `json:"patched_avg_ms"`
+	RebuildMinMS float64 `json:"rebuild_min_ms"`
+	RebuildAvgMS float64 `json:"rebuild_avg_ms"`
+	SpeedupAvg   float64 `json:"speedup_avg"`
+	DeltaPatches int64   `json:"delta_patches"`
+	FullRebuilds int64   `json:"full_rebuilds"`
+	Evicting     int64   `json:"deletes_evicting"`
+	Spares       int64   `json:"deletes_spares"`
+	Tombstoned   int64   `json:"deletes_tombstoned"`
+	WarmStarts   int64   `json:"memo_warm_starts"`
+}
+
 // statsSnapshot is the slice of /stats the incremental suite reads.
 type statsSnapshot struct {
 	DeltaPatches int64 `json:"delta_patches"`
@@ -207,6 +246,7 @@ type report struct {
 	QueryCache    []queryCacheCase    `json:"query_cache"`
 	SolveParallel []solveParallelCase `json:"solve_parallel"`
 	Incremental   []incrementalCase   `json:"incremental_ingest"`
+	DynamicChurn  []dynamicChurnCase  `json:"dynamic_churn"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -314,14 +354,14 @@ func minTimeN(reps int, fns ...func()) []time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      5,
+		PR:      6,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -832,6 +872,125 @@ func main() {
 			patchedStats.DeltaPatches)
 	}
 
+	// Suite 8: dynamic_churn — insert/delete/query interleave against the
+	// typed /v1 API. The deletes target random earlier stream values:
+	// with k′ = 64 over a 12k-point uniform stream almost everything is
+	// absorbed, so the churn is tombstone-dominated and the patched
+	// server must keep resolving stale queries as delta patches (the
+	// PR 6 acceptance gate), with the occasional retained-point delete
+	// exercising the eviction → rebuild fallback on the same schedule.
+	{
+		const (
+			chN, chDim, chShards = 12000, 8, 2
+			chMaxK, chKPrime     = 16, 64
+			chRounds, chBatch    = 20, 50
+			chDeletes            = 2
+			chMeasure            = "remote-edge"
+		)
+		churn := func(deltaBudget float64) (minRound, avgRound time.Duration, st api.StatsResponse) {
+			rng := rand.New(rand.NewSource(9001))
+			pts := randomVectors(rng, chN+chRounds*chBatch, chDim)
+			srv, err := server.New(server.Config{
+				Shards: chShards, MaxK: chMaxK, KPrime: chKPrime, DeltaBudget: deltaBudget,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Close() }()
+			client := ts.Client()
+			post := func(path string, v any) {
+				body, err := json.Marshal(v)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				resp, err := client.Post(ts.URL+api.Prefix+path, "application/json", bytes.NewReader(body))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "bench: POST %s failed: %v %v\n", path, err, resp)
+					os.Exit(1)
+				}
+				resp.Body.Close()
+			}
+			for lo := 0; lo < chN; lo += ingestBatch {
+				post("/ingest", api.IngestRequest{Points: pts[lo:min(lo+ingestBatch, chN)]})
+			}
+			query := func() {
+				resp, err := client.Get(fmt.Sprintf("%s%s/query?k=%d&measure=%s", ts.URL, api.Prefix, chMaxK, chMeasure))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+					os.Exit(1)
+				}
+				var qr api.QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
+					os.Exit(1)
+				}
+				resp.Body.Close()
+			}
+			query() // build the initial cached state outside the timed rounds
+			minRound = time.Duration(math.MaxInt64)
+			var sum time.Duration
+			for r := 0; r < chRounds; r++ {
+				lo := chN + r*chBatch
+				dels := make([]metric.Vector, chDeletes)
+				for i := range dels {
+					dels[i] = pts[rng.Intn(lo)]
+				}
+				start := time.Now()
+				post("/ingest", api.IngestRequest{Points: pts[lo : lo+chBatch]})
+				post("/delete", api.DeleteRequest{Points: dels})
+				query()
+				el := time.Since(start)
+				sum += el
+				if el < minRound {
+					minRound = el
+				}
+			}
+			avgRound = sum / chRounds
+			resp, err := client.Get(ts.URL + api.Prefix + "/stats")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "bench: stats failed:", err, resp)
+				os.Exit(1)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: decoding stats:", err)
+				os.Exit(1)
+			}
+			resp.Body.Close()
+			return minRound, avgRound, st
+		}
+		patchedMin, patchedAvg, patchedStats := churn(0) // 0 = the default budget
+		rebuildMin, rebuildAvg, _ := churn(-1)           // patching disabled
+		if patchedStats.DeltaPatches <= patchedStats.FullRebuilds {
+			fmt.Fprintf(os.Stderr, "bench: dynamic_churn: delta patches (%d) did not outnumber full rebuilds (%d)\n",
+				patchedStats.DeltaPatches, patchedStats.FullRebuilds)
+			os.Exit(1)
+		}
+		rep.DynamicChurn = append(rep.DynamicChurn, dynamicChurnCase{
+			N: chN + chRounds*chBatch, Dim: chDim, Shards: chShards,
+			MaxK: chMaxK, KPrime: chKPrime,
+			Rounds: chRounds, RoundBatch: chBatch, Deletes: chDeletes,
+			Measure:      chMeasure,
+			PatchedMinMS: ms(patchedMin), PatchedAvgMS: ms(patchedAvg),
+			RebuildMinMS: ms(rebuildMin), RebuildAvgMS: ms(rebuildAvg),
+			SpeedupAvg:   float64(rebuildAvg) / float64(patchedAvg),
+			DeltaPatches: patchedStats.DeltaPatches,
+			FullRebuilds: patchedStats.FullRebuilds,
+			Evicting:     patchedStats.DeletesEvicting,
+			Spares:       patchedStats.DeletesSpares,
+			Tombstoned:   patchedStats.DeletesTombstoned,
+			WarmStarts:   patchedStats.MemoWarmStarts,
+		})
+		fmt.Printf("churn   n=%-6d patched %8.2f/%8.2fms  rebuild %8.2f/%8.2fms  patches=%d rebuilds=%d dels=%d/%d/%d warm=%d\n",
+			chN+chRounds*chBatch,
+			ms(patchedMin), ms(patchedAvg), ms(rebuildMin), ms(rebuildAvg),
+			patchedStats.DeltaPatches, patchedStats.FullRebuilds,
+			patchedStats.DeletesEvicting, patchedStats.DeletesSpares, patchedStats.DeletesTombstoned,
+			patchedStats.MemoWarmStarts)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -864,6 +1023,10 @@ func main() {
 	for _, c := range rep.Incremental {
 		fmt.Printf("acceptance: incremental_ingest %s n=%d patched vs rebuild %.1fx min / %.1fx avg (target: patched faster at n>=10k)\n",
 			c.Mode, c.N, c.SpeedupMin, c.SpeedupAvg)
+	}
+	for _, c := range rep.DynamicChurn {
+		fmt.Printf("acceptance: dynamic_churn delta_patches=%d > full_rebuilds=%d with deletes %d evicting / %d spares / %d tombstoned (target: patches outnumber rebuilds)\n",
+			c.DeltaPatches, c.FullRebuilds, c.Evicting, c.Spares, c.Tombstoned)
 	}
 	for _, c := range rep.SolveParallel {
 		if c.Workers > 1 && c.Workers <= runtime.NumCPU() {

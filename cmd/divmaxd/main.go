@@ -8,11 +8,13 @@
 //
 //	divmaxd -addr :8377 -shards 4 -maxk 16
 //
-// Quickstart:
+// Quickstart (endpoints live under /v1; the unversioned paths are
+// aliases kept for older clients):
 //
-//	curl -X POST localhost:8377/ingest -d '{"points": [[0,0], [3,4], [10,0]]}'
-//	curl 'localhost:8377/query?k=2&measure=remote-edge'
-//	curl localhost:8377/stats
+//	curl -X POST localhost:8377/v1/ingest -d '{"points": [[0,0], [3,4], [10,0]]}'
+//	curl -X POST localhost:8377/v1/delete -d '{"points": [[3,4]]}'
+//	curl 'localhost:8377/v1/query?k=2&measure=remote-edge'
+//	curl localhost:8377/v1/stats
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains every
 // buffered batch into the shards, and exits.
@@ -43,12 +45,14 @@ func main() {
 		workers = flag.Int("solve-workers", 0, "round-2 solver parallelism: matrix fill + sharded scans (0 = GOMAXPROCS)")
 		memo    = flag.Int("solution-memo", 0, "per-state (measure, k) answer memo capacity, LRU-evicted (0 = 128)")
 		budget  = flag.Float64("delta-budget", 0, "max core-set delta, as a fraction of the cached merged union, a stale query may patch incrementally instead of fully rebuilding (0 = default 0.25; negative disables patching)")
+		spares  = flag.Int("spares", 0, "absorbed points retained per center as promotion candidates for /delete evictions, edge/cycle family only (0 = default 2; negative retains none)")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
 		Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer,
 		SolveWorkers: *workers, SolutionMemo: *memo, DeltaBudget: *budget,
+		Spares: *spares,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)

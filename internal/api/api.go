@@ -1,0 +1,182 @@
+// Package api defines divmaxd's versioned wire contract: the typed
+// request and response bodies of every /v1 endpoint, and the uniform
+// error envelope. The server handlers, cmd/bench, and the tests all
+// encode and decode through these structs, so the wire shapes live in
+// exactly one place before multi-node scale-out freezes them.
+//
+// Versioning: every endpoint is mounted under /v1 (Prefix); the
+// original unversioned paths remain as aliases served by the same
+// handlers, byte-identical body for body. New fields may be added to
+// responses within /v1; renaming or removing one is a new version.
+package api
+
+import "divmax"
+
+// Prefix is the path prefix of the current API version. The legacy
+// unversioned paths are aliases of the /v1 ones.
+const Prefix = "/v1"
+
+// Error codes of the uniform envelope, mapped 1:1 from HTTP status:
+// every non-2xx response body is an ErrorEnvelope carrying one of
+// these.
+const (
+	// CodeBadRequest (400): malformed JSON, invalid points (mixed
+	// dimensions, NaN/Inf), out-of-range parameters, unknown measure.
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed (405): wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodePayloadTooLarge (413): request body over the ingest limit.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeUnavailable (503): the server is draining (Close was called).
+	CodeUnavailable = "unavailable"
+)
+
+// ErrorEnvelope is the body of every error response:
+// {"error":{"code":"bad_request","message":"..."}}.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and the human-readable
+// message of an error response.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// IngestRequest is the body of POST /v1/ingest: a batch of points,
+// uniform dimension, finite coordinates.
+type IngestRequest struct {
+	Points []divmax.Vector `json:"points"`
+}
+
+// IngestResponse acknowledges an ingest batch.
+type IngestResponse struct {
+	// Accepted is the number of points dealt to the shards.
+	Accepted int `json:"accepted"`
+	// Shards is the server's shard count.
+	Shards int `json:"shards"`
+}
+
+// DeleteRequest is the body of POST /v1/delete: points to remove from
+// the stream's ground set. Deletion is by value — every retained copy
+// at distance 0 is removed on every shard, so callers need no handles
+// into server state.
+type DeleteRequest struct {
+	Points []divmax.Vector `json:"points"`
+}
+
+// DeleteResponse reports what a delete batch did, per point classified
+// by the strongest outcome across shards and core-set families.
+type DeleteResponse struct {
+	// Requested is the number of points in the request.
+	Requested int `json:"requested"`
+	// Evicted counts points whose removal evicted a core-set point
+	// somewhere — the expensive case: the affected core-sets re-covered
+	// locally and bumped their snapshot generation, so the next query
+	// on a stale cache rebuilds instead of patching.
+	Evicted int `json:"evicted"`
+	// Spares counts points that only removed spare (backup) points;
+	// core-set outputs and generations unchanged, caches keep patching.
+	Spares int `json:"spares"`
+	// Tombstones counts points with no retained copy anywhere — either
+	// never ingested or absorbed without retention. Free: nothing
+	// structural changed.
+	Tombstones int `json:"tombstones"`
+	// Shards is the server's shard count (every delete is broadcast).
+	Shards int `json:"shards"`
+}
+
+// QueryResponse is the body of GET /v1/query.
+type QueryResponse struct {
+	Measure     string          `json:"measure"`
+	K           int             `json:"k"`
+	Solution    []divmax.Vector `json:"solution"`
+	Value       float64         `json:"value"`
+	Exact       bool            `json:"exact_value"`
+	CoresetSize int             `json:"coreset_size"`
+	Processed   int64           `json:"processed"`
+	MergeMillis float64         `json:"merge_ms"`
+	// Cached reports that the merged core-set and its distance matrix
+	// were reused from the snapshot cache (no shard accepted a batch
+	// since they were built); merge_ms then covers only the solve — or
+	// nothing at all when the (measure, k) answer itself was memoized.
+	Cached bool `json:"cached"`
+	// Patched reports that this query found the cache stale and
+	// repaired it incrementally — per-shard core-set deltas appended to
+	// the cached union, the retained solve engine extended — instead of
+	// re-snapshotting, re-merging, and re-filling from scratch.
+	Patched bool `json:"patched"`
+	// WarmStarted reports that the answer was carried over from the
+	// previous merged state's memo after a replay verification proved
+	// it identical to what a cold solve over the patched union would
+	// return (delta-aware memo reuse; no solve ran).
+	WarmStarted bool `json:"warm_started"`
+}
+
+// ShardStats is one shard's slice of GET /v1/stats.
+type ShardStats struct {
+	ID       int   `json:"id"`
+	Ingested int64 `json:"ingested"`
+	Batches  int64 `json:"batches"`
+	// LastBatch and AvgBatch report the per-shard batch sizes the ingest
+	// path is achieving; small averages mean the fast path is amortizing
+	// little and callers should send bigger /ingest bodies.
+	LastBatch int64   `json:"last_batch"`
+	AvgBatch  float64 `json:"avg_batch"`
+	Stored    int64   `json:"stored_points"`
+	// Deleted counts the points this shard actually removed (evictions
+	// and spares; broadcast tombstones that matched nothing here are
+	// not counted).
+	Deleted int64 `json:"deleted_points"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Shards        []ShardStats `json:"shards"`
+	IngestedTotal int64        `json:"ingested_total"`
+	Queries       int64        `json:"queries"`
+	Merges        int64        `json:"merges"`
+	LastMergeMS   float64      `json:"last_merge_ms"`
+	// Query-path snapshot cache counters: a hit served the merged
+	// core-set (and its solve engine) without touching the shards; a
+	// miss found no current state. Misses split by cause — cold (first
+	// query of a family: server start, nothing cached yet) versus
+	// invalidated (a shard accepted a batch or a delete since the
+	// cached merge) — and every miss resolves as either a delta patch
+	// (the cached union and engine extended by the per-shard core-set
+	// deltas) or a full rebuild (snapshot + merge + fill from scratch),
+	// counted under DeltaPatches and FullRebuilds. CacheMisses remains
+	// the total. CachedCoresetPoints and CachedMatrixBytes size what
+	// the caches currently retain, summed over the two core-set
+	// families (tiled engines retain no matrix, so they contribute 0
+	// bytes).
+	CacheHits           int64 `json:"query_cache_hits"`
+	CacheMisses         int64 `json:"query_cache_misses"`
+	MissesCold          int64 `json:"query_cache_misses_cold"`
+	MissesInvalidated   int64 `json:"query_cache_misses_invalidated"`
+	DeltaPatches        int64 `json:"delta_patches"`
+	FullRebuilds        int64 `json:"full_rebuilds"`
+	CachedCoresetPoints int   `json:"cached_coreset_points"`
+	CachedMatrixBytes   int64 `json:"cached_matrix_bytes"`
+	// MemoWarmStarts counts stale (measure, k) answers served after the
+	// replay verification proved them identical to a cold solve over
+	// the patched union (delta-aware memo reuse).
+	MemoWarmStarts int64 `json:"memo_warm_starts"`
+	// Deletion counters, per request point (not per shard): every
+	// /delete point lands in exactly one of the three buckets —
+	// evicting (restructured some core-set), spares (removed backups
+	// only), tombstoned (matched nothing retained).
+	DeletesRequested  int64 `json:"deletes_requested"`
+	DeletesEvicting   int64 `json:"deletes_evicting"`
+	DeletesSpares     int64 `json:"deletes_spares"`
+	DeletesTombstoned int64 `json:"deletes_tombstoned"`
+	// SolveWorkers is the configured round-2 solver parallelism;
+	// TiledSolves counts solves that ran through the tiled engine
+	// (merged union past the matrix memory budget).
+	SolveWorkers int   `json:"solve_workers"`
+	TiledSolves  int64 `json:"tiled_solves"`
+	MaxK         int   `json:"max_k"`
+	KPrime       int   `json:"kprime"`
+	Draining     bool  `json:"draining"`
+}

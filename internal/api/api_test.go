@@ -1,0 +1,119 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"divmax"
+)
+
+// The wire contract: every struct must round-trip through JSON
+// unchanged, and the key names — once frozen under /v1 — must never
+// drift. Each case marshals a fully populated value and compares
+// against the exact expected JSON, so a renamed or retyped field (a
+// breaking change within /v1) fails here before it reaches a client.
+
+func roundTrip[T any](t *testing.T, name string, in T, wantJSON string) {
+	t.Helper()
+	got, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	if string(got) != wantJSON {
+		t.Errorf("%s: marshaled\n  %s\nwant\n  %s", name, got, wantJSON)
+	}
+	var back T
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("%s: unmarshal: %v", name, err)
+	}
+	if !reflect.DeepEqual(back, in) {
+		t.Errorf("%s: round trip %+v != original %+v", name, back, in)
+	}
+}
+
+func TestWireShapes(t *testing.T) {
+	roundTrip(t, "IngestRequest",
+		IngestRequest{Points: []divmax.Vector{{1, 2}, {3.5, -4}}},
+		`{"points":[[1,2],[3.5,-4]]}`)
+	roundTrip(t, "IngestResponse",
+		IngestResponse{Accepted: 7, Shards: 3},
+		`{"accepted":7,"shards":3}`)
+	roundTrip(t, "DeleteRequest",
+		DeleteRequest{Points: []divmax.Vector{{9, 9}}},
+		`{"points":[[9,9]]}`)
+	roundTrip(t, "DeleteResponse",
+		DeleteResponse{Requested: 5, Evicted: 1, Spares: 2, Tombstones: 2, Shards: 4},
+		`{"requested":5,"evicted":1,"spares":2,"tombstones":2,"shards":4}`)
+	roundTrip(t, "ErrorEnvelope",
+		ErrorEnvelope{Error: ErrorDetail{Code: CodeBadRequest, Message: "bad k"}},
+		`{"error":{"code":"bad_request","message":"bad k"}}`)
+	roundTrip(t, "QueryResponse",
+		QueryResponse{
+			Measure: "remote-edge", K: 3,
+			Solution: []divmax.Vector{{0, 0}, {1, 1}},
+			Value:    2.5, Exact: true, CoresetSize: 12, Processed: 100,
+			MergeMillis: 0.25, Cached: true, Patched: true, WarmStarted: true,
+		},
+		`{"measure":"remote-edge","k":3,"solution":[[0,0],[1,1]],"value":2.5,`+
+			`"exact_value":true,"coreset_size":12,"processed":100,"merge_ms":0.25,`+
+			`"cached":true,"patched":true,"warm_started":true}`)
+	roundTrip(t, "ShardStats",
+		ShardStats{ID: 1, Ingested: 10, Batches: 2, LastBatch: 5, AvgBatch: 5, Stored: 8, Deleted: 3},
+		`{"id":1,"ingested":10,"batches":2,"last_batch":5,"avg_batch":5,`+
+			`"stored_points":8,"deleted_points":3}`)
+	roundTrip(t, "StatsResponse",
+		StatsResponse{
+			Shards:        []ShardStats{{ID: 0}},
+			IngestedTotal: 10, Queries: 4, Merges: 2, LastMergeMS: 1.5,
+			CacheHits: 1, CacheMisses: 3, MissesCold: 2, MissesInvalidated: 1,
+			DeltaPatches: 1, FullRebuilds: 2,
+			CachedCoresetPoints: 20, CachedMatrixBytes: 3200, MemoWarmStarts: 1,
+			DeletesRequested: 6, DeletesEvicting: 1, DeletesSpares: 2, DeletesTombstoned: 3,
+			SolveWorkers: 4, TiledSolves: 1, MaxK: 16, KPrime: 64, Draining: true,
+		},
+		`{"shards":[{"id":0,"ingested":0,"batches":0,"last_batch":0,"avg_batch":0,`+
+			`"stored_points":0,"deleted_points":0}],"ingested_total":10,"queries":4,`+
+			`"merges":2,"last_merge_ms":1.5,"query_cache_hits":1,"query_cache_misses":3,`+
+			`"query_cache_misses_cold":2,"query_cache_misses_invalidated":1,`+
+			`"delta_patches":1,"full_rebuilds":2,"cached_coreset_points":20,`+
+			`"cached_matrix_bytes":3200,"memo_warm_starts":1,"deletes_requested":6,`+
+			`"deletes_evicting":1,"deletes_spares":2,"deletes_tombstoned":3,`+
+			`"solve_workers":4,"tiled_solves":1,"max_k":16,"kprime":64,"draining":true}`)
+}
+
+// TestErrorCodesAndPrefix pins the versioning constants clients build
+// against.
+func TestErrorCodesAndPrefix(t *testing.T) {
+	if Prefix != "/v1" {
+		t.Errorf("Prefix = %q, want /v1", Prefix)
+	}
+	codes := map[string]string{
+		CodeBadRequest:       "bad_request",
+		CodeMethodNotAllowed: "method_not_allowed",
+		CodePayloadTooLarge:  "payload_too_large",
+		CodeUnavailable:      "unavailable",
+	}
+	for got, want := range codes {
+		if got != want {
+			t.Errorf("error code %q, want %q", got, want)
+		}
+	}
+}
+
+// TestDecodeRejectsUnknownShapes: requests decode strictly enough that
+// a typo'd points key yields an empty batch rather than silent garbage,
+// and non-array points fail outright.
+func TestDecodeRejectsUnknownShapes(t *testing.T) {
+	var ing IngestRequest
+	if err := json.Unmarshal([]byte(`{"pts": [[1,2]]}`), &ing); err != nil || len(ing.Points) != 0 {
+		t.Errorf("typo'd key decoded to %+v (err %v), want empty", ing, err)
+	}
+	if err := json.Unmarshal([]byte(`{"points": "nope"}`), &ing); err == nil {
+		t.Error("string points decoded without error")
+	}
+	var del DeleteRequest
+	if err := json.Unmarshal([]byte(`{"points": [[1,"x"]]}`), &del); err == nil {
+		t.Error("non-numeric coordinate decoded without error")
+	}
+}

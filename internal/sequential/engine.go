@@ -832,10 +832,27 @@ func SolveEngine[P any](m diversity.Measure, pts []P, e *Engine, k int) []P {
 	if e == nil || e.n != len(pts) {
 		panic(fmt.Sprintf("sequential: SolveEngine engine over %d points for %d input points", engineLen(e), len(pts)))
 	}
-	if m == diversity.RemoteClique {
-		return pick(pts, maxDispersionPairsEngine(e, k))
+	return pick(pts, SolveEngineIdx(m, e, k))
+}
+
+// SolveEngineIdx is SolveEngine returning indices into the engine's
+// point set instead of materialized points — for callers that retain
+// the point slice themselves and want to store or replay the selection
+// (the divmaxd solution memo keeps indices so a later patched state can
+// verify a stale answer against its delta). Same dispatch and same
+// bit-identical-selection contract as SolveEngine. It panics if k < 1
+// and returns nil for a nil or empty engine.
+func SolveEngineIdx(m diversity.Measure, e *Engine, k int) []int {
+	if k < 1 {
+		panic(fmt.Sprintf("sequential: SolveEngineIdx requires k >= 1, got %d", k))
 	}
-	return pick(pts, gmmEngine(e, k))
+	if e == nil || e.n == 0 {
+		return nil
+	}
+	if m == diversity.RemoteClique {
+		return maxDispersionPairsEngine(e, k)
+	}
+	return gmmEngine(e, k)
 }
 
 func engineLen(e *Engine) int {

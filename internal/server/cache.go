@@ -1,10 +1,12 @@
 package server
 
 import (
+	"math"
 	"slices"
 	"sync"
 
 	"divmax"
+	"divmax/internal/metric"
 	"divmax/internal/sequential"
 )
 
@@ -78,9 +80,14 @@ type solutionKey struct {
 }
 
 // solvedQuery is a memoized answer, stored response-ready (non-nil
-// solution, finite value).
+// solution, finite value). idx holds the engine indices the solution
+// was selected at — positions into the owning state's union, nil when
+// the solve ran on the generic (engine-less) path — and is what lets a
+// later patched state replay the selection against its delta points to
+// prove the stale answer still exact (warmStartValid).
 type solvedQuery struct {
 	sol   []divmax.Vector
+	idx   []int
 	val   float64
 	exact bool
 }
@@ -112,6 +119,15 @@ type mergeState struct {
 	// solutions memoizes solved (measure, k) answers against this state,
 	// LRU-bounded by Config.SolutionMemo.
 	solutions *solutionMemo
+	// stale is an ancestor state's solution memo, carried along the
+	// delta-patch chain: its answers were solved over union[:staleLen]
+	// (every patch only appends, so that prefix is untouched), and a
+	// stale answer may be served for THIS state once warmStartValid
+	// replays its selection and proves no point of union[staleLen:]
+	// could change it. nil after a full rebuild — the union was laid
+	// out afresh and old indices mean nothing.
+	stale    *solutionMemo
+	staleLen int
 }
 
 // familyCache holds one family's latest mergeState. mu guards the state
@@ -283,6 +299,7 @@ func (s *Server) patchState(prev *mergeState, replies []snapReply) (*mergeState,
 		st.union = prev.union
 		st.engine = prev.engine
 		st.solutions = prev.solutions
+		st.stale, st.staleLen = prev.stale, prev.staleLen
 		s.deltaPatches.Add(1)
 		return st, mergePatched, true
 	}
@@ -291,6 +308,20 @@ func (s *Server) patchState(prev *mergeState, replies []snapReply) (*mergeState,
 	// prev.union are untouched.
 	st.union = append(prev.union[:len(prev.union):len(prev.union)], delta...)
 	st.solutions = newSolutionMemo(s.cfg.SolutionMemo)
+	// Chain the warm-start memo: the predecessor's own answers if it has
+	// any (they were solved over exactly union[:len(prev.union)]),
+	// otherwise whatever it inherited — an unqueried intermediate patch
+	// must not sever the chain. Reference mode chains nothing: the
+	// DisableDeltaPatch server must answer every stale query with a cold
+	// solve, so the interleaving fuzz harness pins warm-started answers
+	// bit for bit against genuinely re-solved ones.
+	if !s.cfg.DisableDeltaPatch {
+		if prev.solutions != nil && prev.solutions.len() > 0 {
+			st.stale, st.staleLen = prev.solutions, len(prev.union)
+		} else {
+			st.stale, st.staleLen = prev.stale, prev.staleLen
+		}
+	}
 	how := mergePatched
 	switch {
 	case s.cfg.DisableDeltaPatch:
@@ -325,21 +356,97 @@ func (s *Server) patchState(prev *mergeState, replies []snapReply) (*mergeState,
 	return st, how, true
 }
 
+// warmStartValid reports whether a stale (non-clique) answer — selected
+// by the engine's farthest-first traversal over union[:staleLen] at the
+// indices idx — is exactly what a cold solve over the FULL patched
+// union would select, by replaying the traversal's decisions against
+// the delta points.
+//
+// The traversal (sequential.gmmEngine) starts at index 0 and at each
+// step picks the point maximizing the squared distance to the chosen
+// set, scanning ascending with a strict '>' so ties keep the lowest
+// index. The patch appended the delta AFTER the stale prefix, so the
+// prefix indices — and the stale answer's whole candidate order — are
+// unchanged; the cold solve diverges if and only if, at some step t,
+// a delta point's distance to the already-chosen set strictly exceeds
+// v_t, the squared distance at which the stale answer picked idx[t]
+// (a delta point that merely ties loses to the lower prefix index).
+// The replay therefore walks the stale picks in order, maintaining
+// each delta point's min squared distance to the chosen set, and
+// rejects on the first step a delta point would have won. All
+// comparisons run on metric.SquaredEuclidean, which evaluates the
+// same canonical four-lane sum as the engine's kernels — the replay
+// compares bit-identical values to the ones a cold solve would.
+//
+// Conservative rejections (never false positives): answers without
+// engine indices (generic-path solves), answers whose length is not k
+// (the stale union was smaller than k — a bigger union would pick more
+// points), and any out-of-range index.
+func (st *mergeState) warmStartValid(idx []int, k int) bool {
+	n, l := len(st.union), st.staleLen
+	if l < 1 || l > n || len(idx) != k || k < 1 || idx[0] != 0 {
+		return false
+	}
+	for _, i := range idx {
+		if i < 0 || i >= l {
+			return false
+		}
+	}
+	if l == n {
+		return true // no delta points: same union, answer carries as is
+	}
+	delta := st.union[l:]
+	// dmin[j] tracks delta[j]'s min squared distance to the chosen set.
+	dmin := make([]float64, len(delta))
+	p0 := st.union[idx[0]]
+	for j, q := range delta {
+		dmin[j] = metric.SquaredEuclidean(q, p0)
+	}
+	for t := 1; t < k; t++ {
+		p := st.union[idx[t]]
+		// v is the squared distance at which the stale traversal picked
+		// idx[t]: its min squared distance to the t points chosen so far.
+		v := math.Inf(1)
+		for _, u := range idx[:t] {
+			if d := metric.SquaredEuclidean(p, st.union[u]); d < v {
+				v = d
+			}
+		}
+		for j, q := range delta {
+			if dmin[j] > v {
+				return false // this delta point would have been picked instead
+			}
+			if d := metric.SquaredEuclidean(q, p); d < dmin[j] {
+				dmin[j] = d
+			}
+		}
+	}
+	return true
+}
+
 // solveMerged runs the round-2 sequential α-approximation on a merged
 // state: index-based against the retained engine when one was built —
 // the Ω(n²) scans sharded across the server's solve workers, streaming
 // row-blocks when the union is past the matrix budget — generic
 // otherwise. Identical output either way (the engine solvers'
-// bit-identical-selection contract).
-func (s *Server) solveMerged(m divmax.Measure, st *mergeState, k int) []divmax.Vector {
+// bit-identical-selection contract). The returned indices are the
+// engine selection positions into st.union, nil on the generic path;
+// the solution memo keeps them so a later patched state can verify the
+// answer against its delta (warmStartValid).
+func (s *Server) solveMerged(m divmax.Measure, st *mergeState, k int) ([]divmax.Vector, []int) {
 	if len(st.union) == 0 {
-		return nil
+		return nil, nil
 	}
 	if st.engine != nil {
 		if st.engine.Tiled() {
 			s.tiledSolves.Add(1)
 		}
-		return sequential.SolveEngine(m, st.union, st.engine, k)
+		idx := sequential.SolveEngineIdx(m, st.engine, k)
+		sol := make([]divmax.Vector, len(idx))
+		for i, j := range idx {
+			sol[i] = st.union[j]
+		}
+		return sol, idx
 	}
-	return sequential.Solve(m, st.union, k, divmax.Euclidean)
+	return sequential.Solve(m, st.union, k, divmax.Euclidean), nil
 }

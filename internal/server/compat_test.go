@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"divmax"
+	"divmax/internal/api"
+)
+
+// Compat suite: the /v1 prefix and the legacy unversioned paths are the
+// SAME handlers, so for any request whose answer does not depend on
+// call order the two must return byte-identical bodies — status,
+// content type, and raw payload. Order-sensitive responses (a cold
+// /query solves, the repeat is a memo hit) are compared at a fixed
+// point: after warming the memo, every further call is identical no
+// matter which prefix it uses.
+
+// rawGet and rawPost return status, content type, and the raw body.
+func rawGet(t *testing.T, url string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func rawPost(t *testing.T, url, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), out
+}
+
+func assertSameResponse(t *testing.T, what string, s1, s2 int, ct1, ct2 string, b1, b2 []byte) {
+	t.Helper()
+	if s1 != s2 {
+		t.Fatalf("%s: status %d via legacy vs %d via %s", what, s1, s2, api.Prefix)
+	}
+	if ct1 != ct2 {
+		t.Fatalf("%s: content type %q vs %q", what, ct1, ct2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("%s: bodies differ:\nlegacy: %s\n%s:     %s", what, b1, api.Prefix, b2)
+	}
+}
+
+func TestVersionedPathsAreByteIdenticalAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 4, KPrime: 8})
+
+	// Ingest: two identical batches (the response depends only on the
+	// batch size and shard count).
+	ingestBody := `{"points": [[0,0],[900,0],[0,900],[900,900],[450,450]]}`
+	s1, ct1, b1 := rawPost(t, ts.URL+"/ingest", ingestBody)
+	s2, ct2, b2 := rawPost(t, ts.URL+api.Prefix+"/ingest", ingestBody)
+	assertSameResponse(t, "ingest", s1, s2, ct1, ct2, b1, b2)
+
+	// More points so queries have something to chew on.
+	postIngest(t, ts.URL, clusterPoints(rng, []divmax.Vector{{0, 0}, {900, 900}}, 10, 5))
+
+	// Query: warm the (measure, k) memo with one cold call, then the
+	// repeat calls are memo hits with identical bodies regardless of
+	// prefix.
+	getQuery(t, ts.URL, 3, divmax.RemoteEdge)
+	q := "/query?k=3&measure=remote-edge"
+	s2, ct2, b2 = rawGet(t, ts.URL+api.Prefix+q)
+	s1, ct1, b1 = rawGet(t, ts.URL+q)
+	assertSameResponse(t, "query", s1, s2, ct1, ct2, b1, b2)
+
+	// Delete: never-ingested values classify as tombstones on both calls.
+	deleteBody := `{"points": [[123456,-98765]]}`
+	s1, ct1, b1 = rawPost(t, ts.URL+"/delete", deleteBody)
+	s2, ct2, b2 = rawPost(t, ts.URL+api.Prefix+"/delete", deleteBody)
+	assertSameResponse(t, "delete", s1, s2, ct1, ct2, b1, b2)
+
+	// Stats: consecutive reads with no traffic in between.
+	s1, ct1, b1 = rawGet(t, ts.URL+"/stats")
+	s2, ct2, b2 = rawGet(t, ts.URL+api.Prefix+"/stats")
+	assertSameResponse(t, "stats", s1, s2, ct1, ct2, b1, b2)
+
+	// Healthz.
+	s1, ct1, b1 = rawGet(t, ts.URL+"/healthz")
+	s2, ct2, b2 = rawGet(t, ts.URL+api.Prefix+"/healthz")
+	assertSameResponse(t, "healthz", s1, s2, ct1, ct2, b1, b2)
+}
+
+// TestVersionedErrorBodiesMatchLegacy pins the error surface: the same
+// invalid request gets the same status and the same uniform envelope on
+// both prefixes, for every failure class the handlers distinguish.
+func TestVersionedErrorBodiesMatchLegacy(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxK: 3, KPrime: 6})
+	postIngest(t, ts.URL, []divmax.Vector{{0, 0}, {5, 5}})
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantCode                 string
+	}{
+		{"ingest bad json", "POST", "/ingest", `nope`, http.StatusBadRequest, api.CodeBadRequest},
+		{"ingest wrong method", "GET", "/ingest", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"delete mixed dims", "POST", "/delete", `{"points": [[1],[2,3]]}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"delete wrong method", "GET", "/delete", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"query bad k", "GET", "/query?k=0", "", http.StatusBadRequest, api.CodeBadRequest},
+		{"query bad measure", "GET", "/query?measure=zap", "", http.StatusBadRequest, api.CodeBadRequest},
+		{"query wrong method", "POST", "/query", `{}`, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"stats wrong method", "POST", "/stats", `{}`, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		do := func(prefix string) (int, string, []byte) {
+			if tc.method == "POST" {
+				return rawPost(t, ts.URL+prefix+tc.path, tc.body)
+			}
+			return rawGet(t, ts.URL+prefix+tc.path)
+		}
+		s1, ct1, b1 := do("")
+		s2, ct2, b2 := do(api.Prefix)
+		assertSameResponse(t, tc.name, s1, s2, ct1, ct2, b1, b2)
+		if s1 != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, s1, tc.wantStatus)
+		}
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(b1, &env); err != nil {
+			t.Errorf("%s: body %q is not an error envelope: %v", tc.name, b1, err)
+			continue
+		}
+		if env.Error.Code != tc.wantCode || env.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code %q with a message", tc.name, env, tc.wantCode)
+		}
+	}
+}

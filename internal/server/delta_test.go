@@ -13,18 +13,27 @@ import (
 // Interleaving fuzz/equivalence harness for the delta-patched query
 // cache.
 //
-// Every schedule drives the same interleaving of /ingest batches and
-// /query calls against two servers: one patching (extending the cached
-// union and solve engine with per-shard core-set deltas) and one in
-// reference mode (DisableDeltaPatch: identical patch/fallback decisions
-// and identical union layouts, every engine built from scratch). At
-// every query the two must agree bit for bit — solution vectors,
-// diversity value, processed count, core-set size — and their retained
-// engines must agree on mode (matrix/tiled/none). Schedules include
+// Every schedule drives the same interleaving of /ingest batches,
+// /delete broadcasts, and /query calls against two servers: one
+// patching (extending the cached union and solve engine with per-shard
+// core-set deltas, and serving replay-verified stale answers as warm
+// starts) and one in reference mode (DisableDeltaPatch: identical
+// patch/fallback decisions and identical union layouts, every engine
+// built from scratch and every stale query cold-solved — warm starts
+// are pinned bit for bit against genuine re-solves). At every query
+// the two must agree bit for bit — solution vectors, diversity value,
+// processed count, core-set size — and their retained engines must
+// agree on mode (matrix/tiled/none); at every delete the two must
+// classify every point identically (the outcome is a pure function of
+// the shard core-sets, which see the same stream). The cached/patched/
+// warm_started response flags are NOT compared: patching and memo
+// carry-over legitimately diverge between the modes. Schedules include
 // restructure-heavy streams (tiny coordinate grids full of duplicates
 // and exact ties, expanding scales that force radius doublings and
-// cluster merges) so the generation-bump fallback, the delta-budget
-// fallback, and budget-crossing engine appends are all exercised.
+// cluster merges) and delete mixes (re-deleting ingested values —
+// spares and evictions — alongside never-seen tombstones) so the
+// generation-bump fallback, the delta-budget fallback, deletion
+// eviction, and budget-crossing engine appends are all exercised.
 
 // deltaSchedule decodes fuzz bytes into a server configuration and an
 // op stream, runs it against the patched and reference servers, and
@@ -57,6 +66,7 @@ func runDeltaSchedule(t *testing.T, data []byte) statsResponse {
 		MaxK:        maxK,
 		KPrime:      maxK + int(next()%6),
 		DeltaBudget: deltaBudget,
+		Spares:      []int{-1, 1, 2}[next()%3],
 	}
 	refCfg := cfg
 	refCfg.DisableDeltaPatch = true
@@ -83,19 +93,41 @@ func runDeltaSchedule(t *testing.T, data []byte) statsResponse {
 		}
 	}
 
+	// pool tracks ingested values so deletes mostly target points the
+	// shards have actually seen (spares and evictions, not just
+	// tombstones).
+	var pool []divmax.Vector
 	queries := 0
 	for ops := 0; ops < 48 && len(data) > 0; ops++ {
-		switch next() % 4 {
+		switch next() % 6 {
 		case 0, 1, 2: // ingest a small batch
 			cnt := 1 + int(next()%6)
 			pts := make([]divmax.Vector, cnt)
 			for i := range pts {
 				pts[i] = divmax.Vector{coord(next()), coord(next())}
 			}
+			if len(pool) < 96 {
+				pool = append(pool, pts...)
+			}
 			pa := postIngest(t, patchedTS.URL, pts)
 			pb := postIngest(t, referenceTS.URL, pts)
 			if pa.Accepted != pb.Accepted {
 				t.Fatalf("ingest accepted %d vs %d", pa.Accepted, pb.Accepted)
+			}
+		case 3: // delete a few points, mostly previously ingested values
+			cnt := 1 + int(next()%3)
+			pts := make([]divmax.Vector, cnt)
+			for i := range pts {
+				if b := next(); len(pool) > 0 && b%4 != 0 {
+					pts[i] = pool[int(b)%len(pool)]
+				} else {
+					pts[i] = divmax.Vector{coord(next()), coord(next())}
+				}
+			}
+			da := postDelete(t, patchedTS.URL, pts)
+			db := postDelete(t, referenceTS.URL, pts)
+			if da != db {
+				t.Fatalf("delete outcomes diverge: patched %+v vs reference %+v", da, db)
 			}
 		default: // query
 			m := divmax.Measures[int(next())%len(divmax.Measures)]
@@ -131,9 +163,13 @@ func runDeltaSchedule(t *testing.T, data []byte) statsResponse {
 		if st.CacheMisses != st.DeltaPatches+st.FullRebuilds {
 			t.Fatalf("misses %d ≠ patches %d + rebuilds %d", st.CacheMisses, st.DeltaPatches, st.FullRebuilds)
 		}
+		if st.DeletesRequested != st.DeletesEvicting+st.DeletesSpares+st.DeletesTombstoned {
+			t.Fatalf("deletes %d ≠ evicting %d + spares %d + tombstoned %d",
+				st.DeletesRequested, st.DeletesEvicting, st.DeletesSpares, st.DeletesTombstoned)
+		}
 	}
-	if st := getStats(t, referenceTS.URL); st.DeltaPatches != 0 {
-		t.Fatalf("reference server reported %d delta patches", st.DeltaPatches)
+	if st := getStats(t, referenceTS.URL); st.DeltaPatches != 0 || st.MemoWarmStarts != 0 {
+		t.Fatalf("reference server reported %d delta patches, %d warm starts", st.DeltaPatches, st.MemoWarmStarts)
 	}
 	return getStats(t, patchedTS.URL)
 }
@@ -159,6 +195,9 @@ func FuzzDeltaInterleaving(f *testing.F) {
 	f.Add([]byte("ingest-query-ingest-query-ingest-query-ingest-query"))
 	f.Add([]byte{1, 2, 1, 0, 2, 0, 3, 9, 0, 1, 200, 3, 0, 7, 7, 7, 3, 0, 3, 1, 0, 4, 4, 4, 3, 2})
 	f.Add([]byte{2, 0, 2, 2, 1, 3, 255, 1, 128, 3, 2, 64, 3, 5, 32, 3, 1, 16, 3, 4, 8, 3, 0, 4, 3, 3})
+	// Delete-heavy: ingest/delete/query alternation with pool re-deletes
+	// (op byte 3 mod 6 selects delete; the trailing bytes pick targets).
+	f.Add([]byte{1, 1, 1, 0, 1, 2, 0, 3, 7, 7, 9, 9, 3, 2, 1, 5, 5, 4, 0, 3, 0, 2, 2, 3, 1, 9, 4, 1, 3, 2, 2, 8, 3, 1, 1, 4, 2, 0, 2, 6, 6, 3, 3, 3, 2, 10, 4, 5})
 	// Restructure-heavy: long alternation on the tiniest grid.
 	heavy := make([]byte, 120)
 	for i := range heavy {
@@ -175,7 +214,7 @@ func FuzzDeltaInterleaving(f *testing.F) {
 // the equivalence check runs in full on every plain `go test`, not only
 // under -fuzz.
 func TestDeltaInterleavingSchedules(t *testing.T) {
-	var patches, rebuilds, invalidated int64
+	var patches, rebuilds, invalidated, deletes, removed int64
 	for seed := 0; seed < 8; seed++ {
 		data := make([]byte, 160)
 		x := uint32(seed*2654435761 + 1)
@@ -191,16 +230,23 @@ func TestDeltaInterleavingSchedules(t *testing.T) {
 		patches += st.DeltaPatches
 		rebuilds += st.FullRebuilds
 		invalidated += st.MissesInvalidated
+		deletes += st.DeletesRequested
+		removed += st.DeletesEvicting + st.DeletesSpares
 	}
 	// The schedule set must exercise both resolutions of a stale query:
 	// incremental patches and generation-bump/budget fallbacks (full
 	// rebuilds beyond the unavoidable cold ones happen only on
-	// invalidated misses).
+	// invalidated misses) — and, with the fully dynamic op stream, both
+	// flavors of deletion (pure tombstones are implied by deletes >
+	// removed over random targets).
 	if patches == 0 {
 		t.Fatal("no schedule exercised the delta-patch path")
 	}
 	if rebuilds == 0 || invalidated == 0 {
 		t.Fatalf("schedules exercised %d full rebuilds over %d invalidated misses; want both > 0", rebuilds, invalidated)
+	}
+	if deletes == 0 || removed == 0 {
+		t.Fatalf("schedules exercised %d deletes removing %d retained points; want both > 0", deletes, removed)
 	}
 }
 

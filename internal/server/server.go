@@ -17,12 +17,23 @@
 // invalidates via per-shard epochs. Results are identical with and
 // without the cache.
 //
-// Endpoints:
+// The stream is fully dynamic: POST /delete removes points by value —
+// broadcast to every shard, swept from both core-set families. A
+// delete that matches nothing retained (or only spares) leaves the
+// snapshot generations alone, so the delta-patched cache keeps winning
+// under churn; a delete that evicts a core-set point re-covers locally
+// (a deleted center promotes a retained spare or a surviving delegate)
+// and bumps the generation, forcing the next stale query to rebuild
+// from deleted-free snapshots.
 //
-//	POST /ingest  {"points": [[x,y,...], ...]}       — batched ingest
-//	GET  /query?k=5&measure=remote-edge              — merge + solve
-//	GET  /stats                                      — shard + cache counters
-//	GET  /healthz                                    — liveness
+// Endpoints (versioned under /v1, legacy unversioned aliases kept; the
+// wire types live in internal/api):
+//
+//	POST /v1/ingest  {"points": [[x,y,...], ...]}    — batched ingest
+//	POST /v1/delete  {"points": [[x,y,...], ...]}    — delete by value
+//	GET  /v1/query?k=5&measure=remote-edge           — merge + solve
+//	GET  /v1/stats                                   — shard + cache counters
+//	GET  /v1/healthz                                 — liveness
 package server
 
 import (
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"divmax"
+	"divmax/internal/api"
 	"divmax/internal/dataset"
 )
 
@@ -82,6 +94,13 @@ type Config struct {
 	// interleaving fuzz harness compares delta patching against. Not
 	// useful in production (it only costs CPU).
 	DisableDeltaPatch bool
+	// Spares is the per-center spare retention of the SMM family's
+	// dynamic core-sets: each center keeps up to Spares absorbed points
+	// as promotion candidates for its own deletion, costing up to
+	// Spares·(k′+1) extra points per shard. 0 means the default (2); a
+	// negative value retains none (center deletions then drop their
+	// cluster until new points arrive).
+	Spares int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +124,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeltaBudget == 0 {
 		c.DeltaBudget = 0.25
+	}
+	if c.Spares == 0 {
+		c.Spares = 2
+	}
+	if c.Spares < 0 {
+		c.Spares = 0
 	}
 	return c
 }
@@ -149,6 +174,17 @@ type Server struct {
 	// tiledSolves counts solves served through the tiled engine (merged
 	// union past the matrix memory budget — no n² buffer materialized).
 	tiledSolves atomic.Int64
+	// memoWarmStarts counts stale (measure, k) answers served after the
+	// replay verification proved them identical to a cold solve over
+	// the patched union (delta-aware memo reuse; cache.go).
+	memoWarmStarts atomic.Int64
+	// Deletion counters, per /delete request point: each point lands in
+	// exactly one bucket by its strongest outcome across shards and
+	// families — evicting > spares > tombstoned.
+	deletesRequested  atomic.Int64
+	deletesEvicting   atomic.Int64
+	deletesSpares     atomic.Int64
+	deletesTombstoned atomic.Int64
 
 	queries    atomic.Int64
 	merges     atomic.Int64
@@ -192,27 +228,37 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API: every endpoint under the versioned
+// api.Prefix, with the legacy unversioned paths as aliases served by
+// the very same handlers (byte-identical bodies, pinned by the compat
+// suite).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
+	}
+	for _, prefix := range []string{api.Prefix, ""} {
+		mux.HandleFunc(prefix+"/ingest", s.handleIngest)
+		mux.HandleFunc(prefix+"/delete", s.handleDelete)
+		mux.HandleFunc(prefix+"/query", s.handleQuery)
+		mux.HandleFunc(prefix+"/stats", s.handleStats)
+		mux.HandleFunc(prefix+"/healthz", healthz)
+	}
 	return mux
 }
 
-type ingestRequest struct {
-	Points []divmax.Vector `json:"points"`
-}
-
-type ingestResponse struct {
-	Accepted int `json:"accepted"`
-	Shards   int `json:"shards"`
-}
+// The handlers' wire types are the versioned ones of internal/api;
+// local aliases keep the package and its tests reading naturally.
+type (
+	ingestRequest  = api.IngestRequest
+	ingestResponse = api.IngestResponse
+	deleteRequest  = api.DeleteRequest
+	deleteResponse = api.DeleteResponse
+	queryResponse  = api.QueryResponse
+	shardStats     = api.ShardStats
+	statsResponse  = api.StatsResponse
+)
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -284,6 +330,100 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ingestResponse{Accepted: len(req.Points), Shards: len(s.shards)})
 }
 
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	bufp := getVecSlice()
+	defer putVecSlice(bufp)
+	req := deleteRequest{Points: *bufp}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	err := dec.Decode(&req)
+	if len(req.Points) > 0 {
+		*bufp = req.Points
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes; split the batch", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "trailing data after the points object")
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, deleteResponse{Shards: len(s.shards)})
+		return
+	}
+	if err := dataset.ValidateVectors(req.Points); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Deletes of a dimension the stream has never seen cannot match
+	// anything; rejecting them catches caller bugs the same way ingest
+	// does. An empty server (dim still 0) accepts any dimension — every
+	// point is a tombstone.
+	if dim, want := int64(len(req.Points[0])), s.dim.Load(); want != 0 && dim != want {
+		httpError(w, http.StatusBadRequest, "point dimension %d does not match the dataset dimension %d", dim, want)
+		return
+	}
+	outcomes, err := s.deleteAll(req.Points)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := deleteResponse{Requested: len(req.Points), Shards: len(s.shards)}
+	for _, o := range outcomes {
+		switch o {
+		case divmax.DeleteEvicted:
+			resp.Evicted++
+		case divmax.DeleteSpare:
+			resp.Spares++
+		default:
+			resp.Tombstones++
+		}
+	}
+	s.deletesRequested.Add(int64(resp.Requested))
+	s.deletesEvicting.Add(int64(resp.Evicted))
+	s.deletesSpares.Add(int64(resp.Spares))
+	s.deletesTombstoned.Add(int64(resp.Tombstones))
+	writeJSON(w, resp)
+}
+
+// deleteAll broadcasts the delete batch to every shard — round-robin
+// dealing means any shard may hold a copy of any value — and folds the
+// per-shard replies into one outcome per point (the strongest across
+// shards: evicted > spare > absent). Like send, it bumps each shard's
+// accepted epoch before the channel send, so by the time /delete
+// returns every query-cache epoch check sees the deletion; the shared
+// points slice is read-only for the shards and stays alive until every
+// reply is in.
+func (s *Server) deleteAll(points []divmax.Vector) ([]divmax.DeleteOutcome, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	replies := make([]chan []divmax.DeleteOutcome, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan []divmax.DeleteOutcome, 1)
+		sh.accEpoch.Add(1)
+		sh.ch <- shardMsg{del: points, delReply: replies[i]}
+	}
+	out := make([]divmax.DeleteOutcome, len(points))
+	for _, ch := range replies {
+		for j, o := range <-ch {
+			out[j] = max(out[j], o)
+		}
+	}
+	return out, nil
+}
+
 // send delivers one batch per shard, holding the read lock so Close
 // cannot close the channels mid-send. A full shard queue blocks here,
 // which is the service's backpressure. Non-empty batches are released
@@ -345,27 +485,6 @@ func (s *Server) snapshots(m divmax.Measure, prev *mergeState) ([]snapReply, err
 	return out, nil
 }
 
-type queryResponse struct {
-	Measure     string          `json:"measure"`
-	K           int             `json:"k"`
-	Solution    []divmax.Vector `json:"solution"`
-	Value       float64         `json:"value"`
-	Exact       bool            `json:"exact_value"`
-	CoresetSize int             `json:"coreset_size"`
-	Processed   int64           `json:"processed"`
-	MergeMillis float64         `json:"merge_ms"`
-	// Cached reports that the merged core-set and its distance matrix
-	// were reused from the snapshot cache (no shard accepted a batch
-	// since they were built); merge_ms then covers only the solve — or
-	// nothing at all when the (measure, k) answer itself was memoized.
-	Cached bool `json:"cached"`
-	// Patched reports that this query found the cache stale and
-	// repaired it incrementally — per-shard core-set deltas appended to
-	// the cached union, the retained solve engine extended — instead of
-	// re-snapshotting, re-merging, and re-filling from scratch.
-	Patched bool `json:"patched"`
-}
-
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -407,11 +526,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := solutionKey{measure: m, k: k}
 	cache.mu.Lock()
 	memo, haveMemo := st.solutions.get(key)
+	// Delta-aware memo reuse: when this state was patched from a
+	// previous one, the previous state's memo survives as st.stale. A
+	// stale answer is served only after warmStartValid replays its
+	// selection and proves no delta point could change it — so a
+	// warm-started response is bit-identical to the cold solve it
+	// skips.
+	var stale solvedQuery
+	var haveStale bool
+	if !haveMemo && st.stale != nil && m != divmax.RemoteClique && st.engine != nil {
+		stale, haveStale = st.stale.get(key)
+	}
 	cache.mu.Unlock()
+	warm := false
+	if !haveMemo && haveStale && st.warmStartValid(stale.idx, k) {
+		memo, haveMemo, warm = stale, true, true
+		s.memoWarmStarts.Add(1)
+		cache.mu.Lock()
+		st.solutions.put(key, memo)
+		cache.mu.Unlock()
+	}
 	var elapsed time.Duration
 	if !haveMemo {
 		start := time.Now()
-		sol := s.solveMerged(m, st, k)
+		sol, idx := s.solveMerged(m, st, k)
 		val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
 		if math.IsInf(val, 0) || math.IsNaN(val) {
 			// Min-based measures evaluate to +Inf on fewer than 2 points
@@ -426,7 +564,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if sol == nil {
 			sol = []divmax.Vector{}
 		}
-		memo = solvedQuery{sol: sol, val: val, exact: exact}
+		memo = solvedQuery{sol: sol, idx: idx, val: val, exact: exact}
 		cache.mu.Lock()
 		st.solutions.put(key, memo)
 		cache.mu.Unlock()
@@ -443,55 +581,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MergeMillis: float64(elapsed) / float64(time.Millisecond),
 		Cached:      how == mergeHit,
 		Patched:     how == mergePatched,
+		WarmStarted: warm,
 	})
-}
-
-type shardStats struct {
-	ID       int   `json:"id"`
-	Ingested int64 `json:"ingested"`
-	Batches  int64 `json:"batches"`
-	// LastBatch and AvgBatch report the per-shard batch sizes the ingest
-	// path is achieving; small averages mean the fast path is amortizing
-	// little and callers should send bigger /ingest bodies.
-	LastBatch int64   `json:"last_batch"`
-	AvgBatch  float64 `json:"avg_batch"`
-	Stored    int64   `json:"stored_points"`
-}
-
-type statsResponse struct {
-	Shards        []shardStats `json:"shards"`
-	IngestedTotal int64        `json:"ingested_total"`
-	Queries       int64        `json:"queries"`
-	Merges        int64        `json:"merges"`
-	LastMergeMS   float64      `json:"last_merge_ms"`
-	// Query-path snapshot cache counters: a hit served the merged
-	// core-set (and its solve engine) without touching the shards; a
-	// miss found no current state. Misses split by cause — cold (first
-	// query of a family: server start, nothing cached yet) versus
-	// invalidated (a shard accepted a batch since the cached merge) —
-	// and every miss resolves as either a delta patch (the cached union
-	// and engine extended by the per-shard core-set deltas) or a full
-	// rebuild (snapshot + merge + fill from scratch), counted under
-	// DeltaPatches and FullRebuilds. CacheMisses remains the total.
-	// CachedCoresetPoints and CachedMatrixBytes size what the caches
-	// currently retain, summed over the two core-set families (tiled
-	// engines retain no matrix, so they contribute 0 bytes).
-	CacheHits           int64 `json:"query_cache_hits"`
-	CacheMisses         int64 `json:"query_cache_misses"`
-	MissesCold          int64 `json:"query_cache_misses_cold"`
-	MissesInvalidated   int64 `json:"query_cache_misses_invalidated"`
-	DeltaPatches        int64 `json:"delta_patches"`
-	FullRebuilds        int64 `json:"full_rebuilds"`
-	CachedCoresetPoints int   `json:"cached_coreset_points"`
-	CachedMatrixBytes   int64 `json:"cached_matrix_bytes"`
-	// SolveWorkers is the configured round-2 solver parallelism;
-	// TiledSolves counts solves that ran through the tiled engine
-	// (merged union past the matrix memory budget).
-	SolveWorkers int   `json:"solve_workers"`
-	TiledSolves  int64 `json:"tiled_solves"`
-	MaxK         int   `json:"max_k"`
-	KPrime       int   `json:"kprime"`
-	Draining     bool  `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -510,6 +601,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MissesInvalidated: s.missesInvalidated.Load(),
 		DeltaPatches:      s.deltaPatches.Load(),
 		FullRebuilds:      s.fullRebuilds.Load(),
+		MemoWarmStarts:    s.memoWarmStarts.Load(),
+		DeletesRequested:  s.deletesRequested.Load(),
+		DeletesEvicting:   s.deletesEvicting.Load(),
+		DeletesSpares:     s.deletesSpares.Load(),
+		DeletesTombstoned: s.deletesTombstoned.Load(),
 		SolveWorkers:      s.cfg.SolveWorkers,
 		TiledSolves:       s.tiledSolves.Load(),
 		MaxK:              s.cfg.MaxK,
@@ -536,6 +632,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Batches:   sh.batches.Load(),
 			LastBatch: sh.lastBatch.Load(),
 			Stored:    sh.stored.Load(),
+			Deleted:   sh.deleted.Load(),
 		}
 		if st.Batches > 0 {
 			st.AvgBatch = float64(st.Ingested) / float64(st.Batches)
@@ -561,8 +658,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError writes the uniform error envelope of internal/api —
+// {"error":{"code","message"}} — with the machine-readable code mapped
+// 1:1 from the HTTP status. Every handler routes its failures through
+// here, so the error shape is identical across the whole surface.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	var env api.ErrorEnvelope
+	env.Error.Code = errorCode(status)
+	env.Error.Message = fmt.Sprintf(format, args...)
+	json.NewEncoder(w).Encode(env)
+}
+
+// errorCode maps an HTTP status to its envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusMethodNotAllowed:
+		return api.CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return api.CodePayloadTooLarge
+	case http.StatusServiceUnavailable:
+		return api.CodeUnavailable
+	default:
+		return api.CodeBadRequest
+	}
 }

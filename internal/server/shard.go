@@ -22,24 +22,30 @@ type snapReply struct {
 }
 
 // shardMsg is the single message type flowing over a shard's channel:
-// either a batch of points to ingest, or (when snap is non-nil) a request
-// for a point-in-time snapshot of the core-set family a query needs —
-// proxy selects SMM-EXT (the four delegate-based measures) over SMM
-// (remote-edge, remote-cycle), and (gen, pos) request a delta relative
-// to an earlier snapshot (pos = -1 forces a full snapshot). Funnelling
-// both through one channel serializes them against the shard goroutine,
-// which is what lets the StreamCoreset processors stay lock-free: only
-// the shard goroutine ever touches them.
+// a batch of points to ingest, a delete broadcast (delReply non-nil),
+// or (when snap is non-nil) a request for a point-in-time snapshot of
+// the core-set family a query needs — proxy selects SMM-EXT (the four
+// delegate-based measures) over SMM (remote-edge, remote-cycle), and
+// (gen, pos) request a delta relative to an earlier snapshot (pos = -1
+// forces a full snapshot). Funnelling everything through one channel
+// serializes it against the shard goroutine, which is what lets the
+// StreamCoreset processors stay lock-free: only the shard goroutine
+// ever touches them — and it is what orders a delete after every batch
+// accepted before it, so a delete always sees the points it targets.
 //
 // batch points at a pooled slice (see pool.go): the sender fills it, the
 // shard goroutine consumes it with ProcessBatch and returns it to the
-// pool, so steady-state ingest allocates no batch buffers at all.
+// pool, so steady-state ingest allocates no batch buffers at all. del
+// is shared read-only by every shard of a broadcast; the sender keeps
+// it alive until all replies are in.
 type shardMsg struct {
-	batch *[]divmax.Vector
-	snap  chan<- snapReply
-	proxy bool
-	gen   uint64
-	pos   int
+	batch    *[]divmax.Vector
+	snap     chan<- snapReply
+	proxy    bool
+	gen      uint64
+	pos      int
+	del      []divmax.Vector
+	delReply chan<- []divmax.DeleteOutcome
 }
 
 // shard owns one slice of the stream. Every point it receives is folded
@@ -64,11 +70,12 @@ type shard struct {
 	procEpoch atomic.Uint64
 
 	// Monitoring counters, updated by the shard goroutine after each
-	// batch and read lock-free by /stats.
+	// batch or delete and read lock-free by /stats.
 	ingested  atomic.Int64
 	batches   atomic.Int64
 	lastBatch atomic.Int64
 	stored    atomic.Int64
+	deleted   atomic.Int64
 }
 
 func newShard(id int, cfg Config) *shard {
@@ -77,9 +84,11 @@ func newShard(id int, cfg Config) *shard {
 		ch: make(chan shardMsg, cfg.Buffer),
 		// RemoteEdge and RemoteClique are representatives of their
 		// core-set families; the processors serve every measure of the
-		// same family.
-		edge:  divmax.NewStreamCoreset(divmax.RemoteEdge, cfg.MaxK, cfg.KPrime, divmax.Euclidean),
-		proxy: divmax.NewStreamCoreset(divmax.RemoteClique, cfg.MaxK, cfg.KPrime, divmax.Euclidean),
+		// same family. The dynamic constructor retains Spares absorbed
+		// points per SMM center so center deletions promote instead of
+		// dropping clusters.
+		edge:  divmax.NewDynamicStreamCoreset(divmax.RemoteEdge, cfg.MaxK, cfg.KPrime, cfg.Spares, divmax.Euclidean),
+		proxy: divmax.NewDynamicStreamCoreset(divmax.RemoteClique, cfg.MaxK, cfg.KPrime, cfg.Spares, divmax.Euclidean),
 	}
 }
 
@@ -98,6 +107,27 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				reply.delta = s.edge.SnapshotSince(msg.gen, msg.pos)
 			}
 			msg.snap <- reply
+			continue
+		}
+		if msg.delReply != nil {
+			// Delete broadcast: apply to BOTH families (a query for any
+			// measure must never see a deleted point) and report, per
+			// point, the strongest outcome.
+			outs := make([]divmax.DeleteOutcome, len(msg.del))
+			removed := 0
+			for i, p := range msg.del {
+				o := max(s.edge.Delete(p), s.proxy.Delete(p))
+				outs[i] = o
+				if o != divmax.DeleteAbsent {
+					removed++
+				}
+			}
+			s.deleted.Add(int64(removed))
+			s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+			// Same ordering contract as ingest: the epoch bump comes
+			// after the core-sets are updated.
+			s.procEpoch.Add(1)
+			msg.delReply <- outs
 			continue
 		}
 		batch := *msg.batch

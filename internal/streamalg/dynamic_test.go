@@ -1,0 +1,272 @@
+package streamalg
+
+import (
+	"math"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+// containsValue reports whether pts holds a point at distance 0 from p.
+func containsValue(pts []metric.Vector, p metric.Vector) bool {
+	for _, q := range pts {
+		if metric.Euclidean(q, p) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSMMDeleteOutcomes walks the three outcomes on a hand-built
+// stream: tombstone (never-retained value), spare (absorbed point
+// retained as a spare), evicted (a center), asserting the generation
+// moves exactly on evictions.
+func TestSMMDeleteOutcomes(t *testing.T) {
+	s := NewSMM[metric.Vector](2, 2, metric.Euclidean)
+	s.SetSpareCap(2)
+	// Three far-apart points initialize (k'+1 = 3); then absorbed points
+	// become spares.
+	for _, p := range []metric.Vector{{0, 0}, {100, 0}, {0, 100}} {
+		s.Process(p)
+	}
+	if !containsValue(s.Result(), metric.Vector{0, 0}) {
+		t.Fatal("center {0,0} missing before any delete")
+	}
+	// Absorbed next to a center: spare candidate.
+	s.Process(metric.Vector{1, 0})
+
+	gen := s.Generation()
+	if got := s.Delete(metric.Vector{55, 55}); got != DeleteAbsent {
+		t.Fatalf("tombstone delete: outcome %v, want absent", got)
+	}
+	if s.Generation() != gen {
+		t.Fatal("tombstone delete moved the generation")
+	}
+	if got := s.Delete(metric.Vector{1, 0}); got != DeleteSpare {
+		t.Fatalf("spare delete: outcome %v, want spare", got)
+	}
+	if s.Generation() != gen {
+		t.Fatal("spare delete moved the generation")
+	}
+	// Re-absorb it, then delete its center: the spare must be promoted.
+	s.Process(metric.Vector{1, 0})
+	if got := s.Delete(metric.Vector{0, 0}); got != DeleteEvicted {
+		t.Fatalf("center delete: outcome %v, want evicted", got)
+	}
+	if s.Generation() == gen {
+		t.Fatal("evicting delete left the generation unchanged")
+	}
+	if s.AppendLogLen() != 0 {
+		t.Fatalf("evicting delete left %d append-log entries", s.AppendLogLen())
+	}
+	res := s.Result()
+	if containsValue(res, metric.Vector{0, 0}) {
+		t.Fatalf("deleted center still in Result %v", res)
+	}
+	if !containsValue(res, metric.Vector{1, 0}) {
+		t.Fatalf("spare {1,0} not promoted into Result %v", res)
+	}
+}
+
+// TestSMMDeleteWithoutSparesDropsCluster pins the no-spare path: with
+// retention off (the NewSMM default), deleting a center just drops it,
+// and the processor keeps accepting points afterwards.
+func TestSMMDeleteWithoutSparesDropsCluster(t *testing.T) {
+	s := NewSMM[metric.Vector](2, 2, metric.Euclidean)
+	for _, p := range []metric.Vector{{0, 0}, {100, 0}, {0, 100}} {
+		s.Process(p)
+	}
+	s.Process(metric.Vector{1, 0}) // absorbed, not retained
+	if got := s.Delete(metric.Vector{1, 0}); got != DeleteAbsent {
+		t.Fatalf("absorbed-point delete with spares off: outcome %v, want absent", got)
+	}
+	if got := s.Delete(metric.Vector{0, 0}); got != DeleteEvicted {
+		t.Fatalf("center delete: outcome %v, want evicted", got)
+	}
+	if containsValue(s.Result(), metric.Vector{0, 0}) {
+		t.Fatal("deleted center still in Result")
+	}
+	// The processor must remain usable: a far point becomes a center.
+	s.Process(metric.Vector{500, 500})
+	if !containsValue(s.Result(), metric.Vector{500, 500}) {
+		t.Fatal("post-delete insert not retained")
+	}
+}
+
+// TestSMMDeleteEverything deletes every retained point and checks the
+// processor recovers on re-insertion (empty-scan MinDist returns +Inf,
+// so the next point re-seeds the centers).
+func TestSMMDeleteEverything(t *testing.T) {
+	s := NewSMM[metric.Vector](1, 1, metric.Euclidean)
+	s.Process(metric.Vector{0})
+	s.Process(metric.Vector{10})
+	for _, p := range []metric.Vector{{0}, {10}} {
+		s.Delete(p)
+	}
+	if got := s.Result(); len(got) != 0 {
+		t.Fatalf("Result after deleting everything: %v", got)
+	}
+	s.Process(metric.Vector{7})
+	if !containsValue(s.Result(), metric.Vector{7}) {
+		t.Fatal("re-insert after total deletion not retained")
+	}
+}
+
+// TestSMMExtDeleteDelegateAndCenter pins the SMM-EXT paths: a delegate
+// delete evicts (delegates are output points), a center delete promotes
+// the first surviving delegate, and deleted values never resurface.
+func TestSMMExtDeleteDelegateAndCenter(t *testing.T) {
+	// Mixed scales: the init merge (threshold = min pairwise distance, 1)
+	// folds only {1,0} into {0,0}'s delegate set and keeps three centers.
+	s := NewSMMExt[metric.Vector](3, 3, metric.Euclidean)
+	for _, p := range []metric.Vector{{0, 0}, {1, 0}, {500, 0}, {1000, 800}} {
+		s.Process(p)
+	}
+	s.Process(metric.Vector{2, 0}) // within 4·d of {0,0}: retained as its delegate
+	if !containsValue(s.Result(), metric.Vector{2, 0}) {
+		t.Fatalf("delegate {2,0} not retained; Result %v", s.Result())
+	}
+	gen := s.Generation()
+	if got := s.Delete(metric.Vector{2, 0}); got != DeleteEvicted {
+		t.Fatalf("delegate delete: outcome %v, want evicted", got)
+	}
+	if s.Generation() == gen {
+		t.Fatal("delegate delete left the generation unchanged")
+	}
+	if containsValue(s.Result(), metric.Vector{2, 0}) {
+		t.Fatal("deleted delegate still in Result")
+	}
+	// Center delete with a surviving delegate: promotion.
+	s.Process(metric.Vector{3, 0})
+	if got := s.Delete(metric.Vector{0, 0}); got != DeleteEvicted {
+		t.Fatalf("center delete: outcome %v, want evicted", got)
+	}
+	res := s.Result()
+	if containsValue(res, metric.Vector{0, 0}) {
+		t.Fatalf("deleted center still in Result %v", res)
+	}
+}
+
+// TestDeleteSweepsDuplicates: deletion is by value, so every retained
+// copy — across delegate sets — goes in one call.
+func TestDeleteSweepsDuplicates(t *testing.T) {
+	s := NewSMMExt[metric.Vector](2, 2, metric.Euclidean)
+	for _, p := range []metric.Vector{{0, 0}, {100, 0}, {0, 100}} {
+		s.Process(p)
+	}
+	s.Process(metric.Vector{1, 0})
+	s.Process(metric.Vector{1, 0}) // duplicate delegate attempt
+	s.Delete(metric.Vector{1, 0})
+	if containsValue(s.Result(), metric.Vector{1, 0}) {
+		t.Fatal("duplicate value survived deletion")
+	}
+}
+
+// TestAppendLogCapForcesBump pins log compaction: with a tiny cap every
+// accepted point restarts the log, SnapshotSince-style consumers see
+// the generation move, and the log never reaches the cap.
+func TestAppendLogCapForcesBump(t *testing.T) {
+	s := NewSMM[metric.Vector](2, 4, metric.Euclidean)
+	if def := s.AppendLogCap(); def != 6 {
+		t.Fatalf("default log cap %d, want k'+2 = 6", def)
+	}
+	s.SetAppendLogCap(2)
+	lastGen := s.Generation()
+	for i := 0; i < 40; i++ {
+		s.Process(metric.Vector{float64(i) * 1000}) // every point far: all accepted
+		if got := s.AppendLogLen(); got >= 2 {
+			t.Fatalf("append log reached %d with cap 2", got)
+		}
+		if g := s.Generation(); g < lastGen {
+			t.Fatalf("generation moved backwards: %d -> %d", lastGen, g)
+		} else {
+			lastGen = g
+		}
+	}
+	if lastGen == 0 {
+		t.Fatal("capped log never bumped the generation")
+	}
+
+	ext := NewSMMExt[metric.Vector](2, 4, metric.Euclidean)
+	if def := ext.AppendLogCap(); def != 15 {
+		t.Fatalf("SMM-EXT default log cap %d, want (k'+1)(k+1) = 15", def)
+	}
+	ext.SetAppendLogCap(3)
+	for i := 0; i < 40; i++ {
+		ext.Process(metric.Vector{float64(i % 7), float64(i)})
+		if got := ext.AppendLogLen(); got >= 3 {
+			t.Fatalf("SMM-EXT append log reached %d with cap 3", got)
+		}
+	}
+}
+
+// TestDynamicChurnInvariants runs a deterministic insert/delete mix on
+// both processors and checks, after every op: deleted values never
+// reappear in Result, re-inserted values may, memory stays within the
+// documented bounds, and every processed point not deleted is within
+// the coverage radius of some center (the dynamic coverage guarantee,
+// with the 2× promotion slack).
+func TestDynamicChurnInvariants(t *testing.T) {
+	const k, kprime, spareCap = 3, 5, 2
+	smm := NewSMM[metric.Vector](k, kprime, metric.Euclidean)
+	smm.SetSpareCap(spareCap)
+	ext := NewSMMExt[metric.Vector](k, kprime, metric.Euclidean)
+
+	var live []metric.Vector
+	x := uint32(12345)
+	rnd := func(n int) int {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return int(x % uint32(n))
+	}
+	removeLive := func(p metric.Vector) {
+		kept := live[:0]
+		for _, q := range live {
+			if metric.Euclidean(q, p) != 0 {
+				kept = append(kept, q)
+			}
+		}
+		live = kept
+	}
+	for op := 0; op < 600; op++ {
+		if rnd(4) == 0 && len(live) > 0 {
+			p := live[rnd(len(live))]
+			removeLive(p)
+			smm.Delete(p)
+			ext.Delete(p)
+		} else {
+			p := metric.Vector{float64(rnd(40)), float64(rnd(40))}
+			if !containsValue(live, p) {
+				live = append(live, p)
+			}
+			smm.Process(p)
+			ext.Process(p)
+		}
+		for name, res := range map[string][]metric.Vector{"smm": smm.Result(), "smmext": ext.Result()} {
+			for _, q := range res {
+				if !containsValue(live, q) {
+					t.Fatalf("op %d: %s Result holds deleted value %v", op, name, q)
+				}
+			}
+		}
+		if got, bound := smm.StoredPoints(), (2+spareCap)*(kprime+1); got > bound {
+			t.Fatalf("op %d: SMM stores %d points, bound %d", op, got, bound)
+		}
+		if got, bound := ext.StoredPoints(), 2*(kprime+1)*k; got > bound {
+			t.Fatalf("op %d: SMM-EXT stores %d points, bound %d", op, got, bound)
+		}
+	}
+	// Coverage on the survivors: every live point within 2× the coverage
+	// radius of the SMM center set (the promotion slack: a promoted
+	// spare sits within 4d of the center it replaced).
+	centers := smm.Result()
+	if smm.Threshold() > 0 && len(centers) > 0 {
+		for _, p := range live {
+			d, _ := metric.MinDistance(p, centers, metric.Euclidean)
+			if d > 2*smm.CoverageRadius() && !math.IsInf(d, 1) {
+				t.Fatalf("live point %v at %g from centers, coverage bound %g", p, d, 2*smm.CoverageRadius())
+			}
+		}
+	}
+}

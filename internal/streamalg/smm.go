@@ -41,15 +41,30 @@ type SMM[P any] struct {
 	centers []P // T, capacity k'+1
 	merged  []P // M: points removed by merge steps of the current phase
 
+	// Spare retention for deletions (delete.go): when spareCap > 0,
+	// spares[i] holds up to spareCap points absorbed by centers[i],
+	// parallel to centers — promotion candidates for when that center is
+	// deleted. Spares never appear in Result and are best-effort: a
+	// merge drops the spares of removed centers. spareCap = 0 (the
+	// NewSMM default) retains nothing and keeps the paper-exact
+	// 2(k′+1)-point memory bound.
+	spareCap int
+	spares   [][]P
+
 	// Incremental-snapshot bookkeeping (Generation/AppendedSince): gen
 	// counts restructurings — merge phases, where centers move or drop —
 	// and appended logs every point accepted since the last one, so
 	// between restructurings the core-set only ever grows by the logged
 	// points. The log holds point headers already retained in centers
 	// and is cleared on every restructure, so it adds no asymptotic
-	// memory.
+	// memory. logCap bounds the log within a phase: an append that
+	// reaches it forces a generation bump (compaction — see
+	// SetAppendLogCap); the default sits one past the transient maximum
+	// (k′+2), so it never fires before the phase bump that clears the
+	// log anyway.
 	gen      uint64
 	appended []P
+	logCap   int
 }
 
 // NewSMM returns a streaming core-set processor for the remote-edge and
@@ -60,7 +75,54 @@ func NewSMM[P any](k, kprime int, d metric.Distance[P]) *SMM[P] {
 	if k < 1 || kprime < k {
 		panic(fmt.Sprintf("streamalg: NewSMM requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
 	}
-	return &SMM[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d)}
+	return &SMM[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d), logCap: kprime + 2}
+}
+
+// SetSpareCap sets the per-center spare retention for deletions: each
+// center keeps up to cap absorbed points as promotion candidates for
+// its own removal (see Delete). cap ≤ 0 disables retention and drops
+// any spares already held. Raising the cap mid-stream is allowed; only
+// points absorbed afterwards are retained.
+func (s *SMM[P]) SetSpareCap(cap int) {
+	if cap <= 0 {
+		s.spareCap, s.spares = 0, nil
+		return
+	}
+	s.spareCap = cap
+	if s.spares == nil {
+		s.spares = make([][]P, len(s.centers))
+	}
+}
+
+// SpareCap returns the per-center spare retention.
+func (s *SMM[P]) SpareCap() int { return s.spareCap }
+
+// SetAppendLogCap caps the per-generation append log at n ≥ 1 points:
+// an append that reaches the cap forces a generation bump, compacting
+// the log so its growth is bounded within a phase no matter how long
+// the phase runs. Forcing a bump is always observationally safe — a
+// later SnapshotSince simply answers with a full snapshot instead of a
+// delta — it only costs downstream caches a rebuild. n < 1 restores
+// the default (k′+2, one past the transient maximum, so the cap never
+// fires before the phase bump that clears the log anyway).
+func (s *SMM[P]) SetAppendLogCap(n int) {
+	if n < 1 {
+		n = s.kprime + 2
+	}
+	s.logCap = n
+	if len(s.appended) >= s.logCap {
+		s.bumpGen()
+	}
+}
+
+// AppendLogCap returns the per-generation append-log cap.
+func (s *SMM[P]) AppendLogCap() int { return s.logCap }
+
+// bumpGen advances the generation and restarts the append log — every
+// restructure (merge phase, eviction, log compaction) runs through it.
+func (s *SMM[P]) bumpGen() {
+	s.gen++
+	s.appended = s.appended[:0]
 }
 
 // minDist is the nearest-center scan: the flat squared-distance kernel
@@ -77,7 +139,13 @@ func (s *SMM[P]) minDist(p P) (float64, int) {
 // append log in sync.
 func (s *SMM[P]) addCenter(p P) {
 	s.centers = append(s.centers, p)
+	if s.spareCap > 0 {
+		s.spares = append(s.spares, nil)
+	}
 	s.appended = append(s.appended, p)
+	if len(s.appended) >= s.logCap {
+		s.bumpGen() // log compaction at the cap; see SetAppendLogCap
+	}
 	if s.scan != nil {
 		s.scan.Append(p)
 	}
@@ -99,12 +167,21 @@ func (s *SMM[P]) Process(p P) {
 		}
 		return
 	}
-	if dist, _ := s.minDist(p); dist > 4*s.threshold {
+	dist, nearest := s.minDist(p)
+	if dist > 4*s.threshold {
 		s.addCenter(p)
 		if len(s.centers) == s.kprime+1 {
 			s.threshold *= 2
 			s.startPhase()
 		}
+		return
+	}
+	// Absorbed: retain as a spare for the covering center when spare
+	// retention is on. Duplicates of a center (distance 0) are skipped —
+	// promoting one after that center's deletion would resurface the
+	// deleted value.
+	if s.spareCap > 0 && dist > 0 && len(s.spares[nearest]) < s.spareCap {
+		s.spares[nearest] = append(s.spares[nearest], p)
 	}
 }
 
@@ -124,8 +201,7 @@ func (s *SMM[P]) ProcessBatch(batch []P) {
 // step accepts no points). A phase restructures the core-set, so it
 // bumps the generation and restarts the append log.
 func (s *SMM[P]) startPhase() {
-	s.gen++
-	s.appended = s.appended[:0]
+	s.bumpGen()
 	s.merged = s.merged[:0]
 	for {
 		s.phases++
@@ -142,8 +218,12 @@ func (s *SMM[P]) startPhase() {
 // and retaining the removed points in M for the duration of the phase.
 func (s *SMM[P]) merge() {
 	kept := s.centers[:0:len(s.centers)]
+	var keptSpares [][]P
+	if s.spareCap > 0 {
+		keptSpares = s.spares[:0:len(s.spares)]
+	}
 	var removed []P
-	for _, c := range s.centers {
+	for ci, c := range s.centers {
 		independent := true
 		for _, u := range kept {
 			if s.d(u, c) <= 2*s.threshold {
@@ -153,11 +233,17 @@ func (s *SMM[P]) merge() {
 		}
 		if independent {
 			kept = append(kept, c)
+			if s.spareCap > 0 {
+				keptSpares = append(keptSpares, s.spares[ci])
+			}
 		} else {
 			removed = append(removed, c)
 		}
 	}
 	s.centers = kept
+	if s.spareCap > 0 {
+		s.spares = keptSpares
+	}
 	if s.scan != nil {
 		s.scan.Rebuild(s.centers)
 	}
@@ -215,8 +301,16 @@ func (s *SMM[P]) AppendedSince(pos int) []P {
 func (s *SMM[P]) Processed() int64 { return s.processed }
 
 // StoredPoints returns the number of points currently held in memory
-// (centers plus the retained merge removals); it never exceeds 2(k′+1).
-func (s *SMM[P]) StoredPoints() int { return len(s.centers) + len(s.merged) }
+// (centers, the retained merge removals, and any deletion spares); it
+// never exceeds 2(k′+1) with spare retention off, (2+SpareCap)(k′+1)
+// with it on.
+func (s *SMM[P]) StoredPoints() int {
+	total := len(s.centers) + len(s.merged)
+	for _, sp := range s.spares {
+		total += len(sp)
+	}
+	return total
+}
 
 // invariantPairwise returns the minimum pairwise distance of the current
 // centers; exported to tests via export_test.go.

@@ -30,9 +30,12 @@ type SMMExt[P any] struct {
 
 	// Incremental-snapshot bookkeeping; see SMM. For SMM-EXT the append
 	// log records both new centers and accepted delegates — everything
-	// that joins T′ between restructurings.
+	// that joins T′ between restructurings. logCap bounds the log within
+	// a phase (see SMM.SetAppendLogCap); the default, (k′+1)·(k+1), sits
+	// above any reachable log length, so it never fires on its own.
 	gen      uint64
 	appended []P
+	logCap   int
 }
 
 // NewSMMExt returns a streaming core-set processor for the
@@ -42,7 +45,39 @@ func NewSMMExt[P any](k, kprime int, d metric.Distance[P]) *SMMExt[P] {
 	if k < 1 || kprime < k {
 		panic(fmt.Sprintf("streamalg: NewSMMExt requires 1 <= k <= k', got k=%d k'=%d", k, kprime))
 	}
-	return &SMMExt[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d)}
+	return &SMMExt[P]{k: k, kprime: kprime, d: d, scan: newCenterScanner(d), logCap: (kprime + 1) * (k + 1)}
+}
+
+// SetAppendLogCap caps the per-generation append log at n ≥ 1 points,
+// forcing a generation bump at the cap; see SMM.SetAppendLogCap. n < 1
+// restores the default, (k′+1)·(k+1).
+func (s *SMMExt[P]) SetAppendLogCap(n int) {
+	if n < 1 {
+		n = (s.kprime + 1) * (s.k + 1)
+	}
+	s.logCap = n
+	if len(s.appended) >= s.logCap {
+		s.bumpGen()
+	}
+}
+
+// AppendLogCap returns the per-generation append-log cap.
+func (s *SMMExt[P]) AppendLogCap() int { return s.logCap }
+
+// bumpGen advances the generation and restarts the append log; every
+// restructure (merge phase, eviction, log compaction) runs through it.
+func (s *SMMExt[P]) bumpGen() {
+	s.gen++
+	s.appended = s.appended[:0]
+}
+
+// logAppend records a point that joined T′, compacting the log when it
+// reaches the cap.
+func (s *SMMExt[P]) logAppend(p P) {
+	s.appended = append(s.appended, p)
+	if len(s.appended) >= s.logCap {
+		s.bumpGen()
+	}
 }
 
 // minDist is the nearest-center scan; see SMM.minDist.
@@ -58,7 +93,7 @@ func (s *SMMExt[P]) minDist(p P) (float64, int) {
 func (s *SMMExt[P]) addCenter(p P) {
 	s.centers = append(s.centers, p)
 	s.delegates = append(s.delegates, []P{p})
-	s.appended = append(s.appended, p)
+	s.logAppend(p)
 	if s.scan != nil {
 		s.scan.Append(p)
 	}
@@ -90,7 +125,7 @@ func (s *SMMExt[P]) Process(p P) {
 	}
 	if len(s.delegates[nearest]) < s.k {
 		s.delegates[nearest] = append(s.delegates[nearest], p)
-		s.appended = append(s.appended, p)
+		s.logAppend(p)
 	}
 }
 
@@ -103,8 +138,7 @@ func (s *SMMExt[P]) ProcessBatch(batch []P) {
 }
 
 func (s *SMMExt[P]) startPhase() {
-	s.gen++
-	s.appended = s.appended[:0]
+	s.bumpGen()
 	s.merged = s.merged[:0]
 	for {
 		s.phases++

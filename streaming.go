@@ -64,9 +64,34 @@ type StreamCoreset[P any] interface {
 	// it has (the generation moved). Pass (0, -1) for an unconditional
 	// full snapshot. Same concurrency contract as Snapshot.
 	SnapshotSince(gen uint64, pos int) CoresetDelta[P]
+	// Delete removes every retained point at metric distance 0 from p
+	// — the fully dynamic extension (deletions alongside insertions).
+	// A delete of a never-retained value is a free tombstone; deleting
+	// a spare leaves the core-set output untouched; deleting a core-set
+	// point evicts it, re-covers locally (a deleted center is replaced
+	// by a retained spare or a surviving delegate), and bumps the
+	// snapshot generation so stale cached views rebuild rather than
+	// patch. Same concurrency contract as Process.
+	Delete(p P) DeleteOutcome
 	// StoredPoints reports current memory use in points.
 	StoredPoints() int
 }
+
+// DeleteOutcome reports what a StreamCoreset.Delete removed: nothing
+// retained (a tombstone), only spares, or a core-set point (an
+// eviction, which moves the snapshot generation).
+type DeleteOutcome = streamalg.DeleteOutcome
+
+const (
+	// DeleteAbsent: no retained copy matched — a pure tombstone.
+	DeleteAbsent = streamalg.DeleteAbsent
+	// DeleteSpare: only spare points were removed; the core-set output
+	// and the snapshot generation are unchanged.
+	DeleteSpare = streamalg.DeleteSpare
+	// DeleteEvicted: a core-set point was removed and the generation
+	// bumped; caches built on earlier snapshots must rebuild.
+	DeleteEvicted = streamalg.DeleteEvicted
+)
 
 // CoresetSnapshot is a point-in-time view of a StreamCoreset. Because the
 // underlying core-sets are composable, snapshots taken from independent
@@ -198,4 +223,22 @@ func NewStreamCoreset[P any](m Measure, k, kprime int, d Distance[P]) StreamCore
 		return smmExtAdapter[P]{streamalg.NewSMMExt(k, kprime, d)}
 	}
 	return smmAdapter[P]{streamalg.NewSMM(k, kprime, d)}
+}
+
+// NewDynamicStreamCoreset is NewStreamCoreset tuned for deletion-heavy
+// streams: on the SMM family it additionally retains up to spares
+// absorbed points per center (promotion candidates for center
+// deletions, at the cost of up to spares·(k′+1) extra points in
+// memory); the SMM-EXT family's delegate sets already provide
+// promotion candidates, so spares is ignored there. Delete works on
+// every StreamCoreset — this constructor only improves how much of a
+// cluster survives its center's deletion. spares ≤ 0 retains none
+// (identical to NewStreamCoreset).
+func NewDynamicStreamCoreset[P any](m Measure, k, kprime, spares int, d Distance[P]) StreamCoreset[P] {
+	if m.NeedsInjectiveProxy() {
+		return smmExtAdapter[P]{streamalg.NewSMMExt(k, kprime, d)}
+	}
+	s := streamalg.NewSMM(k, kprime, d)
+	s.SetSpareCap(spares)
+	return smmAdapter[P]{s}
 }

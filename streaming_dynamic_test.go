@@ -1,0 +1,142 @@
+package divmax_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"divmax"
+)
+
+// Fully dynamic streams at the public API: NewDynamicStreamCoreset
+// must keep the core-set guarantee on the ground set that SURVIVES
+// deletion — after removing points (including whole clusters, which
+// forces center evictions and local re-covers), solving over the
+// core-set must stay within the same quality envelope, versus the
+// sequential solve over the surviving points, that the repo demands of
+// every insert-only pipeline.
+
+// deleteAllCopies removes every stream point equal to p and returns
+// the strongest outcome observed.
+func deleteAllCopies(cs divmax.StreamCoreset[divmax.Vector], pts []divmax.Vector) divmax.DeleteOutcome {
+	out := divmax.DeleteAbsent
+	for _, p := range pts {
+		out = max(out, cs.Delete(p))
+	}
+	return out
+}
+
+func TestDynamicCoresetPostDeletionQuality(t *testing.T) {
+	centers := []divmax.Vector{{0, 0}, {900, 0}, {0, 900}, {900, 900}}
+	const k, kprime, spares = 4, 12, 2
+
+	for _, m := range divmax.Measures {
+		rng := rand.New(rand.NewSource(83))
+		pts := clusters(rng, centers, 25, 5)
+
+		// Doom the {900,900} cluster; everything else survives.
+		var doomed, live []divmax.Vector
+		for _, p := range pts {
+			if p[0] > 800 && p[1] > 800 {
+				doomed = append(doomed, p)
+			} else {
+				live = append(live, p)
+			}
+		}
+
+		cs := divmax.NewDynamicStreamCoreset(m, k, kprime, spares, divmax.Euclidean)
+		cs.ProcessBatch(pts)
+		if out := deleteAllCopies(cs, doomed); out != divmax.DeleteEvicted {
+			t.Errorf("%v: wiping a well-separated cluster returned outcome %d, want an eviction", m, out)
+		}
+
+		deleted := make(map[[2]float64]bool, len(doomed))
+		for _, p := range doomed {
+			deleted[[2]float64{p[0], p[1]}] = true
+		}
+		coreset := cs.Coreset()
+		for _, p := range coreset {
+			if deleted[[2]float64{p[0], p[1]}] {
+				t.Fatalf("%v: core-set still holds deleted point %v", m, p)
+			}
+		}
+
+		sol, val := divmax.MaxDiversity(m, coreset, k, divmax.Euclidean)
+		for _, p := range sol {
+			if deleted[[2]float64{p[0], p[1]}] {
+				t.Fatalf("%v: post-deletion solution contains deleted point %v", m, p)
+			}
+		}
+		_, seqVal := divmax.MaxDiversity(m, live, k, divmax.Euclidean)
+		if val < seqVal/2 {
+			t.Errorf("%v: post-deletion value %v below half of sequential %v over the surviving set", m, val, seqVal)
+		}
+	}
+}
+
+// TestDynamicCoresetInterleavedChurn alternates inserts and deletes —
+// the stream both grows and shrinks between solves — and checks the
+// envelope at every step against the surviving ground set.
+func TestDynamicCoresetInterleavedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	centers := []divmax.Vector{{0, 0}, {700, 100}, {150, 800}}
+	const k, kprime = 3, 9
+
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		cs := divmax.NewDynamicStreamCoreset(m, k, kprime, 2, divmax.Euclidean)
+		var ground []divmax.Vector
+
+		for round := 0; round < 6; round++ {
+			batch := clusters(rng, centers, 4, 30)
+			cs.ProcessBatch(batch)
+			ground = append(ground, batch...)
+
+			// Delete a random third of the current ground set.
+			rng.Shuffle(len(ground), func(i, j int) { ground[i], ground[j] = ground[j], ground[i] })
+			cut := len(ground) / 3
+			deleteAllCopies(cs, ground[:cut])
+			ground = ground[cut:]
+
+			_, val := divmax.MaxDiversity(m, cs.Coreset(), k, divmax.Euclidean)
+			_, seqVal := divmax.MaxDiversity(m, ground, k, divmax.Euclidean)
+			if val < seqVal/2 {
+				t.Errorf("%v round %d: value %v below half of sequential %v (|ground|=%d)",
+					m, round, val, seqVal, len(ground))
+			}
+		}
+	}
+}
+
+// TestDynamicCoresetOutcomeClasses pins the three DeleteOutcome values
+// through the public constructor: a never-seen value is a tombstone, a
+// retained spare deletes silently, a center deletes with an eviction.
+func TestDynamicCoresetOutcomeClasses(t *testing.T) {
+	cs := divmax.NewDynamicStreamCoreset(divmax.RemoteEdge, 2, 2, 2, divmax.Euclidean)
+	// Three far-apart points initialize (k'+1 = 3); the tight neighbor
+	// arrives after init, is absorbed by {0,0}, and retained as a spare.
+	cs.ProcessBatch([]divmax.Vector{{0, 0}, {100, 0}, {0, 100}, {1, 0}})
+
+	if out := cs.Delete(divmax.Vector{777, 777}); out != divmax.DeleteAbsent {
+		t.Fatalf("deleting a never-seen value: outcome %d, want DeleteAbsent", out)
+	}
+	if out := cs.Delete(divmax.Vector{1, 0}); out != divmax.DeleteSpare {
+		t.Fatalf("deleting an absorbed spare: outcome %d, want DeleteSpare", out)
+	}
+
+	// Re-absorb the spare, then delete its center: the spare must be
+	// promoted into the cover.
+	cs.Process(divmax.Vector{1, 0})
+	before := len(cs.Coreset())
+	if out := cs.Delete(divmax.Vector{0, 0}); out != divmax.DeleteEvicted {
+		t.Fatalf("deleting a center: outcome %d, want DeleteEvicted", out)
+	}
+	found := false
+	for _, p := range cs.Coreset() {
+		if p[0] == 1 && p[1] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("after evicting {0,0}, its spare {1,0} was not promoted (coreset %v, was %d points)",
+			cs.Coreset(), before)
+	}
+}
