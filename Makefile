@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt vet ci
+.PHONY: build test race chaos bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -14,21 +14,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The fault-injection suites under the race detector: shard panics and
+# supervised restarts, restart-budget exhaustion, wedged shards shedding
+# and recovering, dropped replies hitting deadlines, and degraded
+# queries — with per-test goroutine-leak checks. The timeout guards
+# against a supervision bug wedging the run rather than failing it.
+chaos:
+	$(GO) test -race -timeout 120s ./internal/faults ./internal/server
+
 # Run every benchmark once (no timing comparisons) so bench code keeps
 # compiling and running.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR6.json): GMM fast vs
+# Regenerate the performance trajectory (BENCH_PR7.json): GMM fast vs
 # pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
 # round-2 solve path (matrix vs generic), cached vs cold /query, the
 # sharded/tiled solve-parallel worker sweep, the incremental_ingest
-# churn suite (delta-patched cache vs forced full rebuilds), and the
-# dynamic_churn insert/delete/query interleave over the /v1 API. CI
-# uploads the JSON as an artifact alongside the committed BENCH_PR*.json
-# baselines.
+# churn suite (delta-patched cache vs forced full rebuilds), the
+# dynamic_churn insert/delete/query interleave over the /v1 API, and
+# the overload write-storm (load shedding on vs off). CI uploads the
+# JSON as an artifact alongside the committed BENCH_PR*.json baselines.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR6.json
+	$(GO) run ./cmd/bench -out BENCH_PR7.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

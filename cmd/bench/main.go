@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR6.json in the repo root, via
+// and writes the results as JSON (BENCH_PR7.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
@@ -41,6 +41,14 @@
 //     rebuilds, plus the delete-outcome split and the warm-start count;
 //     the acceptance gate requires delta patches to outnumber full
 //     rebuilds across the churn.
+//   - overload: concurrent writers hammering a deliberately slow
+//     single shard (a fault-injected per-fold delay, tiny queue) with
+//     load shedding on versus off. Shedding bounds the worst-case
+//     ingest latency near the configured shed wait and turns the
+//     excess into fast 429s; the blocking configuration accepts
+//     everything but lets tail latency grow with the backlog. The gate
+//     requires shedding to actually shed and to keep the max latency
+//     under the blocking run's.
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -58,11 +66,14 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"divmax"
 	"divmax/internal/api"
 	"divmax/internal/coreset"
+	"divmax/internal/faults"
 	"divmax/internal/metric"
 	"divmax/internal/sequential"
 	"divmax/internal/server"
@@ -223,6 +234,30 @@ type dynamicChurnCase struct {
 	WarmStarts   int64   `json:"memo_warm_starts"`
 }
 
+type overloadCase struct {
+	Writers   int     `json:"writers"`
+	Requests  int     `json:"requests_per_writer"`
+	BatchSize int     `json:"batch_size"`
+	Dim       int     `json:"dim"`
+	Buffer    int     `json:"buffer"`
+	FoldMS    float64 `json:"fold_delay_ms"`
+	ShedMS    float64 `json:"shed_wait_ms"`
+	// Both rows run the same write storm against a single shard whose
+	// every fold is slowed by FoldMS through the fault injector, so the
+	// queue (Buffer batches) is perpetually full. The Shed row sheds
+	// after ShedMS (429 overloaded); the Block row runs ShedWait < 0,
+	// the pre-robustness unbounded blocking backpressure. Latencies are
+	// per-request wall times over all requests, shed or accepted.
+	ShedAccepted  int64   `json:"shed_accepted"`
+	ShedRejected  int64   `json:"shed_rejected"`
+	ShedMaxMS     float64 `json:"shed_max_ms"`
+	ShedAvgMS     float64 `json:"shed_avg_ms"`
+	BlockAccepted int64   `json:"block_accepted"`
+	BlockMaxMS    float64 `json:"block_max_ms"`
+	BlockAvgMS    float64 `json:"block_avg_ms"`
+	IngestSheds   int64   `json:"ingest_sheds"`
+}
+
 // statsSnapshot is the slice of /stats the incremental suite reads.
 type statsSnapshot struct {
 	DeltaPatches int64 `json:"delta_patches"`
@@ -247,6 +282,7 @@ type report struct {
 	SolveParallel []solveParallelCase `json:"solve_parallel"`
 	Incremental   []incrementalCase   `json:"incremental_ingest"`
 	DynamicChurn  []dynamicChurnCase  `json:"dynamic_churn"`
+	Overload      []overloadCase      `json:"overload"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -354,14 +390,14 @@ func minTimeN(reps int, fns ...func()) []time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      6,
+		PR:      7,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -989,6 +1025,125 @@ func main() {
 			patchedStats.DeltaPatches, patchedStats.FullRebuilds,
 			patchedStats.DeletesEvicting, patchedStats.DeletesSpares, patchedStats.DeletesTombstoned,
 			patchedStats.MemoWarmStarts)
+	}
+
+	// Suite 9: overload — the PR 7 load-shedding trade-off, measured.
+	// Concurrent writers blast ingest batches at a single shard whose
+	// every fold is slowed through the fault injector, so the tiny
+	// queue is full for the whole storm. With shedding on, a request
+	// waits at most the shed wait before a fast 429 bounds its latency;
+	// with shedding off (the pre-PR behaviour) every request eventually
+	// lands but the tail waits behind the whole backlog.
+	{
+		const (
+			ovWriters  = 8
+			ovRequests = 12 // ingest calls per writer
+			ovBatch    = 20 // points per call
+			ovDim      = 4
+			ovBuffer   = 2
+			ovFold     = 4 * time.Millisecond
+			ovShed     = 4 * time.Millisecond
+		)
+		storm := func(shedWait time.Duration) (accepted, rejected int64, maxLat, avgLat time.Duration, st api.StatsResponse) {
+			inj := faults.New()
+			inj.OnBatch(faults.SlowBatch(0, ovFold))
+			srv, err := server.New(server.Config{
+				Shards: 1, MaxK: 8, KPrime: 32, Buffer: ovBuffer,
+				ShedWait: shedWait, Faults: inj,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Close() }()
+			rng := rand.New(rand.NewSource(77))
+			pts := randomVectors(rng, ovWriters*ovRequests*ovBatch, ovDim)
+			var acc, rej, unexpected, maxNS, sumNS atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < ovWriters; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					client := ts.Client()
+					for r := 0; r < ovRequests; r++ {
+						lo := (w*ovRequests + r) * ovBatch
+						body, err := json.Marshal(api.IngestRequest{Points: pts[lo : lo+ovBatch]})
+						if err != nil {
+							unexpected.Add(1)
+							return
+						}
+						start := time.Now()
+						resp, err := client.Post(ts.URL+api.Prefix+"/ingest", "application/json", bytes.NewReader(body))
+						el := int64(time.Since(start))
+						if err != nil {
+							unexpected.Add(1)
+							return
+						}
+						resp.Body.Close()
+						switch resp.StatusCode {
+						case http.StatusOK:
+							acc.Add(1)
+						case http.StatusTooManyRequests:
+							rej.Add(1)
+						default:
+							unexpected.Add(1)
+						}
+						sumNS.Add(el)
+						for {
+							cur := maxNS.Load()
+							if el <= cur || maxNS.CompareAndSwap(cur, el) {
+								break
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if unexpected.Load() != 0 {
+				fmt.Fprintf(os.Stderr, "bench: overload: %d requests failed outright (shed_wait=%v)\n", unexpected.Load(), shedWait)
+				os.Exit(1)
+			}
+			resp, err := ts.Client().Get(ts.URL + api.Prefix + "/stats")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "bench: overload stats failed:", err, resp)
+				os.Exit(1)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: decoding overload stats:", err)
+				os.Exit(1)
+			}
+			resp.Body.Close()
+			total := acc.Load() + rej.Load()
+			return acc.Load(), rej.Load(), time.Duration(maxNS.Load()), time.Duration(sumNS.Load() / total), st
+		}
+		shedAcc, shedRej, shedMax, shedAvg, shedStats := storm(ovShed)
+		blockAcc, blockRej, blockMax, blockAvg, _ := storm(-1)
+		total := int64(ovWriters * ovRequests)
+		if shedRej == 0 || shedStats.IngestSheds == 0 {
+			fmt.Fprintf(os.Stderr, "bench: overload: shedding config shed nothing (rejected=%d ingest_sheds=%d)\n", shedRej, shedStats.IngestSheds)
+			os.Exit(1)
+		}
+		if blockRej != 0 || blockAcc != total {
+			fmt.Fprintf(os.Stderr, "bench: overload: blocking config dropped requests (accepted=%d/%d rejected=%d)\n", blockAcc, total, blockRej)
+			os.Exit(1)
+		}
+		if shedMax >= blockMax {
+			fmt.Fprintf(os.Stderr, "bench: overload: shedding max latency %v not under blocking max %v\n", shedMax, blockMax)
+			os.Exit(1)
+		}
+		rep.Overload = append(rep.Overload, overloadCase{
+			Writers: ovWriters, Requests: ovRequests, BatchSize: ovBatch, Dim: ovDim,
+			Buffer: ovBuffer, FoldMS: ms(ovFold), ShedMS: ms(ovShed),
+			ShedAccepted: shedAcc, ShedRejected: shedRej,
+			ShedMaxMS: ms(shedMax), ShedAvgMS: ms(shedAvg),
+			BlockAccepted: blockAcc,
+			BlockMaxMS:    ms(blockMax), BlockAvgMS: ms(blockAvg),
+			IngestSheds: shedStats.IngestSheds,
+		})
+		fmt.Printf("overload %dx%d shed  acc=%-3d rej=%-3d max %8.2fms avg %8.2fms   block acc=%-3d max %8.2fms avg %8.2fms\n",
+			ovWriters, ovRequests, shedAcc, shedRej, ms(shedMax), ms(shedAvg),
+			blockAcc, ms(blockMax), ms(blockAvg))
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

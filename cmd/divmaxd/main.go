@@ -37,28 +37,45 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8377", "listen address")
-		shards  = flag.Int("shards", 0, "number of core-set shards (0 = GOMAXPROCS)")
-		maxk    = flag.Int("maxk", 16, "largest solution size queries may request")
-		kprime  = flag.Int("kprime", 0, "per-shard kernel size k' (0 = 4*maxk)")
-		buffer  = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
-		workers = flag.Int("solve-workers", 0, "round-2 solver parallelism: matrix fill + sharded scans (0 = GOMAXPROCS)")
-		memo    = flag.Int("solution-memo", 0, "per-state (measure, k) answer memo capacity, LRU-evicted (0 = 128)")
-		budget  = flag.Float64("delta-budget", 0, "max core-set delta, as a fraction of the cached merged union, a stale query may patch incrementally instead of fully rebuilding (0 = default 0.25; negative disables patching)")
-		spares  = flag.Int("spares", 0, "absorbed points retained per center as promotion candidates for /delete evictions, edge/cycle family only (0 = default 2; negative retains none)")
+		addr     = flag.String("addr", ":8377", "listen address")
+		shards   = flag.Int("shards", 0, "number of core-set shards (0 = GOMAXPROCS)")
+		maxk     = flag.Int("maxk", 16, "largest solution size queries may request")
+		kprime   = flag.Int("kprime", 0, "per-shard kernel size k' (0 = 4*maxk)")
+		buffer   = flag.Int("buffer", 64, "per-shard ingest queue capacity in batches")
+		workers  = flag.Int("solve-workers", 0, "round-2 solver parallelism: matrix fill + sharded scans (0 = GOMAXPROCS)")
+		memo     = flag.Int("solution-memo", 0, "per-state (measure, k) answer memo capacity, LRU-evicted (0 = 128)")
+		budget   = flag.Float64("delta-budget", 0, "max core-set delta, as a fraction of the cached merged union, a stale query may patch incrementally instead of fully rebuilding (0 = default 0.25; negative disables patching)")
+		spares   = flag.Int("spares", 0, "absorbed points retained per center as promotion candidates for /delete evictions, edge/cycle family only (0 = default 2; negative retains none)")
+		queryDL  = flag.Duration("query-deadline", 0, "server-side deadline for /query: fan-out, merge, and solve waits become 504 deadline_exceeded past it (0 = default 30s; negative disables)")
+		ingestDL = flag.Duration("ingest-deadline", 0, "server-side deadline for /ingest and /delete (0 = default 30s; negative disables)")
+		shedWait = flag.Duration("shed-after", 0, "how long a request may wait on a full shard queue or the inflight-query limiter before being shed with 429 (0 = default 1s; negative disables shedding, restoring unbounded blocking backpressure)")
+		inflight = flag.Int("max-inflight-queries", 0, "cap on concurrently solving queries; excess queries wait shed-after then 429 (0 = default 4*GOMAXPROCS, min 16; negative uncaps)")
+		restarts = flag.Int("restart-budget", 0, "supervisor restarts (fresh core-sets) a shard gets after panics before failing permanently (0 = default 3; negative fails on the first panic)")
+		degraded = flag.Bool("degraded-queries", false, "answer queries from surviving shards when some have failed or timed out, marked \"degraded\": true (default: fail closed with 503/504)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests and buffered batches on shutdown")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
 		Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer,
 		SolveWorkers: *workers, SolutionMemo: *memo, DeltaBudget: *budget,
-		Spares: *spares,
+		Spares:        *spares,
+		QueryDeadline: *queryDL, IngestDeadline: *ingestDL,
+		ShedWait: *shedWait, MaxInflight: *inflight,
+		RestartBudget: *restarts, DegradedQueries: *degraded,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)
 		os.Exit(2)
 	}
 	cfg := srv.Config()
+	// WriteTimeout must outlast the query deadline, or the connection
+	// dies before the 504 the deadline is meant to produce; give the
+	// response twice the deadline, with a floor for deadline-free runs.
+	writeTimeout := 60 * time.Second
+	if d := 2 * cfg.QueryDeadline; d > writeTimeout {
+		writeTimeout = d
+	}
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -66,6 +83,8 @@ func main() {
 		// connections; no ReadTimeout so large ingest bodies may stream.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		MaxHeaderBytes:    1 << 20,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,10 +97,14 @@ func main() {
 	select {
 	case <-ctx.Done():
 		log.Print("divmaxd: shutting down, draining shards")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("divmaxd: shutdown: %v", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Printf("divmaxd: drain cut short after %v: in-flight requests were dropped", *drainTO)
+			} else {
+				log.Printf("divmaxd: shutdown: %v", err)
+			}
 		}
 		srv.Close()
 	case err := <-errCh:

@@ -27,8 +27,18 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodePayloadTooLarge (413): request body over the ingest limit.
 	CodePayloadTooLarge = "payload_too_large"
-	// CodeUnavailable (503): the server is draining (Close was called).
+	// CodeUnavailable (503): the server is draining (Close was called),
+	// or a shard has failed permanently and the request needs it
+	// (fail-closed queries, every ingest and delete).
 	CodeUnavailable = "unavailable"
+	// CodeDeadlineExceeded (504): the request's deadline (the
+	// -query-deadline / -ingest-deadline flags, or the client hanging
+	// up) expired before the shard fan-out completed.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeOverloaded (429): load shed — a shard's ingest queue stayed
+	// full past the shed wait, or the inflight-query limiter is at
+	// capacity. The response carries a Retry-After header.
+	CodeOverloaded = "overloaded"
 )
 
 // ErrorEnvelope is the body of every error response:
@@ -112,6 +122,14 @@ type QueryResponse struct {
 	// it identical to what a cold solve over the patched union would
 	// return (delta-aware memo reuse; no solve ran).
 	WarmStarted bool `json:"warm_started"`
+	// Degraded reports that the fan-out hit failed or unresponsive
+	// shards and the answer was solved over the surviving shards'
+	// merged core-set only (opt-in via -degraded-queries; the default
+	// is fail-closed). The answer keeps the composable-core-set
+	// guarantee over the points the surviving shards ingested;
+	// ShardsMissing counts the shards that did not contribute.
+	Degraded      bool `json:"degraded,omitempty"`
+	ShardsMissing int  `json:"shards_missing,omitempty"`
 }
 
 // ShardStats is one shard's slice of GET /v1/stats.
@@ -129,6 +147,19 @@ type ShardStats struct {
 	// and spares; broadcast tombstones that matched nothing here are
 	// not counted).
 	Deleted int64 `json:"deleted_points"`
+	// Health is "healthy" while the shard goroutine is serving and
+	// "failed" once it has exhausted its restart budget (it then
+	// answers every message with an error instead of going dark).
+	Health string `json:"health"`
+	// QueueDepth is the number of batches currently buffered in the
+	// shard's ingest queue — a sustained full queue is what triggers
+	// load shedding.
+	QueueDepth int `json:"queue_depth"`
+	// Restarts counts supervisor restarts (panic recovered, core-sets
+	// rebuilt fresh); Panics counts every recovered panic, including
+	// the one that exhausted the budget.
+	Restarts int64 `json:"restarts"`
+	Panics   int64 `json:"panics"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -176,7 +207,18 @@ type StatsResponse struct {
 	// (merged union past the matrix memory budget).
 	SolveWorkers int   `json:"solve_workers"`
 	TiledSolves  int64 `json:"tiled_solves"`
-	MaxK         int   `json:"max_k"`
-	KPrime       int   `json:"kprime"`
-	Draining     bool  `json:"draining"`
+	// Robustness counters: ShardsFailed is the current number of
+	// permanently failed shards (restart budget exhausted),
+	// ShardRestarts the supervisor restarts performed so far across all
+	// shards, DegradedQueries the queries answered from surviving
+	// shards only, IngestSheds / QuerySheds the requests rejected with
+	// 429 by the bounded-backpressure and inflight-query limiters.
+	ShardsFailed    int   `json:"shards_failed"`
+	ShardRestarts   int64 `json:"shard_restarts"`
+	DegradedQueries int64 `json:"degraded_queries"`
+	IngestSheds     int64 `json:"ingest_sheds"`
+	QuerySheds      int64 `json:"query_sheds"`
+	MaxK            int   `json:"max_k"`
+	KPrime          int   `json:"kprime"`
+	Draining        bool  `json:"draining"`
 }

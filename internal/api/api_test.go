@@ -54,32 +54,49 @@ func TestWireShapes(t *testing.T) {
 			Solution: []divmax.Vector{{0, 0}, {1, 1}},
 			Value:    2.5, Exact: true, CoresetSize: 12, Processed: 100,
 			MergeMillis: 0.25, Cached: true, Patched: true, WarmStarted: true,
+			Degraded: true, ShardsMissing: 2,
 		},
 		`{"measure":"remote-edge","k":3,"solution":[[0,0],[1,1]],"value":2.5,`+
 			`"exact_value":true,"coreset_size":12,"processed":100,"merge_ms":0.25,`+
-			`"cached":true,"patched":true,"warm_started":true}`)
+			`"cached":true,"patched":true,"warm_started":true,"degraded":true,`+
+			`"shards_missing":2}`)
+	// A healthy (non-degraded) answer must serialize without the degraded
+	// fields at all — omitempty keeps the steady-state wire bytes of the
+	// pre-robustness server.
+	roundTrip(t, "QueryResponse/healthy",
+		QueryResponse{Measure: "remote-edge", K: 1, Solution: []divmax.Vector{{0}}},
+		`{"measure":"remote-edge","k":1,"solution":[[0]],"value":0,`+
+			`"exact_value":false,"coreset_size":0,"processed":0,"merge_ms":0,`+
+			`"cached":false,"patched":false,"warm_started":false}`)
 	roundTrip(t, "ShardStats",
-		ShardStats{ID: 1, Ingested: 10, Batches: 2, LastBatch: 5, AvgBatch: 5, Stored: 8, Deleted: 3},
+		ShardStats{ID: 1, Ingested: 10, Batches: 2, LastBatch: 5, AvgBatch: 5, Stored: 8, Deleted: 3,
+			Health: "healthy", QueueDepth: 4, Restarts: 1, Panics: 2},
 		`{"id":1,"ingested":10,"batches":2,"last_batch":5,"avg_batch":5,`+
-			`"stored_points":8,"deleted_points":3}`)
+			`"stored_points":8,"deleted_points":3,"health":"healthy",`+
+			`"queue_depth":4,"restarts":1,"panics":2}`)
 	roundTrip(t, "StatsResponse",
 		StatsResponse{
-			Shards:        []ShardStats{{ID: 0}},
+			Shards:        []ShardStats{{ID: 0, Health: "healthy"}},
 			IngestedTotal: 10, Queries: 4, Merges: 2, LastMergeMS: 1.5,
 			CacheHits: 1, CacheMisses: 3, MissesCold: 2, MissesInvalidated: 1,
 			DeltaPatches: 1, FullRebuilds: 2,
 			CachedCoresetPoints: 20, CachedMatrixBytes: 3200, MemoWarmStarts: 1,
 			DeletesRequested: 6, DeletesEvicting: 1, DeletesSpares: 2, DeletesTombstoned: 3,
-			SolveWorkers: 4, TiledSolves: 1, MaxK: 16, KPrime: 64, Draining: true,
+			SolveWorkers: 4, TiledSolves: 1,
+			ShardsFailed: 1, ShardRestarts: 3, DegradedQueries: 2, IngestSheds: 5, QuerySheds: 4,
+			MaxK: 16, KPrime: 64, Draining: true,
 		},
 		`{"shards":[{"id":0,"ingested":0,"batches":0,"last_batch":0,"avg_batch":0,`+
-			`"stored_points":0,"deleted_points":0}],"ingested_total":10,"queries":4,`+
+			`"stored_points":0,"deleted_points":0,"health":"healthy","queue_depth":0,`+
+			`"restarts":0,"panics":0}],"ingested_total":10,"queries":4,`+
 			`"merges":2,"last_merge_ms":1.5,"query_cache_hits":1,"query_cache_misses":3,`+
 			`"query_cache_misses_cold":2,"query_cache_misses_invalidated":1,`+
 			`"delta_patches":1,"full_rebuilds":2,"cached_coreset_points":20,`+
 			`"cached_matrix_bytes":3200,"memo_warm_starts":1,"deletes_requested":6,`+
 			`"deletes_evicting":1,"deletes_spares":2,"deletes_tombstoned":3,`+
-			`"solve_workers":4,"tiled_solves":1,"max_k":16,"kprime":64,"draining":true}`)
+			`"solve_workers":4,"tiled_solves":1,"shards_failed":1,"shard_restarts":3,`+
+			`"degraded_queries":2,"ingest_sheds":5,"query_sheds":4,`+
+			`"max_k":16,"kprime":64,"draining":true}`)
 }
 
 // TestErrorCodesAndPrefix pins the versioning constants clients build
@@ -93,6 +110,8 @@ func TestErrorCodesAndPrefix(t *testing.T) {
 		CodeMethodNotAllowed: "method_not_allowed",
 		CodePayloadTooLarge:  "payload_too_large",
 		CodeUnavailable:      "unavailable",
+		CodeDeadlineExceeded: "deadline_exceeded",
+		CodeOverloaded:       "overloaded",
 	}
 	for got, want := range codes {
 		if got != want {

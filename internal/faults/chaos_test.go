@@ -1,0 +1,433 @@
+// Chaos suite: drives the canned fault injections through a live
+// server over HTTP and pins the robustness contract of ISSUE 7 — a
+// panicking shard restarts and the service keeps answering; an
+// exhausted restart budget fails the shard but every endpoint still
+// returns (an error envelope, never a hang); a wedged shard turns into
+// deadline 504s and load-shed 429s, and no accepted point is lost once
+// it recovers; dropped replies surface as deadlines; degraded queries
+// answer from the surviving shards within the composable-core-set
+// envelope. Every test also checks the server winds down without
+// leaking goroutines.
+package faults_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"divmax"
+	"divmax/internal/api"
+	"divmax/internal/faults"
+	"divmax/internal/server"
+)
+
+// startServer runs a server on a test listener and registers a
+// goroutine-leak check that fires after the server is fully closed.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		checkGoroutines(t, before)
+	})
+	return srv, ts
+}
+
+// checkGoroutines fails the test if the goroutine count has not
+// returned to (near) its pre-server level. The slack absorbs runtime
+// helpers; transient HTTP connection goroutines get a grace period to
+// wind down.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after close\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func do(t *testing.T, method, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func pointsBody(t *testing.T, pts []divmax.Vector) string {
+	t.Helper()
+	b, err := json.Marshal(api.IngestRequest{Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// wantEnvelope asserts the body is the uniform error envelope with the
+// given code.
+func wantEnvelope(t *testing.T, what string, status, wantStatus int, body []byte, wantCode string) {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("%s: status %d (body %s), want %d", what, status, body, wantStatus)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("%s: body %q is not an error envelope: %v", what, body, err)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("%s: envelope code %q (message %q), want %q", what, env.Error.Code, env.Error.Message, wantCode)
+	}
+}
+
+func getStats(t *testing.T, url string) api.StatsResponse {
+	t.Helper()
+	status, _, body := do(t, http.MethodGet, url+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", status, body)
+	}
+	var out api.StatsResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitFor polls cond until it holds or the timeout expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardPanicRestartsAndRecovers: a poisoned batch panics the shard
+// goroutine mid-fold; the supervisor restarts it with fresh core-sets
+// and the service keeps ingesting and answering. The restarted shard's
+// honest accounting — the panicked incarnation's points are gone from
+// processed counts — is part of the contract.
+func TestShardPanicRestartsAndRecovers(t *testing.T) {
+	inj := faults.New()
+	inj.OnBatch(faults.PanicOnBatch(0, 1))
+	_, ts := startServer(t, server.Config{Shards: 1, MaxK: 4, Faults: inj})
+
+	for i, batch := range [][]divmax.Vector{
+		{{0, 0}, {1, 0}},    // folds cleanly
+		{{2, 0}},            // panics mid-fold: lost with the old core-sets
+		{{0, 10}, {10, 10}}, // folds into the fresh incarnation
+	} {
+		status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, batch))
+		if status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, body)
+		}
+	}
+	waitFor(t, "supervisor restart", func() bool {
+		st := getStats(t, ts.URL)
+		// Batch counters survive the restart: the clean folds before and
+		// after the panic both count, the panicked one does not.
+		return st.ShardRestarts == 1 && st.Shards[0].Batches == 2
+	})
+
+	st := getStats(t, ts.URL)
+	sh := st.Shards[0]
+	if sh.Health != "healthy" || sh.Panics != 1 || sh.Restarts != 1 {
+		t.Fatalf("shard after restart: health=%q panics=%d restarts=%d, want healthy/1/1", sh.Health, sh.Panics, sh.Restarts)
+	}
+	if st.ShardsFailed != 0 {
+		t.Fatalf("shards_failed = %d, want 0", st.ShardsFailed)
+	}
+
+	status, _, body := do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	if status != http.StatusOK {
+		t.Fatalf("query after restart: status %d: %s", status, body)
+	}
+	var q api.QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	// Only the fresh incarnation's batch survives the restart.
+	if q.Processed != 2 || q.Degraded {
+		t.Fatalf("query after restart: processed=%d degraded=%v, want 2/false", q.Processed, q.Degraded)
+	}
+
+	if status, _, body := do(t, http.MethodGet, ts.URL+"/v1/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz after restart: status %d: %s", status, body)
+	}
+}
+
+// TestRestartBudgetExhaustionFailsClosed: with no restart budget the
+// first panic fails the shard permanently. Every endpoint that needs it
+// answers 503 unavailable — immediately, not after a hang — and the
+// failure is visible in /stats.
+func TestRestartBudgetExhaustionFailsClosed(t *testing.T) {
+	inj := faults.New()
+	inj.OnBatch(func(shard, batch int) {
+		if shard == 0 {
+			panic("poisoned batch")
+		}
+	})
+	_, ts := startServer(t, server.Config{Shards: 2, MaxK: 4, RestartBudget: -1, Faults: inj})
+
+	if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest",
+		pointsBody(t, []divmax.Vector{{0, 0}, {1, 1}})); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	waitFor(t, "shard 0 permanent failure", func() bool {
+		return getStats(t, ts.URL).ShardsFailed == 1
+	})
+
+	st := getStats(t, ts.URL)
+	if st.Shards[0].Health != "failed" || st.Shards[1].Health != "healthy" {
+		t.Fatalf("health = %q/%q, want failed/healthy", st.Shards[0].Health, st.Shards[1].Health)
+	}
+
+	status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, []divmax.Vector{{2, 2}, {3, 3}}))
+	wantEnvelope(t, "ingest on failed shard", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+	status, _, body = do(t, http.MethodPost, ts.URL+"/v1/delete", pointsBody(t, []divmax.Vector{{1, 1}}))
+	wantEnvelope(t, "delete on failed shard", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+	status, _, body = do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	wantEnvelope(t, "fail-closed query", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+
+	// Liveness stays up (the process is fine); readiness stays up too —
+	// 1 of 2 shards failed is not a majority.
+	if status, _, body := do(t, http.MethodGet, ts.URL+"/v1/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", status, body)
+	}
+	if status, _, body := do(t, http.MethodGet, ts.URL+"/v1/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz with minority failed: status %d: %s", status, body)
+	}
+}
+
+// TestReadyzFailedMajority: more than half the shards failed flips
+// readiness to 503 while liveness keeps answering ok.
+func TestReadyzFailedMajority(t *testing.T) {
+	inj := faults.New()
+	inj.OnBatch(func(shard, batch int) { panic("poisoned batch") })
+	_, ts := startServer(t, server.Config{Shards: 1, MaxK: 4, RestartBudget: -1, Faults: inj})
+
+	if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest",
+		pointsBody(t, []divmax.Vector{{0, 0}})); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	waitFor(t, "shard failure", func() bool { return getStats(t, ts.URL).ShardsFailed == 1 })
+
+	status, _, body := do(t, http.MethodGet, ts.URL+"/v1/readyz", "")
+	wantEnvelope(t, "readyz with majority failed", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+	if status, _, body := do(t, http.MethodGet, ts.URL+"/v1/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz with majority failed: status %d: %s", status, body)
+	}
+}
+
+// TestWedgedShardShedsAndRecovers: a wedged shard goroutine stops
+// draining its queue. Ingest fills the buffer and then sheds with 429;
+// queries and deletes return 504/429 within their deadlines instead of
+// hanging; and once the wedge releases, every batch that was accepted
+// with a 200 is folded — no lost accepted point on the restart-free
+// path.
+func TestWedgedShardShedsAndRecovers(t *testing.T) {
+	inj := faults.New()
+	hook, release := faults.Wedge(0)
+	inj.OnBatch(hook)
+	_, ts := startServer(t, server.Config{
+		Shards: 1, MaxK: 4, Buffer: 1, Faults: inj,
+		QueryDeadline:  300 * time.Millisecond,
+		IngestDeadline: 300 * time.Millisecond,
+		ShedWait:       50 * time.Millisecond,
+	})
+	t.Cleanup(release) // run before server close so drain cannot hang
+
+	// Batch 1 wedges the shard goroutine mid-fold; batch 2 fills the
+	// one-slot queue. Both got a 200: both must eventually be folded.
+	accepted := 0
+	for i, batch := range [][]divmax.Vector{{{0, 0}}, {{1, 1}, {2, 2}}} {
+		status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, batch))
+		if status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, body)
+		}
+		accepted += len(batch)
+	}
+
+	// Queue full, shard wedged: ingest sheds after the shed wait.
+	status, hdr, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, []divmax.Vector{{3, 3}}))
+	wantEnvelope(t, "ingest on wedged shard", status, http.StatusTooManyRequests, body, api.CodeOverloaded)
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed ingest response carries no Retry-After header")
+	}
+
+	// Deletes shed the same way; queries cannot even enqueue their
+	// snapshot request and hit the query deadline.
+	status, _, body = do(t, http.MethodPost, ts.URL+"/v1/delete", pointsBody(t, []divmax.Vector{{0, 0}}))
+	wantEnvelope(t, "delete on wedged shard", status, http.StatusTooManyRequests, body, api.CodeOverloaded)
+	status, _, body = do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	wantEnvelope(t, "query on wedged shard", status, http.StatusGatewayTimeout, body, api.CodeDeadlineExceeded)
+
+	st := getStats(t, ts.URL)
+	if st.IngestSheds < 2 {
+		t.Fatalf("ingest_sheds = %d, want >= 2", st.IngestSheds)
+	}
+	if st.Shards[0].QueueDepth != 1 {
+		t.Fatalf("queue_depth = %d, want 1", st.Shards[0].QueueDepth)
+	}
+
+	release()
+	waitFor(t, "wedged batches to fold", func() bool {
+		return getStats(t, ts.URL).IngestedTotal == int64(accepted)
+	})
+	status, _, body = do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	if status != http.StatusOK {
+		t.Fatalf("query after release: status %d: %s", status, body)
+	}
+	var q api.QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Processed != int64(accepted) || q.Degraded {
+		t.Fatalf("query after release: processed=%d degraded=%v, want %d/false", q.Processed, q.Degraded, accepted)
+	}
+}
+
+// TestDroppedRepliesHitDeadlines: a shard that does the work but never
+// replies — the lost-reply failure mode — turns into a 504 for the
+// requester, and disarming the hook restores service. The dropped
+// delete reply's side effects still happened: the point is gone.
+func TestDroppedRepliesHitDeadlines(t *testing.T) {
+	inj := faults.New()
+	_, ts := startServer(t, server.Config{
+		Shards: 1, MaxK: 4, Faults: inj,
+		QueryDeadline:  200 * time.Millisecond,
+		IngestDeadline: 200 * time.Millisecond,
+	})
+
+	if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest",
+		pointsBody(t, []divmax.Vector{{0, 0}, {5, 5}})); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+
+	inj.OnSnapshot(faults.DropReplies(0))
+	status, _, body := do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	wantEnvelope(t, "query with dropped snapshot reply", status, http.StatusGatewayTimeout, body, api.CodeDeadlineExceeded)
+	inj.OnSnapshot(nil)
+
+	inj.OnDelete(faults.DropReplies(0))
+	status, _, body = do(t, http.MethodPost, ts.URL+"/v1/delete", pointsBody(t, []divmax.Vector{{0, 0}}))
+	wantEnvelope(t, "delete with dropped reply", status, http.StatusGatewayTimeout, body, api.CodeDeadlineExceeded)
+	inj.OnDelete(nil)
+
+	status, _, body = do(t, http.MethodGet, ts.URL+"/v1/query?k=2", "")
+	if status != http.StatusOK {
+		t.Fatalf("query after disarm: status %d: %s", status, body)
+	}
+	var q api.QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range q.Solution {
+		if p[0] == 0 && p[1] == 0 {
+			t.Fatal("deleted point still in the solution: the dropped-reply delete was not applied")
+		}
+	}
+}
+
+// TestDegradedQueriesSurviveFailedShard: with -degraded-queries, a
+// query that cannot reach a failed shard answers from the survivors,
+// flagged degraded with the missing-shard count — and the answer stays
+// within the composable-core-set quality envelope over the surviving
+// shards' ground set (at least half the sequential value, the same
+// bound the healthy merge path is held to).
+func TestDegradedQueriesSurviveFailedShard(t *testing.T) {
+	const shards, k = 4, 4
+	inj := faults.New()
+	inj.OnBatch(func(shard, batch int) {
+		if shard == 3 {
+			panic("poisoned batch")
+		}
+	})
+	_, ts := startServer(t, server.Config{
+		Shards: shards, MaxK: k, KPrime: 12, RestartBudget: -1,
+		DegradedQueries: true, Faults: inj,
+	})
+
+	rng := rand.New(rand.NewSource(41))
+	centers := []divmax.Vector{{0, 0}, {900, 0}, {0, 900}, {900, 900}, {450, 450}}
+	var pts []divmax.Vector
+	for i := 0; i < 40; i++ {
+		c := centers[i%len(centers)]
+		pts = append(pts, divmax.Vector{c[0] + rng.Float64()*10, c[1] + rng.Float64()*10})
+	}
+	if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, pts)); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	waitFor(t, "shard 3 failure", func() bool { return getStats(t, ts.URL).ShardsFailed == 1 })
+
+	status, _, body := do(t, http.MethodGet, fmt.Sprintf("%s/v1/query?k=%d", ts.URL, k), "")
+	if status != http.StatusOK {
+		t.Fatalf("degraded query: status %d: %s", status, body)
+	}
+	var q api.QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Degraded || q.ShardsMissing != 1 {
+		t.Fatalf("degraded=%v shards_missing=%d, want true/1", q.Degraded, q.ShardsMissing)
+	}
+	if len(q.Solution) != k {
+		t.Fatalf("degraded solution size %d, want %d", len(q.Solution), k)
+	}
+
+	// The surviving ground set: round-robin dealing from a fresh server
+	// sends point i to shard i % shards; shard 3's slice died with it.
+	var surviving []divmax.Vector
+	for i, p := range pts {
+		if i%shards != 3 {
+			surviving = append(surviving, p)
+		}
+	}
+	_, seqVal := divmax.MaxDiversity(divmax.RemoteEdge, surviving, k, divmax.Euclidean)
+	val, _ := divmax.Evaluate(divmax.RemoteEdge, q.Solution, divmax.Euclidean)
+	if val < seqVal/2 {
+		t.Fatalf("degraded value %v below half the sequential value %v over the surviving ground set", val, seqVal)
+	}
+
+	if got := getStats(t, ts.URL).DegradedQueries; got < 1 {
+		t.Fatalf("degraded_queries = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package faults is divmaxd's fault-injection surface: a small registry
+// of hooks the server's shard goroutines consult at the points where a
+// real deployment fails — folding a batch, answering a snapshot,
+// answering a delete. Production servers carry a nil *Injector and pay
+// one nil check per call; the chaos tests (this package's test suite
+// and the white-box tests in internal/server) install hooks through
+// server.Config.Faults to drive panics, slowness, wedges, and lost
+// replies through the exact code paths live traffic uses.
+//
+// The canned injections mirror the failure modes the robustness layer
+// must survive:
+//
+//   - PanicOnBatch: a poisoned batch — the shard goroutine panics
+//     mid-fold, exercising supervision (recover, restart with fresh
+//     core-sets, restart budget, permanent-failure draining).
+//   - SlowBatch: a degraded shard — every fold takes extra time,
+//     exercising deadlines and queue backpressure.
+//   - Wedge: a hung shard — the fold blocks until released, exercising
+//     request deadlines, load shedding, and degraded queries.
+//   - DropReplies (OnSnapshot/OnDelete returning false): a lost reply —
+//     the shard does the work but the requester never hears back,
+//     exercising the reply-side deadline selects.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InjectedPanic is the value PanicOnBatch panics with, so supervision
+// tests can tell an injected panic from a genuine bug in the recover
+// log.
+type InjectedPanic struct {
+	Shard int
+	Batch int
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic on shard %d, batch %d", p.Shard, p.Batch)
+}
+
+// Injector holds the installed hooks. The zero value (and a nil
+// pointer) injects nothing. Hooks run on the shard goroutines; setters
+// may be called concurrently with the server running, so all access is
+// mutex-copied.
+type Injector struct {
+	mu       sync.Mutex
+	batch    func(shard, batch int)
+	snapshot func(shard int) bool
+	delete   func(shard int) bool
+}
+
+// New returns an empty Injector.
+func New() *Injector { return &Injector{} }
+
+// OnBatch installs f, called by shard goroutines immediately before
+// folding a batch (batch is the count of batches the shard has folded
+// so far, 0-based). f may sleep, block, or panic — it runs exactly
+// where ProcessBatch would. nil uninstalls.
+func (in *Injector) OnBatch(f func(shard, batch int)) {
+	in.mu.Lock()
+	in.batch = f
+	in.mu.Unlock()
+}
+
+// OnSnapshot installs f, called before a shard answers a snapshot
+// request. Returning false drops the reply: the work side-effects
+// happen but the requester never hears back. nil uninstalls.
+func (in *Injector) OnSnapshot(f func(shard int) bool) {
+	in.mu.Lock()
+	in.snapshot = f
+	in.mu.Unlock()
+}
+
+// OnDelete installs f, called after a shard applies a delete broadcast
+// but before it replies. Returning false drops the reply. nil
+// uninstalls.
+func (in *Injector) OnDelete(f func(shard int) bool) {
+	in.mu.Lock()
+	in.delete = f
+	in.mu.Unlock()
+}
+
+// Batch runs the batch hook. Safe on a nil Injector.
+func (in *Injector) Batch(shard, batch int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	f := in.batch
+	in.mu.Unlock()
+	if f != nil {
+		f(shard, batch)
+	}
+}
+
+// Snapshot runs the snapshot hook, reporting whether the reply should
+// be sent. Safe on a nil Injector.
+func (in *Injector) Snapshot(shard int) bool {
+	if in == nil {
+		return true
+	}
+	in.mu.Lock()
+	f := in.snapshot
+	in.mu.Unlock()
+	return f == nil || f(shard)
+}
+
+// Delete runs the delete hook, reporting whether the reply should be
+// sent. Safe on a nil Injector.
+func (in *Injector) Delete(shard int) bool {
+	if in == nil {
+		return true
+	}
+	in.mu.Lock()
+	f := in.delete
+	in.mu.Unlock()
+	return f == nil || f(shard)
+}
+
+// PanicOnBatch returns a batch hook that panics with InjectedPanic when
+// shard target receives its nth batch (0-based, counted by the hook
+// itself); every other fold passes through. The hook counts arrivals
+// rather than keying on the shard's folded-batch counter: a panicked
+// batch never counts as folded, so a folded-count trigger would re-fire
+// on every batch after the restart and wedge the shard in a panic loop.
+func PanicOnBatch(target, nth int) func(shard, batch int) {
+	var arrivals atomic.Int64
+	return func(shard, batch int) {
+		if shard != target {
+			return
+		}
+		if int(arrivals.Add(1))-1 == nth {
+			panic(InjectedPanic{Shard: shard, Batch: batch})
+		}
+	}
+}
+
+// SlowBatch returns a batch hook that delays every fold on shard
+// target by d.
+func SlowBatch(target int, d time.Duration) func(shard, batch int) {
+	return func(shard, batch int) {
+		if shard == target {
+			time.Sleep(d)
+		}
+	}
+}
+
+// Wedge returns a batch hook that blocks shard target's next fold until
+// release is called (idempotent). Until then the shard accepts nothing
+// more: its queue fills, ingest sheds, snapshot requests queue
+// unanswered, and queries against it time out.
+func Wedge(target int) (hook func(shard, batch int), release func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	return func(shard, batch int) {
+			if shard == target {
+				<-ch
+			}
+		}, func() {
+			once.Do(func() { close(ch) })
+		}
+}
+
+// DropReplies returns a hook for OnSnapshot/OnDelete that silently
+// drops shard target's replies while armed (disarm by installing nil).
+func DropReplies(target int) func(shard int) bool {
+	return func(shard int) bool { return shard != target }
+}

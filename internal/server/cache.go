@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sync"
@@ -132,13 +133,16 @@ type mergeState struct {
 
 // familyCache holds one family's latest mergeState. mu guards the state
 // pointer and the solutions map of whichever state it points at (held
-// only for pointer/map operations); rebuild serializes the expensive
-// snapshot + merge + fill (and every engine patch, which is what makes
-// chained engine forks safe) so a burst of queries arriving after an
-// invalidation performs one rebuild, not one per query.
+// only for pointer/map operations); rebuild — a one-slot semaphore
+// rather than a mutex, so waiters can select against their request
+// deadline — serializes the expensive snapshot + merge + fill (and
+// every engine patch, which is what makes chained engine forks safe):
+// a burst of queries arriving after an invalidation performs one
+// rebuild, not one per query, and a query queued behind a slow rebuild
+// still returns 504 in time instead of blocking past its deadline.
 type familyCache struct {
 	mu      sync.Mutex
-	rebuild sync.Mutex
+	rebuild chan struct{}
 	state   *mergeState
 }
 
@@ -174,7 +178,12 @@ func (s *Server) acceptedEpochs() []uint64 {
 // measure m, patching the cached state — union clone + delta append +
 // engine extension — when every shard can serve a pure delta within the
 // delta budget, and rebuilding it (snapshot, merge, fill) otherwise.
-func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, error) {
+// Every wait — the rebuild semaphore, the snapshot fan-out — selects
+// against ctx, and a permanently failed shard fails the merge even on
+// what would be a cache hit: the cached state includes that shard's
+// pre-failure core-set, but its slice of the stream is no longer
+// served, so the caller decides whether to answer degraded instead.
+func (s *Server) merged(ctx context.Context, m divmax.Measure) (*familyCache, *mergeState, mergeHow, error) {
 	// A draining server rejects queries even on a cache hit: Close means
 	// no more answers, not answers from the last snapshot.
 	s.mu.RLock()
@@ -182,6 +191,9 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, 
 	s.mu.RUnlock()
 	if draining {
 		return nil, nil, mergeRebuilt, errDraining
+	}
+	if err := s.failedShard(); err != nil {
+		return nil, nil, mergeRebuilt, err
 	}
 	c := &s.caches[cacheIndex(m.NeedsInjectiveProxy())]
 	c.mu.Lock()
@@ -194,8 +206,12 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, 
 	// Serialize the rebuild: concurrent queries that missed together wait
 	// here, then re-check — all but the first are served by the rebuild
 	// (or patch) the first one performed.
-	c.rebuild.Lock()
-	defer c.rebuild.Unlock()
+	select {
+	case c.rebuild <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, mergeRebuilt, ctx.Err()
+	}
+	defer func() { <-c.rebuild }()
 	c.mu.Lock()
 	prev := c.state
 	c.mu.Unlock()
@@ -209,7 +225,7 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, 
 	// misses == patches + rebuilds.
 
 	if prev != nil && s.cfg.DeltaBudget >= 0 {
-		replies, err := s.snapshots(m, prev)
+		replies, err := s.snapshots(ctx, m, prev, false)
 		if err != nil {
 			return nil, nil, mergeRebuilt, err
 		}
@@ -225,7 +241,7 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, 
 		// hold deltas, not complete core-sets).
 	}
 
-	replies, err := s.snapshots(m, nil)
+	replies, err := s.snapshots(ctx, m, nil, false)
 	if err != nil {
 		return nil, nil, mergeRebuilt, err
 	}
@@ -257,6 +273,46 @@ func (s *Server) merged(m divmax.Measure) (*familyCache, *mergeState, mergeHow, 
 	c.state = st
 	c.mu.Unlock()
 	return c, st, mergeRebuilt, nil
+}
+
+// degradedState builds a one-off merged state over the surviving
+// shards' core-sets: a full-snapshot round in degraded mode (per-shard
+// errors instead of a failed round), the successful replies
+// concatenated in shard order, the engine built fresh. Composability
+// (Section 4 of the paper) is what makes this sound — the union of any
+// subset of per-shard core-sets is a valid core-set for the points
+// those shards ingested, so the answer keeps the α+ε guarantee over the
+// surviving ground set. The state deliberately bypasses the snapshot
+// cache in both directions: it is never installed (a later healthy
+// query must not inherit a partial view) and bumps no miss counters
+// (preserving the invariant misses == patches + rebuilds). missing is
+// the number of shards that did not contribute; when every shard is
+// missing there is nothing to answer from and the first per-shard
+// error is returned.
+func (s *Server) degradedState(ctx context.Context, m divmax.Measure) (*mergeState, int, error) {
+	replies, err := s.snapshots(ctx, m, nil, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := &mergeState{}
+	missing := 0
+	var firstErr error
+	for _, r := range replies {
+		if r.err != nil {
+			missing++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		st.processed += r.delta.Processed
+		st.union = append(st.union, r.delta.Points...)
+	}
+	if missing == len(replies) {
+		return nil, missing, firstErr
+	}
+	st.engine = sequential.BuildEngine(st.union, divmax.Euclidean, s.cfg.SolveWorkers)
+	return st, missing, nil
 }
 
 // patchState builds the successor of prev from per-shard delta replies,

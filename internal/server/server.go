@@ -37,6 +37,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,6 +53,7 @@ import (
 	"divmax"
 	"divmax/internal/api"
 	"divmax/internal/dataset"
+	"divmax/internal/faults"
 )
 
 // Config tunes the service.
@@ -101,6 +103,44 @@ type Config struct {
 	// negative value retains none (center deletions then drop their
 	// cluster until new points arrive).
 	Spares int
+	// QueryDeadline bounds the server-side work of a /query request —
+	// the snapshot fan-out, the merge, and every channel wait become
+	// selects against it, so a wedged shard turns into a 504
+	// (deadline_exceeded) instead of a hang. 0 means the default (30s);
+	// a negative value disables the deadline.
+	QueryDeadline time.Duration
+	// IngestDeadline is the same bound for /ingest and /delete. 0 means
+	// the default (30s); negative disables.
+	IngestDeadline time.Duration
+	// ShedWait is how long a request may wait on a full shard queue (or
+	// the inflight-query limiter) before the server sheds it with 429
+	// (overloaded, Retry-After set) instead of blocking. 0 means the
+	// default (1s); a negative value disables shedding and restores the
+	// unbounded blocking backpressure of earlier versions.
+	ShedWait time.Duration
+	// MaxInflight caps the queries solving concurrently; excess queries
+	// wait up to ShedWait for a slot and are then shed with 429. 0
+	// means the default (4·GOMAXPROCS, at least 16); a negative value
+	// removes the cap.
+	MaxInflight int
+	// RestartBudget is how many times a shard's supervisor restarts it
+	// with fresh core-sets after a panic before declaring it
+	// permanently failed. 0 means the default (3); a negative value
+	// never restarts (the first panic fails the shard).
+	RestartBudget int
+	// DegradedQueries opts queries into graceful degradation: when the
+	// fan-out hits failed or unresponsive shards, the query merges the
+	// surviving shards' core-sets and answers with "degraded": true and
+	// the missing-shard count instead of failing. The composable
+	// core-set property makes the answer a valid core-set solution over
+	// the points the surviving shards ingested. Default off: queries
+	// fail closed with 503/504.
+	DegradedQueries bool
+	// Faults is the fault-injection surface consulted by the shard
+	// goroutines (internal/faults). nil — the production value — injects
+	// nothing; the chaos tests install hooks here to drive panics,
+	// wedges, and dropped replies through the live code paths.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -131,13 +171,49 @@ func (c Config) withDefaults() Config {
 	if c.Spares < 0 {
 		c.Spares = 0
 	}
+	switch {
+	case c.QueryDeadline == 0:
+		c.QueryDeadline = 30 * time.Second
+	case c.QueryDeadline < 0:
+		c.QueryDeadline = 0 // disabled
+	}
+	switch {
+	case c.IngestDeadline == 0:
+		c.IngestDeadline = 30 * time.Second
+	case c.IngestDeadline < 0:
+		c.IngestDeadline = 0 // disabled
+	}
+	switch {
+	case c.ShedWait == 0:
+		c.ShedWait = time.Second
+	case c.ShedWait < 0:
+		c.ShedWait = 0 // disabled: block until the deadline
+	}
+	switch {
+	case c.MaxInflight == 0:
+		c.MaxInflight = max(16, 4*runtime.GOMAXPROCS(0))
+	case c.MaxInflight < 0:
+		c.MaxInflight = 0 // uncapped
+	}
+	switch {
+	case c.RestartBudget == 0:
+		c.RestartBudget = 3
+	case c.RestartBudget < 0:
+		c.RestartBudget = 0 // first panic fails the shard
+	}
 	return c
 }
 
 // maxIngestBody bounds a single /ingest request body.
 const maxIngestBody = 32 << 20
 
-var errDraining = errors.New("server: draining, not accepting requests")
+var (
+	errDraining = errors.New("server: draining, not accepting requests")
+	// errOverloaded is load shedding: a shard queue stayed full past the
+	// shed wait, or the inflight-query limiter is at capacity. Mapped to
+	// 429 with a Retry-After header.
+	errOverloaded = errors.New("server: overloaded, retry later")
+)
 
 // Server is the sharded diversity service. Create one with New, mount
 // Handler on an http.Server, and Close it to drain.
@@ -189,6 +265,18 @@ type Server struct {
 	queries    atomic.Int64
 	merges     atomic.Int64
 	mergeNanos atomic.Int64 // duration of the last merge+solve
+
+	// Robustness counters: queries answered from surviving shards only,
+	// and requests shed with 429 by the bounded-backpressure (ingest)
+	// and inflight-query (query) limiters.
+	degradedQueries atomic.Int64
+	ingestSheds     atomic.Int64
+	querySheds      atomic.Int64
+
+	// querySem is the inflight-query limiter (nil when uncapped): a
+	// query holds one slot across its merge and solve, so a burst
+	// cannot pile up unbounded concurrent O(n²) work.
+	querySem chan struct{}
 }
 
 // New starts the shard goroutines and returns the service. It rejects an
@@ -200,6 +288,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: kprime (%d) must be at least maxk (%d), or 0 for the default", cfg.KPrime, cfg.MaxK)
 	}
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if cfg.MaxInflight > 0 {
+		s.querySem = make(chan struct{}, cfg.MaxInflight)
+	}
+	for i := range s.caches {
+		s.caches[i].rebuild = make(chan struct{}, 1)
+	}
 	for i := range s.shards {
 		s.shards[i] = newShard(i, cfg)
 		s.wg.Add(1)
@@ -244,6 +338,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/query", s.handleQuery)
 		mux.HandleFunc(prefix+"/stats", s.handleStats)
 		mux.HandleFunc(prefix+"/healthz", healthz)
+		mux.HandleFunc(prefix+"/readyz", s.handleReadyz)
 	}
 	return mux
 }
@@ -323,11 +418,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		*batches[sh] = append(*batches[sh], p)
 	}
 
-	if err := s.send(batches); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	ctx, cancel := requestCtx(r, s.cfg.IngestDeadline)
+	defer cancel()
+	if err := s.send(ctx, batches); err != nil {
+		s.writeFailure(w, err)
 		return
 	}
 	writeJSON(w, ingestResponse{Accepted: len(req.Points), Shards: len(s.shards)})
+}
+
+// requestCtx derives the request context bounded by the configured
+// deadline; d <= 0 leaves the request unbounded (the client hanging up
+// still cancels it). The caller defers cancel.
+func requestCtx(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -372,9 +479,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "point dimension %d does not match the dataset dimension %d", dim, want)
 		return
 	}
-	outcomes, err := s.deleteAll(req.Points)
+	ctx, cancel := requestCtx(r, s.cfg.IngestDeadline)
+	defer cancel()
+	outcomes, err := s.deleteAll(ctx, req.Points)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeFailure(w, err)
 		return
 	}
 	resp := deleteResponse{Requested: len(req.Points), Shards: len(s.shards)}
@@ -395,6 +504,45 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// failedShard returns the error for the first permanently failed shard,
+// nil when all are healthy. Ingest and delete fail closed on it; the
+// query path lets the caller decide whether to degrade.
+func (s *Server) failedShard() error {
+	for _, sh := range s.shards {
+		if sh.failed() {
+			return &shardFailedError{id: sh.id}
+		}
+	}
+	return nil
+}
+
+// deliver enqueues msg on sh's channel. A full queue waits at most the
+// shed wait when shed is true (then errOverloaded — load shedding
+// instead of unbounded blocking backpressure) and at most the request
+// deadline either way (then the context error). The fast path is a
+// non-blocking send, so an uncontended queue never allocates a timer.
+func (s *Server) deliver(ctx context.Context, sh *shard, msg shardMsg, shed bool) error {
+	select {
+	case sh.ch <- msg:
+		return nil
+	default:
+	}
+	var shedC <-chan time.Time
+	if shed && s.cfg.ShedWait > 0 {
+		t := time.NewTimer(s.cfg.ShedWait)
+		defer t.Stop()
+		shedC = t.C
+	}
+	select {
+	case sh.ch <- msg:
+		return nil
+	case <-shedC:
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // deleteAll broadcasts the delete batch to every shard — round-robin
 // dealing means any shard may hold a copy of any value — and folds the
 // per-shard replies into one outcome per point (the strongest across
@@ -402,53 +550,94 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // accepted epoch before the channel send, so by the time /delete
 // returns every query-cache epoch check sees the deletion; the shared
 // points slice is read-only for the shards and stays alive until every
-// reply is in.
-func (s *Server) deleteAll(points []divmax.Vector) ([]divmax.DeleteOutcome, error) {
+// reply is in (reply channels are buffered, so a late reply after an
+// abort never blocks the shard). An abort mid-broadcast — deadline,
+// shed, or a shard failing under us — leaves the delete applied on the
+// shards already reached; the error response tells the caller the
+// broadcast did not complete, and retrying a delete is idempotent.
+func (s *Server) deleteAll(ctx context.Context, points []divmax.Vector) ([]divmax.DeleteOutcome, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
 		return nil, errDraining
 	}
-	replies := make([]chan []divmax.DeleteOutcome, len(s.shards))
+	if err := s.failedShard(); err != nil {
+		return nil, err
+	}
+	replies := make([]chan deleteReply, len(s.shards))
 	for i, sh := range s.shards {
-		replies[i] = make(chan []divmax.DeleteOutcome, 1)
+		replies[i] = make(chan deleteReply, 1)
 		sh.accEpoch.Add(1)
-		sh.ch <- shardMsg{del: points, delReply: replies[i]}
+		if err := s.deliver(ctx, sh, shardMsg{del: points, delReply: replies[i]}, true); err != nil {
+			sh.accEpoch.Add(^uint64(0)) // undo: this shard never got the delete
+			if errors.Is(err, errOverloaded) {
+				s.ingestSheds.Add(1)
+			}
+			return nil, err
+		}
 	}
 	out := make([]divmax.DeleteOutcome, len(points))
 	for _, ch := range replies {
-		for j, o := range <-ch {
-			out[j] = max(out[j], o)
+		select {
+		case rep := <-ch:
+			if rep.err != nil {
+				return nil, rep.err
+			}
+			for j, o := range rep.outs {
+				out[j] = max(out[j], o)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 	return out, nil
 }
 
 // send delivers one batch per shard, holding the read lock so Close
-// cannot close the channels mid-send. A full shard queue blocks here,
-// which is the service's backpressure. Non-empty batches are released
-// back to the pool by the receiving shard goroutine; empty ones (and
-// every batch, when the server is draining) are released here.
-func (s *Server) send(batches []*[]divmax.Vector) error {
+// cannot close the channels mid-send. A full shard queue applies
+// backpressure bounded by the shed wait (then 429) and the ingest
+// deadline (then 504); an abort mid-fan-out leaves the batches already
+// delivered in place — those points ARE ingested (and counted by
+// /stats) — and undoes only the aborted shard's accepted epoch, so the
+// epoch lockstep with the query cache survives partial ingest.
+// Non-empty batches are released back to the pool by the receiving
+// shard goroutine; empty, undelivered, and drain-rejected ones are
+// released here.
+func (s *Server) send(ctx context.Context, batches []*[]divmax.Vector) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.draining {
-		for _, b := range batches {
+	release := func(from int) {
+		for _, b := range batches[from:] {
 			putVecSlice(b)
 		}
+	}
+	if s.draining {
+		release(0)
 		return errDraining
+	}
+	if err := s.failedShard(); err != nil {
+		release(0)
+		return err
 	}
 	for i, b := range batches {
 		if len(*b) == 0 {
 			putVecSlice(b)
 			continue
 		}
+		sh := s.shards[i]
 		// Bump the accepted epoch before the channel send: once /ingest
 		// returns, every accepted batch is visible to the query cache's
 		// epoch check, so no later query can serve a merge that predates
 		// this batch.
-		s.shards[i].accEpoch.Add(1)
-		s.shards[i].ch <- shardMsg{batch: b}
+		sh.accEpoch.Add(1)
+		if err := s.deliver(ctx, sh, shardMsg{batch: b}, true); err != nil {
+			sh.accEpoch.Add(^uint64(0)) // undo: the batch was never delivered
+			if errors.Is(err, errOverloaded) {
+				s.ingestSheds.Add(1)
+			}
+			release(i)
+			return err
+		}
 	}
 	return nil
 }
@@ -462,7 +651,17 @@ func (s *Server) send(batches []*[]divmax.Vector) error {
 // forces full snapshots. The requests ride the same channels as ingest
 // batches, so each snapshot reflects everything its shard accepted
 // before the request — no locks around the processors are ever needed.
-func (s *Server) snapshots(m divmax.Measure, prev *mergeState) ([]snapReply, error) {
+//
+// Every channel wait selects against the request deadline. With
+// degraded=false the first failure — a failed shard, an expired
+// deadline, a dropped reply — fails the whole round; with degraded=true
+// the round always returns one reply per shard, recording per-shard
+// errors in snapReply.err so the caller can merge the survivors
+// (composability makes their union a valid core-set for the points
+// they ingested). Snapshot requests never load-shed: a full queue is
+// bounded by the deadline alone, so a slow shard turns into 504 — or a
+// missing shard in degraded mode — not a spurious 429.
+func (s *Server) snapshots(ctx context.Context, m divmax.Measure, prev *mergeState, degraded bool) ([]snapReply, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -470,17 +669,45 @@ func (s *Server) snapshots(m divmax.Measure, prev *mergeState) ([]snapReply, err
 	}
 	proxy := m.NeedsInjectiveProxy()
 	replies := make([]chan snapReply, len(s.shards))
+	out := make([]snapReply, len(s.shards))
 	for i, sh := range s.shards {
+		if sh.failed() {
+			err := &shardFailedError{id: sh.id}
+			if !degraded {
+				return nil, err
+			}
+			out[i] = snapReply{err: err}
+			continue
+		}
 		replies[i] = make(chan snapReply, 1)
 		msg := shardMsg{snap: replies[i], proxy: proxy, pos: -1}
 		if prev != nil {
 			msg.gen, msg.pos = prev.gens[i], prev.poss[i]
 		}
-		sh.ch <- msg
+		if err := s.deliver(ctx, sh, msg, false); err != nil {
+			if !degraded {
+				return nil, err
+			}
+			out[i] = snapReply{err: err}
+			replies[i] = nil
+		}
 	}
-	out := make([]snapReply, len(s.shards))
 	for i, ch := range replies {
-		out[i] = <-ch
+		if ch == nil {
+			continue
+		}
+		select {
+		case rep := <-ch:
+			if rep.err != nil && !degraded {
+				return nil, rep.err
+			}
+			out[i] = rep
+		case <-ctx.Done():
+			if !degraded {
+				return nil, ctx.Err()
+			}
+			out[i] = snapReply{err: ctx.Err()}
+		}
 	}
 	return out, nil
 }
@@ -511,40 +738,92 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be in [1, %d] (the server's maxk), got %d", s.cfg.MaxK, k)
 		return
 	}
+	ctx, cancel := requestCtx(r, s.cfg.QueryDeadline)
+	defer cancel()
+
+	// The inflight-query limiter: a query holds one slot across its
+	// merge and solve, so a burst cannot pile up unbounded concurrent
+	// O(n²) work — excess queries wait up to the shed wait for a slot
+	// and are then shed with 429.
+	if s.querySem != nil {
+		var shedC <-chan time.Time
+		if s.cfg.ShedWait > 0 {
+			t := time.NewTimer(s.cfg.ShedWait)
+			defer t.Stop()
+			shedC = t.C
+		}
+		select {
+		case s.querySem <- struct{}{}:
+			defer func() { <-s.querySem }()
+		case <-shedC:
+			s.querySheds.Add(1)
+			s.writeFailure(w, errOverloaded)
+			return
+		case <-ctx.Done():
+			s.writeFailure(w, ctx.Err())
+			return
+		}
+	}
+
 	// The merge: round-2 aggregation over the composable per-shard
 	// core-sets — served from the snapshot cache while no shard accepted
 	// a batch since it was built, patched in place when the shards can
 	// serve pure deltas, rebuilt (snapshot + merge + matrix fill)
-	// otherwise.
-	cache, st, how, err := s.merged(m)
+	// otherwise. With degraded queries enabled, the normal fan-out gets
+	// half the deadline: if it cannot complete — a failed shard, a
+	// wedged one — the remainder buys a degraded round over the
+	// surviving shards instead of a bare 503/504.
+	mctx := ctx
+	if s.cfg.DegradedQueries && s.cfg.QueryDeadline > 0 {
+		var mcancel context.CancelFunc
+		mctx, mcancel = context.WithTimeout(ctx, s.cfg.QueryDeadline/2)
+		defer mcancel()
+	}
+	cache, st, how, err := s.merged(mctx, m)
+	degraded, missing := false, 0
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
+		if !s.cfg.DegradedQueries || errors.Is(err, errDraining) {
+			s.writeFailure(w, err)
+			return
+		}
+		st, missing, err = s.degradedState(ctx, m)
+		if err != nil {
+			s.writeFailure(w, err)
+			return
+		}
+		cache, how = nil, mergeRebuilt
+		degraded = missing > 0
+		if degraded {
+			s.degradedQueries.Add(1)
+		}
 	}
 	s.queries.Add(1)
 
 	key := solutionKey{measure: m, k: k}
-	cache.mu.Lock()
-	memo, haveMemo := st.solutions.get(key)
-	// Delta-aware memo reuse: when this state was patched from a
-	// previous one, the previous state's memo survives as st.stale. A
-	// stale answer is served only after warmStartValid replays its
-	// selection and proves no delta point could change it — so a
-	// warm-started response is bit-identical to the cold solve it
-	// skips.
-	var stale solvedQuery
-	var haveStale bool
-	if !haveMemo && st.stale != nil && m != divmax.RemoteClique && st.engine != nil {
-		stale, haveStale = st.stale.get(key)
-	}
-	cache.mu.Unlock()
-	warm := false
-	if !haveMemo && haveStale && st.warmStartValid(stale.idx, k) {
-		memo, haveMemo, warm = stale, true, true
-		s.memoWarmStarts.Add(1)
+	var memo solvedQuery
+	haveMemo, warm := false, false
+	if cache != nil {
 		cache.mu.Lock()
-		st.solutions.put(key, memo)
+		memo, haveMemo = st.solutions.get(key)
+		// Delta-aware memo reuse: when this state was patched from a
+		// previous one, the previous state's memo survives as st.stale. A
+		// stale answer is served only after warmStartValid replays its
+		// selection and proves no delta point could change it — so a
+		// warm-started response is bit-identical to the cold solve it
+		// skips.
+		var stale solvedQuery
+		var haveStale bool
+		if !haveMemo && st.stale != nil && m != divmax.RemoteClique && st.engine != nil {
+			stale, haveStale = st.stale.get(key)
+		}
 		cache.mu.Unlock()
+		if !haveMemo && haveStale && st.warmStartValid(stale.idx, k) {
+			memo, haveMemo, warm = stale, true, true
+			s.memoWarmStarts.Add(1)
+			cache.mu.Lock()
+			st.solutions.put(key, memo)
+			cache.mu.Unlock()
+		}
 	}
 	var elapsed time.Duration
 	if !haveMemo {
@@ -565,23 +844,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			sol = []divmax.Vector{}
 		}
 		memo = solvedQuery{sol: sol, idx: idx, val: val, exact: exact}
-		cache.mu.Lock()
-		st.solutions.put(key, memo)
-		cache.mu.Unlock()
+		if cache != nil {
+			cache.mu.Lock()
+			st.solutions.put(key, memo)
+			cache.mu.Unlock()
+		}
 	}
 
 	writeJSON(w, queryResponse{
-		Measure:     m.String(),
-		K:           k,
-		Solution:    memo.sol,
-		Value:       memo.val,
-		Exact:       memo.exact,
-		CoresetSize: len(st.union),
-		Processed:   st.processed,
-		MergeMillis: float64(elapsed) / float64(time.Millisecond),
-		Cached:      how == mergeHit,
-		Patched:     how == mergePatched,
-		WarmStarted: warm,
+		Measure:       m.String(),
+		K:             k,
+		Solution:      memo.sol,
+		Value:         memo.val,
+		Exact:         memo.exact,
+		CoresetSize:   len(st.union),
+		Processed:     st.processed,
+		MergeMillis:   float64(elapsed) / float64(time.Millisecond),
+		Cached:        how == mergeHit,
+		Patched:       how == mergePatched,
+		WarmStarted:   warm,
+		Degraded:      degraded,
+		ShardsMissing: missing,
 	})
 }
 
@@ -625,22 +908,61 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	resp.Draining = s.draining
 	s.mu.RUnlock()
+	resp.DegradedQueries = s.degradedQueries.Load()
+	resp.IngestSheds = s.ingestSheds.Load()
+	resp.QuerySheds = s.querySheds.Load()
 	for i, sh := range s.shards {
 		st := shardStats{
-			ID:        sh.id,
-			Ingested:  sh.ingested.Load(),
-			Batches:   sh.batches.Load(),
-			LastBatch: sh.lastBatch.Load(),
-			Stored:    sh.stored.Load(),
-			Deleted:   sh.deleted.Load(),
+			ID:         sh.id,
+			Ingested:   sh.ingested.Load(),
+			Batches:    sh.batches.Load(),
+			LastBatch:  sh.lastBatch.Load(),
+			Stored:     sh.stored.Load(),
+			Deleted:    sh.deleted.Load(),
+			Health:     "healthy",
+			QueueDepth: len(sh.ch),
+			Restarts:   sh.restarts.Load(),
+			Panics:     sh.panics.Load(),
+		}
+		if sh.failed() {
+			st.Health = "failed"
+			resp.ShardsFailed++
 		}
 		if st.Batches > 0 {
 			st.AvgBatch = float64(st.Ingested) / float64(st.Batches)
 		}
 		resp.Shards[i] = st
 		resp.IngestedTotal += st.Ingested
+		resp.ShardRestarts += st.Restarts
 	}
 	writeJSON(w, resp)
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// a draining server, or one with more than half its shards permanently
+// failed, answers 503 with the uniform envelope so load balancers stop
+// routing to it — while /healthz keeps answering ok, because the
+// process itself is alive and (with degraded queries on) still useful.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	failed := 0
+	for _, sh := range s.shards {
+		if sh.failed() {
+			failed++
+		}
+	}
+	if failed*2 > len(s.shards) {
+		httpError(w, http.StatusServiceUnavailable, "server: not ready, %d of %d shards failed permanently", failed, len(s.shards))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 // logf is the server's error logger; a variable so tests can intercept
@@ -680,7 +1002,33 @@ func errorCode(status int) string {
 		return api.CodePayloadTooLarge
 	case http.StatusServiceUnavailable:
 		return api.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return api.CodeDeadlineExceeded
+	case http.StatusTooManyRequests:
+		return api.CodeOverloaded
 	default:
 		return api.CodeBadRequest
+	}
+}
+
+// writeFailure maps a fan-out error onto the wire: an expired deadline
+// is 504 (deadline_exceeded, with a fixed message so the /v1 and legacy
+// bodies stay byte-identical), load shedding is 429 (overloaded) with a
+// Retry-After hint derived from the shed wait, and everything else —
+// draining, failed shards — is 503 (unavailable), exactly the bytes the
+// pre-robustness server wrote for errDraining.
+func (s *Server) writeFailure(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		httpError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, errOverloaded):
+		retry := int(math.Ceil(s.cfg.ShedWait.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	}
 }

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"divmax"
+	"divmax/internal/faults"
 )
 
 // snapReply is a shard's answer to a snapshot request: the point-in-time
@@ -16,9 +19,22 @@ import (
 // against the shards' accepted-batch counters to decide whether a
 // previously merged core-set is still current, and uses the delta's
 // generation/position to patch a stale one instead of rebuilding it.
+//
+// err is non-nil when the shard could not serve the snapshot: it has
+// failed permanently (errShardFailed) or the requester's deadline
+// expired before the reply arrived (recorded by the requester itself;
+// degraded queries treat either as a missing shard).
 type snapReply struct {
 	delta divmax.CoresetDelta[divmax.Vector]
 	epoch uint64
+	err   error
+}
+
+// deleteReply is a shard's answer to a delete broadcast: one outcome
+// per requested point, or an error when the shard has failed.
+type deleteReply struct {
+	outs []divmax.DeleteOutcome
+	err  error
 }
 
 // shardMsg is the single message type flowing over a shard's channel:
@@ -45,19 +61,69 @@ type shardMsg struct {
 	gen      uint64
 	pos      int
 	del      []divmax.Vector
-	delReply chan<- []divmax.DeleteOutcome
+	delReply chan<- deleteReply
 }
+
+// Shard health states. A shard is healthy until a panic exhausts its
+// restart budget; it then fails permanently and answers every message
+// with an error until the server drains.
+const (
+	shardHealthy int32 = iota
+	shardFailed
+)
+
+var errShardFailed = errors.New("shard failed")
+
+// shardFailedError reports which shard a request died on; the handlers
+// map it to 503 with the "unavailable" envelope code.
+type shardFailedError struct{ id int }
+
+func (e *shardFailedError) Error() string {
+	return fmt.Sprintf("server: shard %d has failed permanently (restart budget exhausted)", e.id)
+}
+
+func (e *shardFailedError) Is(target error) bool { return target == errShardFailed }
+
+// genIncarnation is the generation offset one supervisor restart adds
+// to the shard's reported core-set generations. A restarted shard owns
+// fresh processors whose internal generations restart at 0; offsetting
+// every reported generation by the incarnation guarantees a cached
+// (gen, pos) recorded before the restart can never alias a valid delta
+// position of the new processors — the underlying generation would
+// have to climb past 2³² between two snapshots, and it counts
+// restructure events, not points.
+const genIncarnation = uint64(1) << 32
 
 // shard owns one slice of the stream. Every point it receives is folded
 // into two streaming core-sets — SMM for the kernel-only measures and
 // SMM-EXT for the delegate-based ones — so a query for any of the six
 // measures can be answered from the matching family. Memory stays
 // O(k′·k) per shard regardless of how many points have been ingested.
+//
+// The shard goroutine is supervised (run): a panic while processing a
+// message is recovered, the shard restarts with fresh core-sets (its
+// slice of the stream is lost and reported as such through the
+// processed counts), and after Config.RestartBudget restarts it fails
+// permanently — from then on it drains its channel answering every
+// message with an error instead of leaving senders blocked.
 type shard struct {
 	id    int
+	cfg   Config
+	inj   *faults.Injector
 	ch    chan shardMsg
 	edge  divmax.StreamCoreset[divmax.Vector]
 	proxy divmax.StreamCoreset[divmax.Vector]
+
+	// genBase namespaces the core-set generations across restarts: the
+	// shard reports gen+genBase and translates requests back. Only the
+	// shard goroutine touches it.
+	genBase uint64
+
+	// health is shardHealthy or shardFailed; panics and restarts count
+	// recovered panics and supervisor restarts for /stats.
+	health   atomic.Int32
+	panics   atomic.Int64
+	restarts atomic.Int64
 
 	// Ingest epochs. accEpoch counts batches accepted for this shard
 	// (bumped by Server.send immediately before the channel send, so by
@@ -65,7 +131,9 @@ type shard struct {
 	// readers); procEpoch counts batches the shard goroutine has folded
 	// in. A query-cache entry recorded at procEpoch e is current exactly
 	// while accEpoch == e: nothing has been accepted that the cached
-	// merge has not seen.
+	// merge has not seen. A batch whose fold panics still counts on both
+	// sides (its points are what the restart loses), and a restart bumps
+	// both once more so every pre-restart cached state reads as stale.
 	accEpoch  atomic.Uint64
 	procEpoch atomic.Uint64
 
@@ -79,68 +147,173 @@ type shard struct {
 }
 
 func newShard(id int, cfg Config) *shard {
-	return &shard{
-		id: id,
-		ch: make(chan shardMsg, cfg.Buffer),
-		// RemoteEdge and RemoteClique are representatives of their
-		// core-set families; the processors serve every measure of the
-		// same family. The dynamic constructor retains Spares absorbed
-		// points per SMM center so center deletions promote instead of
-		// dropping clusters.
-		edge:  divmax.NewDynamicStreamCoreset(divmax.RemoteEdge, cfg.MaxK, cfg.KPrime, cfg.Spares, divmax.Euclidean),
-		proxy: divmax.NewDynamicStreamCoreset(divmax.RemoteClique, cfg.MaxK, cfg.KPrime, cfg.Spares, divmax.Euclidean),
+	sh := &shard{
+		id:  id,
+		cfg: cfg,
+		inj: cfg.Faults,
+		ch:  make(chan shardMsg, cfg.Buffer),
+	}
+	sh.freshCoresets()
+	return sh
+}
+
+// freshCoresets (re)creates the shard's two processors. RemoteEdge and
+// RemoteClique are representatives of their core-set families; the
+// processors serve every measure of the same family. The dynamic
+// constructor retains Spares absorbed points per SMM center so center
+// deletions promote instead of dropping clusters.
+func (s *shard) freshCoresets() {
+	s.edge = divmax.NewDynamicStreamCoreset(divmax.RemoteEdge, s.cfg.MaxK, s.cfg.KPrime, s.cfg.Spares, divmax.Euclidean)
+	s.proxy = divmax.NewDynamicStreamCoreset(divmax.RemoteClique, s.cfg.MaxK, s.cfg.KPrime, s.cfg.Spares, divmax.Euclidean)
+}
+
+// failed reports whether the shard has failed permanently.
+func (s *shard) failed() bool { return s.health.Load() == shardFailed }
+
+// run is the shard supervisor: it runs serve (the message loop) and, if
+// serve dies to a panic, restarts the shard with fresh core-sets — up
+// to Config.RestartBudget times, after which the shard is marked failed
+// and drainFailed keeps answering the channel with errors so no sender
+// ever blocks on a dead shard. It returns when the channel is closed
+// (Server.Close) and fully drained, so no accepted message is ever left
+// behind.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		if s.serve() {
+			return // channel closed and drained: normal exit
+		}
+		s.panics.Add(1)
+		if s.restarts.Load() >= int64(s.cfg.RestartBudget) {
+			s.health.Store(shardFailed)
+			logf("server: shard %d failed permanently after %d panics (restart budget %d exhausted)",
+				s.id, s.panics.Load(), s.cfg.RestartBudget)
+			s.drainFailed()
+			return
+		}
+		s.restart()
 	}
 }
 
-// run is the shard goroutine: it drains the channel until it is closed,
-// processing batches in arrival order and answering snapshot requests
-// between them. Closing the channel (Server.Close) drains whatever is
-// buffered before the goroutine exits, so no accepted point is lost.
-func (s *shard) run(wg *sync.WaitGroup) {
-	defer wg.Done()
+// restart resets the shard for a fresh incarnation: new core-sets (the
+// old ones may be mid-update corrupt — their points are lost, which the
+// processed counts report honestly), a generation namespace bump so no
+// cached (gen, pos) can alias into the new processors' append logs, and
+// one accepted+processed epoch bump so every cached merge that includes
+// this shard's pre-restart core-set reads as stale and rebuilds.
+func (s *shard) restart() {
+	s.restarts.Add(1)
+	s.genBase += genIncarnation
+	s.freshCoresets()
+	s.stored.Store(0)
+	s.accEpoch.Add(1)
+	s.procEpoch.Add(1)
+	logf("server: shard %d restarted with fresh core-sets (restart %d of %d)",
+		s.id, s.restarts.Load(), s.cfg.RestartBudget)
+}
+
+// serve drains the channel until it is closed, processing batches in
+// arrival order and answering snapshot requests between them. It
+// reports true when the channel closed (a clean drain) and false when
+// a message handler panicked — the supervisor decides what happens
+// next.
+func (s *shard) serve() (closed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			logf("server: shard %d panic: %v", s.id, r)
+		}
+	}()
 	for msg := range s.ch {
-		if msg.snap != nil {
-			reply := snapReply{epoch: s.procEpoch.Load()}
-			if msg.proxy {
-				reply.delta = s.proxy.SnapshotSince(msg.gen, msg.pos)
-			} else {
-				reply.delta = s.edge.SnapshotSince(msg.gen, msg.pos)
-			}
-			msg.snap <- reply
-			continue
+		s.handle(msg)
+	}
+	return true
+}
+
+// handle processes one message. It may panic (a poisoned batch, a
+// corrupt processor, an injected fault); serve's recover turns that
+// into a supervisor event.
+func (s *shard) handle(msg shardMsg) {
+	if msg.snap != nil {
+		reply := snapReply{epoch: s.procEpoch.Load()}
+		// Translate the requester's generation out of this incarnation's
+		// namespace: a (gen, pos) recorded before the last restart can
+		// never be a valid position in the fresh processors, so it forces
+		// a full snapshot.
+		gen, pos := msg.gen, msg.pos
+		if pos >= 0 && gen >= s.genBase {
+			gen -= s.genBase
+		} else {
+			gen, pos = 0, -1
 		}
-		if msg.delReply != nil {
-			// Delete broadcast: apply to BOTH families (a query for any
-			// measure must never see a deleted point) and report, per
-			// point, the strongest outcome.
-			outs := make([]divmax.DeleteOutcome, len(msg.del))
-			removed := 0
-			for i, p := range msg.del {
-				o := max(s.edge.Delete(p), s.proxy.Delete(p))
-				outs[i] = o
-				if o != divmax.DeleteAbsent {
-					removed++
-				}
-			}
-			s.deleted.Add(int64(removed))
-			s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
-			// Same ordering contract as ingest: the epoch bump comes
-			// after the core-sets are updated.
-			s.procEpoch.Add(1)
-			msg.delReply <- outs
-			continue
+		if msg.proxy {
+			reply.delta = s.proxy.SnapshotSince(gen, pos)
+		} else {
+			reply.delta = s.edge.SnapshotSince(gen, pos)
 		}
-		batch := *msg.batch
-		s.edge.ProcessBatch(batch)
-		s.proxy.ProcessBatch(batch)
-		s.ingested.Add(int64(len(batch)))
-		s.batches.Add(1)
-		s.lastBatch.Store(int64(len(batch)))
+		reply.delta.Gen += s.genBase
+		if !s.inj.Snapshot(s.id) {
+			return // injected reply drop: the requester's deadline covers it
+		}
+		msg.snap <- reply
+		return
+	}
+	if msg.delReply != nil {
+		// Delete broadcast: apply to BOTH families (a query for any
+		// measure must never see a deleted point) and report, per
+		// point, the strongest outcome. The epoch bump is deferred so a
+		// panicking delete still keeps accEpoch and procEpoch in
+		// lockstep (deleteAll bumped the accepted side before sending).
+		defer s.procEpoch.Add(1)
+		outs := make([]divmax.DeleteOutcome, len(msg.del))
+		removed := 0
+		for i, p := range msg.del {
+			o := max(s.edge.Delete(p), s.proxy.Delete(p))
+			outs[i] = o
+			if o != divmax.DeleteAbsent {
+				removed++
+			}
+		}
+		s.deleted.Add(int64(removed))
 		s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
-		// The epoch bump comes after the core-sets are updated, so a
-		// snapshot taken at procEpoch e reflects exactly the first e
-		// accepted batches.
-		s.procEpoch.Add(1)
-		putVecSlice(msg.batch)
+		if !s.inj.Delete(s.id) {
+			return // injected reply drop
+		}
+		msg.delReply <- deleteReply{outs: outs}
+		return
+	}
+	batch := *msg.batch
+	// Count the batch as processed even if the fold panics: the sender
+	// already bumped accEpoch for it, and keeping the two counters in
+	// lockstep is what lets post-restart snapshots become cacheable
+	// again. The panicked batch's points are part of what the restart
+	// loses.
+	defer s.procEpoch.Add(1)
+	s.inj.Batch(s.id, int(s.batches.Load()))
+	s.edge.ProcessBatch(batch)
+	s.proxy.ProcessBatch(batch)
+	s.ingested.Add(int64(len(batch)))
+	s.batches.Add(1)
+	s.lastBatch.Store(int64(len(batch)))
+	s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+	putVecSlice(msg.batch)
+}
+
+// drainFailed is the permanently-failed shard's message loop: every
+// queued and future message gets an immediate error reply (or, for
+// batches, a silent drop — their sender already got its 200 and the
+// loss is reported through the health state and processed counts), so
+// ingest fan-outs, delete broadcasts, and snapshot rounds sent before
+// the failure became visible never block on a dead shard.
+func (s *shard) drainFailed() {
+	err := &shardFailedError{id: s.id}
+	for msg := range s.ch {
+		switch {
+		case msg.snap != nil:
+			msg.snap <- snapReply{err: err}
+		case msg.delReply != nil:
+			msg.delReply <- deleteReply{err: err}
+		case msg.batch != nil:
+			putVecSlice(msg.batch)
+		}
 	}
 }
