@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos bench bench-json fmt vet ci
+.PHONY: build test race chaos durability bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -16,27 +16,37 @@ race:
 
 # The fault-injection suites under the race detector: shard panics and
 # supervised restarts, restart-budget exhaustion, wedged shards shedding
-# and recovering, dropped replies hitting deadlines, and degraded
-# queries — with per-test goroutine-leak checks. The timeout guards
-# against a supervision bug wedging the run rather than failing it.
+# and recovering, dropped replies hitting deadlines, degraded queries,
+# and the durability crash suite (torn WAL appends and checkpoints,
+# corrupt tails, crash-shaped restarts) — with per-test goroutine-leak
+# checks. The timeout guards against a supervision bug wedging the run
+# rather than failing it.
 chaos:
-	$(GO) test -race -timeout 120s ./internal/faults ./internal/server
+	$(GO) test -race -timeout 120s ./internal/faults ./internal/server ./internal/wal
+
+# The crash-recovery paths with the strictest fsync policy forced onto
+# every WAL, so the durability contract is exercised with a real fsync
+# per record, not just the test default.
+durability:
+	DIVMAX_TEST_FSYNC=always $(GO) test -race -timeout 120s -run 'Durable|Graceful|AbruptClose|CheckpointTicker|CloseTimeout|Crash|Corrupt' ./internal/server ./internal/faults
 
 # Run every benchmark once (no timing comparisons) so bench code keeps
 # compiling and running.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR7.json): GMM fast vs
+# Regenerate the performance trajectory (BENCH_PR8.json): GMM fast vs
 # pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
 # round-2 solve path (matrix vs generic), cached vs cold /query, the
 # sharded/tiled solve-parallel worker sweep, the incremental_ingest
 # churn suite (delta-patched cache vs forced full rebuilds), the
-# dynamic_churn insert/delete/query interleave over the /v1 API, and
-# the overload write-storm (load shedding on vs off). CI uploads the
-# JSON as an artifact alongside the committed BENCH_PR*.json baselines.
+# dynamic_churn insert/delete/query interleave over the /v1 API, the
+# overload write-storm (load shedding on vs off), and the durability
+# suite (WAL fsync overhead, checkpoint vs cold-replay recovery). CI
+# uploads the JSON as an artifact alongside the committed BENCH_PR*.json
+# baselines.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR7.json
+	$(GO) run ./cmd/bench -out BENCH_PR8.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

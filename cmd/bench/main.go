@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR7.json in the repo root, via
+// and writes the results as JSON (BENCH_PR8.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
@@ -49,6 +49,14 @@
 //     everything but lets tail latency grow with the backlog. The gate
 //     requires shedding to actually shed and to keep the max latency
 //     under the blocking run's.
+//   - durability: what the per-shard write-ahead log costs and what the
+//     checkpoints buy. Ingest throughput with -data-dir at each fsync
+//     policy (off, interval, always) against the in-memory server on
+//     the identical stream, then recovery: reopening a cleanly closed
+//     directory (final checkpoint, zero replay) versus an abruptly
+//     closed one (no checkpoint, every record replayed from seq 1). The
+//     gate requires checkpoint recovery to beat the from-zero replay at
+//     n = 100k.
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -78,6 +86,7 @@ import (
 	"divmax/internal/sequential"
 	"divmax/internal/server"
 	"divmax/internal/streamalg"
+	"divmax/internal/wal"
 )
 
 // prePREuclidean reproduces the Euclidean distance exactly as it was
@@ -258,6 +267,41 @@ type overloadCase struct {
 	IngestSheds   int64   `json:"ingest_sheds"`
 }
 
+type durabilityCase struct {
+	N      int `json:"n"`
+	Dim    int `json:"dim"`
+	Shards int `json:"shards"`
+	Batch  int `json:"batch"`
+	// Fsync is the WAL policy of the row — "in-memory" is the no-WAL
+	// baseline server on the identical stream; "off" leaves syncing to
+	// the OS, "interval" batches fsyncs on the default 100ms flusher,
+	// "always" fsyncs every record before acknowledging. OverheadX is
+	// this row's ingest time over the in-memory row's (1.0 = free).
+	Fsync      string  `json:"fsync"`
+	IngestMS   float64 `json:"ingest_ms"`
+	IngestPtsS float64 `json:"ingest_points_per_sec"`
+	OverheadX  float64 `json:"overhead_vs_memory,omitempty"`
+	WALBytes   int64   `json:"wal_bytes,omitempty"`
+}
+
+type durabilityRecoveryCase struct {
+	N      int `json:"n"`
+	Dim    int `json:"dim"`
+	Shards int `json:"shards"`
+	// CheckpointMS reopens a cleanly closed data directory: the final
+	// checkpoints restore the core-sets and zero records replay.
+	// ReplayMS reopens the same stream's directory after an abrupt
+	// close with checkpoints disabled: every record replays from seq 1
+	// (the pre-checkpoint worst case). Both are one-shot wall times of
+	// server.New through Ready (a second reopen of the replay directory
+	// would hit the post-recovery checkpoint and stop being a cold
+	// replay). Speedup is ReplayMS/CheckpointMS — what checkpoints buy.
+	CheckpointMS   float64 `json:"recover_checkpoint_ms"`
+	ReplayMS       float64 `json:"recover_replay_ms"`
+	ReplayedPoints int64   `json:"replayed_points"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // statsSnapshot is the slice of /stats the incremental suite reads.
 type statsSnapshot struct {
 	DeltaPatches int64 `json:"delta_patches"`
@@ -266,23 +310,25 @@ type statsSnapshot struct {
 }
 
 type report struct {
-	PR            int                 `json:"pr"`
-	Date          string              `json:"date"`
-	Go            string              `json:"go"`
-	GOOS          string              `json:"goos"`
-	GOARCH        string              `json:"goarch"`
-	CPUs          int                 `json:"cpus"`
-	Reps          int                 `json:"reps"`
-	GMMReps       int                 `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
-	GMM           []gmmCase           `json:"gmm"`
-	SMM           []smmCase           `json:"smm_ingest"`
-	Divmaxd       []serverCase        `json:"divmaxd"`
-	Solve         []solveCase         `json:"solve"`
-	QueryCache    []queryCacheCase    `json:"query_cache"`
-	SolveParallel []solveParallelCase `json:"solve_parallel"`
-	Incremental   []incrementalCase   `json:"incremental_ingest"`
-	DynamicChurn  []dynamicChurnCase  `json:"dynamic_churn"`
-	Overload      []overloadCase      `json:"overload"`
+	PR            int                      `json:"pr"`
+	Date          string                   `json:"date"`
+	Go            string                   `json:"go"`
+	GOOS          string                   `json:"goos"`
+	GOARCH        string                   `json:"goarch"`
+	CPUs          int                      `json:"cpus"`
+	Reps          int                      `json:"reps"`
+	GMMReps       int                      `json:"gmm_reps"` // the cheap GMM cells run 3× the base reps
+	GMM           []gmmCase                `json:"gmm"`
+	SMM           []smmCase                `json:"smm_ingest"`
+	Divmaxd       []serverCase             `json:"divmaxd"`
+	Solve         []solveCase              `json:"solve"`
+	QueryCache    []queryCacheCase         `json:"query_cache"`
+	SolveParallel []solveParallelCase      `json:"solve_parallel"`
+	Incremental   []incrementalCase        `json:"incremental_ingest"`
+	DynamicChurn  []dynamicChurnCase       `json:"dynamic_churn"`
+	Overload      []overloadCase           `json:"overload"`
+	Durability    []durabilityCase         `json:"durability"`
+	DurabilityRec []durabilityRecoveryCase `json:"durability_recovery"`
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -390,14 +436,14 @@ func minTimeN(reps int, fns ...func()) []time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      7,
+		PR:      8,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -1146,6 +1192,172 @@ func main() {
 			blockAcc, ms(blockMax), ms(blockAvg))
 	}
 
+	// Suite 10: durability — the WAL's ingest overhead at each fsync
+	// policy against the in-memory server, then recovery time: a cleanly
+	// closed directory (checkpoint restore, zero replay) versus an
+	// abruptly closed one with checkpoints disabled (every record
+	// replayed from seq 1). The interval-policy directory doubles as the
+	// checkpoint-recovery input; the off-policy one, closed abruptly, as
+	// the cold-replay input — both hold the identical stream.
+	{
+		const duShards, duDim, duMaxK = 4, 8, 16
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(int64(5*n + duDim)))
+			pts := randomVectors(rng, n, duDim)
+			bodies := make([][]byte, 0, (n+ingestBatch-1)/ingestBatch)
+			for lo := 0; lo < n; lo += ingestBatch {
+				hi := min(lo+ingestBatch, n)
+				body, err := json.Marshal(api.IngestRequest{Points: pts[lo:hi]})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				bodies = append(bodies, body)
+			}
+			duStats := func(srv *server.Server) api.StatsResponse {
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				resp, err := ts.Client().Get(ts.URL + api.Prefix + "/stats")
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fmt.Fprintln(os.Stderr, "bench: durability stats failed:", err, resp)
+					os.Exit(1)
+				}
+				defer resp.Body.Close()
+				var st api.StatsResponse
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: decoding durability stats:", err)
+					os.Exit(1)
+				}
+				return st
+			}
+			// ingestRun streams the whole prebuilt body set into a fresh
+			// server and returns the wall time plus the still-open server
+			// (the caller chooses how to close it).
+			ingestRun := func(cfg server.Config) (time.Duration, *server.Server) {
+				srv, err := server.New(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				for !srv.Ready() {
+					time.Sleep(100 * time.Microsecond)
+				}
+				ts := httptest.NewServer(srv.Handler())
+				client := ts.Client()
+				start := time.Now()
+				for _, body := range bodies {
+					resp, err := client.Post(ts.URL+api.Prefix+"/ingest", "application/json", bytes.NewReader(body))
+					if err != nil || resp.StatusCode != http.StatusOK {
+						fmt.Fprintln(os.Stderr, "bench: durable ingest failed:", err, resp)
+						os.Exit(1)
+					}
+					resp.Body.Close()
+				}
+				el := time.Since(start)
+				ts.Close()
+				return el, srv
+			}
+			var memMS float64
+			var ckptDir, replayDir string
+			for _, mode := range []string{"in-memory", "off", "interval", "always"} {
+				cfg := server.Config{Shards: duShards, MaxK: duMaxK, CheckpointEvery: -time.Second}
+				if mode != "in-memory" {
+					dir, err := os.MkdirTemp("", "divmax-bench-wal-")
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "bench:", err)
+						os.Exit(1)
+					}
+					defer os.RemoveAll(dir)
+					cfg.DataDir = dir
+					policy, err := wal.ParseSyncPolicy(mode)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "bench:", err)
+						os.Exit(1)
+					}
+					cfg.Fsync = policy
+				}
+				el, srv := ingestRun(cfg)
+				c := durabilityCase{
+					N: n, Dim: duDim, Shards: duShards, Batch: ingestBatch,
+					Fsync:      mode,
+					IngestMS:   ms(el),
+					IngestPtsS: float64(n) / el.Seconds(),
+				}
+				if mode == "in-memory" {
+					memMS = c.IngestMS
+					srv.Close()
+				} else {
+					c.OverheadX = c.IngestMS / memMS
+					for _, sh := range duStats(srv).Shards {
+						c.WALBytes += sh.WALBytes
+					}
+					switch mode {
+					case "interval":
+						// A clean close writes the final checkpoints: this
+						// directory becomes the checkpoint-recovery input.
+						ckptDir = cfg.DataDir
+						srv.Close()
+					case "off":
+						// An abrupt close with the ticker disabled leaves no
+						// checkpoint at all: the cold-replay input.
+						replayDir = cfg.DataDir
+						srv.CloseAbrupt()
+					default:
+						srv.Close()
+					}
+				}
+				rep.Durability = append(rep.Durability, c)
+				fmt.Printf("durable n=%-7d d=%-3d fsync=%-9s ingest %8.2fms (%.0f pts/s)  overhead %.2fx\n",
+					n, duDim, mode, c.IngestMS, c.IngestPtsS, c.OverheadX)
+			}
+			// Recovery: one-shot reopen of each directory, timed through
+			// Ready. The replay reopen writes post-recovery checkpoints, so
+			// it is only a cold replay once — measured first and exactly
+			// once.
+			reopen := func(dir string) (time.Duration, int64, int64) {
+				start := time.Now()
+				srv, err := server.New(server.Config{Shards: duShards, MaxK: duMaxK, DataDir: dir})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				for !srv.Ready() {
+					time.Sleep(100 * time.Microsecond)
+				}
+				el := time.Since(start)
+				st := duStats(srv)
+				var replayed int64
+				for _, sh := range st.Shards {
+					replayed += sh.ReplayedPoints
+				}
+				srv.Close()
+				return el, replayed, st.IngestedTotal
+			}
+			replayEl, replayedCold, totalCold := reopen(replayDir)
+			ckptEl, replayedCkpt, totalCkpt := reopen(ckptDir)
+			if replayedCold != int64(n) || replayedCkpt != 0 || totalCold != int64(n) || totalCkpt != int64(n) {
+				fmt.Fprintf(os.Stderr, "bench: durability recovery shapes wrong: cold replayed %d/%d, checkpoint replayed %d (want %d/%d, 0)\n",
+					replayedCold, totalCold, replayedCkpt, n, n)
+				os.Exit(1)
+			}
+			rc := durabilityRecoveryCase{
+				N: n, Dim: duDim, Shards: duShards,
+				CheckpointMS:   ms(ckptEl),
+				ReplayMS:       ms(replayEl),
+				ReplayedPoints: replayedCold,
+				Speedup:        float64(replayEl) / float64(ckptEl),
+			}
+			rep.DurabilityRec = append(rep.DurabilityRec, rc)
+			fmt.Printf("recover n=%-7d d=%-3d checkpoint %8.2fms  cold replay %8.2fms  speedup %.1fx\n",
+				n, duDim, rc.CheckpointMS, rc.ReplayMS, rc.Speedup)
+			if n == 100000 && rc.CheckpointMS >= rc.ReplayMS {
+				fmt.Fprintf(os.Stderr, "bench: durability: checkpoint recovery (%.2fms) not faster than cold replay (%.2fms) at n=100k\n",
+					rc.CheckpointMS, rc.ReplayMS)
+				os.Exit(1)
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -1192,5 +1404,9 @@ func main() {
 			fmt.Printf("acceptance: tiled n=%d solved without the n² buffer (%.2fms; callback path %.2fms)\n",
 				c.N, c.MS, c.GenericMS)
 		}
+	}
+	for _, c := range rep.DurabilityRec {
+		fmt.Printf("acceptance: durability n=%d checkpoint recovery %.1fms vs cold replay %.1fms (%.1fx; target: checkpoint faster at n=100k)\n",
+			c.N, c.CheckpointMS, c.ReplayMS, c.Speedup)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"divmax/internal/server"
+	"divmax/internal/wal"
 )
 
 func main() {
@@ -53,9 +54,17 @@ func main() {
 		restarts = flag.Int("restart-budget", 0, "supervisor restarts (fresh core-sets) a shard gets after panics before failing permanently (0 = default 3; negative fails on the first panic)")
 		degraded = flag.Bool("degraded-queries", false, "answer queries from surviving shards when some have failed or timed out, marked \"degraded\": true (default: fail closed with 503/504)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests and buffered batches on shutdown")
+		dataDir  = flag.String("data-dir", "", "directory for per-shard write-ahead logs and core-set checkpoints; restarts and crashes then lose nothing (empty = fully in-memory)")
+		fsyncStr = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (fsync per record), interval (batched, default), off (OS-paced); process crashes lose nothing under any policy, only the power-cut window differs")
+		ckptEach = flag.Duration("checkpoint-every", 0, "how often shards fold their WAL tail into a core-set checkpoint, bounding recovery replay and log growth (0 = default 15s; negative disables the ticker)")
 	)
 	flag.Parse()
 
+	fsync, err := wal.ParseSyncPolicy(*fsyncStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divmaxd:", err)
+		os.Exit(2)
+	}
 	srv, err := server.New(server.Config{
 		Shards: *shards, MaxK: *maxk, KPrime: *kprime, Buffer: *buffer,
 		SolveWorkers: *workers, SolutionMemo: *memo, DeltaBudget: *budget,
@@ -63,6 +72,7 @@ func main() {
 		QueryDeadline: *queryDL, IngestDeadline: *ingestDL,
 		ShedWait: *shedWait, MaxInflight: *inflight,
 		RestartBudget: *restarts, DegradedQueries: *degraded,
+		DataDir: *dataDir, Fsync: fsync, CheckpointEvery: *ckptEach,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)
@@ -97,7 +107,8 @@ func main() {
 	select {
 	case <-ctx.Done():
 		log.Print("divmaxd: shutting down, draining shards")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		deadline := time.Now().Add(*drainTO)
+		shutdownCtx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -106,7 +117,13 @@ func main() {
 				log.Printf("divmaxd: shutdown: %v", err)
 			}
 		}
-		srv.Close()
+		// Spend whatever drain budget remains (floor 1s) on the shard
+		// drain — which, with -data-dir, includes flushing each WAL and
+		// writing the final checkpoints.
+		remaining := max(time.Until(deadline), time.Second)
+		if !srv.CloseTimeout(remaining) {
+			log.Print("divmaxd: drain deadline cut the final wal checkpoint short; next start will replay the log tail")
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "divmaxd:", err)

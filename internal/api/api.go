@@ -160,6 +160,18 @@ type ShardStats struct {
 	// the one that exhausted the budget.
 	Restarts int64 `json:"restarts"`
 	Panics   int64 `json:"panics"`
+	// Durability fields, present only when the server runs with a data
+	// directory (omitempty keeps in-memory /v1/stats bodies
+	// byte-identical to earlier versions): WALBytes / WALSegments size
+	// the shard's write-ahead log on disk, CheckpointAgeMS is the
+	// wall-clock age of its latest core-set checkpoint (floored at 1ms
+	// so the field appears as soon as one exists; absent before the
+	// first), and ReplayedPoints counts points re-folded from the log
+	// across all of the shard's recoveries.
+	WALBytes        int64   `json:"wal_bytes,omitempty"`
+	WALSegments     int     `json:"wal_segments,omitempty"`
+	CheckpointAgeMS float64 `json:"checkpoint_age_ms,omitempty"`
+	ReplayedPoints  int64   `json:"replayed_points,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -221,4 +233,9 @@ type StatsResponse struct {
 	MaxK            int   `json:"max_k"`
 	KPrime          int   `json:"kprime"`
 	Draining        bool  `json:"draining"`
+	// Recoveries counts shard recoveries performed — boot-time restores
+	// (checkpoint + log-tail replay) and lossless panic-restart replays
+	// — since the process started. Absent (omitempty) on in-memory
+	// servers and on durable ones that started from an empty directory.
+	Recoveries int64 `json:"recoveries,omitempty"`
 }

@@ -68,12 +68,23 @@ func TestWireShapes(t *testing.T) {
 		`{"measure":"remote-edge","k":1,"solution":[[0]],"value":0,`+
 			`"exact_value":false,"coreset_size":0,"processed":0,"merge_ms":0,`+
 			`"cached":false,"patched":false,"warm_started":false}`)
+	// In-memory ShardStats: the durability fields are all omitempty, so a
+	// server without a data directory emits exactly the pre-durability
+	// bytes.
 	roundTrip(t, "ShardStats",
 		ShardStats{ID: 1, Ingested: 10, Batches: 2, LastBatch: 5, AvgBatch: 5, Stored: 8, Deleted: 3,
 			Health: "healthy", QueueDepth: 4, Restarts: 1, Panics: 2},
 		`{"id":1,"ingested":10,"batches":2,"last_batch":5,"avg_batch":5,`+
 			`"stored_points":8,"deleted_points":3,"health":"healthy",`+
 			`"queue_depth":4,"restarts":1,"panics":2}`)
+	roundTrip(t, "ShardStats/durable",
+		ShardStats{ID: 1, Ingested: 10, Batches: 2, LastBatch: 5, AvgBatch: 5, Stored: 8, Deleted: 3,
+			Health: "healthy", QueueDepth: 4, Restarts: 1, Panics: 2,
+			WALBytes: 4096, WALSegments: 2, CheckpointAgeMS: 250, ReplayedPoints: 7},
+		`{"id":1,"ingested":10,"batches":2,"last_batch":5,"avg_batch":5,`+
+			`"stored_points":8,"deleted_points":3,"health":"healthy",`+
+			`"queue_depth":4,"restarts":1,"panics":2,"wal_bytes":4096,`+
+			`"wal_segments":2,"checkpoint_age_ms":250,"replayed_points":7}`)
 	roundTrip(t, "StatsResponse",
 		StatsResponse{
 			Shards:        []ShardStats{{ID: 0, Health: "healthy"}},
@@ -97,6 +108,19 @@ func TestWireShapes(t *testing.T) {
 			`"solve_workers":4,"tiled_solves":1,"shards_failed":1,"shard_restarts":3,`+
 			`"degraded_queries":2,"ingest_sheds":5,"query_sheds":4,`+
 			`"max_k":16,"kprime":64,"draining":true}`)
+	// A durable server that has recovered shards additionally reports
+	// recoveries; in-memory responses omit it (omitempty), keeping their
+	// bytes identical to the case above.
+	roundTrip(t, "StatsResponse/recovered",
+		StatsResponse{Shards: []ShardStats{}, SolveWorkers: 1, MaxK: 4, KPrime: 16, Recoveries: 3},
+		`{"shards":[],"ingested_total":0,"queries":0,"merges":0,"last_merge_ms":0,`+
+			`"query_cache_hits":0,"query_cache_misses":0,"query_cache_misses_cold":0,`+
+			`"query_cache_misses_invalidated":0,"delta_patches":0,"full_rebuilds":0,`+
+			`"cached_coreset_points":0,"cached_matrix_bytes":0,"memo_warm_starts":0,`+
+			`"deletes_requested":0,"deletes_evicting":0,"deletes_spares":0,`+
+			`"deletes_tombstoned":0,"solve_workers":1,"tiled_solves":0,"shards_failed":0,`+
+			`"shard_restarts":0,"degraded_queries":0,"ingest_sheds":0,"query_sheds":0,`+
+			`"max_k":4,"kprime":16,"draining":false,"recoveries":3}`)
 }
 
 // TestErrorCodesAndPrefix pins the versioning constants clients build

@@ -1,0 +1,322 @@
+// Crash suite: drives the WAL crash injections (torn appends, torn
+// checkpoints) and offline tail corruption through a live durable
+// server, and pins the durability contract of ISSUE 8 — a crashed log
+// fails writes closed (503) while queries keep serving; reopening the
+// data directory recovers exactly the records the log holds, answering
+// bit-for-bit what the server answered before the crash; a torn
+// checkpoint leaves the previous one in charge; a corrupt tail is
+// truncated at the damage and everything before it survives. The WAL on
+// disk is itself the oracle: wal.Open after the fact says what must be
+// recovered.
+package faults_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"divmax"
+	"divmax/internal/api"
+	"divmax/internal/faults"
+	"divmax/internal/server"
+	"divmax/internal/wal"
+)
+
+func crashVecs(seed int64, n, d int) []divmax.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]divmax.Vector, n)
+	for i := range out {
+		v := make(divmax.Vector, d)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 50
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func waitServerReady(t *testing.T, srv *server.Server) {
+	t.Helper()
+	waitFor(t, "server ready", srv.Ready)
+}
+
+// testFsync is the WAL policy for this run: the default interval
+// flusher, or whatever DIVMAX_TEST_FSYNC forces (the `make durability`
+// target sets "always" so every record really fsyncs).
+func testFsync() wal.SyncPolicy {
+	v := os.Getenv("DIVMAX_TEST_FSYNC")
+	if v == "" {
+		return wal.SyncInterval
+	}
+	p, err := wal.ParseSyncPolicy(v)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func queryBits(t *testing.T, url string, k int, m divmax.Measure) api.QueryResponse {
+	t.Helper()
+	status, _, body := do(t, http.MethodGet, fmt.Sprintf("%s/v1/query?k=%d&measure=%s", url, k, m), "")
+	if status != http.StatusOK {
+		t.Fatalf("query %s: status %d: %s", m, status, body)
+	}
+	var q api.QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// sameAnswer requires two query responses to agree bit for bit on
+// everything recovery must preserve (MergeMillis and cache flags are
+// runtime artifacts and excluded).
+func sameAnswer(t *testing.T, what string, a, b api.QueryResponse) {
+	t.Helper()
+	if a.Processed != b.Processed || a.CoresetSize != b.CoresetSize {
+		t.Fatalf("%s: processed/coreset %d/%d vs %d/%d", what, a.Processed, a.CoresetSize, b.Processed, b.CoresetSize)
+	}
+	if math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+		t.Fatalf("%s: value bits %x vs %x", what, math.Float64bits(a.Value), math.Float64bits(b.Value))
+	}
+	if len(a.Solution) != len(b.Solution) {
+		t.Fatalf("%s: solution sizes %d vs %d", what, len(a.Solution), len(b.Solution))
+	}
+	for i := range a.Solution {
+		for j := range a.Solution[i] {
+			if math.Float64bits(a.Solution[i][j]) != math.Float64bits(b.Solution[i][j]) {
+				t.Fatalf("%s: solution[%d][%d] bits differ", what, i, j)
+			}
+		}
+	}
+}
+
+// walRecords opens a shard's WAL read-side and returns how many records
+// and points survived on disk — the recovery oracle.
+func walRecords(t *testing.T, dir string) (records int, points int, lastSeq uint64) {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("oracle open %s: %v", dir, err)
+	}
+	defer l.Close(false)
+	lastSeq = l.RecoveredSeq()
+	from := uint64(1)
+	if _, next, ok := l.Checkpoint(); ok {
+		from = next
+	}
+	err = l.Replay(from, lastSeq, func(r wal.Record) error {
+		records++
+		points += len(r.Points)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("oracle replay %s: %v", dir, err)
+	}
+	return records, points, lastSeq
+}
+
+// TestCrashMidAppendFailsClosedThenRecovers: a torn record write (the
+// kill -9 shape) crashes shard 0's log. Writes fail closed with 503
+// unavailable — the torn batch is never acknowledged — while queries
+// keep answering from the folded state. Reopening the directory
+// truncates the torn tail and replays the acknowledged records, and the
+// recovered server answers bit-identically to the pre-crash server for
+// both core-set families.
+func TestCrashMidAppendFailsClosedThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New()
+	// Shard 0's third append (0-based nth=2) tears after 10 bytes.
+	inj.OnWALAppend(faults.CrashWALAppend(0, 2, 10))
+	cfg := server.Config{Shards: 2, MaxK: 4, KPrime: 8, DataDir: dir, Fsync: testFsync(),
+		CheckpointEvery: -time.Second, Faults: inj}
+	srv, ts := startServer(t, cfg)
+	waitServerReady(t, srv)
+
+	a, b := crashVecs(11, 40, 3), crashVecs(12, 30, 3)
+	for i, batch := range [][]divmax.Vector{a, b} {
+		if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, batch)); status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, body)
+		}
+	}
+	// The third batch tears shard 0's append mid-write: 503, not
+	// accepted anywhere (shard 0 is first in the fan-out).
+	status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, crashVecs(13, 20, 3)))
+	wantEnvelope(t, "torn ingest", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+	// The log is crashed: every further write fails closed too.
+	status, _, body = do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, crashVecs(14, 5, 3)))
+	wantEnvelope(t, "ingest after crash", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+	status, _, body = do(t, http.MethodPost, ts.URL+"/v1/delete", pointsBody(t, []divmax.Vector{a[0]}))
+	wantEnvelope(t, "delete after crash", status, http.StatusServiceUnavailable, body, api.CodeUnavailable)
+
+	// Queries keep serving the folded state.
+	pre := map[divmax.Measure]api.QueryResponse{}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		pre[m] = queryBits(t, ts.URL, 4, m)
+		if pre[m].Processed != 70 {
+			t.Fatalf("%s before restart: processed %d, want 70 (the acknowledged batches)", m, pre[m].Processed)
+		}
+	}
+	ts.Close()
+	srv.CloseAbrupt()
+
+	// The on-disk oracle: shard 0 kept exactly its two acknowledged
+	// records (the torn third truncated away), 35 points.
+	records, points, last := walRecords(t, filepath.Join(dir, "shard-000"))
+	if records != 2 || points != 35 || last != 2 {
+		t.Fatalf("shard 0 oracle: %d records / %d points through seq %d, want 2/35/2", records, points, last)
+	}
+
+	srv2, ts2 := startServer(t, server.Config{Shards: 2, MaxK: 4, KPrime: 8, DataDir: dir, Fsync: testFsync()})
+	waitServerReady(t, srv2)
+	st := getStats(t, ts2.URL)
+	if st.IngestedTotal != 70 || st.Recoveries != 2 {
+		t.Fatalf("recovered: ingested=%d recoveries=%d, want 70/2", st.IngestedTotal, st.Recoveries)
+	}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		sameAnswer(t, "mid-append crash/"+m.String(), pre[m], queryBits(t, ts2.URL, 4, m))
+	}
+	// The recovered log is healthy again: writes work.
+	if status, _, body := do(t, http.MethodPost, ts2.URL+"/v1/ingest", pointsBody(t, crashVecs(15, 4, 3))); status != http.StatusOK {
+		t.Fatalf("ingest after recovery: status %d: %s", status, body)
+	}
+}
+
+// TestCrashMidCheckpointKeepsPrevious: a torn checkpoint write leaves a
+// torn checkpoint.tmp behind and crashes the log; the previous
+// checkpoint stays in charge, so reopening restores it plus the log
+// tail — bit-identical answers, nothing lost, and the torn tmp is
+// cleaned away.
+func TestCrashMidCheckpointKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New()
+	// Shard 0's first ticker checkpoint succeeds, the second tears.
+	inj.OnCheckpoint(faults.CrashCheckpoint(0, 1, 12))
+	cfg := server.Config{Shards: 2, MaxK: 4, KPrime: 8, DataDir: dir, Fsync: testFsync(),
+		CheckpointEvery: 20 * time.Millisecond, Faults: inj}
+	srv, ts := startServer(t, cfg)
+	waitServerReady(t, srv)
+
+	first := crashVecs(21, 60, 3)
+	if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, first)); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	// Wait for checkpoint #1 to land on every shard.
+	waitFor(t, "first checkpoints", func() bool {
+		for _, sh := range getStats(t, ts.URL).Shards {
+			if sh.CheckpointAgeMS <= 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// Feed records until the second checkpoint attempt tears shard 0's
+	// log: ingests then start failing closed.
+	accepted := [][]divmax.Vector{first}
+	waitFor(t, "torn checkpoint to crash the log", func() bool {
+		batch := crashVecs(int64(22+len(accepted)), 3, 3)
+		status, _, _ := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, batch))
+		if status == http.StatusOK {
+			accepted = append(accepted, batch)
+			return false
+		}
+		return status == http.StatusServiceUnavailable
+	})
+
+	pre := map[divmax.Measure]api.QueryResponse{}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		pre[m] = queryBits(t, ts.URL, 4, m)
+	}
+	total := 0
+	for _, b := range accepted {
+		total += len(b)
+	}
+	if pre[divmax.RemoteEdge].Processed != int64(total) {
+		t.Fatalf("pre-crash processed %d, want %d accepted points", pre[divmax.RemoteEdge].Processed, total)
+	}
+	ts.Close()
+	srv.CloseAbrupt()
+
+	srv2, ts2 := startServer(t, server.Config{Shards: 2, MaxK: 4, KPrime: 8, DataDir: dir, Fsync: testFsync()})
+	waitServerReady(t, srv2)
+	st := getStats(t, ts2.URL)
+	if st.Recoveries != 2 || st.IngestedTotal != int64(total) {
+		t.Fatalf("recovered: recoveries=%d ingested=%d, want 2/%d", st.Recoveries, st.IngestedTotal, total)
+	}
+	// Shard 0 restored checkpoint #1 and replayed the tail after it.
+	if st.Shards[0].ReplayedPoints == 0 {
+		t.Fatal("shard 0 replayed nothing: the surviving checkpoint should cover only the first batch")
+	}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		sameAnswer(t, "mid-checkpoint crash/"+m.String(), pre[m], queryBits(t, ts2.URL, 4, m))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-000", "checkpoint.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("torn checkpoint.tmp still present after recovery (stat err %v)", err)
+	}
+}
+
+// TestCorruptTailRecoversPrefix: flip a byte inside the last record of
+// a shard's segment on disk (disk rot, partial sector write). Recovery
+// truncates at the first bad CRC: every record before the damage
+// survives, and the recovered server answers bit-identically to an
+// uninterrupted in-memory twin fed exactly the surviving prefix.
+func TestCorruptTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{Shards: 1, MaxK: 4, KPrime: 8, DataDir: dir, Fsync: testFsync(),
+		CheckpointEvery: -time.Second}
+	srv, ts := startServer(t, cfg)
+	waitServerReady(t, srv)
+	batches := [][]divmax.Vector{crashVecs(31, 20, 3), crashVecs(32, 20, 3), crashVecs(33, 20, 3)}
+	for i, b := range batches {
+		if status, _, body := do(t, http.MethodPost, ts.URL+"/v1/ingest", pointsBody(t, b)); status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, body)
+		}
+	}
+	ts.Close()
+	srv.CloseAbrupt()
+
+	// Corrupt the last record: flip a byte near the end of the segment.
+	shardDir := filepath.Join(dir, "shard-000")
+	segs, err := filepath.Glob(filepath.Join(shardDir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s (err %v)", shardDir, err)
+	}
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The oracle: exactly the first two records survive.
+	records, points, last := walRecords(t, shardDir)
+	if records != 2 || points != 40 || last != 2 {
+		t.Fatalf("oracle after corruption: %d records / %d points through seq %d, want 2/40/2", records, points, last)
+	}
+
+	srv2, ts2 := startServer(t, cfg)
+	waitServerReady(t, srv2)
+	st := getStats(t, ts2.URL)
+	if st.IngestedTotal != 40 || st.Shards[0].ReplayedPoints != 40 {
+		t.Fatalf("recovered: ingested=%d replayed=%d, want 40/40", st.IngestedTotal, st.Shards[0].ReplayedPoints)
+	}
+
+	_, twin := startServer(t, server.Config{Shards: 1, MaxK: 4, KPrime: 8})
+	for _, b := range batches[:2] {
+		if status, _, body := do(t, http.MethodPost, twin.URL+"/v1/ingest", pointsBody(t, b)); status != http.StatusOK {
+			t.Fatalf("twin ingest: status %d: %s", status, body)
+		}
+	}
+	for _, m := range []divmax.Measure{divmax.RemoteEdge, divmax.RemoteClique} {
+		sameAnswer(t, "corrupt tail/"+m.String(), queryBits(t, ts2.URL, 4, m), queryBits(t, twin.URL, 4, m))
+	}
+}

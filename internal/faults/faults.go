@@ -20,6 +20,10 @@
 //   - DropReplies (OnSnapshot/OnDelete returning false): a lost reply —
 //     the shard does the work but the requester never hears back,
 //     exercising the reply-side deadline selects.
+//   - CrashWALAppend / CrashCheckpoint: a kill -9 mid-write — the
+//     write-ahead log persists a torn prefix of a record (or checkpoint)
+//     and disables itself, exercising torn-tail truncation and
+//     checkpoint-plus-replay recovery on the next boot.
 package faults
 
 import (
@@ -46,10 +50,12 @@ func (p InjectedPanic) String() string {
 // may be called concurrently with the server running, so all access is
 // mutex-copied.
 type Injector struct {
-	mu       sync.Mutex
-	batch    func(shard, batch int)
-	snapshot func(shard int) bool
-	delete   func(shard int) bool
+	mu        sync.Mutex
+	batch     func(shard, batch int)
+	snapshot  func(shard int) bool
+	delete    func(shard int) bool
+	walAppend func(shard int, seq uint64, size int) int
+	ckptWrite func(shard int, size int) int
 }
 
 // New returns an empty Injector.
@@ -80,6 +86,28 @@ func (in *Injector) OnSnapshot(f func(shard int) bool) {
 func (in *Injector) OnDelete(f func(shard int) bool) {
 	in.mu.Lock()
 	in.delete = f
+	in.mu.Unlock()
+}
+
+// OnWALAppend installs f, consulted by a durable shard's log before
+// every record write. Given the shard, the record's sequence number, and
+// the framed size in bytes, f returns how many bytes to actually write:
+// a value in [0, size) tears the write at that offset and crashes the
+// shard's log (writes fail closed until the server reboots); anything
+// else writes normally. nil uninstalls.
+func (in *Injector) OnWALAppend(f func(shard int, seq uint64, size int) int) {
+	in.mu.Lock()
+	in.walAppend = f
+	in.mu.Unlock()
+}
+
+// OnCheckpoint installs f, consulted before a durable shard writes a
+// checkpoint file of size bytes. Same contract as OnWALAppend: a return
+// in [0, size) leaves a torn checkpoint.tmp (the previous checkpoint
+// stays valid) and crashes the log. nil uninstalls.
+func (in *Injector) OnCheckpoint(f func(shard int, size int) int) {
+	in.mu.Lock()
+	in.ckptWrite = f
 	in.mu.Unlock()
 }
 
@@ -118,6 +146,38 @@ func (in *Injector) Delete(shard int) bool {
 	f := in.delete
 	in.mu.Unlock()
 	return f == nil || f(shard)
+}
+
+// WALAppend runs the WAL-append hook, returning how many of size bytes
+// to write (size, i.e. a full write, when no hook is installed). Safe on
+// a nil Injector.
+func (in *Injector) WALAppend(shard int, seq uint64, size int) int {
+	if in == nil {
+		return size
+	}
+	in.mu.Lock()
+	f := in.walAppend
+	in.mu.Unlock()
+	if f == nil {
+		return size
+	}
+	return f(shard, seq, size)
+}
+
+// CheckpointWrite runs the checkpoint hook, returning how many of size
+// bytes to write (size when no hook is installed). Safe on a nil
+// Injector.
+func (in *Injector) CheckpointWrite(shard, size int) int {
+	if in == nil {
+		return size
+	}
+	in.mu.Lock()
+	f := in.ckptWrite
+	in.mu.Unlock()
+	if f == nil {
+		return size
+	}
+	return f(shard, size)
 }
 
 // PanicOnBatch returns a batch hook that panics with InjectedPanic when
@@ -168,4 +228,52 @@ func Wedge(target int) (hook func(shard, batch int), release func()) {
 // drops shard target's replies while armed (disarm by installing nil).
 func DropReplies(target int) func(shard int) bool {
 	return func(shard int) bool { return shard != target }
+}
+
+// CrashWALAppend returns a WAL-append hook that tears shard target's
+// nth record write (0-based, counted by the hook) after keep bytes,
+// simulating a kill -9 mid-append: the torn prefix is persisted and the
+// shard's log crashes. keep is clamped into [0, size). Every other
+// write passes through.
+func CrashWALAppend(target, nth, keep int) func(shard int, seq uint64, size int) int {
+	var arrivals atomic.Int64
+	return func(shard int, seq uint64, size int) int {
+		if shard != target {
+			return size
+		}
+		if int(arrivals.Add(1))-1 != nth {
+			return size
+		}
+		return clampTear(keep, size)
+	}
+}
+
+// CrashCheckpoint returns a checkpoint hook that tears shard target's
+// nth checkpoint write (0-based) after keep bytes, simulating a crash
+// mid-checkpoint: a torn checkpoint.tmp is left behind, the previous
+// checkpoint survives, and the shard's log crashes.
+func CrashCheckpoint(target, nth, keep int) func(shard, size int) int {
+	var arrivals atomic.Int64
+	return func(shard, size int) int {
+		if shard != target {
+			return size
+		}
+		if int(arrivals.Add(1))-1 != nth {
+			return size
+		}
+		return clampTear(keep, size)
+	}
+}
+
+// clampTear forces keep into the tearing range [0, size) so a crash
+// hook always crashes once armed, even if the frame is smaller than the
+// requested prefix.
+func clampTear(keep, size int) int {
+	if keep < 0 {
+		return 0
+	}
+	if keep >= size {
+		return size - 1
+	}
+	return keep
 }

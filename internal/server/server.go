@@ -44,6 +44,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -54,6 +55,7 @@ import (
 	"divmax/internal/api"
 	"divmax/internal/dataset"
 	"divmax/internal/faults"
+	"divmax/internal/wal"
 )
 
 // Config tunes the service.
@@ -141,6 +143,28 @@ type Config struct {
 	// nothing; the chaos tests install hooks here to drive panics,
 	// wedges, and dropped replies through the live code paths.
 	Faults *faults.Injector
+	// DataDir enables durability: each shard keeps a write-ahead log and
+	// periodic core-set checkpoints under DataDir/shard-NNN, every
+	// accepted ingest/delete hits the log before its shard folds it, and
+	// New recovers all shards (checkpoint + log-tail replay) before
+	// /v1/readyz reports ready. Empty — the default — keeps the server
+	// fully in memory, byte- and behavior-identical to earlier versions.
+	DataDir string
+	// Fsync is the WAL fsync policy (wal.SyncAlways / SyncInterval /
+	// SyncOff; the zero value is SyncInterval). Only the power-cut
+	// window differs: process crashes lose nothing under any policy.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the background flush period under SyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery is the period of the checkpoint ticker that asks
+	// each shard to fold its log tail into a fresh core-set checkpoint,
+	// bounding both recovery replay and WAL growth. 0 means the default
+	// (15s); a negative value disables the ticker (shards still
+	// checkpoint eagerly after restructures and on clean shutdown).
+	CheckpointEvery time.Duration
+	// SegmentBytes is the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +224,15 @@ func (c Config) withDefaults() Config {
 		c.RestartBudget = 3
 	case c.RestartBudget < 0:
 		c.RestartBudget = 0 // first panic fails the shard
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	switch {
+	case c.CheckpointEvery == 0:
+		c.CheckpointEvery = 15 * time.Second
+	case c.CheckpointEvery < 0:
+		c.CheckpointEvery = 0 // ticker disabled
 	}
 	return c
 }
@@ -277,11 +310,24 @@ type Server struct {
 	// query holds one slot across its merge and solve, so a burst
 	// cannot pile up unbounded concurrent O(n²) work.
 	querySem chan struct{}
+
+	// Durability plumbing (zero-valued in in-memory mode): recoveries
+	// counts shard recoveries performed (boot and panic-restart),
+	// ckptStop/loopWG manage the checkpoint ticker goroutine, which
+	// Close stops BEFORE closing the shard channels so the ticker can
+	// never send on a closed channel.
+	recoveries atomic.Int64
+	ckptStop   chan struct{}
+	loopWG     sync.WaitGroup
 }
 
 // New starts the shard goroutines and returns the service. It rejects an
 // explicitly-set KPrime below MaxK rather than silently overriding it
-// (matching the k′ ≥ k contract of the core-set constructions).
+// (matching the k′ ≥ k contract of the core-set constructions). With
+// DataDir set it opens (or recovers) every shard's write-ahead log
+// before any goroutine starts; recovery itself — checkpoint restore
+// plus log-tail replay — runs on the shard goroutines, and /v1/readyz
+// (or the Ready method) reports when all of them have finished.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.KPrime < cfg.MaxK {
@@ -294,32 +340,145 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.caches {
 		s.caches[i].rebuild = make(chan struct{}, 1)
 	}
+	logs := make([]*wal.Log, cfg.Shards)
+	if cfg.DataDir != "" {
+		for i := range logs {
+			opts := wal.Options{
+				Dir:          filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%03d", i)),
+				Sync:         cfg.Fsync,
+				SyncEvery:    cfg.FsyncInterval,
+				SegmentBytes: cfg.SegmentBytes,
+			}
+			if inj := cfg.Faults; inj != nil {
+				shard := i
+				opts.AppendHook = func(seq uint64, size int) int { return inj.WALAppend(shard, seq, size) }
+				opts.CheckpointHook = func(size int) int { return inj.CheckpointWrite(shard, size) }
+			}
+			l, err := wal.Open(opts)
+			if err != nil {
+				for _, open := range logs[:i] {
+					open.Close(false)
+				}
+				return nil, fmt.Errorf("server: shard %d wal: %w", i, err)
+			}
+			logs[i] = l
+		}
+	}
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg)
+		s.shards[i] = newShard(i, cfg, logs[i], &s.recoveries, &s.dim)
 		s.wg.Add(1)
 		go s.shards[i].run(&s.wg)
 	}
+	if cfg.DataDir != "" && cfg.CheckpointEvery > 0 {
+		s.ckptStop = make(chan struct{})
+		s.loopWG.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+// checkpointLoop periodically asks every healthy shard to checkpoint,
+// through the ordinary message channel (non-blocking: a busy shard
+// whose queue is full just catches the next tick). Close stops this
+// loop before closing the channels.
+func (s *Server) checkpointLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.RLock()
+			if !s.draining {
+				for _, sh := range s.shards {
+					if sh.failed() {
+						continue
+					}
+					select {
+					case sh.ch <- shardMsg{ckpt: true}:
+					default:
+					}
+				}
+			}
+			s.mu.RUnlock()
+		case <-s.ckptStop:
+			return
+		}
+	}
+}
+
+// Ready reports whether every shard has finished boot recovery and is
+// serving (in-memory servers are ready immediately; /v1/readyz answers
+// 503 while this is false).
+func (s *Server) Ready() bool {
+	for _, sh := range s.shards {
+		if !sh.ready.Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
 // Close drains the service: new requests are rejected with 503, every
-// batch already accepted is processed, and the shard goroutines exit.
-// It is idempotent and safe to call concurrently with requests.
-func (s *Server) Close() {
+// batch already accepted is processed, each durable shard flushes its
+// WAL and writes a final checkpoint (so a clean restart replays zero
+// records), and the shard goroutines exit. It is idempotent and safe to
+// call concurrently with requests.
+func (s *Server) Close() { s.close(0, false) }
+
+// CloseTimeout is Close bounded by d: it reports whether the drain —
+// including the final per-shard checkpoints — completed in time. On
+// false the shards keep draining in the background; if the process
+// exits anyway (the -drain-timeout path), the WAL already holds every
+// accepted record, so the next start replays the tail the cut-short
+// checkpoint would have covered.
+func (s *Server) CloseTimeout(d time.Duration) bool { return s.close(d, false) }
+
+// CloseAbrupt shuts down crash-shaped: queued work still drains (an
+// accepted record is on disk either way), but no final checkpoint is
+// written and the closing fsync is skipped — the data directory is left
+// exactly as a kill would leave it. The recovery tests and benchmarks
+// reopen from this state.
+func (s *Server) CloseAbrupt() { s.close(0, true) }
+
+func (s *Server) close(d time.Duration, abrupt bool) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return
+		return true
 	}
 	s.draining = true
 	s.mu.Unlock()
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		s.loopWG.Wait()
+	}
+	if abrupt {
+		for _, sh := range s.shards {
+			sh.abrupt.Store(true)
+		}
+	}
 	for _, sh := range s.shards {
 		close(sh.ch)
 	}
-	s.wg.Wait()
+	if d <= 0 {
+		s.wg.Wait()
+		return true
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
 }
 
 // Handler returns the HTTP API: every endpoint under the versioned
@@ -568,7 +727,7 @@ func (s *Server) deleteAll(ctx context.Context, points []divmax.Vector) ([]divma
 	for i, sh := range s.shards {
 		replies[i] = make(chan deleteReply, 1)
 		sh.accEpoch.Add(1)
-		if err := s.deliver(ctx, sh, shardMsg{del: points, delReply: replies[i]}, true); err != nil {
+		if err := s.logAndDeliver(ctx, sh, wal.KindDelete, points, shardMsg{del: points, delReply: replies[i]}); err != nil {
 			sh.accEpoch.Add(^uint64(0)) // undo: this shard never got the delete
 			if errors.Is(err, errOverloaded) {
 				s.ingestSheds.Add(1)
@@ -630,7 +789,7 @@ func (s *Server) send(ctx context.Context, batches []*[]divmax.Vector) error {
 		// epoch check, so no later query can serve a merge that predates
 		// this batch.
 		sh.accEpoch.Add(1)
-		if err := s.deliver(ctx, sh, shardMsg{batch: b}, true); err != nil {
+		if err := s.logAndDeliver(ctx, sh, wal.KindIngest, *b, shardMsg{batch: b}); err != nil {
 			sh.accEpoch.Add(^uint64(0)) // undo: the batch was never delivered
 			if errors.Is(err, errOverloaded) {
 				s.ingestSheds.Add(1)
@@ -640,6 +799,25 @@ func (s *Server) send(ctx context.Context, batches []*[]divmax.Vector) error {
 		}
 	}
 	return nil
+}
+
+// logAndDeliver routes one ingest or delete message to its shard. In
+// memory it is a plain deliver; with a WAL the record is appended FIRST
+// and the channel send runs as the append's deliver callback — under
+// the log mutex, so per-shard log order and fold order cannot diverge —
+// and a send that fails (shed, deadline, drain) truncates the record
+// back off as if it never happened. A crashed log (torn write, fsync
+// failure, injected fault) fails writes closed with wal.ErrCrashed,
+// which the handlers surface as 503 while queries keep serving.
+func (s *Server) logAndDeliver(ctx context.Context, sh *shard, kind wal.Kind, pts []divmax.Vector, msg shardMsg) error {
+	if sh.log == nil {
+		return s.deliver(ctx, sh, msg, true)
+	}
+	_, err := sh.log.Append(kind, pts, func(seq uint64) error {
+		msg.seq = seq
+		return s.deliver(ctx, sh, msg, true)
+	})
+	return err
 }
 
 // snapshots asks every shard for a point-in-time view of the core-set
@@ -911,6 +1089,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.DegradedQueries = s.degradedQueries.Load()
 	resp.IngestSheds = s.ingestSheds.Load()
 	resp.QuerySheds = s.querySheds.Load()
+	resp.Recoveries = s.recoveries.Load()
 	for i, sh := range s.shards {
 		st := shardStats{
 			ID:         sh.id,
@@ -923,6 +1102,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			QueueDepth: len(sh.ch),
 			Restarts:   sh.restarts.Load(),
 			Panics:     sh.panics.Load(),
+		}
+		if sh.log != nil {
+			st.WALBytes, st.WALSegments = sh.log.Stats()
+			st.ReplayedPoints = sh.replayed.Load()
+			if ms := sh.lastCkptMS.Load(); ms != 0 {
+				// Floored at 1ms so the field reliably appears (omitempty)
+				// once a checkpoint exists.
+				st.CheckpointAgeMS = float64(max(time.Now().UnixMilli()-ms, 1))
+			}
 		}
 		if sh.failed() {
 			st.Health = "failed"
@@ -949,6 +1137,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if draining {
 		httpError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	recovering := 0
+	for _, sh := range s.shards {
+		if !sh.ready.Load() {
+			recovering++
+		}
+	}
+	if recovering > 0 {
+		httpError(w, http.StatusServiceUnavailable, "server: not ready, recovering %d of %d shards", recovering, len(s.shards))
 		return
 	}
 	failed := 0

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"divmax"
 	"divmax/internal/faults"
+	"divmax/internal/wal"
 )
 
 // snapReply is a shard's answer to a snapshot request: the point-in-time
@@ -62,6 +66,16 @@ type shardMsg struct {
 	pos      int
 	del      []divmax.Vector
 	delReply chan<- deleteReply
+	// seq is the message's write-ahead-log sequence number (0 when the
+	// server runs in memory). The shard records it as folded BEFORE
+	// touching the processors, so a panic-restart replays the log up to
+	// and including the record of the message that killed it.
+	seq uint64
+	// ckpt asks the shard to write a core-set checkpoint if records have
+	// accumulated since the last one (sent by the server's checkpoint
+	// ticker; rides the ordinary channel so it is serialized against
+	// folds like everything else).
+	ckpt bool
 }
 
 // Shard health states. A shard is healthy until a panic exhausts its
@@ -144,16 +158,76 @@ type shard struct {
 	lastBatch atomic.Int64
 	stored    atomic.Int64
 	deleted   atomic.Int64
+
+	// Durability (nil log = in-memory mode, all of this dormant).
+	// lastSeq/ckptSeq/ckptPayload and the recovery fields are touched
+	// only by the shard goroutine (and newShard, before it starts);
+	// everything a request or /stats thread reads is atomic.
+	log         *wal.Log
+	lastSeq     uint64 // highest WAL seq recorded as folded
+	ckptSeq     uint64 // first seq NOT covered by the latest checkpoint
+	ckptPayload []byte // latest checkpoint body (what a panic-restart restores)
+	ckptEdgeGen uint64 // processor generations at the latest checkpoint,
+	ckptProxGen uint64 // for the restructure-triggered eager checkpoint
+	needRecover bool   // serve() must run recovery before the message loop
+	replayTo    uint64 // highest seq recovery replays (the durable end)
+
+	// ready flips once the shard has finished boot recovery and entered
+	// its message loop; /v1/readyz answers 503 until every shard is
+	// ready. In-memory shards are born ready.
+	ready atomic.Bool
+	// abrupt (set by Server.CloseAbrupt before the channels close) makes
+	// the drain skip the final checkpoint and the closing fsync — the
+	// crash-shaped shutdown the recovery tests and benchmarks reopen
+	// from.
+	abrupt atomic.Bool
+	// replayed counts points re-folded from the log across all
+	// recoveries; recoveries counts shard recoveries server-wide (both
+	// surfaced by /stats). srvDim points at the server's dataset
+	// dimension so recovery can re-pin it before the first request.
+	replayed   atomic.Int64
+	lastCkptMS atomic.Int64 // wall-clock ms of the latest checkpoint, 0 = none
+	recoveries *atomic.Int64
+	srvDim     *atomic.Int64
 }
 
-func newShard(id int, cfg Config) *shard {
+// shardCheckpoint is the gob-encoded body of a shard's checkpoint file:
+// both processors' serialized state plus the monitoring counters a
+// recovery would otherwise lose (the dimension re-pins Server.dim so a
+// restarted server keeps rejecting mismatched ingests).
+type shardCheckpoint struct {
+	Edge, Proxy                []byte
+	Ingested, Batches, Deleted int64
+	Dim                        int64
+}
+
+// ckptMinRecords is how many WAL records must accumulate before a
+// core-set restructure triggers an eager checkpoint (the periodic
+// ticker handles quiet shards); it keeps a restructure-heavy warmup
+// from checkpointing on every batch.
+const ckptMinRecords = 64
+
+func newShard(id int, cfg Config, log *wal.Log, recoveries, srvDim *atomic.Int64) *shard {
 	sh := &shard{
-		id:  id,
-		cfg: cfg,
-		inj: cfg.Faults,
-		ch:  make(chan shardMsg, cfg.Buffer),
+		id:         id,
+		cfg:        cfg,
+		inj:        cfg.Faults,
+		ch:         make(chan shardMsg, cfg.Buffer),
+		log:        log,
+		recoveries: recoveries,
+		srvDim:     srvDim,
 	}
 	sh.freshCoresets()
+	if log == nil {
+		sh.ready.Store(true)
+		return sh
+	}
+	sh.ckptSeq = 1
+	if payload, next, ok := log.Checkpoint(); ok {
+		sh.ckptPayload, sh.ckptSeq = payload, next
+	}
+	sh.replayTo = log.RecoveredSeq()
+	sh.needRecover = true
 	return sh
 }
 
@@ -181,7 +255,8 @@ func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		if s.serve() {
-			return // channel closed and drained: normal exit
+			s.closeLog(true) // channel closed and drained: normal exit
+			return
 		}
 		s.panics.Add(1)
 		if s.restarts.Load() >= int64(s.cfg.RestartBudget) {
@@ -189,9 +264,29 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			logf("server: shard %d failed permanently after %d panics (restart budget %d exhausted)",
 				s.id, s.panics.Load(), s.cfg.RestartBudget)
 			s.drainFailed()
+			s.closeLog(false) // no checkpoint: keep the tail for the next boot
 			return
 		}
 		s.restart()
+	}
+}
+
+// closeLog finishes the shard's log at exit. A clean drain (checkpoint
+// true, not abrupt) writes a final checkpoint first, so a clean restart
+// replays zero records; an abrupt close skips both the checkpoint and
+// the closing fsync, leaving the directory exactly as a crash would.
+func (s *shard) closeLog(checkpoint bool) {
+	if s.log == nil {
+		return
+	}
+	abrupt := s.abrupt.Load()
+	if checkpoint && !abrupt && !s.log.Crashed() && s.lastSeq+1 > s.ckptSeq {
+		if err := s.writeCheckpoint(); err != nil {
+			logf("server: shard %d: final checkpoint: %v (next start replays the log tail)", s.id, err)
+		}
+	}
+	if err := s.log.Close(!abrupt); err != nil {
+		logf("server: shard %d: closing wal: %v", s.id, err)
 	}
 }
 
@@ -208,6 +303,18 @@ func (s *shard) restart() {
 	s.stored.Store(0)
 	s.accEpoch.Add(1)
 	s.procEpoch.Add(1)
+	if s.log != nil && !s.log.Crashed() {
+		// Durable shard: the next serve() replays checkpoint + log tail
+		// up to the last message recorded as folded — including the one
+		// whose fold panicked (its record hit the disk before the fold
+		// ran), so a transient poison loses nothing. Genuinely poisoned
+		// data re-panics during replay and exhausts the budget honestly.
+		s.needRecover = true
+		s.replayTo = s.lastSeq
+		logf("server: shard %d restarted, replaying wal through seq %d (restart %d of %d)",
+			s.id, s.replayTo, s.restarts.Load(), s.cfg.RestartBudget)
+		return
+	}
 	logf("server: shard %d restarted with fresh core-sets (restart %d of %d)",
 		s.id, s.restarts.Load(), s.cfg.RestartBudget)
 }
@@ -223,16 +330,197 @@ func (s *shard) serve() (closed bool) {
 			logf("server: shard %d panic: %v", s.id, r)
 		}
 	}()
+	if s.needRecover {
+		s.recoverFromLog()
+		s.needRecover = false
+	}
+	s.ready.Store(true)
 	for msg := range s.ch {
 		s.handle(msg)
 	}
 	return true
 }
 
+// recoverFromLog rebuilds the shard's processors from its checkpoint
+// plus a replay of the log tail (or the whole log when no checkpoint is
+// usable), runs on the shard goroutine before the message loop — at
+// boot, and again after every supervised panic. Replay feeds the
+// processors the exact recorded batches in the exact recorded order, so
+// the recovered state is bit-identical to an uninterrupted shard's; it
+// bypasses the fault injector's batch hook (an injected panic is a
+// property of live traffic, not of the data) and bumps no epochs (the
+// restart already invalidated every cached view of this shard).
+func (s *shard) recoverFromLog() {
+	from := uint64(1)
+	restored := false
+	s.freshCoresets()
+	s.ingested.Store(0)
+	s.batches.Store(0)
+	s.deleted.Store(0)
+	if s.ckptPayload != nil {
+		var ck shardCheckpoint
+		err := gob.NewDecoder(bytes.NewReader(s.ckptPayload)).Decode(&ck)
+		if err == nil {
+			err = s.edge.Restore(ck.Edge)
+		}
+		if err == nil {
+			err = s.proxy.Restore(ck.Proxy)
+		}
+		if err != nil {
+			logf("server: shard %d: checkpoint unusable (%v), replaying the full log", s.id, err)
+			s.freshCoresets() // edge may have restored before proxy failed
+			s.ckptPayload, s.ckptSeq = nil, 1
+		} else {
+			restored = true
+			from = s.ckptSeq
+			s.ingested.Store(ck.Ingested)
+			s.batches.Store(ck.Batches)
+			s.deleted.Store(ck.Deleted)
+			if ck.Dim != 0 {
+				s.srvDim.CompareAndSwap(0, ck.Dim)
+			}
+			s.ckptEdgeGen, s.ckptProxGen = generation(s.edge), generation(s.proxy)
+			// The file's write time is gone; stamp the restore so
+			// checkpoint_age_ms is present (and sane) once one exists.
+			s.lastCkptMS.Store(time.Now().UnixMilli())
+			// Only now that the checkpoint has proven restorable may
+			// compaction drop the segments it covers.
+			s.log.SetCompactFloor(s.ckptSeq)
+		}
+	}
+	replayed := int64(0)
+	if s.replayTo >= from {
+		err := s.log.Replay(from, s.replayTo, func(r wal.Record) error {
+			switch r.Kind {
+			case wal.KindIngest:
+				s.edge.ProcessBatch(r.Points)
+				s.proxy.ProcessBatch(r.Points)
+				s.ingested.Add(int64(len(r.Points)))
+				s.batches.Add(1)
+				s.lastBatch.Store(int64(len(r.Points)))
+			case wal.KindDelete:
+				removed := 0
+				for _, p := range r.Points {
+					if max(s.edge.Delete(p), s.proxy.Delete(p)) != divmax.DeleteAbsent {
+						removed++
+					}
+				}
+				s.deleted.Add(int64(removed))
+			}
+			if len(r.Points) > 0 {
+				s.srvDim.CompareAndSwap(0, int64(len(r.Points[0])))
+				replayed += int64(len(r.Points))
+			}
+			return nil
+		})
+		if err != nil {
+			// The log cannot reproduce the acknowledged stream. Surface it
+			// as a panic: the supervisor retries, and if the log really is
+			// unusable the restart budget turns this into an honest
+			// permanent failure instead of silently serving partial data.
+			panic(fmt.Sprintf("shard %d: wal replay: %v", s.id, err))
+		}
+	}
+	s.lastSeq = s.replayTo
+	s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+	s.replayed.Add(replayed)
+	if restored || replayed > 0 {
+		s.recoveries.Add(1)
+		logf("server: shard %d recovered (checkpoint: %v, %d points replayed through seq %d)",
+			s.id, restored, replayed, s.replayTo)
+	}
+	// Fold the tail into a fresh checkpoint so the next recovery starts
+	// from here instead of re-replaying the same records.
+	if s.lastSeq+1 > s.ckptSeq {
+		if err := s.writeCheckpoint(); err != nil {
+			logf("server: shard %d: post-recovery checkpoint: %v", s.id, err)
+		}
+	}
+}
+
+// generationer is satisfied by both StreamCoreset families (their
+// processors count restructure events); the eager-checkpoint trigger
+// reads it to notice that earlier log records became redundant.
+type generationer interface{ Generation() uint64 }
+
+func generation(c divmax.StreamCoreset[divmax.Vector]) uint64 {
+	if g, ok := c.(generationer); ok {
+		return g.Generation()
+	}
+	return 0
+}
+
+// writeCheckpoint serializes both processors and the counters into the
+// shard's checkpoint file, covering everything folded so far. Runs on
+// the shard goroutine only; appenders keep running (WriteCheckpoint
+// never takes the append mutex).
+func (s *shard) writeCheckpoint() error {
+	edge, err := s.edge.Checkpoint()
+	if err != nil {
+		return err
+	}
+	proxy, err := s.proxy.Checkpoint()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(shardCheckpoint{
+		Edge:     edge,
+		Proxy:    proxy,
+		Ingested: s.ingested.Load(),
+		Batches:  s.batches.Load(),
+		Deleted:  s.deleted.Load(),
+		Dim:      s.srvDim.Load(),
+	}); err != nil {
+		return err
+	}
+	next := s.lastSeq + 1
+	if err := s.log.WriteCheckpoint(buf.Bytes(), next); err != nil {
+		return err
+	}
+	s.ckptPayload, s.ckptSeq = buf.Bytes(), next
+	s.ckptEdgeGen, s.ckptProxGen = generation(s.edge), generation(s.proxy)
+	s.lastCkptMS.Store(time.Now().UnixMilli())
+	return nil
+}
+
+// maybeCheckpoint is the restructure-triggered eager checkpoint: once a
+// processor's generation moves (a merge phase or an evicting delete),
+// the records before it can never make earlier cached views patchable
+// again, so — given enough accumulated records to be worth the write —
+// checkpoint now and let compaction drop the covered segments rather
+// than waiting for the ticker.
+func (s *shard) maybeCheckpoint() {
+	if s.log == nil || s.lastSeq+1-s.ckptSeq < ckptMinRecords {
+		return
+	}
+	if generation(s.edge) == s.ckptEdgeGen && generation(s.proxy) == s.ckptProxGen {
+		return
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		logf("server: shard %d: checkpoint: %v", s.id, err)
+	}
+}
+
 // handle processes one message. It may panic (a poisoned batch, a
 // corrupt processor, an injected fault); serve's recover turns that
 // into a supervisor event.
 func (s *shard) handle(msg shardMsg) {
+	if msg.ckpt {
+		if s.log != nil && s.lastSeq+1 > s.ckptSeq {
+			if err := s.writeCheckpoint(); err != nil {
+				logf("server: shard %d: checkpoint: %v", s.id, err)
+			}
+		}
+		return
+	}
+	// Record the message as folded BEFORE touching the processors: its
+	// WAL record is already on disk (Append wrote it before delivering),
+	// so if the fold panics the replay includes this very message and
+	// the restart loses nothing.
+	if msg.seq != 0 {
+		s.lastSeq = msg.seq
+	}
 	if msg.snap != nil {
 		reply := snapReply{epoch: s.procEpoch.Load()}
 		// Translate the requester's generation out of this incarnation's
@@ -275,6 +563,7 @@ func (s *shard) handle(msg shardMsg) {
 		}
 		s.deleted.Add(int64(removed))
 		s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+		s.maybeCheckpoint()
 		if !s.inj.Delete(s.id) {
 			return // injected reply drop
 		}
@@ -295,6 +584,7 @@ func (s *shard) handle(msg shardMsg) {
 	s.batches.Add(1)
 	s.lastBatch.Store(int64(len(batch)))
 	s.stored.Store(int64(s.edge.StoredPoints() + s.proxy.StoredPoints()))
+	s.maybeCheckpoint()
 	putVecSlice(msg.batch)
 }
 

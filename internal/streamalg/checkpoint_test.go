@@ -1,0 +1,178 @@
+package streamalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"divmax/internal/metric"
+)
+
+func randVecs(rng *rand.Rand, n, d int) []metric.Vector {
+	out := make([]metric.Vector, n)
+	for i := range out {
+		v := make(metric.Vector, d)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 100
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// driveBoth feeds the same interleave of inserts and deletes to two
+// processors through a common op script, so a restored processor and an
+// uninterrupted twin see identical suffixes.
+type smmLike interface {
+	ProcessBatch([]metric.Vector)
+	Delete(metric.Vector) DeleteOutcome
+	Result() []metric.Vector
+	Generation() uint64
+	AppendLogLen() int
+	Processed() int64
+	StoredPoints() int
+	Threshold() float64
+	Checkpoint() ([]byte, error)
+	Restore([]byte) error
+}
+
+func drive(p smmLike, pts []metric.Vector, deletes []metric.Vector) {
+	for i := 0; i < len(pts); i += 7 {
+		end := min(i+7, len(pts))
+		p.ProcessBatch(pts[i:end])
+		if di := i / 7; di < len(deletes) {
+			p.Delete(deletes[di])
+		}
+	}
+}
+
+// assertIdentical pins the full observable surface of two processors
+// against each other, bit for bit.
+func assertIdentical(t *testing.T, a, b smmLike) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Result(), b.Result()) {
+		t.Fatalf("Result diverged:\n%v\nvs\n%v", a.Result(), b.Result())
+	}
+	if a.Generation() != b.Generation() {
+		t.Fatalf("Generation %d vs %d", a.Generation(), b.Generation())
+	}
+	if a.AppendLogLen() != b.AppendLogLen() {
+		t.Fatalf("AppendLogLen %d vs %d", a.AppendLogLen(), b.AppendLogLen())
+	}
+	if a.Processed() != b.Processed() {
+		t.Fatalf("Processed %d vs %d", a.Processed(), b.Processed())
+	}
+	if a.StoredPoints() != b.StoredPoints() {
+		t.Fatalf("StoredPoints %d vs %d", a.StoredPoints(), b.StoredPoints())
+	}
+	if a.Threshold() != b.Threshold() {
+		t.Fatalf("Threshold %x vs %x", a.Threshold(), b.Threshold())
+	}
+}
+
+// TestCheckpointRestoreBitIdentical processes a prefix, checkpoints,
+// restores into a fresh processor, then feeds BOTH processors the same
+// suffix (with deletes interleaved) and requires every observable to
+// stay bit-identical — the property divmaxd's crash recovery is built
+// on. Covered: SMM with and without spares, SMMExt, mid-init and
+// post-phase checkpoints.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randVecs(rng, 600, 4)
+	dels := append([]metric.Vector{}, pts[3], pts[50], pts[200], randVecs(rng, 1, 4)[0])
+
+	cases := []struct {
+		name  string
+		fresh func() smmLike
+		cut   int // checkpoint after this many prefix points
+	}{
+		{"smm", func() smmLike { return NewSMM[metric.Vector](4, 10, metric.Euclidean) }, 300},
+		{"smm-mid-init", func() smmLike { return NewSMM[metric.Vector](4, 10, metric.Euclidean) }, 5},
+		{"smm-spares", func() smmLike {
+			s := NewSMM[metric.Vector](4, 10, metric.Euclidean)
+			s.SetSpareCap(2)
+			return s
+		}, 300},
+		{"smmext", func() smmLike { return NewSMMExt[metric.Vector](4, 10, metric.Euclidean) }, 300},
+		{"smmext-mid-init", func() smmLike { return NewSMMExt[metric.Vector](4, 10, metric.Euclidean) }, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.fresh()
+			orig.ProcessBatch(pts[:tc.cut])
+			orig.Delete(pts[1])
+			ck, err := orig.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := tc.fresh()
+			if err := restored.Restore(ck); err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, orig, restored)
+			drive(orig, pts[tc.cut:], dels)
+			drive(restored, pts[tc.cut:], dels)
+			assertIdentical(t, orig, restored)
+		})
+	}
+}
+
+// TestCheckpointIsStable pins that checkpointing is read-only and
+// repeatable: two consecutive checkpoints are byte-identical and the
+// processor keeps working.
+func TestCheckpointIsStable(t *testing.T) {
+	s := NewSMM[metric.Vector](3, 6, metric.Euclidean)
+	s.SetSpareCap(1)
+	s.ProcessBatch(randVecs(rand.New(rand.NewSource(7)), 100, 3))
+	a, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("consecutive checkpoints differ")
+	}
+	s.Process(metric.Vector{1, 2, 3})
+}
+
+// TestRestoreRejectsMismatch pins the fail-closed contract: state from
+// a differently-parameterized processor is rejected and the target is
+// left untouched (so the caller can fall back to raw-point replay).
+func TestRestoreRejectsMismatch(t *testing.T) {
+	src := NewSMM[metric.Vector](4, 10, metric.Euclidean)
+	src.ProcessBatch(randVecs(rand.New(rand.NewSource(9)), 200, 2))
+	ck, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewSMM[metric.Vector](4, 12, metric.Euclidean)
+	if err := dst.Restore(ck); err == nil {
+		t.Fatal("restore with mismatched k' accepted")
+	}
+	if dst.Processed() != 0 || len(dst.Result()) != 0 {
+		t.Fatal("failed restore mutated the processor")
+	}
+
+	ext := NewSMMExt[metric.Vector](4, 10, metric.Euclidean)
+	if err := ext.Restore(ck); err == nil {
+		t.Fatal("SMMExt restore of SMM state accepted")
+	}
+	if err := ext.Restore([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+
+	extSrc := NewSMMExt[metric.Vector](4, 10, metric.Euclidean)
+	extSrc.ProcessBatch(randVecs(rand.New(rand.NewSource(9)), 200, 2))
+	eck, err := extSrc.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2 := NewSMMExt[metric.Vector](5, 10, metric.Euclidean)
+	if err := ext2.Restore(eck); err == nil {
+		t.Fatal("SMMExt restore with mismatched k accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file: a single opaque payload (the host's serialized shard
+// state) plus the first sequence number not covered by it, written to a
+// temp file and atomically renamed over the previous checkpoint. A
+// crash at any point leaves either the old checkpoint or the new one —
+// never a torn mix — and recovery falls back to a longer log replay if
+// the file is missing or fails its CRC.
+//
+// Layout, little-endian:
+//
+//	8-byte magic | u32 version | u64 nextSeq | u32 payload length |
+//	u32 CRC32C(payload) | payload
+const (
+	ckptName    = "checkpoint.ckpt"
+	ckptTmpName = "checkpoint.tmp"
+	ckptMagic   = "DVMXCKP1"
+	ckptHeader  = 8 + 4 + 8 + 4 + 4
+	ckptVersion = 1
+)
+
+// WriteCheckpoint atomically replaces the checkpoint with payload,
+// recording nextSeq as the first sequence number a recovery must still
+// replay after restoring it. On success the compaction floor advances
+// and the next append rotates the active segment, so sealed segments
+// the checkpoint covers get dropped. It never takes the append mutex —
+// the host's shard goroutine calls it while appenders keep running.
+func (l *Log) WriteCheckpoint(payload []byte, nextSeq uint64) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	buf := make([]byte, ckptHeader+len(payload))
+	copy(buf, ckptMagic)
+	binary.LittleEndian.PutUint32(buf[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(buf[12:], nextSeq)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(payload, castagnoli))
+	copy(buf[ckptHeader:], payload)
+
+	tmp := filepath.Join(l.opts.Dir, ckptTmpName)
+	if h := l.opts.CheckpointHook; h != nil {
+		if n := h(len(buf)); n >= 0 && n < len(buf) {
+			// Injected mid-checkpoint crash: leave a torn tmp file (the
+			// previous checkpoint, if any, stays valid) and disable the
+			// log.
+			os.WriteFile(tmp, buf[:n], 0o644)
+			l.crashed.Store(true)
+			return fmt.Errorf("wal: injected crash after %d of %d checkpoint bytes: %w", n, len(buf), ErrCrashed)
+		}
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.opts.Dir, ckptName)); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	syncDir(l.opts.Dir)
+	l.SetCompactFloor(nextSeq)
+	return nil
+}
+
+// loadCheckpoint reads and validates the checkpoint file at Open; any
+// failure (missing file, bad magic, bad CRC) simply means recovery
+// replays the full log.
+func (l *Log) loadCheckpoint() {
+	data, err := os.ReadFile(filepath.Join(l.opts.Dir, ckptName))
+	if err != nil {
+		return
+	}
+	if len(data) < ckptHeader || string(data[:8]) != ckptMagic {
+		Logf("wal: %s: checkpoint header invalid, ignoring", l.opts.Dir)
+		return
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptVersion {
+		Logf("wal: %s: checkpoint version %d (want %d), ignoring", l.opts.Dir, v, ckptVersion)
+		return
+	}
+	nextSeq := binary.LittleEndian.Uint64(data[12:])
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	if n < 0 || len(data) != ckptHeader+n {
+		Logf("wal: %s: checkpoint truncated, ignoring", l.opts.Dir)
+		return
+	}
+	payload := data[ckptHeader:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[24:]) {
+		Logf("wal: %s: checkpoint CRC mismatch, ignoring", l.opts.Dir)
+		return
+	}
+	l.ckptPayload, l.ckptNext, l.ckptOK = payload, nextSeq, true
+}
+
+// syncDir fsyncs a directory so a rename survives a power cut;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

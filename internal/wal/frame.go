@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+
+	"divmax/internal/metric"
+)
+
+// Vector is the point type the log stores — the same dense vectors the
+// server ingests (divmax.Vector is an alias of metric.Vector, so server
+// batches flow through without conversion).
+type Vector = metric.Vector
+
+// Kind tags what a record replays as.
+type Kind uint8
+
+const (
+	// KindIngest: fold the points with ProcessBatch, in order.
+	KindIngest Kind = 1
+	// KindDelete: apply Delete per point, in order.
+	KindDelete Kind = 2
+)
+
+// Record is one logged operation.
+type Record struct {
+	Kind   Kind
+	Seq    uint64
+	Points []Vector
+}
+
+// Frame layout, all little-endian:
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// payload:
+//
+//	u8 kind | u64 seq | u32 dim | u32 count | count·dim float64 bits
+//
+// The CRC covers the payload only; a torn length prefix fails the
+// bounds checks, a torn payload fails the CRC — either way the frame
+// and everything after it is discarded by recovery.
+const (
+	frameHeader   = 8
+	payloadHeader = 1 + 8 + 4 + 4
+	// maxFrame bounds a single record well above the largest ingest
+	// body the server accepts, so a corrupt length prefix cannot drive
+	// a giant allocation during recovery.
+	maxFrame = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errStopWalk is the sentinel a walkFrames callback returns to stop the
+// walk cleanly.
+var errStopWalk = errors.New("wal: stop walk")
+
+// appendFrame encodes one record onto buf.
+func appendFrame(buf []byte, kind Kind, seq uint64, pts []Vector) []byte {
+	dim := 0
+	if len(pts) > 0 {
+		dim = len(pts[0])
+	}
+	payloadLen := payloadHeader + len(pts)*dim*8
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeader+payloadLen)...)
+	payload := buf[start+frameHeader:]
+	payload[0] = byte(kind)
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(dim))
+	binary.LittleEndian.PutUint32(payload[13:], uint32(len(pts)))
+	off := payloadHeader
+	for _, p := range pts {
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(x))
+			off += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodePayload rebuilds a record from a CRC-verified payload.
+func decodePayload(payload []byte) (Record, bool) {
+	if len(payload) < payloadHeader {
+		return Record{}, false
+	}
+	kind := Kind(payload[0])
+	if kind != KindIngest && kind != KindDelete {
+		return Record{}, false
+	}
+	seq := binary.LittleEndian.Uint64(payload[1:])
+	dim := int(binary.LittleEndian.Uint32(payload[9:]))
+	count := int(binary.LittleEndian.Uint32(payload[13:]))
+	if seq == 0 || dim < 0 || count < 0 || len(payload) != payloadHeader+count*dim*8 {
+		return Record{}, false
+	}
+	pts := make([]Vector, count)
+	off := payloadHeader
+	for i := range pts {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+		pts[i] = v
+	}
+	return Record{Kind: kind, Seq: seq, Points: pts}, true
+}
+
+// walkFrames validates data frame by frame, calling fn (when non-nil)
+// for each well-formed record. want is the expected sequence number of
+// the first frame (0 accepts any); subsequent frames must be
+// contiguous. It returns the number of valid bytes before the first
+// damage (len(data) when clean), the first and last sequence numbers
+// seen (0 when none), whether damage was found, and any error from fn
+// (errStopWalk stops cleanly and is not returned).
+func walkFrames(data []byte, want uint64, fn func(Record) error) (valid int64, first, last uint64, damaged bool, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return int64(off), first, last, true, nil
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		if payloadLen < payloadHeader || payloadLen > maxFrame || len(data)-off-frameHeader < payloadLen {
+			return int64(off), first, last, true, nil
+		}
+		payload := data[off+frameHeader : off+frameHeader+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return int64(off), first, last, true, nil
+		}
+		rec, ok := decodePayload(payload)
+		if !ok || (want != 0 && rec.Seq != want) {
+			return int64(off), first, last, true, nil
+		}
+		if fn != nil {
+			if ferr := fn(rec); ferr != nil {
+				if errors.Is(ferr, errStopWalk) {
+					return int64(off + frameHeader + payloadLen), firstOr(first, rec.Seq), rec.Seq, false, nil
+				}
+				return int64(off), first, last, false, ferr
+			}
+		}
+		first = firstOr(first, rec.Seq)
+		last = rec.Seq
+		want = rec.Seq + 1
+		off += frameHeader + payloadLen
+	}
+	return int64(off), first, last, false, nil
+}
+
+func firstOr(first, seq uint64) uint64 {
+	if first == 0 {
+		return seq
+	}
+	return first
+}

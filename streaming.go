@@ -75,6 +75,21 @@ type StreamCoreset[P any] interface {
 	Delete(p P) DeleteOutcome
 	// StoredPoints reports current memory use in points.
 	StoredPoints() int
+	// Checkpoint serializes the processor's complete state — centers,
+	// delegates, spares, thresholds, generation counters, append log —
+	// so a durable host can persist the core-set mid-stream and resume
+	// it with Restore after a crash. Float values round-trip as exact
+	// bit patterns: a restored processor fed the same stream suffix is
+	// bit-identical to one that was never interrupted. Same concurrency
+	// contract as Snapshot.
+	Checkpoint() ([]byte, error)
+	// Restore replaces the processor's state with a checkpoint taken
+	// from a processor with identical construction parameters (measure
+	// family, k, k′); mismatched parameters are rejected with an error
+	// and the processor is left unchanged — callers then rebuild by
+	// replaying raw points instead. Same concurrency contract as
+	// Process.
+	Restore(data []byte) error
 }
 
 // DeleteOutcome reports what a StreamCoreset.Delete removed: nothing
