@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos durability bench bench-json fmt vet ci
+.PHONY: build test race chaos cluster-chaos durability bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,15 @@ race:
 chaos:
 	$(GO) test -race -timeout 120s ./internal/faults ./internal/server ./internal/wal
 
+# The multi-node coordinator tier under the race detector: worker kill /
+# restart with WAL replay and bit-identical recovery against an
+# uninterrupted twin, flaky links answered by hedging, rate-limited
+# workers backed off without starving ingest, quorum fail-closed
+# behavior, and the retry/backoff schedule — with per-test
+# goroutine-leak checks.
+cluster-chaos:
+	$(GO) test -race -timeout 180s ./internal/cluster ./internal/faults
+
 # The crash-recovery paths with the strictest fsync policy forced onto
 # every WAL, so the durability contract is exercised with a real fsync
 # per record, not just the test default.
@@ -35,18 +44,19 @@ durability:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Regenerate the performance trajectory (BENCH_PR8.json): GMM fast vs
+# Regenerate the performance trajectory (BENCH_PR9.json): GMM fast vs
 # pre-PR-2 generic, SMM ingest, end-to-end divmaxd throughput, the
 # round-2 solve path (matrix vs generic), cached vs cold /query, the
 # sharded/tiled solve-parallel worker sweep, the incremental_ingest
 # churn suite (delta-patched cache vs forced full rebuilds), the
 # dynamic_churn insert/delete/query interleave over the /v1 API, the
-# overload write-storm (load shedding on vs off), and the durability
-# suite (WAL fsync overhead, checkpoint vs cold-replay recovery). CI
-# uploads the JSON as an artifact alongside the committed BENCH_PR*.json
-# baselines.
+# overload write-storm (load shedding on vs off), the durability suite
+# (WAL fsync overhead, checkpoint vs cold-replay recovery), and the
+# cluster suite (the coordinator tier healthy vs a flaky worker link,
+# hedging off vs on). CI uploads the JSON as an artifact alongside the
+# committed BENCH_PR*.json baselines.
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_PR8.json
+	$(GO) run ./cmd/bench -out BENCH_PR9.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance-trajectory benchmarks
-// and writes the results as JSON (BENCH_PR8.json in the repo root, via
+// and writes the results as JSON (BENCH_PR9.json in the repo root, via
 // `make bench-json`), so successive PRs have a committed baseline to
 // compare against.
 //
@@ -57,6 +57,19 @@
 //     closed one (no checkpoint, every record replayed from seq 1). The
 //     gate requires checkpoint recovery to beat the from-zero replay at
 //     n = 100k.
+//   - cluster: the multi-node coordinator tier end to end — three real
+//     workers behind loopback HTTP fronted by the coordinator, a bulk
+//     ingest through the consistent-hash ring, then steady-state churn
+//     rounds (a one-point ingest, then a query whose round-1 snapshot
+//     fan re-reads every worker). Scenarios: all links healthy versus
+//     worker 1 with a flaky snapshot link (every other request
+//     delayed — the regime request hedging is built for), each with
+//     hedging off and on. The gate requires hedging to cut the flaky
+//     link's worst-round query latency.
+//
+// Every suite drives its servers through the cluster worker client
+// (internal/cluster.Client), so the retry/backoff/typed-decode policy
+// the coordinator tier runs on is exercised by every benchmark run.
 //
 // Every measurement interleaves the contending paths rep by rep and
 // reports the per-path minimum, so slow-neighbour noise on shared
@@ -64,8 +77,9 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -80,6 +94,7 @@ import (
 
 	"divmax"
 	"divmax/internal/api"
+	"divmax/internal/cluster"
 	"divmax/internal/coreset"
 	"divmax/internal/faults"
 	"divmax/internal/metric"
@@ -302,11 +317,28 @@ type durabilityRecoveryCase struct {
 	Speedup        float64 `json:"speedup"`
 }
 
-// statsSnapshot is the slice of /stats the incremental suite reads.
-type statsSnapshot struct {
-	DeltaPatches int64 `json:"delta_patches"`
-	FullRebuilds int64 `json:"full_rebuilds"`
-	TiledSolves  int64 `json:"tiled_solves"`
+type clusterCase struct {
+	Workers  int    `json:"workers"`
+	N        int    `json:"n_ingested"`
+	Dim      int    `json:"dim"`
+	MaxK     int    `json:"maxk"`
+	Rounds   int    `json:"rounds"`
+	Scenario string `json:"scenario"`
+	// HedgeMS is the coordinator's fixed hedge delay (-1 = hedging
+	// disabled). A round is a one-point /v1/ingest through the ring
+	// followed by one remote-clique /v1/query; the coordinator's
+	// round-1 snapshot fan re-reads every worker on every query, so a
+	// flaky snapshot link shows up directly in query latency — and
+	// bounding that is hedging's job. Max/Avg are per-round query wall
+	// times; Hedged and Retries sum the coordinator's per-worker
+	// counters over the run.
+	HedgeMS    float64 `json:"hedge_after_ms"`
+	IngestMS   float64 `json:"ingest_ms"`
+	IngestPtsS float64 `json:"ingest_points_per_sec"`
+	QueryMaxMS float64 `json:"query_max_ms"`
+	QueryAvgMS float64 `json:"query_avg_ms"`
+	Hedged     int64   `json:"hedged_requests"`
+	Retries    int64   `json:"retries"`
 }
 
 type report struct {
@@ -329,6 +361,15 @@ type report struct {
 	Overload      []overloadCase           `json:"overload"`
 	Durability    []durabilityCase         `json:"durability"`
 	DurabilityRec []durabilityRecoveryCase `json:"durability_recovery"`
+	Cluster       []clusterCase            `json:"cluster"`
+}
+
+// bclient wraps a test server in the cluster worker client, the shared
+// retry/typed-decode layer every suite drives its HTTP through.
+func bclient(ts *httptest.Server, cfg cluster.ClientConfig) *cluster.Client {
+	cfg.BaseURL = ts.URL
+	cfg.HTTPClient = ts.Client()
+	return cluster.NewClient(cfg)
 }
 
 func randomVectors(rng *rand.Rand, n, dim int) []metric.Vector {
@@ -436,14 +477,15 @@ func minTimeN(reps int, fns ...func()) []time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	reps := flag.Int("reps", 5, "repetitions per measurement (minimum is reported)")
 	flag.Parse()
 
+	ctx := context.Background()
 	sizes := []int{10000, 100000}
 	dims := []int{2, 8, 32}
 	rep := report{
-		PR:      8,
+		PR:      9,
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -528,7 +570,7 @@ func main() {
 			bodies := make([][]byte, 0, (n+ingestBatch-1)/ingestBatch)
 			for lo := 0; lo < n; lo += ingestBatch {
 				hi := min(lo+ingestBatch, n)
-				body, err := json.Marshal(map[string][]metric.Vector{"points": pts[lo:hi]})
+				body, err := json.Marshal(api.IngestRequest{Points: pts[lo:hi]})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "bench:", err)
 					os.Exit(1)
@@ -541,33 +583,23 @@ func main() {
 				os.Exit(1)
 			}
 			ts := httptest.NewServer(srv.Handler())
-			client := ts.Client()
+			c := bclient(ts, cluster.ClientConfig{})
 			ingest := minTime(1, func() {
 				for _, body := range bodies {
-					resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
-					if err != nil || resp.StatusCode != http.StatusOK {
-						fmt.Fprintln(os.Stderr, "bench: ingest failed:", err, resp)
+					if _, err := c.IngestBody(ctx, body); err != nil {
+						fmt.Fprintln(os.Stderr, "bench: ingest failed:", err)
 						os.Exit(1)
 					}
-					resp.Body.Close()
 				}
 			})
 			var edgeSize int
 			query := func(measure string) float64 {
 				best := minTime(*reps, func() {
-					resp, err := client.Get(ts.URL + "/query?k=16&measure=" + measure)
-					if err != nil || resp.StatusCode != http.StatusOK {
-						fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+					qr, err := c.Query(ctx, measure, 16)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "bench: query failed:", err)
 						os.Exit(1)
 					}
-					var qr struct {
-						CoresetSize int `json:"coreset_size"`
-					}
-					if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-						fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
-						os.Exit(1)
-					}
-					resp.Body.Close()
 					if measure == "remote-edge" {
 						edgeSize = qr.CoresetSize
 					}
@@ -689,19 +721,12 @@ func main() {
 			os.Exit(1)
 		}
 		ts := httptest.NewServer(srv.Handler())
-		client := ts.Client()
+		c := bclient(ts, cluster.ClientConfig{})
 		ingest := func(batch []metric.Vector) {
-			body, err := json.Marshal(map[string][]metric.Vector{"points": batch})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bench:", err)
+			if _, err := c.Ingest(ctx, batch); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: ingest failed:", err)
 				os.Exit(1)
 			}
-			resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
-			if err != nil || resp.StatusCode != http.StatusOK {
-				fmt.Fprintln(os.Stderr, "bench: ingest failed:", err, resp)
-				os.Exit(1)
-			}
-			resp.Body.Close()
 		}
 		for lo := 0; lo < n; lo += ingestBatch {
 			ingest(pts[lo:min(lo+ingestBatch, n)])
@@ -709,20 +734,11 @@ func main() {
 		var size int
 		query := func(wantCached bool) time.Duration {
 			start := time.Now()
-			resp, err := client.Get(ts.URL + "/query?k=16&measure=remote-clique")
-			if err != nil || resp.StatusCode != http.StatusOK {
-				fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+			qr, err := c.Query(ctx, "remote-clique", 16)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: query failed:", err)
 				os.Exit(1)
 			}
-			var qr struct {
-				Cached      bool `json:"cached"`
-				CoresetSize int  `json:"coreset_size"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-				fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
-				os.Exit(1)
-			}
-			resp.Body.Close()
 			elapsed := time.Since(start)
 			if qr.Cached != wantCached {
 				fmt.Fprintf(os.Stderr, "bench: query cached=%v, want %v\n", qr.Cached, wantCached)
@@ -853,7 +869,7 @@ func main() {
 			rounds     = 10
 			roundBatch = 100
 		)
-		churn := func(deltaBudget float64) (minRound, avgRound time.Duration, st statsSnapshot, union int) {
+		churn := func(deltaBudget float64) (minRound, avgRound time.Duration, st api.StatsResponse, union int) {
 			rng := rand.New(rand.NewSource(int64(7000 + cc.maxK)))
 			pts := randomVectors(rng, n+rounds*roundBatch, dim)
 			srv, err := server.New(server.Config{
@@ -865,37 +881,22 @@ func main() {
 			}
 			ts := httptest.NewServer(srv.Handler())
 			defer func() { ts.Close(); srv.Close() }()
-			client := ts.Client()
+			c := bclient(ts, cluster.ClientConfig{})
 			ingest := func(batch []metric.Vector) {
-				body, err := json.Marshal(map[string][]metric.Vector{"points": batch})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "bench:", err)
+				if _, err := c.Ingest(ctx, batch); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: ingest failed:", err)
 					os.Exit(1)
 				}
-				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
-				if err != nil || resp.StatusCode != http.StatusOK {
-					fmt.Fprintln(os.Stderr, "bench: ingest failed:", err, resp)
-					os.Exit(1)
-				}
-				resp.Body.Close()
 			}
 			for lo := 0; lo < n; lo += ingestBatch {
 				ingest(pts[lo:min(lo+ingestBatch, n)])
 			}
 			query := func() int {
-				resp, err := client.Get(fmt.Sprintf("%s/query?k=%d&measure=remote-clique", ts.URL, cc.maxK))
-				if err != nil || resp.StatusCode != http.StatusOK {
-					fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+				qr, err := c.Query(ctx, "remote-clique", cc.maxK)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench: query failed:", err)
 					os.Exit(1)
 				}
-				var qr struct {
-					CoresetSize int `json:"coreset_size"`
-				}
-				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-					fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
-					os.Exit(1)
-				}
-				resp.Body.Close()
 				return qr.CoresetSize
 			}
 			query() // build the initial cached state outside the timed rounds
@@ -913,16 +914,10 @@ func main() {
 				}
 			}
 			avgRound = sum / rounds
-			resp, err := client.Get(ts.URL + "/stats")
-			if err != nil || resp.StatusCode != http.StatusOK {
-				fmt.Fprintln(os.Stderr, "bench: stats failed:", err, resp)
+			if st, err = c.Stats(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: stats failed:", err)
 				os.Exit(1)
 			}
-			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-				fmt.Fprintln(os.Stderr, "bench: decoding stats:", err)
-				os.Exit(1)
-			}
-			resp.Body.Close()
 			return minRound, avgRound, st, union
 		}
 		patchedMin, patchedAvg, patchedStats, union := churn(0) // 0 = the default budget
@@ -981,35 +976,21 @@ func main() {
 			}
 			ts := httptest.NewServer(srv.Handler())
 			defer func() { ts.Close(); srv.Close() }()
-			client := ts.Client()
-			post := func(path string, v any) {
-				body, err := json.Marshal(v)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "bench:", err)
+			c := bclient(ts, cluster.ClientConfig{})
+			ingest := func(batch []metric.Vector) {
+				if _, err := c.Ingest(ctx, batch); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: ingest failed:", err)
 					os.Exit(1)
 				}
-				resp, err := client.Post(ts.URL+api.Prefix+path, "application/json", bytes.NewReader(body))
-				if err != nil || resp.StatusCode != http.StatusOK {
-					fmt.Fprintf(os.Stderr, "bench: POST %s failed: %v %v\n", path, err, resp)
-					os.Exit(1)
-				}
-				resp.Body.Close()
 			}
 			for lo := 0; lo < chN; lo += ingestBatch {
-				post("/ingest", api.IngestRequest{Points: pts[lo:min(lo+ingestBatch, chN)]})
+				ingest(pts[lo:min(lo+ingestBatch, chN)])
 			}
 			query := func() {
-				resp, err := client.Get(fmt.Sprintf("%s%s/query?k=%d&measure=%s", ts.URL, api.Prefix, chMaxK, chMeasure))
-				if err != nil || resp.StatusCode != http.StatusOK {
-					fmt.Fprintln(os.Stderr, "bench: query failed:", err, resp)
+				if _, err := c.Query(ctx, chMeasure, chMaxK); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: query failed:", err)
 					os.Exit(1)
 				}
-				var qr api.QueryResponse
-				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-					fmt.Fprintln(os.Stderr, "bench: decoding query response:", err)
-					os.Exit(1)
-				}
-				resp.Body.Close()
 			}
 			query() // build the initial cached state outside the timed rounds
 			minRound = time.Duration(math.MaxInt64)
@@ -1021,8 +1002,11 @@ func main() {
 					dels[i] = pts[rng.Intn(lo)]
 				}
 				start := time.Now()
-				post("/ingest", api.IngestRequest{Points: pts[lo : lo+chBatch]})
-				post("/delete", api.DeleteRequest{Points: dels})
+				ingest(pts[lo : lo+chBatch])
+				if _, err := c.Delete(ctx, dels, false); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: delete failed:", err)
+					os.Exit(1)
+				}
 				query()
 				el := time.Since(start)
 				sum += el
@@ -1031,16 +1015,10 @@ func main() {
 				}
 			}
 			avgRound = sum / chRounds
-			resp, err := client.Get(ts.URL + api.Prefix + "/stats")
-			if err != nil || resp.StatusCode != http.StatusOK {
-				fmt.Fprintln(os.Stderr, "bench: stats failed:", err, resp)
+			if st, err = c.Stats(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: stats failed:", err)
 				os.Exit(1)
 			}
-			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-				fmt.Fprintln(os.Stderr, "bench: decoding stats:", err)
-				os.Exit(1)
-			}
-			resp.Body.Close()
 			return minRound, avgRound, st
 		}
 		patchedMin, patchedAvg, patchedStats := churn(0) // 0 = the default budget
@@ -1103,6 +1081,10 @@ func main() {
 			}
 			ts := httptest.NewServer(srv.Handler())
 			defer func() { ts.Close(); srv.Close() }()
+			// Retries disabled: the suite counts every raw 429 the shedder
+			// returns, so the client must surface them instead of backing
+			// off and retrying into an eventual accept.
+			c := bclient(ts, cluster.ClientConfig{MaxRetries: -1})
 			rng := rand.New(rand.NewSource(77))
 			pts := randomVectors(rng, ovWriters*ovRequests*ovBatch, ovDim)
 			var acc, rej, unexpected, maxNS, sumNS atomic.Int64
@@ -1111,7 +1093,6 @@ func main() {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					client := ts.Client()
 					for r := 0; r < ovRequests; r++ {
 						lo := (w*ovRequests + r) * ovBatch
 						body, err := json.Marshal(api.IngestRequest{Points: pts[lo : lo+ovBatch]})
@@ -1120,17 +1101,13 @@ func main() {
 							return
 						}
 						start := time.Now()
-						resp, err := client.Post(ts.URL+api.Prefix+"/ingest", "application/json", bytes.NewReader(body))
+						_, err = c.IngestBody(ctx, body)
 						el := int64(time.Since(start))
-						if err != nil {
-							unexpected.Add(1)
-							return
-						}
-						resp.Body.Close()
-						switch resp.StatusCode {
-						case http.StatusOK:
+						var he *cluster.HTTPError
+						switch {
+						case err == nil:
 							acc.Add(1)
-						case http.StatusTooManyRequests:
+						case errors.As(err, &he) && he.Status == http.StatusTooManyRequests:
 							rej.Add(1)
 						default:
 							unexpected.Add(1)
@@ -1150,16 +1127,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bench: overload: %d requests failed outright (shed_wait=%v)\n", unexpected.Load(), shedWait)
 				os.Exit(1)
 			}
-			resp, err := ts.Client().Get(ts.URL + api.Prefix + "/stats")
-			if err != nil || resp.StatusCode != http.StatusOK {
-				fmt.Fprintln(os.Stderr, "bench: overload stats failed:", err, resp)
+			if st, err = c.Stats(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: overload stats failed:", err)
 				os.Exit(1)
 			}
-			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-				fmt.Fprintln(os.Stderr, "bench: decoding overload stats:", err)
-				os.Exit(1)
-			}
-			resp.Body.Close()
 			total := acc.Load() + rej.Load()
 			return acc.Load(), rej.Load(), time.Duration(maxNS.Load()), time.Duration(sumNS.Load() / total), st
 		}
@@ -1217,15 +1188,9 @@ func main() {
 			duStats := func(srv *server.Server) api.StatsResponse {
 				ts := httptest.NewServer(srv.Handler())
 				defer ts.Close()
-				resp, err := ts.Client().Get(ts.URL + api.Prefix + "/stats")
-				if err != nil || resp.StatusCode != http.StatusOK {
-					fmt.Fprintln(os.Stderr, "bench: durability stats failed:", err, resp)
-					os.Exit(1)
-				}
-				defer resp.Body.Close()
-				var st api.StatsResponse
-				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-					fmt.Fprintln(os.Stderr, "bench: decoding durability stats:", err)
+				st, err := bclient(ts, cluster.ClientConfig{}).Stats(ctx)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench: durability stats failed:", err)
 					os.Exit(1)
 				}
 				return st
@@ -1243,15 +1208,13 @@ func main() {
 					time.Sleep(100 * time.Microsecond)
 				}
 				ts := httptest.NewServer(srv.Handler())
-				client := ts.Client()
+				c := bclient(ts, cluster.ClientConfig{})
 				start := time.Now()
 				for _, body := range bodies {
-					resp, err := client.Post(ts.URL+api.Prefix+"/ingest", "application/json", bytes.NewReader(body))
-					if err != nil || resp.StatusCode != http.StatusOK {
-						fmt.Fprintln(os.Stderr, "bench: durable ingest failed:", err, resp)
+					if _, err := c.IngestBody(ctx, body); err != nil {
+						fmt.Fprintln(os.Stderr, "bench: durable ingest failed:", err)
 						os.Exit(1)
 					}
-					resp.Body.Close()
 				}
 				el := time.Since(start)
 				ts.Close()
@@ -1358,6 +1321,129 @@ func main() {
 		}
 	}
 
+	// Suite 11: cluster — the multi-node coordinator tier end to end, on
+	// the in-process harness the chaos tests run on: three real workers
+	// behind loopback HTTP, fronted by the coordinator. One bulk ingest
+	// through the consistent-hash ring, then churn rounds of a one-point
+	// ingest followed by a remote-clique query. Every query's round-1
+	// snapshot fan re-reads all three workers, so worker 1's flaky
+	// snapshot link (every other request delayed by clSlow) puts the
+	// delay straight into query latency — unless hedging launches the
+	// second attempt, which FlakyDelay lets through fast.
+	{
+		const (
+			clWorkers = 3
+			clShards  = 2
+			clN       = 9000
+			clDim     = 8
+			clMaxK    = 16
+			clRounds  = 8
+			clSlow    = 60 * time.Millisecond
+			clHedge   = 10 * time.Millisecond
+		)
+		run := func(scenario string, flaky bool, hedge time.Duration) clusterCase {
+			var inj *faults.Injector
+			if flaky {
+				inj = faults.New()
+				inj.OnHTTP(faults.FlakyDelay(1, "/snapshot", clSlow))
+			}
+			h, err := cluster.StartCluster(cluster.HarnessOptions{
+				Workers: clWorkers,
+				Worker:  server.Config{Shards: clShards, MaxK: clMaxK},
+				Coordinator: cluster.Config{
+					MaxK:          clMaxK,
+					ProbeInterval: -1, // membership is not under test here
+					HedgeAfter:    hedge,
+				},
+				Injector: inj,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			defer h.Close()
+			c := cluster.NewClient(cluster.ClientConfig{
+				BaseURL:    h.CoordServer.URL,
+				HTTPClient: h.CoordServer.Client(),
+			})
+			rng := rand.New(rand.NewSource(1100))
+			pts := randomVectors(rng, clN+clRounds, clDim)
+			start := time.Now()
+			for lo := 0; lo < clN; lo += ingestBatch {
+				if _, err := c.Ingest(ctx, pts[lo:min(lo+ingestBatch, clN)]); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: cluster ingest failed:", err)
+					os.Exit(1)
+				}
+			}
+			ingestEl := time.Since(start)
+			// Build the initial merged state outside the timed rounds.
+			if _, err := c.Query(ctx, "remote-clique", clMaxK); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: cluster query failed:", err)
+				os.Exit(1)
+			}
+			var maxQ, sumQ time.Duration
+			for r := 0; r < clRounds; r++ {
+				if _, err := c.Ingest(ctx, pts[clN+r:clN+r+1]); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: cluster ingest failed:", err)
+					os.Exit(1)
+				}
+				start := time.Now()
+				qr, err := c.Query(ctx, "remote-clique", clMaxK)
+				el := time.Since(start)
+				if err != nil || qr.Degraded {
+					fmt.Fprintf(os.Stderr, "bench: cluster query failed: %v (degraded=%v)\n", err, qr.Degraded)
+					os.Exit(1)
+				}
+				sumQ += el
+				if el > maxQ {
+					maxQ = el
+				}
+			}
+			st, err := c.Stats(ctx)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: cluster stats failed:", err)
+				os.Exit(1)
+			}
+			var hedged, retries int64
+			for _, w := range st.Workers {
+				hedged += w.HedgedRequests
+				retries += w.Retries
+			}
+			hedgeMS, hedgeLabel := -1.0, "off"
+			if hedge > 0 {
+				hedgeMS, hedgeLabel = ms(hedge), hedge.String()
+			}
+			cl := clusterCase{
+				Workers: clWorkers, N: clN, Dim: clDim, MaxK: clMaxK,
+				Rounds: clRounds, Scenario: scenario,
+				HedgeMS:    hedgeMS,
+				IngestMS:   ms(ingestEl),
+				IngestPtsS: float64(clN) / ingestEl.Seconds(),
+				QueryMaxMS: ms(maxQ),
+				QueryAvgMS: ms(sumQ / clRounds),
+				Hedged:     hedged,
+				Retries:    retries,
+			}
+			rep.Cluster = append(rep.Cluster, cl)
+			fmt.Printf("cluster %-10s hedge=%-4s ingest %8.2fms (%.0f pts/s)  query max %8.2fms avg %8.2fms  hedged=%d\n",
+				scenario, hedgeLabel, cl.IngestMS, cl.IngestPtsS, cl.QueryMaxMS, cl.QueryAvgMS, hedged)
+			return cl
+		}
+		run("healthy", false, -1)
+		run("healthy", false, clHedge)
+		noHedge := run("flaky-link", true, -1)
+		withHedge := run("flaky-link", true, clHedge)
+		if withHedge.Hedged == 0 {
+			fmt.Fprintln(os.Stderr, "bench: cluster: the flaky-link run with hedging enabled launched no hedges")
+			os.Exit(1)
+		}
+		if withHedge.QueryMaxMS >= noHedge.QueryMaxMS {
+			fmt.Fprintf(os.Stderr, "bench: cluster: hedging did not cut the flaky-link worst round (%.2fms vs %.2fms)\n",
+				withHedge.QueryMaxMS, noHedge.QueryMaxMS)
+			os.Exit(1)
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -1408,5 +1494,11 @@ func main() {
 	for _, c := range rep.DurabilityRec {
 		fmt.Printf("acceptance: durability n=%d checkpoint recovery %.1fms vs cold replay %.1fms (%.1fx; target: checkpoint faster at n=100k)\n",
 			c.N, c.CheckpointMS, c.ReplayMS, c.Speedup)
+	}
+	for _, c := range rep.Cluster {
+		if c.Scenario == "flaky-link" {
+			fmt.Printf("acceptance: cluster flaky-link hedge=%.0fms query max %.2fms avg %.2fms hedged=%d (target: hedging cuts the no-hedge max)\n",
+				c.HedgeMS, c.QueryMaxMS, c.QueryAvgMS, c.Hedged)
+		}
 	}
 }

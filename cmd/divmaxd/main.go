@@ -18,6 +18,17 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains every
 // buffered batch into the shards, and exits.
+//
+// With -coordinator the same binary fronts a multi-node cluster
+// instead: it deals /v1/ingest and /v1/delete across the given workers
+// (each a plain divmaxd) by consistent hashing, answers /v1/query by
+// merging the workers' core-set snapshots, health-checks them, and
+// keeps answering — marked "degraded": true — while at least -quorum
+// workers respond (see internal/cluster):
+//
+//	divmaxd -addr :8378 -coordinator \
+//	  -workers http://w0:8377,http://w1:8377,http://w2:8377 \
+//	  -quorum 2 -probe-interval 2s
 package main
 
 import (
@@ -29,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"divmax/internal/cluster"
 	"divmax/internal/server"
 	"divmax/internal/wal"
 )
@@ -57,8 +70,35 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "directory for per-shard write-ahead logs and core-set checkpoints; restarts and crashes then lose nothing (empty = fully in-memory)")
 		fsyncStr = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (fsync per record), interval (batched, default), off (OS-paced); process crashes lose nothing under any policy, only the power-cut window differs")
 		ckptEach = flag.Duration("checkpoint-every", 0, "how often shards fold their WAL tail into a core-set checkpoint, bounding recovery replay and log growth (0 = default 15s; negative disables the ticker)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -workers instead of serving shards locally")
+		workerURLs  = flag.String("workers", "", "comma-separated worker base URLs for -coordinator, e.g. http://w0:8377,http://w1:8377")
+		quorum      = flag.Int("quorum", 0, "minimum responsive workers a query needs; fewer fails closed with 503, at least this many but not all answers \"degraded\": true (0 = majority)")
+		probeEvery  = flag.Duration("probe-interval", 0, "how often the coordinator probes each worker's /v1/readyz; repeated failures evict a worker until it answers again (0 = default 2s; negative disables probing)")
+		probeTO     = flag.Duration("probe-timeout", 0, "deadline for one health probe (0 = default 1s, capped at the probe interval)")
+		failAfter   = flag.Int("fail-after", 0, "consecutive failed probes that evict a worker (0 = default 3)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "delay before a query's snapshot fetch is hedged with a second attempt (0 = adaptive, twice the p95 of recent snapshot latencies; negative disables hedging)")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per worker on the consistent-hash ingest ring (0 = default 64)")
+		retryMax    = flag.Int("worker-retries", 0, "retries per worker request on connection errors, 429, and 5xx, with capped exponential backoff honoring Retry-After as a floor (0 = default 3; negative disables)")
+		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt deadline on worker requests, so one blackholed connection costs one attempt, not the request deadline (0 = default 10s; negative disables)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(coordinatorFlags{
+			addr: *addr, workers: *workerURLs, maxK: *maxk,
+			solveWorkers: *workers, solutionMemo: *memo, deltaBudget: *budget,
+			queryDL: *queryDL, ingestDL: *ingestDL, quorum: *quorum,
+			probeInterval: *probeEvery, probeTimeout: *probeTO, failAfter: *failAfter,
+			hedgeAfter: *hedgeAfter, vnodes: *vnodes,
+			retries: *retryMax, attemptTimeout: *attemptTO, drainTimeout: *drainTO,
+		})
+		return
+	}
+	if *workerURLs != "" {
+		fmt.Fprintln(os.Stderr, "divmaxd: -workers requires -coordinator")
+		os.Exit(2)
+	}
 
 	fsync, err := wal.ParseSyncPolicy(*fsyncStr)
 	if err != nil {
@@ -124,6 +164,85 @@ func main() {
 		if !srv.CloseTimeout(remaining) {
 			log.Print("divmaxd: drain deadline cut the final wal checkpoint short; next start will replay the log tail")
 		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "divmaxd:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type coordinatorFlags struct {
+	addr, workers                string
+	maxK, solveWorkers           int
+	solutionMemo                 int
+	deltaBudget                  float64
+	queryDL, ingestDL            time.Duration
+	quorum, failAfter, vnodes    int
+	probeInterval, probeTimeout  time.Duration
+	hedgeAfter                   time.Duration
+	retries                      int
+	attemptTimeout, drainTimeout time.Duration
+}
+
+func runCoordinator(f coordinatorFlags) {
+	var urls []string
+	for _, u := range strings.Split(f.workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "divmaxd: -coordinator requires -workers url,url,...")
+		os.Exit(2)
+	}
+	co, err := cluster.New(cluster.Config{
+		Workers: urls, MaxK: f.maxK,
+		SolveWorkers: f.solveWorkers, SolutionMemo: f.solutionMemo,
+		DeltaBudget: f.deltaBudget, Quorum: f.quorum,
+		QueryDeadline: f.queryDL, IngestDeadline: f.ingestDL,
+		ProbeInterval: f.probeInterval, ProbeTimeout: f.probeTimeout,
+		FailAfter: f.failAfter, HedgeAfter: f.hedgeAfter, VNodes: f.vnodes,
+		Client: cluster.ClientConfig{
+			MaxRetries:     f.retries,
+			AttemptTimeout: f.attemptTimeout,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divmaxd:", err)
+		os.Exit(2)
+	}
+	ccfg := co.Config()
+	writeTimeout := 60 * time.Second
+	if d := 2 * ccfg.QueryDeadline; d > writeTimeout {
+		writeTimeout = d
+	}
+	hs := &http.Server{
+		Addr:              f.addr,
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		MaxHeaderBytes:    1 << 20,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("divmaxd coordinator listening on %s (workers=%d quorum=%d probe-interval=%v)",
+		f.addr, len(urls), ccfg.Quorum, ccfg.ProbeInterval)
+
+	select {
+	case <-ctx.Done():
+		log.Print("divmaxd: coordinator shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), f.drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("divmaxd: shutdown: %v", err)
+		}
+		co.Close()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "divmaxd:", err)

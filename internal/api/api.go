@@ -74,6 +74,11 @@ type IngestResponse struct {
 // into server state.
 type DeleteRequest struct {
 	Points []divmax.Vector `json:"points"`
+	// WantOutcomes asks for the per-point outcome array in the response
+	// (omitempty: absent requests keep the pre-cluster wire bytes). The
+	// coordinator sets it so it can fold each point's strongest outcome
+	// across workers instead of summing double-counted totals.
+	WantOutcomes bool `json:"want_outcomes,omitempty"`
 }
 
 // DeleteResponse reports what a delete batch did, per point classified
@@ -95,6 +100,10 @@ type DeleteResponse struct {
 	Tombstones int `json:"tombstones"`
 	// Shards is the server's shard count (every delete is broadcast).
 	Shards int `json:"shards"`
+	// Outcomes, present only when the request set want_outcomes, holds
+	// one entry per request point in order: 0 tombstone, 1 spare, 2
+	// evicted (divmax.DeleteAbsent/DeleteSpare/DeleteEvicted).
+	Outcomes []int `json:"outcomes,omitempty"`
 }
 
 // QueryResponse is the body of GET /v1/query.
@@ -130,6 +139,81 @@ type QueryResponse struct {
 	// ShardsMissing counts the shards that did not contribute.
 	Degraded      bool `json:"degraded,omitempty"`
 	ShardsMissing int  `json:"shards_missing,omitempty"`
+	// WorkersMissing is the coordinator-tier analogue of ShardsMissing:
+	// the number of remote workers that did not contribute to a
+	// quorum-degraded answer. Always absent from single-process
+	// responses.
+	WorkersMissing int `json:"workers_missing,omitempty"`
+}
+
+// SnapshotRequest is the body of POST /v1/snapshot — the coordinator's
+// round-1 fetch: a worker's merged core-set for one family, optionally
+// incremental against the caller's previous view.
+type SnapshotRequest struct {
+	// Family selects the core-set family: "edge" (SMM — remote-edge,
+	// remote-cycle) or "proxy" (SMM-EXT — the four injective-proxy
+	// measures).
+	Family string `json:"family"`
+	// Cursor, when present, is the cursor of the caller's previous
+	// snapshot of this worker; the worker then answers with a pure
+	// delta if none of its shards restructured since, a full snapshot
+	// otherwise. Absent forces a full snapshot.
+	Cursor *SnapshotCursor `json:"cursor,omitempty"`
+}
+
+// SnapshotCursor identifies a snapshot for the next incremental
+// request: each of the worker's shards' core-set generation and
+// append-log position at snapshot time (gens[i], poss[i] for shard i).
+// Opaque to the coordinator beyond equality of length.
+type SnapshotCursor struct {
+	Gens []uint64 `json:"gens"`
+	Poss []int    `json:"poss"`
+}
+
+// SnapshotResponse is a worker's answer to POST /v1/snapshot.
+type SnapshotResponse struct {
+	// Partial reports that Points extends the caller's earlier view
+	// (the points that joined this worker's core-sets since the
+	// request cursor, possibly none) instead of replacing it.
+	Partial bool `json:"partial"`
+	// Points is the worker's merged core-set across its shards (shard
+	// order), or the delta when Partial.
+	Points []divmax.Vector `json:"points"`
+	// Processed is the total number of stream points this worker's
+	// snapshot reflects (always the absolute total, delta or not).
+	Processed int64 `json:"processed"`
+	// Cursor is this snapshot's identity, to pass back next time.
+	Cursor SnapshotCursor `json:"cursor"`
+	// Shards is the worker's shard count.
+	Shards int `json:"shards"`
+}
+
+// WorkerStats is one remote worker's slice of a coordinator's GET
+// /v1/stats.
+type WorkerStats struct {
+	ID  int    `json:"id"`
+	URL string `json:"url"`
+	// State is "healthy" (serving), "suspect" (recent probe failures,
+	// below the eviction threshold), or "evicted" (failing probes —
+	// ingest reroutes around it, queries count it missing — until a
+	// probe succeeds again after recovery).
+	State string `json:"state"`
+	// ConsecutiveFailures is the current run of failed health probes.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastProbeMS is the round-trip time of the last successful health
+	// probe.
+	LastProbeMS float64 `json:"last_probe_ms"`
+	// HedgedRequests counts snapshot fetches where this worker lagged
+	// past the hedge delay and a second attempt was launched.
+	HedgedRequests int64 `json:"hedged_requests"`
+	// Retries counts request attempts beyond the first (connection
+	// errors, 5xx, 429 backoff) across all endpoints.
+	Retries int64 `json:"retries"`
+	// Evictions counts the times the prober evicted this worker.
+	Evictions int64 `json:"evictions"`
+	// IngestedPoints counts the points this coordinator routed to the
+	// worker.
+	IngestedPoints int64 `json:"ingested_points"`
 }
 
 // ShardStats is one shard's slice of GET /v1/stats.
@@ -238,4 +322,11 @@ type StatsResponse struct {
 	// — since the process started. Absent (omitempty) on in-memory
 	// servers and on durable ones that started from an empty directory.
 	Recoveries int64 `json:"recoveries,omitempty"`
+	// Coordinator-tier fields, all omitempty so single-process /v1/stats
+	// bodies stay byte-identical: Workers is per-worker health and
+	// traffic, Quorum the minimum responsive workers a query needs,
+	// WorkersEvicted the currently evicted count.
+	Workers        []WorkerStats `json:"workers,omitempty"`
+	Quorum         int           `json:"quorum,omitempty"`
+	WorkersEvicted int           `json:"workers_evicted,omitempty"`
 }

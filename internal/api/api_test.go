@@ -45,6 +45,15 @@ func TestWireShapes(t *testing.T) {
 	roundTrip(t, "DeleteResponse",
 		DeleteResponse{Requested: 5, Evicted: 1, Spares: 2, Tombstones: 2, Shards: 4},
 		`{"requested":5,"evicted":1,"spares":2,"tombstones":2,"shards":4}`)
+	// The coordinator's per-point outcome protocol: want_outcomes and
+	// outcomes are omitempty, so plain requests and responses above keep
+	// the pre-cluster bytes.
+	roundTrip(t, "DeleteRequest/outcomes",
+		DeleteRequest{Points: []divmax.Vector{{9, 9}}, WantOutcomes: true},
+		`{"points":[[9,9]],"want_outcomes":true}`)
+	roundTrip(t, "DeleteResponse/outcomes",
+		DeleteResponse{Requested: 2, Evicted: 1, Tombstones: 1, Shards: 4, Outcomes: []int{2, 0}},
+		`{"requested":2,"evicted":1,"spares":0,"tombstones":1,"shards":4,"outcomes":[2,0]}`)
 	roundTrip(t, "ErrorEnvelope",
 		ErrorEnvelope{Error: ErrorDetail{Code: CodeBadRequest, Message: "bad k"}},
 		`{"error":{"code":"bad_request","message":"bad k"}}`)
@@ -60,6 +69,15 @@ func TestWireShapes(t *testing.T) {
 			`"exact_value":true,"coreset_size":12,"processed":100,"merge_ms":0.25,`+
 			`"cached":true,"patched":true,"warm_started":true,"degraded":true,`+
 			`"shards_missing":2}`)
+	// A coordinator's quorum-degraded answer carries workers_missing;
+	// single-process servers never set it.
+	roundTrip(t, "QueryResponse/coordinator-degraded",
+		QueryResponse{Measure: "remote-clique", K: 2, Solution: []divmax.Vector{{0, 0}},
+			Degraded: true, WorkersMissing: 1},
+		`{"measure":"remote-clique","k":2,"solution":[[0,0]],"value":0,`+
+			`"exact_value":false,"coreset_size":0,"processed":0,"merge_ms":0,`+
+			`"cached":false,"patched":false,"warm_started":false,"degraded":true,`+
+			`"workers_missing":1}`)
 	// A healthy (non-degraded) answer must serialize without the degraded
 	// fields at all — omitempty keeps the steady-state wire bytes of the
 	// pre-robustness server.
@@ -121,6 +139,41 @@ func TestWireShapes(t *testing.T) {
 			`"deletes_tombstoned":0,"solve_workers":1,"tiled_solves":0,"shards_failed":0,`+
 			`"shard_restarts":0,"degraded_queries":0,"ingest_sheds":0,"query_sheds":0,`+
 			`"max_k":4,"kprime":16,"draining":false,"recoveries":3}`)
+	// The coordinator's round-1 fetch protocol.
+	roundTrip(t, "SnapshotRequest/full",
+		SnapshotRequest{Family: "edge"},
+		`{"family":"edge"}`)
+	roundTrip(t, "SnapshotRequest/incremental",
+		SnapshotRequest{Family: "proxy", Cursor: &SnapshotCursor{Gens: []uint64{3, 0}, Poss: []int{7, 2}}},
+		`{"family":"proxy","cursor":{"gens":[3,0],"poss":[7,2]}}`)
+	roundTrip(t, "SnapshotResponse",
+		SnapshotResponse{Partial: true, Points: []divmax.Vector{{1, 2}}, Processed: 50,
+			Cursor: SnapshotCursor{Gens: []uint64{3, 0}, Poss: []int{8, 2}}, Shards: 2},
+		`{"partial":true,"points":[[1,2]],"processed":50,`+
+			`"cursor":{"gens":[3,0],"poss":[8,2]},"shards":2}`)
+	// Coordinator stats: worker health rides in omitempty fields, so the
+	// single-process StatsResponse cases above keep their exact bytes.
+	roundTrip(t, "WorkerStats",
+		WorkerStats{ID: 1, URL: "http://w1:9090", State: "suspect", ConsecutiveFailures: 2,
+			LastProbeMS: 1.5, HedgedRequests: 3, Retries: 7, Evictions: 1, IngestedPoints: 1000},
+		`{"id":1,"url":"http://w1:9090","state":"suspect","consecutive_failures":2,`+
+			`"last_probe_ms":1.5,"hedged_requests":3,"retries":7,"evictions":1,`+
+			`"ingested_points":1000}`)
+	roundTrip(t, "StatsResponse/coordinator",
+		StatsResponse{Shards: []ShardStats{}, SolveWorkers: 1, MaxK: 4, KPrime: 16,
+			Workers: []WorkerStats{{ID: 0, URL: "http://w0:9090", State: "healthy"}},
+			Quorum:  2, WorkersEvicted: 1},
+		`{"shards":[],"ingested_total":0,"queries":0,"merges":0,"last_merge_ms":0,`+
+			`"query_cache_hits":0,"query_cache_misses":0,"query_cache_misses_cold":0,`+
+			`"query_cache_misses_invalidated":0,"delta_patches":0,"full_rebuilds":0,`+
+			`"cached_coreset_points":0,"cached_matrix_bytes":0,"memo_warm_starts":0,`+
+			`"deletes_requested":0,"deletes_evicting":0,"deletes_spares":0,`+
+			`"deletes_tombstoned":0,"solve_workers":1,"tiled_solves":0,"shards_failed":0,`+
+			`"shard_restarts":0,"degraded_queries":0,"ingest_sheds":0,"query_sheds":0,`+
+			`"max_k":4,"kprime":16,"draining":false,`+
+			`"workers":[{"id":0,"url":"http://w0:9090","state":"healthy",`+
+			`"consecutive_failures":0,"last_probe_ms":0,"hedged_requests":0,`+
+			`"retries":0,"evictions":0,"ingested_points":0}],"quorum":2,"workers_evicted":1}`)
 }
 
 // TestErrorCodesAndPrefix pins the versioning constants clients build

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"divmax"
+	"divmax/internal/faults"
+	"divmax/internal/server"
+)
+
+// Chaos tests for the multi-node tier: worker kill/recovery, flaky
+// links vs hedging, worker back-pressure vs the retry policy, and
+// quorum fail-closed. All membership transitions are driven through
+// ProbeNow (the prober's synchronous form) so the tests are
+// deterministic — no sleeping through ticker cadences.
+
+// chaosCoordinator is the shared coordinator shape: manual probes,
+// FailAfter 2, fast fail (one retry, short attempts), no hedging
+// unless the test turns it on.
+func chaosCoordinator() Config {
+	return Config{
+		MaxK:          4,
+		ProbeInterval: -1,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+		HedgeAfter:    -1,
+		Client: ClientConfig{
+			MaxRetries:     1,
+			AttemptTimeout: 2 * time.Second,
+			BackoffBase:    5 * time.Millisecond,
+		},
+	}
+}
+
+func waitWorkerReady(t *testing.T, wn *WorkerNode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !wn.Srv.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %d never became ready after restart", wn.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClusterKillRecoverLossless is the PR's acceptance gate: one of
+// three workers is killed mid-stream — /v1/query keeps answering
+// (degraded, within the deadline) — and after the worker restarts and
+// replays its WAL, the cluster's answers are bit-identical to an
+// uninterrupted twin cluster fed the same stream. No point is lost.
+func TestClusterKillRecoverLossless(t *testing.T) {
+	const workers = 3
+	worker := server.Config{Shards: 1, MaxK: 4, KPrime: 8}
+	h := startHarness(t, HarnessOptions{
+		Workers:     workers,
+		Worker:      worker,
+		DataRoot:    t.TempDir(),
+		Coordinator: chaosCoordinator(),
+	})
+	twin := startHarness(t, HarnessOptions{
+		Workers:     workers,
+		Worker:      worker,
+		Coordinator: chaosCoordinator(),
+	})
+	hc, tc := coordClient(t, h), coordClient(t, twin)
+	ctx := context.Background()
+
+	feedBoth := func(batch []divmax.Vector) {
+		t.Helper()
+		if _, err := hc.Ingest(ctx, batch); err != nil {
+			t.Fatalf("chaos cluster ingest: %v", err)
+		}
+		if _, err := tc.Ingest(ctx, batch); err != nil {
+			t.Fatalf("twin cluster ingest: %v", err)
+		}
+	}
+
+	buckets := bucketByRing(testVecs(99, 420, 3), workers)
+	rounds := len(buckets[0])
+	half := rounds / 2
+
+	// Phase 1: all workers alive, both clusters fed identically.
+	for r := 0; r < half; r++ {
+		feedBoth(roundBatch(buckets, r))
+	}
+
+	// Kill worker 1 mid-stream; two failed probes evict it.
+	h.Workers[1].Kill()
+	h.Coord.ProbeNow()
+	h.Coord.ProbeNow()
+	st, err := hc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkersEvicted != 1 || st.Workers[1].State != "evicted" || st.Workers[1].Evictions != 1 {
+		t.Fatalf("after kill + 2 probes: %+v, want worker 1 evicted", st.Workers)
+	}
+
+	// Phase 2: the stream keeps flowing through the outage. Points the
+	// full ring owns elsewhere go to both clusters; worker 1's points
+	// are withheld from BOTH (so the twin stays aligned) and delivered
+	// after recovery — the coordinator would otherwise reroute them.
+	for r := half; r < rounds; r++ {
+		feedBoth([]divmax.Vector{buckets[0][r], buckets[2][r]})
+	}
+
+	// Queries keep answering during the outage: degraded, one worker
+	// missing, well within the deadline.
+	start := time.Now()
+	q, err := hc.Query(ctx, "remote-edge", 4)
+	if err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+	if !q.Degraded || q.WorkersMissing != 1 {
+		t.Fatalf("query during outage = %+v, want degraded with 1 worker missing", q)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("degraded query took %v", elapsed)
+	}
+	wantDegraded := int64(1)
+
+	// Restart worker 1 at its old address: recovery replays the WAL,
+	// readyz flips once the shard is restored, and one successful probe
+	// readmits it (bumping its incarnation, so cached cursors die).
+	if err := h.Workers[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitWorkerReady(t, h.Workers[1])
+	h.Coord.ProbeNow()
+	st, err = hc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkersEvicted != 0 || st.Workers[1].State != "healthy" {
+		t.Fatalf("after restart + probe: %+v, want worker 1 healthy", st.Workers)
+	}
+	if st.DegradedQueries != wantDegraded {
+		t.Fatalf("degraded_queries = %d, want %d", st.DegradedQueries, wantDegraded)
+	}
+
+	// The recovery was a real WAL replay, not a warm survivor: the
+	// restarted worker replayed exactly its phase-1 slice.
+	wst, err := NewClient(ClientConfig{BaseURL: h.Workers[1].URL()}).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed int64
+	for _, sh := range wst.Shards {
+		replayed += sh.ReplayedPoints
+	}
+	if replayed != int64(half) {
+		t.Fatalf("worker 1 replayed %d points, want %d (its pre-kill stream)", replayed, half)
+	}
+
+	// Phase 3: deliver the withheld points to both clusters.
+	for r := half; r < rounds; r++ {
+		feedBoth([]divmax.Vector{buckets[1][r]})
+	}
+
+	// The gate: bit-identical answers vs the uninterrupted twin, both
+	// families, and nothing degraded anymore.
+	for _, m := range []string{"remote-edge", "remote-clique"} {
+		for _, k := range []int{2, 4} {
+			qa, err := hc.Query(ctx, m, k)
+			if err != nil {
+				t.Fatalf("recovered cluster %s/k=%d: %v", m, k, err)
+			}
+			qb, err := tc.Query(ctx, m, k)
+			if err != nil {
+				t.Fatalf("twin cluster %s/k=%d: %v", m, k, err)
+			}
+			if qa.Degraded || qa.WorkersMissing != 0 {
+				t.Fatalf("recovered cluster still degraded: %+v", qa)
+			}
+			if qa.Processed != int64(3*rounds) {
+				t.Fatalf("processed = %d, want %d (no point lost)", qa.Processed, 3*rounds)
+			}
+			assertSameAnswer(t, fmt.Sprintf("recovered/%s/k=%d", m, k), qa, qb)
+		}
+	}
+}
+
+// TestClusterFlakyLinkHedges: a worker whose snapshot responses are
+// slow every other request (a flaky link) triggers hedged requests —
+// the query completes at the fast path's latency, not the slow one's.
+func TestClusterFlakyLinkHedges(t *testing.T) {
+	inj := faults.New()
+	const slow = 400 * time.Millisecond
+	inj.OnHTTP(faults.FlakyDelay(1, "/snapshot", slow))
+	cfg := chaosCoordinator()
+	cfg.HedgeAfter = 10 * time.Millisecond
+	h := startHarness(t, HarnessOptions{
+		Workers:     3,
+		Worker:      server.Config{Shards: 1, MaxK: 4, KPrime: 8},
+		Coordinator: cfg,
+		Injector:    inj,
+	})
+	c := coordClient(t, h)
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, testVecs(3, 90, 3)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	q, err := c.Query(ctx, "remote-edge", 4)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("query over flaky link: %v", err)
+	}
+	if q.Degraded {
+		t.Fatalf("hedged query answered degraded: %+v", q)
+	}
+	if elapsed >= slow {
+		t.Fatalf("query took %v, want < %v: the hedge should have beaten the slow attempt", elapsed, slow)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers[1].HedgedRequests < 1 {
+		t.Fatalf("worker 1 hedged_requests = %d, want >= 1", st.Workers[1].HedgedRequests)
+	}
+	if st.Workers[0].HedgedRequests != 0 || st.Workers[2].HedgedRequests != 0 {
+		t.Fatalf("healthy workers were hedged: %+v", st.Workers)
+	}
+}
+
+// TestClusterRateLimitedWorkerBackoff: a worker shedding ingest with
+// 429 + Retry-After is retried on the hinted schedule — the sub-batch
+// lands — while ingest routed to the other workers flows unimpeded.
+func TestClusterRateLimitedWorkerBackoff(t *testing.T) {
+	inj := faults.New()
+	inj.OnHTTP(faults.RateLimitHTTP(1, "/ingest", 1, 1))
+	h := startHarness(t, HarnessOptions{
+		Workers:     3,
+		Worker:      server.Config{Shards: 1, MaxK: 4, KPrime: 8},
+		Coordinator: chaosCoordinator(),
+		Injector:    inj,
+	})
+	c := coordClient(t, h)
+	ctx := context.Background()
+
+	buckets := bucketByRing(testVecs(17, 240, 3), 3)
+
+	// The full batch hits worker 1's 429: its sub-batch backs off at
+	// least the Retry-After floor before landing.
+	slowDone := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.Ingest(ctx, roundBatch(buckets, 0))
+		slowDone <- err
+	}()
+
+	// Meanwhile ingest owned by the healthy workers is not starved
+	// behind that backoff.
+	for r := 1; r < 20; r++ {
+		if _, err := c.Ingest(ctx, []divmax.Vector{buckets[0][r], buckets[2][r]}); err != nil {
+			t.Fatalf("healthy-worker ingest during backoff: %v", err)
+		}
+	}
+	fastElapsed := time.Since(start)
+
+	if err := <-slowDone; err != nil {
+		t.Fatalf("rate-limited ingest never landed: %v", err)
+	}
+	slowElapsed := time.Since(start)
+	if slowElapsed < time.Second {
+		t.Fatalf("rate-limited ingest finished in %v, want >= 1s (the Retry-After floor)", slowElapsed)
+	}
+	if fastElapsed >= time.Second {
+		t.Fatalf("healthy ingest took %v, starved behind the backoff", fastElapsed)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers[1].Retries < 1 {
+		t.Fatalf("worker 1 retries = %d, want >= 1", st.Workers[1].Retries)
+	}
+	if got := st.IngestedTotal; got != int64(1+2*19+2) {
+		// 3 points in the slow batch (one delayed), plus 19 two-point
+		// fast batches. The count proves the shed sub-batch landed.
+		t.Fatalf("ingested_total = %d, want %d", got, 1+2*19+2)
+	}
+}
+
+// TestClusterQuorumFailClosed: with responsive workers below Quorum,
+// queries and readiness fail closed with 503; deletes fail closed as
+// soon as ANY worker is evicted.
+func TestClusterQuorumFailClosed(t *testing.T) {
+	cfg := chaosCoordinator()
+	cfg.Client.MaxRetries = -1
+	cfg.Client.AttemptTimeout = time.Second
+	h := startHarness(t, HarnessOptions{
+		Workers:     3,
+		Worker:      server.Config{Shards: 1, MaxK: 4, KPrime: 8},
+		Coordinator: cfg,
+	})
+	c := coordClient(t, h)
+	ctx := context.Background()
+
+	pts := testVecs(5, 60, 3)
+	if _, err := c.Ingest(ctx, pts); err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker down (evicted): queries degrade, deletes fail closed.
+	h.Workers[2].Kill()
+	h.Coord.ProbeNow()
+	h.Coord.ProbeNow()
+	q, err := c.Query(ctx, "remote-edge", 2)
+	if err != nil {
+		t.Fatalf("query with 2/3 workers: %v", err)
+	}
+	if !q.Degraded || q.WorkersMissing != 1 {
+		t.Fatalf("query = %+v, want degraded, 1 missing", q)
+	}
+	_, err = c.Delete(ctx, pts[:1], false)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("delete with an evicted worker: %v, want 503", err)
+	}
+
+	// Two workers down: below quorum (2), everything fails closed.
+	h.Workers[1].Kill()
+	h.Coord.ProbeNow()
+	h.Coord.ProbeNow()
+	_, err = c.Query(ctx, "remote-edge", 2)
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("query below quorum: %v, want 503", err)
+	}
+	if err := c.Ready(ctx); !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz below quorum: %v, want 503", err)
+	}
+	if h.Coord.Ready() {
+		t.Fatal("Coordinator.Ready() true below quorum")
+	}
+
+	// Bring one back (in-memory worker, so it returns empty — the
+	// membership mechanics are what this test pins): quorum is met
+	// again, the readmission bumped its incarnation, and queries
+	// answer degraded over the survivors.
+	if err := h.Workers[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitWorkerReady(t, h.Workers[1])
+	h.Coord.ProbeNow()
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers[1].State != "healthy" || st.Workers[1].Evictions != 1 {
+		t.Fatalf("worker 1 after readmission: %+v", st.Workers[1])
+	}
+	q, err = c.Query(ctx, "remote-edge", 2)
+	if err != nil {
+		t.Fatalf("query after readmission: %v", err)
+	}
+	if !q.Degraded || q.WorkersMissing != 1 {
+		t.Fatalf("query = %+v, want degraded (worker 2 still down)", q)
+	}
+}

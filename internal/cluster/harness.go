@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"time"
+
+	"divmax/internal/faults"
+	"divmax/internal/server"
+)
+
+// The in-process cluster harness: N real divmaxd workers, each a
+// server.Server behind an httptest listener (optionally wrapped in the
+// fault injector's HTTP middleware), fronted by a real Coordinator —
+// everything the multi-node tier does over real HTTP on the loopback,
+// killable and restartable per worker. The chaos tests and cmd/bench's
+// cluster suite both run on it; cmd/divmaxd -coordinator wires the same
+// Coordinator against out-of-process workers instead.
+
+// HarnessOptions configures StartCluster.
+type HarnessOptions struct {
+	// Workers is the worker count (default 3).
+	Workers int
+	// Worker is the per-worker server configuration. DataDir, when set
+	// below via DataRoot, is assigned per worker.
+	Worker server.Config
+	// DataRoot, when non-empty, makes every worker durable under
+	// DataRoot/worker-N — which is what lets a killed worker recover.
+	DataRoot string
+	// Coordinator is the coordinator configuration; Workers is filled
+	// in by the harness.
+	Coordinator Config
+	// Injector, when non-nil, wraps every worker's handler in
+	// faults.HTTPMiddleware with the worker's ID, so tests can drop,
+	// delay, or fail requests per worker and per path.
+	Injector *faults.Injector
+}
+
+// WorkerNode is one harness worker: the live server, its HTTP front,
+// and everything needed to kill it and restart it at the same address.
+type WorkerNode struct {
+	ID   int
+	addr string
+	cfg  server.Config
+	inj  *faults.Injector
+
+	Srv *server.Server
+	ts  *httptest.Server
+}
+
+// URL returns the worker's base URL, stable across Kill/Restart.
+func (wn *WorkerNode) URL() string { return "http://" + wn.addr }
+
+// Kill crashes the worker: in-flight and future connections are
+// severed, the port is released, and the server shuts down
+// crash-shaped — no final checkpoint, so a durable worker's next start
+// exercises real WAL replay.
+func (wn *WorkerNode) Kill() {
+	wn.ts.CloseClientConnections()
+	wn.ts.Close()
+	wn.Srv.CloseAbrupt()
+	wn.Srv, wn.ts = nil, nil
+}
+
+// Restart brings a killed worker back at its old address with its old
+// configuration — same DataDir, so a durable worker recovers its WAL.
+// The listener rebind retries briefly: the killed listener's port can
+// take a moment to release.
+func (wn *WorkerNode) Restart() error {
+	if wn.Srv != nil {
+		return fmt.Errorf("cluster: worker %d is running", wn.ID)
+	}
+	srv, err := server.New(wn.cfg)
+	if err != nil {
+		return err
+	}
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ln, err = net.Listen("tcp", wn.addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			srv.Close()
+			return fmt.Errorf("cluster: rebinding worker %d at %s: %w", wn.ID, wn.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts := httptest.NewUnstartedServer(wn.wrap(srv.Handler()))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	wn.Srv, wn.ts = srv, ts
+	return nil
+}
+
+func (wn *WorkerNode) wrap(h http.Handler) http.Handler {
+	if wn.inj != nil {
+		return faults.HTTPMiddleware(wn.inj, wn.ID, h)
+	}
+	return h
+}
+
+// Harness is a running in-process cluster.
+type Harness struct {
+	Workers []*WorkerNode
+	Coord   *Coordinator
+	// CoordServer fronts Coord.Handler(); CoordServer.URL is what
+	// clients talk to.
+	CoordServer *httptest.Server
+}
+
+// StartCluster boots opts.Workers workers and a coordinator over them.
+func StartCluster(opts HarnessOptions) (*Harness, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 3
+	}
+	h := &Harness{}
+	urls := make([]string, opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		cfg := opts.Worker
+		if opts.DataRoot != "" {
+			cfg.DataDir = filepath.Join(opts.DataRoot, fmt.Sprintf("worker-%d", i))
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("cluster: starting worker %d: %w", i, err)
+		}
+		wn := &WorkerNode{ID: i, cfg: cfg, inj: opts.Injector, Srv: srv}
+		wn.ts = httptest.NewServer(wn.wrap(srv.Handler()))
+		wn.addr = wn.ts.Listener.Addr().String()
+		h.Workers = append(h.Workers, wn)
+		urls[i] = wn.URL()
+	}
+	ccfg := opts.Coordinator
+	ccfg.Workers = urls
+	co, err := New(ccfg)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.Coord = co
+	h.CoordServer = httptest.NewServer(co.Handler())
+	return h, nil
+}
+
+// WaitWorkersReady blocks until every running worker reports Ready
+// (boot recovery finished), or the timeout elapses.
+func (h *Harness) WaitWorkersReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, wn := range h.Workers {
+		for wn.Srv != nil && !wn.Srv.Ready() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: worker %d never became ready", wn.ID)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Close tears the whole harness down: coordinator first (stopping the
+// prober), then every running worker.
+func (h *Harness) Close() {
+	if h.CoordServer != nil {
+		h.CoordServer.Close()
+	}
+	if h.Coord != nil {
+		h.Coord.Close()
+	}
+	for _, wn := range h.Workers {
+		if wn.ts != nil {
+			wn.ts.Close()
+		}
+		if wn.Srv != nil {
+			wn.Srv.Close()
+		}
+	}
+}

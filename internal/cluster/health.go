@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// The active health checker. Every ProbeInterval the coordinator
+// probes each worker's /v1/readyz concurrently, single-attempt, under
+// ProbeTimeout. FailAfter consecutive failures evict the worker:
+// ingest reroutes along the ring, healthy-path queries count it
+// missing (→ degraded answers), deletes fail closed. The first
+// successful probe afterwards readmits it — a worker that came back
+// from a WAL replay reports ready only once every shard has recovered,
+// so readmission never races recovery — and bumps its incarnation so
+// the merge caches drop their cursors and re-read it in full.
+//
+// Eviction is deliberately probe-driven only: a request failure counts
+// a consecutive failure nowhere. Requests already have their own retry
+// policy, and tying membership to request outcomes would let one
+// slow query evict a worker that every probe finds healthy.
+
+func (co *Coordinator) probeLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.probeAll()
+		}
+	}
+}
+
+// ProbeNow runs one synchronous probe round — what the chaos tests use
+// to advance membership deterministically instead of sleeping through
+// ticker cadences. Safe concurrently with the background loop.
+func (co *Coordinator) ProbeNow() { co.probeAll() }
+
+func (co *Coordinator) probeAll() {
+	done := make(chan struct{}, len(co.workers))
+	for _, wk := range co.workers {
+		go func(wk *worker) {
+			co.probe(wk)
+			done <- struct{}{}
+		}(wk)
+	}
+	for range co.workers {
+		<-done
+	}
+}
+
+func (co *Coordinator) probe(wk *worker) {
+	ctx, cancel := context.WithTimeout(context.Background(), co.cfg.ProbeTimeout)
+	defer cancel()
+	start := time.Now()
+	err := wk.client.Ready(ctx)
+	wk.lastProbeNS.Store(int64(time.Since(start)))
+	if err != nil {
+		fails := wk.consecFails.Add(1)
+		if int(fails) >= co.cfg.FailAfter && wk.admitted.CompareAndSwap(true, false) {
+			wk.evictions.Add(1)
+			logf("cluster: worker %d (%s) evicted after %d failed probes: %v", wk.id, wk.url, fails, err)
+		}
+		return
+	}
+	wk.consecFails.Store(0)
+	if wk.admitted.CompareAndSwap(false, true) {
+		wk.incarnation.Add(1)
+		logf("cluster: worker %d (%s) readmitted; snapshot cursors invalidated", wk.id, wk.url)
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"container/list"
+
+	"divmax"
+)
+
+// answerMemo is the coordinator's bounded per-state (measure, k) answer
+// memo — the same LRU the single-process query cache keeps
+// (internal/server's solutionMemo), minus the warm-start replay indices
+// the coordinator does not carry. A memoized answer is a pure function
+// of the merged state it is keyed under, so it is valid exactly as long
+// as that state is (an empty delta round carries the whole memo over).
+// Callers synchronize access under the owning cache's mutex.
+type answerMemo struct {
+	cap     int
+	entries map[answerKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type answerKey struct {
+	measure divmax.Measure
+	k       int
+}
+
+// solvedAnswer is a memoized answer, stored response-ready (non-nil
+// solution, finite value).
+type solvedAnswer struct {
+	sol   []divmax.Vector
+	val   float64
+	exact bool
+}
+
+type answerEntry struct {
+	key answerKey
+	val solvedAnswer
+}
+
+func newAnswerMemo(cap int) *answerMemo {
+	if cap < 1 {
+		cap = 1
+	}
+	return &answerMemo{
+		cap:     cap,
+		entries: make(map[answerKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (m *answerMemo) get(key answerKey) (solvedAnswer, bool) {
+	el, ok := m.entries[key]
+	if !ok {
+		return solvedAnswer{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*answerEntry).val, true
+}
+
+func (m *answerMemo) put(key answerKey, val solvedAnswer) {
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*answerEntry).val = val
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.order.PushFront(&answerEntry{key: key, val: val})
+	if m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*answerEntry).key)
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"divmax"
+)
+
+// Consistent-hash routing of ingest and delete batches. Each worker
+// owns vnodes points on a 64-bit ring; a stream point hashes (FNV-1a
+// over its coordinates' float64 bits) to the ring and is routed to the
+// first live vnode clockwise. The properties the coordinator needs:
+//
+//   - Deterministic: the same point always routes to the same worker
+//     while the live set is unchanged — which is what lets the
+//     equivalence test align per-worker streams with a single-process
+//     reference's shards.
+//   - Minimal disruption: evicting a worker reroutes only its arcs;
+//     everyone else's points stay put, so the readmitted worker's
+//     WAL-recovered state is still where the ring expects the bulk of
+//     its keys.
+//
+// Composability makes any partition quality-neutral (the paper's
+// "arbitrary partition" of round 1), so the ring is purely an
+// operational choice — stable routing under membership churn — not a
+// correctness one.
+
+const defaultVNodes = 64
+
+type ring struct {
+	hashes []uint64 // sorted
+	owners []int    // owners[i] is the worker of hashes[i]
+}
+
+func newRing(workers, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = defaultVNodes
+	}
+	type vnode struct {
+		h uint64
+		w int
+	}
+	vs := make([]vnode, 0, workers*vnodes)
+	for w := 0; w < workers; w++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "worker-%d-vnode-%d", w, v)
+			vs = append(vs, vnode{h: h.Sum64(), w: w})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].h < vs[j].h })
+	r := &ring{hashes: make([]uint64, len(vs)), owners: make([]int, len(vs))}
+	for i, v := range vs {
+		r.hashes[i] = v.h
+		r.owners[i] = v.w
+	}
+	return r
+}
+
+// owner routes hash h to the first vnode clockwise whose worker is
+// alive, or -1 when no worker is.
+func (r *ring) owner(h uint64, alive func(int) bool) int {
+	n := len(r.hashes)
+	start := sort.Search(n, func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; i < n; i++ {
+		w := r.owners[(start+i)%n]
+		if alive(w) {
+			return w
+		}
+	}
+	return -1
+}
+
+// hashPoint hashes a point's coordinates (their exact float64 bit
+// patterns, little-endian) for ring placement.
+func hashPoint(p divmax.Vector) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range p {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"divmax/internal/api"
+)
+
+// The coordinator speaks the exact same wire dialect as a single
+// divmaxd: every response body is an internal/api struct, every error
+// the uniform {"error":{"code","message"}} envelope with the code
+// mapped 1:1 from the HTTP status. These helpers mirror the unexported
+// ones in internal/server so a client cannot tell the tiers apart by
+// their bytes.
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("cluster: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var env api.ErrorEnvelope
+	env.Error.Code = errorCode(status)
+	env.Error.Message = fmt.Sprintf(format, args...)
+	json.NewEncoder(w).Encode(env)
+}
+
+func errorCode(status int) string {
+	switch status {
+	case http.StatusMethodNotAllowed:
+		return api.CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return api.CodePayloadTooLarge
+	case http.StatusServiceUnavailable:
+		return api.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return api.CodeDeadlineExceeded
+	case http.StatusTooManyRequests:
+		return api.CodeOverloaded
+	default:
+		return api.CodeBadRequest
+	}
+}

@@ -28,6 +28,7 @@ package faults
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,7 @@ type Injector struct {
 	delete    func(shard int) bool
 	walAppend func(shard int, seq uint64, size int) int
 	ckptWrite func(shard int, size int) int
+	http      func(worker int, r *http.Request) HTTPFault
 }
 
 // New returns an empty Injector.

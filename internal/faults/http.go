@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"divmax/internal/api"
+)
+
+// Network-level fault injection for the coordinator tier. The in-process
+// cluster harness wraps each worker's handler in HTTPMiddleware, so the
+// coordinator's client sees exactly what a flaky network would show it —
+// severed connections, slow links, error bursts, rate limiting — while
+// the worker behind the middleware stays healthy (or not, via the shard
+// hooks above). Crucially the faults fire BEFORE the worker handler
+// runs: a dropped or errored request was never processed, so the
+// client's retries and hedges are exercised without double-ingest
+// side effects muddying the tests.
+
+// HTTPFault describes what the middleware does to one request. The zero
+// value passes the request through untouched. Fields compose in order:
+// Drop wins outright; otherwise Delay is applied, then Status (if
+// non-zero) answers with the uniform error envelope instead of the
+// handler.
+type HTTPFault struct {
+	// Delay holds the request this long before proceeding (a slow link
+	// or an overloaded accept queue). A client that hangs up first
+	// severs the connection.
+	Delay time.Duration
+	// Drop simulates a network partition: the request is never
+	// answered — the middleware holds it until the client gives up,
+	// then severs the connection without a response. This is what a
+	// blackholed TCP flow looks like to the caller: no bytes, then a
+	// reset, bounded only by the caller's own deadline.
+	Drop bool
+	// Status, when non-zero, answers with this HTTP status and the
+	// uniform api.ErrorEnvelope instead of invoking the handler (a 5xx
+	// burst from a crashing process, a 429 from an overloaded one).
+	Status int
+	// RetryAfter, in whole seconds, sets a Retry-After header on Status
+	// responses when positive — what the client's backoff must honor as
+	// a floor.
+	RetryAfter int
+}
+
+// OnHTTP installs f, consulted by HTTPMiddleware for every inbound
+// request with the middleware's worker ID and the request. nil
+// uninstalls.
+func (in *Injector) OnHTTP(f func(worker int, r *http.Request) HTTPFault) {
+	in.mu.Lock()
+	in.http = f
+	in.mu.Unlock()
+}
+
+// HTTP runs the HTTP hook, returning the fault to apply (the zero fault
+// when none is installed). Safe on a nil Injector.
+func (in *Injector) HTTP(worker int, r *http.Request) HTTPFault {
+	if in == nil {
+		return HTTPFault{}
+	}
+	in.mu.Lock()
+	f := in.http
+	in.mu.Unlock()
+	if f == nil {
+		return HTTPFault{}
+	}
+	return f(worker, r)
+}
+
+// HTTPMiddleware wraps next with in's network faults, identifying this
+// server as worker to the hook. A nil Injector passes everything
+// through.
+func HTTPMiddleware(in *Injector, worker int, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := in.HTTP(worker, r)
+		if f.Drop {
+			// Hold until the client abandons the request, then abort the
+			// connection without writing a response — the panic is the
+			// net/http-sanctioned way to sever mid-request
+			// (http.ErrAbortHandler is not logged as a real panic).
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		}
+		if f.Delay > 0 {
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
+		}
+		if f.Status != 0 {
+			if f.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(f.RetryAfter))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(f.Status)
+			var env api.ErrorEnvelope
+			env.Error.Code = injectedCode(f.Status)
+			env.Error.Message = "faults: injected failure"
+			json.NewEncoder(w).Encode(env)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func injectedCode(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return api.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return api.CodeDeadlineExceeded
+	default:
+		return api.CodeUnavailable
+	}
+}
+
+// pathMatches reports whether the request path's last element matches
+// path ("" matches everything; "/v1/snapshot" and its legacy alias both
+// match "/snapshot").
+func pathMatches(r *http.Request, path string) bool {
+	return path == "" || strings.HasSuffix(r.URL.Path, path)
+}
+
+// PartitionHTTP returns an HTTP hook that blackholes every request to
+// the given workers — the network partition: connections to them hang
+// and die, everyone else is untouched.
+func PartitionHTTP(workers ...int) func(worker int, r *http.Request) HTTPFault {
+	cut := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		cut[w] = true
+	}
+	return func(worker int, r *http.Request) HTTPFault {
+		return HTTPFault{Drop: cut[worker]}
+	}
+}
+
+// DelayHTTP returns an HTTP hook that delays worker target's first n
+// requests matching path by d (n < 0: every matching request) — a slow
+// link or a lagging worker.
+func DelayHTTP(target int, path string, n int, d time.Duration) func(worker int, r *http.Request) HTTPFault {
+	var arrivals atomic.Int64
+	return func(worker int, r *http.Request) HTTPFault {
+		if worker != target || !pathMatches(r, path) {
+			return HTTPFault{}
+		}
+		if n >= 0 && int(arrivals.Add(1)) > n {
+			return HTTPFault{}
+		}
+		return HTTPFault{Delay: d}
+	}
+}
+
+// FlakyDelay returns an HTTP hook that delays every other matching
+// request to worker target (the 1st, 3rd, 5th, ...) by d — a flaky
+// link where a second attempt tends to take the fast path, which is the
+// regime request hedging is built for.
+func FlakyDelay(target int, path string, d time.Duration) func(worker int, r *http.Request) HTTPFault {
+	var arrivals atomic.Int64
+	return func(worker int, r *http.Request) HTTPFault {
+		if worker != target || !pathMatches(r, path) {
+			return HTTPFault{}
+		}
+		if arrivals.Add(1)%2 == 1 {
+			return HTTPFault{Delay: d}
+		}
+		return HTTPFault{}
+	}
+}
+
+// Burst5xx returns an HTTP hook that answers worker target's first n
+// matching requests with status (a crash-looping worker's 500s, a
+// proxy's 502s); later requests pass through.
+func Burst5xx(target int, path string, n, status int) func(worker int, r *http.Request) HTTPFault {
+	var arrivals atomic.Int64
+	return func(worker int, r *http.Request) HTTPFault {
+		if worker != target || !pathMatches(r, path) {
+			return HTTPFault{}
+		}
+		if int(arrivals.Add(1)) > n {
+			return HTTPFault{}
+		}
+		return HTTPFault{Status: status}
+	}
+}
+
+// RateLimitHTTP returns an HTTP hook that sheds worker target's first n
+// matching requests with 429 and a Retry-After of retryAfterSec
+// seconds — the load-shedding worker whose hint the client's backoff
+// must treat as a floor.
+func RateLimitHTTP(target int, path string, n, retryAfterSec int) func(worker int, r *http.Request) HTTPFault {
+	var arrivals atomic.Int64
+	return func(worker int, r *http.Request) HTTPFault {
+		if worker != target || !pathMatches(r, path) {
+			return HTTPFault{}
+		}
+		if int(arrivals.Add(1)) > n {
+			return HTTPFault{}
+		}
+		return HTTPFault{Status: http.StatusTooManyRequests, RetryAfter: retryAfterSec}
+	}
+}

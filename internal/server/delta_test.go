@@ -126,7 +126,7 @@ func runDeltaSchedule(t *testing.T, data []byte) statsResponse {
 			}
 			da := postDelete(t, patchedTS.URL, pts)
 			db := postDelete(t, referenceTS.URL, pts)
-			if da != db {
+			if !reflect.DeepEqual(da, db) {
 				t.Fatalf("delete outcomes diverge: patched %+v vs reference %+v", da, db)
 			}
 		default: // query

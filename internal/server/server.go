@@ -495,6 +495,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/ingest", s.handleIngest)
 		mux.HandleFunc(prefix+"/delete", s.handleDelete)
 		mux.HandleFunc(prefix+"/query", s.handleQuery)
+		mux.HandleFunc(prefix+"/snapshot", s.handleSnapshot)
 		mux.HandleFunc(prefix+"/stats", s.handleStats)
 		mux.HandleFunc(prefix+"/healthz", healthz)
 		mux.HandleFunc(prefix+"/readyz", s.handleReadyz)
@@ -654,6 +655,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			resp.Spares++
 		default:
 			resp.Tombstones++
+		}
+	}
+	if req.WantOutcomes {
+		resp.Outcomes = make([]int, len(outcomes))
+		for i, o := range outcomes {
+			resp.Outcomes[i] = int(o)
 		}
 	}
 	s.deletesRequested.Add(int64(resp.Requested))

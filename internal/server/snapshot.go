@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"divmax"
+	"divmax/internal/api"
+)
+
+// POST /v1/snapshot is the coordinator's round-1 fetch: this worker's
+// merged core-set for one family, optionally incremental against the
+// caller's previous view. It is the same per-shard snapshot fan-out the
+// local query cache runs (snapshots in server.go), exposed over the
+// wire so a coordinator can run the round-2 merge + solve itself — the
+// paper's round-1/round-2 split made literal across processes.
+//
+// The cursor protocol mirrors divmax.CoresetDelta across the worker's
+// shards: the response's cursor holds every shard's (generation,
+// append-log position), and a request carrying it back gets a pure
+// delta — only the points that joined any shard's core-set since — as
+// long as NO shard restructured. A mixed round (some shards delta, some
+// full) is re-fanned as a full round before answering: the delta
+// replies hold deltas, not complete core-sets, so returning them
+// alongside full ones would double- or under-count. A cursor of the
+// wrong width (the worker restarted with a different shard count) is
+// ignored rather than rejected — the caller just gets a full snapshot,
+// which is also how it recovers.
+
+// maxSnapshotBody bounds a /v1/snapshot request body (cursors are tiny).
+const maxSnapshotBody = 1 << 20
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req api.SnapshotRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "trailing data after the snapshot request")
+		return
+	}
+	// The family names the core-set, not a measure: any measure of the
+	// family solves over the same snapshot, so the representative
+	// measure here only selects which per-shard processors answer.
+	var m divmax.Measure
+	switch req.Family {
+	case "edge":
+		m = divmax.RemoteEdge
+	case "proxy":
+		m = divmax.RemoteClique
+	default:
+		httpError(w, http.StatusBadRequest, "unknown core-set family %q (want \"edge\" or \"proxy\")", req.Family)
+		return
+	}
+	ctx, cancel := requestCtx(r, s.cfg.QueryDeadline)
+	defer cancel()
+
+	var prev *mergeState
+	if c := req.Cursor; c != nil && len(c.Gens) == len(s.shards) && len(c.Poss) == len(s.shards) {
+		prev = &mergeState{gens: c.Gens, poss: c.Poss}
+	}
+	replies, err := s.snapshots(ctx, m, prev, false)
+	if err != nil {
+		s.writeFailure(w, err)
+		return
+	}
+	partial := prev != nil
+	for _, rep := range replies {
+		partial = partial && rep.delta.Partial
+	}
+	if prev != nil && !partial {
+		if replies, err = s.snapshots(ctx, m, nil, false); err != nil {
+			s.writeFailure(w, err)
+			return
+		}
+	}
+	resp := api.SnapshotResponse{
+		Partial: partial,
+		Points:  []divmax.Vector{},
+		Shards:  len(s.shards),
+		Cursor: api.SnapshotCursor{
+			Gens: make([]uint64, len(replies)),
+			Poss: make([]int, len(replies)),
+		},
+	}
+	for i, rep := range replies {
+		resp.Cursor.Gens[i] = rep.delta.Gen
+		resp.Cursor.Poss[i] = rep.delta.Pos
+		resp.Processed += rep.delta.Processed
+		resp.Points = append(resp.Points, rep.delta.Points...)
+	}
+	writeJSON(w, resp)
+}
