@@ -70,6 +70,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "directory for per-shard write-ahead logs and core-set checkpoints; restarts and crashes then lose nothing (empty = fully in-memory)")
 		fsyncStr = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (fsync per record), interval (batched, default), off (OS-paced); process crashes lose nothing under any policy, only the power-cut window differs")
 		ckptEach = flag.Duration("checkpoint-every", 0, "how often shards fold their WAL tail into a core-set checkpoint, bounding recovery replay and log growth (0 = default 15s; negative disables the ticker)")
+		projDim  = flag.Int("project-dim", 0, "opt-in JL projection: ingest high-dimensional points projected to this many dimensions, solve in the reduced space, report true-space solutions and values (0 = off; incompatible with -data-dir and -coordinator)")
 
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -workers instead of serving shards locally")
 		workerURLs  = flag.String("workers", "", "comma-separated worker base URLs for -coordinator, e.g. http://w0:8377,http://w1:8377")
@@ -85,6 +86,10 @@ func main() {
 	flag.Parse()
 
 	if *coordinator {
+		if *projDim > 0 {
+			fmt.Fprintln(os.Stderr, "divmaxd: -project-dim is incompatible with -coordinator (workers would each need the projected→original map)")
+			os.Exit(2)
+		}
 		runCoordinator(coordinatorFlags{
 			addr: *addr, workers: *workerURLs, maxK: *maxk,
 			solveWorkers: *workers, solutionMemo: *memo, deltaBudget: *budget,
@@ -113,6 +118,7 @@ func main() {
 		ShedWait: *shedWait, MaxInflight: *inflight,
 		RestartBudget: *restarts, DegradedQueries: *degraded,
 		DataDir: *dataDir, Fsync: fsync, CheckpointEvery: *ckptEach,
+		ProjectDim: *projDim,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divmaxd:", err)

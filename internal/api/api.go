@@ -317,6 +317,14 @@ type StatsResponse struct {
 	MaxK            int   `json:"max_k"`
 	KPrime          int   `json:"kprime"`
 	Draining        bool  `json:"draining"`
+	// Projection fields, present only when the server runs with
+	// -project-dim (omitempty keeps unprojected /v1/stats bodies
+	// byte-identical): ProjectDim is the configured reduced dimension,
+	// ProjectedPoints the number of ingested points projected so far
+	// (stays 0 — and absent — while the dataset dimension is at or
+	// below ProjectDim, where ingest passes through).
+	ProjectDim      int   `json:"project_dim,omitempty"`
+	ProjectedPoints int64 `json:"projected_points,omitempty"`
 	// Recoveries counts shard recoveries performed — boot-time restores
 	// (checkpoint + log-tail replay) and lossless panic-restart replays
 	// — since the process started. Absent (omitempty) on in-memory

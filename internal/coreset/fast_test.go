@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"divmax/internal/metric"
+	"divmax/internal/testutil"
 )
 
 // genericEuclid has the same semantics as metric.Euclidean but is a
@@ -30,7 +31,15 @@ func tieHeavyVectors(rng *rand.Rand, n, dim int) []metric.Vector {
 	return pts
 }
 
-func sameResult(t *testing.T, label string, fast, slow Result[metric.Vector]) {
+// sameResult requires identical selections and assignments on both
+// paths at every dimension. The reported real distances (Radius,
+// LastDist) are bit-compared below metric.BlockedMinDim, where the flat
+// kernels are pinned bit-identical to the generic scan; at and above it
+// the blocked tier reassociates the summation, so they are compared
+// within a relative envelope instead (still ~10⁴ tighter than any
+// algebraic mistake, and exact duplicates/integer grids continue to
+// match bitwise).
+func sameResult(t *testing.T, label string, dim int, fast, slow Result[metric.Vector]) {
 	t.Helper()
 	if len(fast.Indices) != len(slow.Indices) {
 		t.Fatalf("%s: fast selected %d points, generic %d", label, len(fast.Indices), len(slow.Indices))
@@ -47,12 +56,20 @@ func sameResult(t *testing.T, label string, fast, slow Result[metric.Vector]) {
 				label, i, fast.Assign[i], slow.Assign[i])
 		}
 	}
-	if math.Float64bits(fast.Radius) != math.Float64bits(slow.Radius) {
-		t.Fatalf("%s: Radius differs: fast %v, generic %v", label, fast.Radius, slow.Radius)
+	sameDist := func(name string, a, b float64) {
+		t.Helper()
+		if dim >= metric.BlockedMinDim {
+			if !testutil.WithinRel(a, b, 1e-9) {
+				t.Fatalf("%s: %s outside envelope: fast %v, generic %v", label, name, a, b)
+			}
+			return
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: %s differs: fast %v, generic %v", label, name, a, b)
+		}
 	}
-	if math.Float64bits(fast.LastDist) != math.Float64bits(slow.LastDist) {
-		t.Fatalf("%s: LastDist differs: fast %v, generic %v", label, fast.LastDist, slow.LastDist)
-	}
+	sameDist("Radius", fast.Radius, slow.Radius)
+	sameDist("LastDist", fast.LastDist, slow.LastDist)
 }
 
 // TestGMMFastPathDispatches pins that Euclidean-over-Vector actually
@@ -95,7 +112,7 @@ func TestGMMFastMatchesGeneric(t *testing.T) {
 				start := rng.Intn(n)
 				fast := GMM(pts, k, start, metric.Euclidean)
 				slow := GMM(pts, k, start, metric.Distance[metric.Vector](genericEuclid))
-				sameResult(t, "GMM", fast, slow)
+				sameResult(t, "GMM", dim, fast, slow)
 			}
 		}
 	}
@@ -120,7 +137,7 @@ func TestGMMParallelFastMatchesSequential(t *testing.T) {
 		for _, workers := range []int{2, 3, 8} {
 			par := GMMParallel(pts, k, start, workers, metric.Euclidean)
 			seq := GMM(pts, k, start, metric.Euclidean)
-			sameResult(t, "GMMParallel", par, seq)
+			sameResult(t, "GMMParallel", len(pts[0]), par, seq)
 		}
 	}
 }
@@ -199,6 +216,6 @@ func FuzzGMMFastEquivalence(f *testing.F) {
 		start := int(startRaw) % len(pts)
 		fast := GMM(pts, k, start, metric.Euclidean)
 		slow := GMM(pts, k, start, metric.Distance[metric.Vector](genericEuclid))
-		sameResult(t, "GMM", fast, slow)
+		sameResult(t, "GMM", dim, fast, slow)
 	})
 }

@@ -43,6 +43,19 @@ var gmmScratch = sync.Pool{New: func() any { return new(scratchBuffers) }}
 type scratchBuffers struct {
 	flat  metric.Points
 	minSq []float64
+	// ccSq holds, during one relaxation pass, the squared distances
+	// from the newly selected center to every earlier center (indexed
+	// by selection id) — the cached bounds of the blocked tier's
+	// triangle-inequality pruning.
+	ccSq []float64
+}
+
+// ccSqInit returns sc.ccSq resized to k (contents overwritten per pass).
+func (sc *scratchBuffers) ccSqInit(k int) []float64 {
+	if cap(sc.ccSq) < k {
+		sc.ccSq = make([]float64, k)
+	}
+	return sc.ccSq[:k]
 }
 
 // gmmFast dispatches the validated traversal (1 ≤ k ≤ len(pts), start in
@@ -82,6 +95,16 @@ func (sc *scratchBuffers) minSqInit(n int) []float64 {
 // gmmFlat is gmmGeneric over a flat store: one RelaxMinSqRange pass per
 // selected center, square roots only at the Result boundary. The
 // returned Points alias rows of pts, exactly as the generic path's do.
+//
+// At d ≥ metric.BlockedMinDim the later passes run the pruned blocked
+// relax: each pass first computes the squared distances from the new
+// center to every earlier center (SqBetween, so the values are
+// consistent with the minSq entries they gate), then skips every row
+// whose assigned center is provably closer than the new one can be —
+// on clustered data that turns all but the first few passes from
+// O(n·d) memory traffic into an O(n) scan of minSq/assign. The pruned
+// pass is bit-identical to the unpruned blocked pass (pinned by the
+// envelope harness), so the Result does not depend on pruning.
 func gmmFlat(pts []metric.Vector, sc *scratchBuffers, k, start int) Result[metric.Vector] {
 	n := len(pts)
 	res := Result[metric.Vector]{
@@ -91,6 +114,11 @@ func gmmFlat(pts []metric.Vector, sc *scratchBuffers, k, start int) Result[metri
 	}
 	minSq := sc.minSqInit(n)
 	res.LastDist = math.Inf(1)
+	pruned := sc.flat.Dim() >= metric.BlockedMinDim
+	var ccSq []float64
+	if pruned {
+		ccSq = sc.ccSqInit(k)
+	}
 
 	cur := start
 	nextSq := math.Inf(-1)
@@ -100,7 +128,14 @@ func gmmFlat(pts []metric.Vector, sc *scratchBuffers, k, start int) Result[metri
 		}
 		res.Points = append(res.Points, pts[cur])
 		res.Indices = append(res.Indices, cur)
-		cur, nextSq = sc.flat.RelaxMinSqRange(0, n, cur, sel, minSq, res.Assign, cur, math.Inf(-1))
+		if pruned && sel > 0 {
+			for j := 0; j < sel; j++ {
+				ccSq[j] = sc.flat.SqBetween(cur, res.Indices[j])
+			}
+			cur, nextSq = sc.flat.RelaxMinSqPrunedRange(0, n, cur, sel, ccSq, minSq, res.Assign, cur, math.Inf(-1))
+		} else {
+			cur, nextSq = sc.flat.RelaxMinSqRange(0, n, cur, sel, minSq, res.Assign, cur, math.Inf(-1))
+		}
 	}
 	if nextSq > 0 {
 		res.Radius = math.Sqrt(nextSq)
@@ -133,6 +168,11 @@ func gmmFastParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]
 	}
 	minSq := sc.minSqInit(n)
 	res.LastDist = math.Inf(1)
+	pruned := flat.Dim() >= metric.BlockedMinDim
+	var ccSq []float64
+	if pruned {
+		ccSq = sc.ccSqInit(k)
+	}
 
 	cur := start
 	lastSq := -1.0
@@ -142,7 +182,14 @@ func gmmFastParallel[P any](pts []P, k, start, workers int, d metric.Distance[P]
 		}
 		res.Points = append(res.Points, vecs[cur])
 		res.Indices = append(res.Indices, cur)
-		cur, lastSq = flat.RelaxMinSqParallel(cur, sel, workers, minSq, res.Assign)
+		if pruned && sel > 0 {
+			for j := 0; j < sel; j++ {
+				ccSq[j] = flat.SqBetween(cur, res.Indices[j])
+			}
+			cur, lastSq = flat.RelaxMinSqPrunedParallel(cur, sel, workers, ccSq, minSq, res.Assign)
+		} else {
+			cur, lastSq = flat.RelaxMinSqParallel(cur, sel, workers, minSq, res.Assign)
+		}
 	}
 	if lastSq > 0 {
 		res.Radius = math.Sqrt(lastSq)

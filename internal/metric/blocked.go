@@ -1,0 +1,304 @@
+package metric
+
+import "math"
+
+// The blocked (GEMM-shaped) kernel tier for high-dimensional points.
+//
+// The difference-form kernels in kernel.go and distmatrix.go stream
+// both rows and spend three floating-point operations per coordinate
+// (subtract, multiply, add). Above a handful of dimensions the
+// dimension-specialized unrolls stop existing and every batched fill
+// degenerates to the generic sqDist loop — exactly where embedding
+// workloads live (d = 128–1536). This tier rewrites the batched fills
+// as blocked inner products via the norm trick
+//
+//	‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b
+//
+// with the squared norms cached once per point in Points (flat.go), so
+// a fill costs one dot product per pair — two operations per
+// coordinate — and, more importantly, the multi-row fills can be
+// cache-blocked: a column tile is kept hot in L2 while every row of the
+// block is swept across it, so each point crosses DRAM once per row
+// block instead of once per row.
+//
+// # Envelope, not bit-identity
+//
+// The norm trick reassociates the summation, so at d ≥ BlockedMinDim
+// the blocked squared distances are NOT bit-identical to the canonical
+// four-lane difference form — they agree within the documented error
+// envelope
+//
+//	|blocked − generic| ≤ K·d·eps·(‖a‖² + ‖b‖²),  eps = 2⁻⁵²
+//
+// (internal/testutil.SqDistBound, pinned by envelope_test.go and
+// FuzzBlockedVsGenericSqDist). Three exactness properties survive,
+// and the tests lean on them:
+//
+//   - Exact duplicates are exactly 0: norms are computed by the same
+//     dotKernel the pair dot uses, so a == b gives
+//     (na+nb) − 2·dot = 2·na − 2·na = 0 with no rounding.
+//   - Integer-valued coordinates (small enough that every product and
+//     partial sum is an exact integer) make both forms exact, hence
+//     bit-identical — tie-heavy integer-grid tests keep passing
+//     unchanged at every dimension.
+//   - Every entry is a position-independent function of its row pair:
+//     the micro-kernels interleave independent columns but never change
+//     any single entry's arithmetic, so sub-range fills, Grown stripes,
+//     and delta patches stay cell-for-cell identical to a full fill
+//     within the tier.
+//
+// Below BlockedMinDim nothing changes: the dimension-specialized
+// four-lane kernels keep their bit-identity with the generic path.
+
+// BlockedMinDim is the dimension at and above which the batched kernels
+// (FillSqRows, FillSqRowsRange, sqDistRangeInto, RelaxMinSqRange,
+// SqBetween) switch from the difference-form four-lane kernels to the
+// norm-trick blocked tier. Below it — including every
+// dimension-specialized unroll — the fast paths remain bit-identical to
+// the generic distance functions. 16 is where the difference form has
+// no specialized kernel left and the norm cache starts paying for its
+// 8 bytes per point.
+const BlockedMinDim = 16
+
+// pruneGuard widens the triangle-inequality pruning threshold of
+// RelaxMinSqPrunedRange so that kernel rounding error (bounded by
+// ~K·d·eps ≲ 1e-12 relative for any supported d) can never skip a row
+// the exact-arithmetic condition would have relaxed. 1e-9 is ~10³ above
+// the worst-case kernel error and ~10⁶ below any distance contrast the
+// pruning condition could usefully act on.
+const pruneGuard = 1e-9
+
+// dotKernel is the canonical blocked-tier inner product: coordinate j
+// of each aligned block of four feeds lane j (blocks in index order),
+// leftover coordinates feed lane 0, and the total is (s0+s1) + (s2+s3)
+// — the same lane discipline as sqDist, applied to products instead of
+// squared differences. Norms (sqNorm) and pair dots share this one
+// order; that shared order is what makes exact duplicates cancel to
+// exactly 0 in blockedSq.
+func dotKernel(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dot2Kernel computes dotKernel(a, b0) and dotKernel(a, b1) in one
+// pass: the register micro-kernel of the blocked tier. Each column
+// keeps its own four lanes — the per-column arithmetic is exactly
+// dotKernel's, so the results are bit-identical to two separate calls —
+// but a's coordinates are loaded once for both columns and the eight
+// independent accumulator chains keep the FMA pipeline full when the
+// tile is cache-resident.
+func dot2Kernel(a, b0, b1 []float64) (float64, float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	var p0, p1, p2, p3 float64
+	var q0, q1, q2, q3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		p0 += a0 * b0[i]
+		p1 += a1 * b0[i+1]
+		p2 += a2 * b0[i+2]
+		p3 += a3 * b0[i+3]
+		q0 += a0 * b1[i]
+		q1 += a1 * b1[i+1]
+		q2 += a2 * b1[i+2]
+		q3 += a3 * b1[i+3]
+	}
+	for ; i < len(a); i++ {
+		ai := a[i]
+		p0 += ai * b0[i]
+		q0 += ai * b1[i]
+	}
+	return (p0 + p1) + (p2 + p3), (q0 + q1) + (q2 + q3)
+}
+
+// sqNorm returns ‖a‖² in the canonical blocked-tier order. It must stay
+// dotKernel(a, a) — the duplicate-cancellation property of blockedSq
+// depends on it.
+func sqNorm(a []float64) float64 { return dotKernel(a, a) }
+
+// blockedSq assembles a squared distance from cached norms and a pair
+// dot: (na + nb) − 2·dot, clamped at 0 (catastrophic cancellation on
+// near-duplicate rows can land a hair below zero; a squared distance
+// never is, and downstream math.Sqrt must not see a negative). This is
+// the one canonical assembly order — every blocked-tier entry, whether
+// produced singly or by a micro-kernel, is exactly this expression.
+func blockedSq(na, nb, dot float64) float64 {
+	sq := (na + nb) - 2*dot
+	if sq < 0 {
+		return 0
+	}
+	return sq
+}
+
+// SqBetween returns the squared distance between stored rows i and j as
+// the active kernel tier computes it: the canonical four-lane
+// difference form below BlockedMinDim (bit-identical to
+// SquaredEuclidean), the norm-trick blocked form at and above it
+// (within the documented envelope of SquaredEuclidean, and bit-identical
+// to every batched fill's entry for the same pair). Callers that need
+// comparisons consistent with DistMatrix fills and relax passes — the
+// center-center distances of the pruned GMM relax, tests pinning the
+// tier — must use this rather than SqDist on the rows.
+func (p *Points) SqBetween(i, j int) float64 {
+	d := p.dim
+	a := p.data[i*d : i*d+d]
+	b := p.data[j*d : j*d+d]
+	if d >= BlockedMinDim {
+		return blockedSq(p.norms[i], p.norms[j], dotKernel(a, b))
+	}
+	return sqDist(a, b)
+}
+
+// blockedRangeInto is sqDistRangeInto's d ≥ BlockedMinDim tier: entries
+// out[j−jlo] = blockedSq(row c, row j) for j in [jlo, jhi), the
+// two-column micro-kernel on the body and dotKernel on the tail. Every
+// entry is the canonical blockedSq assembly, so range position does not
+// affect any value.
+func (p *Points) blockedRangeInto(c, jlo, jhi int, out []float64) {
+	d := p.dim
+	data := p.data
+	norms := p.norms
+	nc := norms[c]
+	center := data[c*d : c*d+d]
+	j := jlo
+	for ; j+2 <= jhi; j += 2 {
+		dot0, dot1 := dot2Kernel(center, data[j*d:j*d+d], data[(j+1)*d:(j+1)*d+d])
+		out[j-jlo] = blockedSq(nc, norms[j], dot0)
+		out[j-jlo+1] = blockedSq(nc, norms[j+1], dot1)
+	}
+	for ; j < jhi; j++ {
+		out[j-jlo] = blockedSq(nc, norms[j], dotKernel(center, data[j*d:j*d+d]))
+	}
+}
+
+// blockedTileBytes bounds the column tile a blocked multi-row fill
+// keeps hot while sweeping rows across it. 512 KiB leaves most of a
+// 1–2 MiB L2 for the destination rows and the row operands themselves.
+const blockedTileBytes = 512 << 10
+
+// blockedFillRows is the cache-blocked multi-row fill behind
+// FillSqRowsRange at d ≥ BlockedMinDim: rows [rlo, rhi) × columns
+// [colLo, colHi), written to dst with row stride w and the first row
+// landing at dst[(rlo−dstRow0)·w]. Columns are processed in tiles sized
+// to blockedTileBytes; within a tile every row of the block is swept
+// across it, so the tile's points are served from cache for all but the
+// first row. Entry values are identical to blockedRangeInto's — the
+// tiling only reorders which entries are computed when.
+func (p *Points) blockedFillRows(rlo, rhi, colLo, colHi, dstRow0, w int, dst []float64) {
+	tile := blockedTileBytes / (8 * p.dim)
+	if tile < 64 {
+		tile = 64
+	}
+	for t0 := colLo; t0 < colHi; t0 += tile {
+		t1 := t0 + tile
+		if t1 > colHi {
+			t1 = colHi
+		}
+		for i := rlo; i < rhi; i++ {
+			base := (i-dstRow0)*w + (t0 - colLo)
+			p.blockedRangeInto(i, t0, t1, dst[base:base+(t1-t0)])
+		}
+	}
+}
+
+// blockedRelaxRange is RelaxMinSqRange's d ≥ BlockedMinDim tier: the
+// same relaxation bookkeeping run on blockedSq values. Entry values
+// match blockedRangeInto/SqBetween bit for bit.
+func (p *Points) blockedRelaxRange(lo, hi, c, sel int, minSq []float64, assign []int, next int, nextSq float64) (int, float64) {
+	d := p.dim
+	data := p.data
+	norms := p.norms
+	nc := norms[c]
+	center := data[c*d : c*d+d]
+	for i := lo; i < hi; i++ {
+		sq := blockedSq(nc, norms[i], dotKernel(center, data[i*d:i*d+d]))
+		m := minSq[i]
+		if sq < m {
+			m = sq
+			minSq[i] = sq
+			assign[i] = sel
+		}
+		if m > nextSq {
+			next, nextSq = i, m
+		}
+	}
+	return next, nextSq
+}
+
+// RelaxMinSqPrunedRange is RelaxMinSqRange with triangle-inequality
+// pruning for the farthest-first traversal's later passes, available
+// only in the blocked tier (d ≥ BlockedMinDim — callers gate on that).
+// ccSq[s] must hold SqBetween(c, center s) for every selection id s
+// that appears in assign[lo:hi] (the squared distance from the newly
+// selected center c to the previously selected center s, computed by
+// SqBetween so it is consistent with the minSq values it is compared
+// against).
+//
+// The skip rule is the classic Elkan bound run on squares: if
+// d(c, a) ≥ 2·d(p, a) for p's assigned center a, the triangle
+// inequality gives d(p, c) ≥ d(p, a), so c cannot strictly improve p's
+// assignment and the row's (unchanged) minSq only participates in the
+// running maximum — one compare against a cached center-center square
+// instead of a d-coordinate dot product, turning the pass from
+// O(n·d) memory traffic into O(n) for every point already well inside
+// its cluster. In squares the condition is ccSq ≥ 4·minSq; it is
+// widened by pruneGuard so kernel rounding (≪ the guard) can never
+// skip a row exact arithmetic would relax — equality itself never
+// yields a strict improvement, so the guarded skip is always sound.
+// The non-skipped rows compute exactly blockedRelaxRange's values, so
+// a pruned pass is bit-identical to an unpruned one (envelope_test.go
+// pins this).
+func (p *Points) RelaxMinSqPrunedRange(lo, hi, c, sel int, ccSq, minSq []float64, assign []int, next int, nextSq float64) (int, float64) {
+	if lo >= hi {
+		return next, nextSq
+	}
+	d := p.dim
+	data := p.data
+	norms := p.norms
+	nc := norms[c]
+	center := data[c*d : c*d+d]
+	_ = minSq[hi-1]
+	_ = assign[hi-1]
+	const factor = 4 * (1 + pruneGuard)
+	for i := lo; i < hi; i++ {
+		m := minSq[i]
+		if ccSq[assign[i]] > factor*m {
+			if m > nextSq {
+				next, nextSq = i, m
+			}
+			continue
+		}
+		sq := blockedSq(nc, norms[i], dotKernel(center, data[i*d:i*d+d]))
+		if sq < m {
+			m = sq
+			minSq[i] = sq
+			assign[i] = sel
+		}
+		if m > nextSq {
+			next, nextSq = i, m
+		}
+	}
+	return next, nextSq
+}
+
+// RelaxMinSqPrunedParallel is RelaxMinSqPrunedRange over all rows,
+// sharded exactly like RelaxMinSqParallel (same shard geometry, same
+// lowest-index tie reduce), so the result is independent of the worker
+// count and identical to the sequential pruned pass.
+func (p *Points) RelaxMinSqPrunedParallel(c, sel, workers int, ccSq, minSq []float64, assign []int) (int, float64) {
+	return p.relaxParallel(workers, minSq, assign, func(lo, hi int) (int, float64) {
+		return p.RelaxMinSqPrunedRange(lo, hi, c, sel, ccSq, minSq, assign, lo, math.Inf(-1))
+	})
+}

@@ -1,0 +1,98 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"divmax/internal/testutil"
+)
+
+// FuzzBlockedVsGenericSqDist drives the tier dispatch across arbitrary
+// shapes — dimensions spanning [1, 1536] (both sides of BlockedMinDim),
+// sub-range windows straddling the two-column micro-kernel and cache
+// tiles — and checks the tier contracts on every input: integer-valued
+// coordinates must agree with the scalar form bit for bit at any
+// dimension, scaled (inexact) coordinates must stay within the
+// documented envelope, exact duplicates must give exactly zero, and
+// range fills must be bit-identical to full-row fills regardless of the
+// window.
+func FuzzBlockedVsGenericSqDist(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint16(3), uint8(0), false)
+	f.Add([]byte{9, 9, 9, 9, 1, 2, 3, 4, 200, 100}, uint16(16), uint8(5), true)
+	f.Add([]byte{255, 0, 127, 63, 31, 15, 7, 3}, uint16(33), uint8(64), true)
+	f.Add([]byte{1, 2, 3}, uint16(128), uint8(127), false)
+	f.Add([]byte{8, 4, 2, 1, 1, 2, 4, 8}, uint16(512), uint8(255), true)
+	f.Add([]byte{5}, uint16(1535), uint8(33), true)
+	f.Fuzz(func(t *testing.T, data []byte, dimRaw uint16, winRaw uint8, scaled bool) {
+		if len(data) == 0 {
+			return
+		}
+		dim := 1 + int(dimRaw)%1536
+		n := 2 + len(data)%6
+		rows := make([]Vector, n)
+		for i := range rows {
+			v := make(Vector, dim)
+			for j := range v {
+				c := float64(data[(i*dim+j)%len(data)])
+				if scaled {
+					c /= 3 // inexact: forces the envelope (not bitwise) regime
+				}
+				v[j] = c
+			}
+			rows[i] = v
+		}
+		// An exact duplicate of row 0, placed last.
+		rows = append(rows, append(Vector(nil), rows[0]...))
+		n = len(rows)
+		flat, ok := FlattenVectors(rows)
+		if !ok {
+			t.Fatal("FlattenVectors rejected regular rows")
+		}
+
+		zero := make(Vector, dim)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := flat.SqBetween(i, j)
+				want := SquaredEuclidean(rows[i], rows[j])
+				if dim < BlockedMinDim || !scaled {
+					// Below the threshold, or with integer inputs (exact
+					// arithmetic in both forms): bit-identical.
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("dim %d scaled=%v: SqBetween(%d,%d) = %v, want %v bit-identical",
+							dim, scaled, i, j, got, want)
+					}
+					continue
+				}
+				bound := testutil.SqDistBound(dim, SquaredEuclidean(rows[i], zero), SquaredEuclidean(rows[j], zero))
+				if !testutil.WithinAbs(got, want, bound) {
+					t.Fatalf("dim %d: SqBetween(%d,%d) = %v, want %v within %v",
+						dim, i, j, got, want, bound)
+				}
+			}
+		}
+		if sq := flat.SqBetween(0, n-1); sq != 0 {
+			t.Fatalf("dim %d: duplicate pair distance %v, want exactly 0", dim, sq)
+		}
+
+		// Range fills are position-independent: any window reproduces
+		// the corresponding cells of the full fill bit for bit.
+		full := make([]float64, n*n)
+		flat.FillSqRows(0, n, full, 1)
+		colLo := int(winRaw) % n
+		colHi := colLo + 1 + int(dimRaw)%(n-colLo)
+		if colHi > n {
+			colHi = n
+		}
+		w := colHi - colLo
+		dst := make([]float64, n*w)
+		flat.FillSqRowsRange(0, n, colLo, colHi, dst, 1)
+		for i := 0; i < n; i++ {
+			for j := colLo; j < colHi; j++ {
+				if math.Float64bits(dst[i*w+j-colLo]) != math.Float64bits(full[i*n+j]) {
+					t.Fatalf("dim %d window [%d,%d): cell (%d,%d) differs from the full fill",
+						dim, colLo, colHi, i, j)
+				}
+			}
+		}
+	})
+}

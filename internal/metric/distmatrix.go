@@ -210,7 +210,10 @@ func (p *Points) FillSqRowsRange(lo, hi, colLo, colHi int, dst []float64, worker
 		panic(fmt.Sprintf("metric: FillSqRowsRange range [%d, %d) outside a %d-row store", lo, hi, n))
 	}
 	if colLo < 0 || colHi > n || colLo > colHi {
-		panic(fmt.Sprintf("metric: FillSqRowsRange columns [%d, %d) outside a %d-row store", colLo, colHi, n))
+		// The column bound is the store's point count — the same n that
+		// bounds rows, but reported as the column capacity it is here,
+		// not as a row count.
+		panic(fmt.Sprintf("metric: FillSqRowsRange columns [%d, %d) outside a %d-column store", colLo, colHi, n))
 	}
 	rows, w := hi-lo, colHi-colLo
 	if rows == 0 || w == 0 {
@@ -220,6 +223,10 @@ func (p *Points) FillSqRowsRange(lo, hi, colLo, colHi int, dst []float64, worker
 		panic(fmt.Sprintf("metric: FillSqRowsRange destination of %d values for %d rows of %d", len(dst), rows, w))
 	}
 	parallelRowRange(lo, hi, workers, func(flo, fhi int) {
+		if p.dim >= BlockedMinDim {
+			p.blockedFillRows(flo, fhi, colLo, colHi, lo, w, dst)
+			return
+		}
 		for i := flo; i < fhi; i++ {
 			p.sqDistRangeInto(i, colLo, colHi, dst[(i-lo)*w:(i-lo)*w+w])
 		}
@@ -348,6 +355,10 @@ func (p *Points) sqDistRangeInto(c, jlo, jhi int, out []float64) {
 			out[i-jlo] = sqDist(center, data[8*i:8*i+8])
 		}
 	default:
+		if d >= BlockedMinDim {
+			p.blockedRangeInto(c, jlo, jhi, out)
+			return
+		}
 		center := data[c*d : c*d+d]
 		for i := jlo; i < jhi; i++ {
 			out[i-jlo] = sqDist(center, data[i*d:i*d+d])
@@ -386,6 +397,18 @@ func (m *DistMatrix) SqRow(i int) []float64 { return m.sq[i*m.stride : i*m.strid
 // so every shard owns at least relaxMinRows rows. It is the engine of
 // GMMParallel's flat fast path.
 func (p *Points) RelaxMinSqParallel(c, sel, workers int, minSq []float64, assign []int) (int, float64) {
+	return p.relaxParallel(workers, minSq, assign, func(lo, hi int) (int, float64) {
+		return p.RelaxMinSqRange(lo, hi, c, sel, minSq, assign, lo, math.Inf(-1))
+	})
+}
+
+// relaxParallel is the shard-and-reduce skeleton shared by
+// RelaxMinSqParallel and RelaxMinSqPrunedParallel: pass relaxes one
+// contiguous row range seeded with (lo, -Inf) and returns its running
+// maximum; the per-shard maxima are reduced with ties toward the lowest
+// index, which is exactly the bookkeeping of a single ascending
+// strict-'>' scan, so the result is independent of the worker count.
+func (p *Points) relaxParallel(workers int, minSq []float64, assign []int, pass func(lo, hi int) (int, float64)) (int, float64) {
 	n := p.n
 	if n == 0 {
 		return -1, -1
@@ -401,7 +424,7 @@ func (p *Points) RelaxMinSqParallel(c, sel, workers int, minSq []float64, assign
 		workers = maxw
 	}
 	if workers <= 1 {
-		return p.RelaxMinSqRange(0, n, c, sel, minSq, assign, 0, math.Inf(-1))
+		return pass(0, n)
 	}
 	type shardMax struct {
 		idx int
@@ -423,7 +446,7 @@ func (p *Points) RelaxMinSqParallel(c, sel, workers int, minSq []float64, assign
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			idx, sq := p.RelaxMinSqRange(lo, hi, c, sel, minSq, assign, lo, math.Inf(-1))
+			idx, sq := pass(lo, hi)
 			maxes[s] = shardMax{idx: idx, sq: sq}
 		}(s, lo, hi)
 	}

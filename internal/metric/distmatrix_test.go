@@ -5,7 +5,29 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"divmax/internal/testutil"
 )
+
+// mustMatchTier asserts that a batched-kernel square equals the scalar
+// canonical square under the active tier's contract: bit-identical
+// below BlockedMinDim, within the documented blocked envelope at and
+// above it (where integer-valued inputs still come out bit-identical —
+// the envelope merely caps reassociation error on continuous data).
+func mustMatchTier(t *testing.T, p *Points, i, j int, got, want float64, ctx string) {
+	t.Helper()
+	if p.Dim() < BlockedMinDim {
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%s: (%d,%d) = %v, want %v bit-identical", ctx, i, j, got, want)
+		}
+		return
+	}
+	bound := testutil.SqDistBound(p.Dim(), sqNorm(p.Row(i)), sqNorm(p.Row(j)))
+	if !testutil.WithinAbs(got, want, bound) {
+		t.Fatalf("%s: (%d,%d) = %v, want %v within envelope %v (|diff| %v)",
+			ctx, i, j, got, want, bound, math.Abs(got-want))
+	}
+}
 
 // fillPoints builds a flat store of n random rows (or tie-heavy integer
 // rows when ties is set, the regime where bit-identity matters).
@@ -46,14 +68,18 @@ func TestDistMatrixMatchesSquaredEuclidean(t *testing.T) {
 					row := m.SqRow(i)
 					for j := 0; j < n; j++ {
 						want := SquaredEuclidean(p.Vector(i), p.Vector(j))
-						if math.Float64bits(row[j]) != math.Float64bits(want) {
-							t.Fatalf("dim=%d n=%d workers=%d: SqAt(%d,%d) = %v, want %v",
-								dim, n, workers, i, j, row[j], want)
-						}
+						mustMatchTier(t, p, i, j, row[j], want, "SqAt vs SquaredEuclidean")
+						// Symmetry holds bitwise in both tiers: the
+						// difference form squares commute per
+						// coordinate, and the blocked form's norm sum
+						// and per-lane products commute too.
 						if math.Float64bits(m.SqAt(i, j)) != math.Float64bits(m.SqAt(j, i)) {
 							t.Fatalf("dim=%d n=%d: matrix not symmetric at (%d,%d)", dim, n, i, j)
 						}
-						if math.Float64bits(m.At(i, j)) != math.Float64bits(Euclidean(p.Vector(i), p.Vector(j))) {
+						if math.Float64bits(m.At(i, j)) != math.Float64bits(math.Sqrt(row[j])) {
+							t.Fatalf("dim=%d n=%d: At(%d,%d) is not the root of its cell", dim, n, i, j)
+						}
+						if dim < BlockedMinDim && math.Float64bits(m.At(i, j)) != math.Float64bits(Euclidean(p.Vector(i), p.Vector(j))) {
 							t.Fatalf("dim=%d n=%d: At(%d,%d) differs from Euclidean", dim, n, i, j)
 						}
 					}
@@ -239,7 +265,10 @@ func TestDistMatrixAndRelaxConcurrency(t *testing.T) {
 // that misalign its four-rows-per-step grouping) and worker counts.
 func TestFillSqRowsRangeMatchesFullRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	for _, dim := range []int{1, 2, 3, 4, 8, 9} {
+	// Dims 32 and 128 run the blocked tier, whose entries are
+	// position-independent: sub-range fills stay bit-identical to the
+	// full-row fill even though both differ from the scalar form.
+	for _, dim := range []int{1, 2, 3, 4, 8, 9, 32, 128} {
 		for _, n := range []int{1, 2, 13, 70} {
 			p := fillPoints(rng, n, dim, n%2 == 0)
 			full := make([]float64, n*n)
@@ -281,21 +310,34 @@ func TestFillSqRowsRangeMatchesFullRows(t *testing.T) {
 	}
 }
 
-// TestFillSqRowsRangeValidation covers the bounds panics.
+// TestFillSqRowsRangeValidation covers the bounds panics, pinning the
+// message text: the row check reports the row bound, the column check
+// reports the column bound (historically it misreported "row store" for
+// a column violation).
 func TestFillSqRowsRangeValidation(t *testing.T) {
 	p := fillPoints(rand.New(rand.NewSource(1)), 4, 2, false)
-	for name, fn := range map[string]func(){
-		"rows":    func() { p.FillSqRowsRange(0, 5, 0, 4, make([]float64, 20), 1) },
-		"columns": func() { p.FillSqRowsRange(0, 4, 2, 5, make([]float64, 20), 1) },
-		"dst":     func() { p.FillSqRowsRange(0, 4, 0, 4, make([]float64, 15), 1) },
+	for name, tc := range map[string]struct {
+		fn   func()
+		want string
+	}{
+		"rows": {func() { p.FillSqRowsRange(0, 5, 0, 4, make([]float64, 20), 1) },
+			"metric: FillSqRowsRange range [0, 5) outside a 4-row store"},
+		"columns": {func() { p.FillSqRowsRange(0, 4, 2, 5, make([]float64, 20), 1) },
+			"metric: FillSqRowsRange columns [2, 5) outside a 4-column store"},
+		"dst": {func() { p.FillSqRowsRange(0, 4, 0, 4, make([]float64, 15), 1) },
+			"metric: FillSqRowsRange destination of 15 values for 4 rows of 4"},
 	} {
 		func() {
 			defer func() {
-				if recover() == nil {
+				r := recover()
+				if r == nil {
 					t.Fatalf("%s: expected panic", name)
 				}
+				if msg, ok := r.(string); !ok || msg != tc.want {
+					t.Fatalf("%s: panicked with %q, want %q", name, r, tc.want)
+				}
 			}()
-			fn()
+			tc.fn()
 		}()
 	}
 }
@@ -308,7 +350,10 @@ func TestFillSqRowsRangeValidation(t *testing.T) {
 // and the reallocate-and-copy paths) and stride caps.
 func TestDistMatrixGrownMatchesBulkBuild(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	for _, dim := range []int{1, 2, 3, 8, 5} {
+	// Dims 32 and 128 cover the blocked tier: growth stripes are filled
+	// by the same position-independent kernel as bulk builds, so the
+	// cell-for-cell bitwise comparison holds there too.
+	for _, dim := range []int{1, 2, 3, 8, 5, 32, 128} {
 		for _, steps := range [][]int{
 			{2, 3},       // grow within / past capacity from a tiny matrix
 			{1, 1, 1, 1}, // repeated single-point appends

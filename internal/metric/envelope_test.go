@@ -1,0 +1,377 @@
+package metric_test
+
+// The envelope-equivalence harness for the blocked kernel tier.
+//
+// Below metric.BlockedMinDim the fast paths are pinned bit-identical to
+// the generic distance functions (flat_test.go, the consumer packages'
+// equivalence tests). At and above it the norm-trick blocked tier
+// reassociates the summation, so bit-identity is replaced by four
+// contracts, each pinned here:
+//
+//  1. Value envelope: every blocked squared distance is within
+//     testutil.SqDistBound of the canonical difference form, exact
+//     duplicates are exactly 0, and integer-valued inputs (exact FP
+//     arithmetic in both forms) stay bit-identical.
+//  2. Position independence: sub-range fills, single rows, relax
+//     passes, and SqBetween all produce bit-identical values for the
+//     same row pair, no matter how the range straddles micro-kernel or
+//     cache-tile boundaries.
+//  3. Pruning transparency: the triangle-inequality-pruned relax pass
+//     is bit-identical to the unpruned blocked pass.
+//  4. Solution identity: GMM, SMM, and the round-2 engine select the
+//     same index sets (and assignments) as the generic path on the
+//     same streams the low-dimension equivalence tests use — values
+//     may differ within the envelope, selections may not.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"divmax/internal/coreset"
+	"divmax/internal/metric"
+	"divmax/internal/sequential"
+	"divmax/internal/streamalg"
+	"divmax/internal/testutil"
+)
+
+// envDims are the dimensions the acceptance criteria name: one below
+// the blocked threshold (bit-identical), the rest across the blocked
+// tier up to the top of the embedding range.
+var envDims = []int{8, 32, 128, 512, 1536}
+
+// genericEuclid defeats metric.IsEuclidean recognition, forcing every
+// construction driven by it down the generic reference path.
+func genericEuclid(a, b metric.Vector) float64 { return metric.Euclidean(a, b) }
+
+// mixedRows draws rows with coordinates spanning several orders of
+// magnitude — the regime where summation-order differences are largest
+// relative to the envelope.
+func mixedRows(rng *rand.Rand, n, dim int) []metric.Vector {
+	rows := make([]metric.Vector, n)
+	for i := range rows {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		rows[i] = v
+	}
+	return rows
+}
+
+// gridRows draws rows from a small integer grid: every product and
+// partial sum in either kernel form is an exact integer, so the blocked
+// and generic values must agree bit for bit, and exact ties abound.
+func gridRows(rng *rand.Rand, n, dim int) []metric.Vector {
+	rows := make([]metric.Vector, n)
+	for i := range rows {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = float64(rng.Intn(4))
+		}
+		rows[i] = v
+	}
+	return rows
+}
+
+func sqNormOf(v metric.Vector) float64 {
+	zero := make(metric.Vector, len(v))
+	return metric.SquaredEuclidean(v, zero)
+}
+
+// TestEnvelopeBlockedVsGenericDistances pins contract 1 at the
+// acceptance dimensions: envelope agreement on continuous data (with
+// bit-identity below the threshold), exact zero on duplicates.
+func TestEnvelopeBlockedVsGenericDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, dim := range envDims {
+		rows := mixedRows(rng, 40, dim)
+		// Exact duplicates, including of a large-norm row.
+		rows = append(rows, append(metric.Vector(nil), rows[3]...), append(metric.Vector(nil), rows[7]...))
+		flat, ok := metric.FlattenVectors(rows)
+		if !ok {
+			t.Fatalf("dim %d: FlattenVectors rejected regular rows", dim)
+		}
+		n := len(rows)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := flat.SqBetween(i, j)
+				want := metric.SquaredEuclidean(rows[i], rows[j])
+				if dim < metric.BlockedMinDim {
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("dim %d: SqBetween(%d,%d) = %v, want %v bit-identical below the threshold",
+							dim, i, j, got, want)
+					}
+					continue
+				}
+				bound := testutil.SqDistBound(dim, sqNormOf(rows[i]), sqNormOf(rows[j]))
+				if !testutil.WithinAbs(got, want, bound) {
+					t.Fatalf("dim %d: SqBetween(%d,%d) = %v, want %v within %v (|diff| %v)",
+						dim, i, j, got, want, bound, math.Abs(got-want))
+				}
+			}
+		}
+		// Duplicates cancel to exactly zero in the blocked form.
+		for _, pair := range [][2]int{{3, n - 2}, {7, n - 1}, {5, 5}} {
+			if sq := flat.SqBetween(pair[0], pair[1]); sq != 0 {
+				t.Fatalf("dim %d: duplicate pair %v has SqBetween %v, want exactly 0", dim, pair, sq)
+			}
+		}
+	}
+}
+
+// TestEnvelopeIntegerGridBitIdentical pins the exactness clause of
+// contract 1: integer-valued coordinates make the blocked tier
+// bit-identical to the generic path at every dimension, which is what
+// keeps every tie-heavy equivalence stream exact.
+func TestEnvelopeIntegerGridBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, dim := range []int{16, 32, 128, 512, 1536} {
+		rows := gridRows(rng, 30, dim)
+		flat, _ := metric.FlattenVectors(rows)
+		dst := make([]float64, len(rows))
+		for i := range rows {
+			flat.FillSqRows(i, i+1, dst, 1)
+			for j := range rows {
+				want := metric.SquaredEuclidean(rows[i], rows[j])
+				if math.Float64bits(dst[j]) != math.Float64bits(want) {
+					t.Fatalf("dim %d: integer-grid fill (%d,%d) = %v, want %v bit-identical",
+						dim, i, j, dst[j], want)
+				}
+				if got := flat.SqBetween(i, j); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("dim %d: integer-grid SqBetween(%d,%d) = %v, want %v", dim, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopePositionIndependence pins contract 2: every batched
+// entry is a pure function of its row pair. Sub-range fills with
+// offsets straddling the two-column micro-kernel and the cache tile,
+// single-row fills, relax passes from +Inf, and SqBetween must all
+// agree bit for bit — this is what keeps Grown stripes and delta
+// patches cell-for-cell stable inside the tier.
+func TestEnvelopePositionIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, dim := range []int{16, 67, 128} {
+		const n = 150
+		rows := mixedRows(rng, n, dim)
+		flat, _ := metric.FlattenVectors(rows)
+		c := 5
+		full := make([]float64, n)
+		flat.FillSqRows(c, c+1, full, 1)
+		if got := flat.SqBetween(c, 9); math.Float64bits(got) != math.Float64bits(full[9]) {
+			t.Fatalf("dim %d: SqBetween disagrees with the full row fill", dim)
+		}
+		for _, win := range [][2]int{{0, n}, {1, n - 1}, {9, 10}, {3, 70}, {64, 129}, {149, 150}, {17, 17}} {
+			lo, hi := win[0], win[1]
+			dst := make([]float64, hi-lo)
+			flat.FillSqRowsRange(c, c+1, lo, hi, dst, 1)
+			for j := lo; j < hi; j++ {
+				if math.Float64bits(dst[j-lo]) != math.Float64bits(full[j]) {
+					t.Fatalf("dim %d window [%d,%d): column %d differs from the full row", dim, lo, hi, j)
+				}
+			}
+		}
+		// A relax pass from +Inf records exactly the row's fill values.
+		minSq := make([]float64, n)
+		assign := make([]int, n)
+		for i := range minSq {
+			minSq[i] = math.Inf(1)
+		}
+		flat.RelaxMinSqRange(0, n, c, 0, minSq, assign, c, math.Inf(-1))
+		for i := 0; i < n; i++ {
+			if math.Float64bits(minSq[i]) != math.Float64bits(full[i]) {
+				t.Fatalf("dim %d: relaxed minSq[%d] = %v, fill = %v", dim, i, minSq[i], full[i])
+			}
+		}
+	}
+}
+
+// TestEnvelopePrunedRelaxBitIdentical pins contract 3: a full
+// farthest-first traversal driven by the pruned relax (sequential and
+// parallel, across worker counts) leaves exactly the same minSq,
+// assignments, and per-pass (next, nextSq) as the unpruned blocked
+// pass. Clustered data maximizes how often the pruning condition
+// actually fires.
+func TestEnvelopePrunedRelaxBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	const n, dim, k = 3000, 64, 24
+	rows := make([]metric.Vector, n)
+	for i := range rows {
+		v := make(metric.Vector, dim)
+		center := float64(rng.Intn(8)) * 100
+		for j := range v {
+			v[j] = center + rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	flat, _ := metric.FlattenVectors(rows)
+
+	type state struct {
+		minSq  []float64
+		assign []int
+		cur    int
+	}
+	newState := func() *state {
+		s := &state{minSq: make([]float64, n), assign: make([]int, n)}
+		for i := range s.minSq {
+			s.minSq[i] = math.Inf(1)
+		}
+		return s
+	}
+	plain, prunedSeq, prunedPar := newState(), newState(), newState()
+	indices := make([]int, 0, k)
+	ccSq := make([]float64, k)
+	pruneCount := 0
+	for sel := 0; sel < k; sel++ {
+		indices = append(indices, plain.cur)
+		for j := 0; j < sel; j++ {
+			ccSq[j] = flat.SqBetween(plain.cur, indices[j])
+		}
+		nextA, sqA := flat.RelaxMinSqRange(0, n, plain.cur, sel, plain.minSq, plain.assign, plain.cur, math.Inf(-1))
+		var nextB, nextC int
+		var sqB, sqC float64
+		if sel == 0 {
+			nextB, sqB = flat.RelaxMinSqRange(0, n, prunedSeq.cur, sel, prunedSeq.minSq, prunedSeq.assign, prunedSeq.cur, math.Inf(-1))
+			nextC, sqC = flat.RelaxMinSqRange(0, n, prunedPar.cur, sel, prunedPar.minSq, prunedPar.assign, prunedPar.cur, math.Inf(-1))
+		} else {
+			nextB, sqB = flat.RelaxMinSqPrunedRange(0, n, prunedSeq.cur, sel, ccSq[:sel], prunedSeq.minSq, prunedSeq.assign, prunedSeq.cur, math.Inf(-1))
+			nextC, sqC = flat.RelaxMinSqPrunedParallel(prunedPar.cur, sel, 1+sel%4, ccSq[:sel], prunedPar.minSq, prunedPar.assign)
+			pruneCount++
+		}
+		if nextA != nextB || nextA != nextC ||
+			math.Float64bits(sqA) != math.Float64bits(sqB) || math.Float64bits(sqA) != math.Float64bits(sqC) {
+			t.Fatalf("pass %d: plain (%d, %v), pruned (%d, %v), pruned-parallel (%d, %v)",
+				sel, nextA, sqA, nextB, sqB, nextC, sqC)
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(plain.minSq[i]) != math.Float64bits(prunedSeq.minSq[i]) ||
+				plain.assign[i] != prunedSeq.assign[i] ||
+				math.Float64bits(plain.minSq[i]) != math.Float64bits(prunedPar.minSq[i]) ||
+				plain.assign[i] != prunedPar.assign[i] {
+				t.Fatalf("pass %d: row %d diverged: plain (%v,%d), pruned (%v,%d), parallel (%v,%d)",
+					sel, i, plain.minSq[i], plain.assign[i],
+					prunedSeq.minSq[i], prunedSeq.assign[i], prunedPar.minSq[i], prunedPar.assign[i])
+			}
+		}
+		plain.cur, prunedSeq.cur, prunedPar.cur = nextA, nextB, nextC
+		_, _, _ = sqA, sqB, sqC
+	}
+	if pruneCount == 0 {
+		t.Fatal("pruned passes never ran")
+	}
+}
+
+// TestEnvelopeGMMSolutionIdentity pins contract 4 for the traversal the
+// core-sets are built from: identical index sets and assignments on the
+// same continuous and tie-heavy streams the low-dimension equivalence
+// tests use, at the blocked dimensions.
+func TestEnvelopeGMMSolutionIdentity(t *testing.T) {
+	for _, dim := range []int{32, 128, 512} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(100*int64(dim) + seed))
+			var pts []metric.Vector
+			if seed%2 == 0 {
+				pts = mixedRows(rng, 400, dim)
+			} else {
+				pts = gridRows(rng, 400, dim)
+			}
+			k := 1 + rng.Intn(32)
+			start := rng.Intn(len(pts))
+			fast := coreset.GMM(pts, k, start, metric.Euclidean)
+			slow := coreset.GMM(pts, k, start, metric.Distance[metric.Vector](genericEuclid))
+			if len(fast.Indices) != len(slow.Indices) {
+				t.Fatalf("dim %d seed %d: fast selected %d, generic %d", dim, seed, len(fast.Indices), len(slow.Indices))
+			}
+			for i := range fast.Indices {
+				if fast.Indices[i] != slow.Indices[i] {
+					t.Fatalf("dim %d seed %d: selection %d differs: fast %d, generic %d",
+						dim, seed, i, fast.Indices[i], slow.Indices[i])
+				}
+			}
+			for i := range fast.Assign {
+				if fast.Assign[i] != slow.Assign[i] {
+					t.Fatalf("dim %d seed %d: assignment %d differs: fast %d, generic %d",
+						dim, seed, i, fast.Assign[i], slow.Assign[i])
+				}
+			}
+			for _, workers := range []int{2, 4} {
+				par := coreset.GMMParallel(pts, k, start, workers, metric.Euclidean)
+				for i := range fast.Indices {
+					if par.Indices[i] != fast.Indices[i] {
+						t.Fatalf("dim %d seed %d workers %d: parallel selection %d differs",
+							dim, seed, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeSMMSolutionIdentity: the streaming scanner is deliberately
+// outside the blocked tier (MinSq keeps the difference form at every
+// dimension), so SMM stays bit-identical to the generic stream even at
+// embedding dimensions — centers, thresholds, and phases.
+func TestEnvelopeSMMSolutionIdentity(t *testing.T) {
+	for _, dim := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		pts := mixedRows(rng, 1500, dim)
+		fast := streamalg.NewSMM(3, 12, metric.Euclidean)
+		slow := streamalg.NewSMM(3, 12, metric.Distance[metric.Vector](genericEuclid))
+		fast.ProcessBatch(pts)
+		for _, p := range pts {
+			slow.Process(p)
+		}
+		if math.Float64bits(fast.Threshold()) != math.Float64bits(slow.Threshold()) {
+			t.Fatalf("dim %d: thresholds differ: fast %v, generic %v", dim, fast.Threshold(), slow.Threshold())
+		}
+		fr, sr := fast.Result(), slow.Result()
+		if len(fr) != len(sr) {
+			t.Fatalf("dim %d: result sizes differ: fast %d, generic %d", dim, len(fr), len(sr))
+		}
+		for i := range fr {
+			for j := range fr[i] {
+				if math.Float64bits(fr[i][j]) != math.Float64bits(sr[i][j]) {
+					t.Fatalf("dim %d: center %d coordinate %d differs", dim, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeEngineSolutionIdentity pins contract 4 for the round-2
+// engine: matrix- and engine-driven solvers fed by blocked fills select
+// the same points as the generic callback solvers at blocked
+// dimensions, on both continuous and integer-grid unions.
+func TestEnvelopeEngineSolutionIdentity(t *testing.T) {
+	for _, dim := range []int{32, 128} {
+		for seed := int64(0); seed < 2; seed++ {
+			rng := rand.New(rand.NewSource(10*int64(dim) + seed))
+			var pts []metric.Vector
+			if seed%2 == 0 {
+				pts = mixedRows(rng, 300, dim)
+			} else {
+				pts = gridRows(rng, 300, dim)
+			}
+			const k = 12
+			eng := sequential.BuildEngine(pts, metric.Euclidean, 2)
+			if eng == nil {
+				t.Fatalf("dim %d: BuildEngine rejected the input", dim)
+			}
+			got := sequential.MaxDispersionPairsEngine(pts, eng, k)
+			want := sequential.MaxDispersionPairs(pts, k, metric.Distance[metric.Vector](genericEuclid))
+			if len(got) != len(want) {
+				t.Fatalf("dim %d seed %d: engine selected %d points, generic %d", dim, seed, len(got), len(want))
+			}
+			for i := range got {
+				for j := range got[i] {
+					if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+						t.Fatalf("dim %d seed %d: selected point %d differs between engine and generic", dim, seed, i)
+					}
+				}
+			}
+		}
+	}
+}

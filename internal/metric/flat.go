@@ -17,6 +17,12 @@ type Points struct {
 	data []float64
 	n    int
 	dim  int
+	// norms caches ‖row i‖² in the canonical blocked-tier order
+	// (sqNorm, blocked.go) for every row — maintained only when
+	// dim ≥ BlockedMinDim, where the batched kernels run the norm-trick
+	// blocked tier; empty below it, where the difference-form kernels
+	// never read it. Kept in lockstep with data by every mutator.
+	norms []float64
 }
 
 // FlattenVectors copies vs into a flat row-major store. It reports
@@ -39,7 +45,9 @@ func FlattenVectors(vs []Vector) (Points, bool) {
 		}
 		data = append(data, v...)
 	}
-	return Points{data: data, n: len(vs), dim: dim}, true
+	p := Points{data: data, n: len(vs), dim: dim}
+	p.initNorms()
+	return p, true
 }
 
 // Len returns the number of stored points.
@@ -70,13 +78,37 @@ func (p *Points) Append(row []float64) {
 	}
 	p.data = append(p.data, row...)
 	p.n++
+	if p.dim >= BlockedMinDim {
+		p.norms = append(p.norms, sqNorm(p.data[(p.n-1)*p.dim:p.n*p.dim]))
+	}
 }
 
-// Reset empties the store, retaining the backing array for reuse.
+// Reset empties the store, retaining the backing arrays for reuse.
 func (p *Points) Reset() {
 	p.data = p.data[:0]
+	p.norms = p.norms[:0]
 	p.n = 0
 	p.dim = 0
+}
+
+// initNorms (re)builds the squared-norm cache for the current contents:
+// one sqNorm per row at dim ≥ BlockedMinDim, empty below it. Bulk
+// loaders call it once after the copy instead of growing the cache row
+// by row.
+func (p *Points) initNorms() {
+	if p.dim < BlockedMinDim {
+		p.norms = p.norms[:0]
+		return
+	}
+	if cap(p.norms) < p.n {
+		p.norms = make([]float64, p.n)
+	} else {
+		p.norms = p.norms[:p.n]
+	}
+	d := p.dim
+	for i := 0; i < p.n; i++ {
+		p.norms[i] = sqNorm(p.data[i*d : i*d+d])
+	}
 }
 
 // Fill resets the store and bulk-loads vs, reusing the backing array
@@ -105,5 +137,6 @@ func (p *Points) Fill(vs []Vector) bool {
 	}
 	p.n = len(vs)
 	p.dim = dim
+	p.initNorms()
 	return true
 }

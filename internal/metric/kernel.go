@@ -98,6 +98,12 @@ func sqDist(a, b []float64) float64 {
 // The 8-dimensional kernel additionally unrolls four rows per step:
 // the independent lane sums of neighbouring rows overlap in the
 // pipeline, which is worth ~20% on top of the lane split.
+//
+// At d ≥ BlockedMinDim the squared distances come from the norm-trick
+// blocked tier (blocked.go): within the documented error envelope of
+// the difference form rather than bit-identical to it, exactly 0 on
+// exact duplicates, and exact (hence bit-identical) on integer-valued
+// inputs. Below the threshold nothing changes.
 func (p *Points) RelaxMinSqRange(lo, hi, c, sel int, minSq []float64, assign []int, next int, nextSq float64) (int, float64) {
 	if lo >= hi {
 		return next, nextSq
@@ -283,6 +289,9 @@ func (p *Points) RelaxMinSqRange(lo, hi, c, sel int, minSq []float64, assign []i
 			}
 		}
 	default:
+		if d >= BlockedMinDim {
+			return p.blockedRelaxRange(lo, hi, c, sel, minSq, assign, next, nextSq)
+		}
 		center := data[c*d : c*d+d]
 		for i := lo; i < hi; i++ {
 			sq := sqDist(center, data[i*d:i*d+d])

@@ -1,0 +1,79 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Johnson–Lindenstrauss random projection.
+//
+// A Projector maps dim-dimensional vectors to outDim < dim dimensions
+// through a dense Gaussian matrix with entries drawn N(0, 1/outDim):
+// for any pair of points, the projected squared distance concentrates
+// around the original one, with relative distortion O(√(log n / outDim))
+// over n points. Diversity maximization only compares distances, so a
+// solve over projected points selects a near-optimal set of the
+// original instance at a fraction of the per-distance cost — the
+// opt-in high-dimensional fast path of divmaxd (-project-dim).
+//
+// The matrix is a deterministic function of (dim, outDim, seed): two
+// Projectors built with the same parameters produce bit-identical
+// outputs, so ingests and deletes of the same original point always
+// collapse to the same projected point, and the projected-value →
+// original-value bookkeeping in the server can key on projected bytes.
+type Projector struct {
+	in, out int
+	// mat is the out×in projection matrix, row-major: row o holds the
+	// coefficients producing output coordinate o.
+	mat []float64
+}
+
+// NewProjector builds the deterministic Gaussian projector for the
+// given shape and seed. It returns nil when the projection would not
+// reduce the dimension (out ≥ in) or the shape is degenerate — callers
+// treat a nil Projector as "pass through".
+func NewProjector(in, out int, seed int64) *Projector {
+	if in <= 0 || out <= 0 || out >= in {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := 1 / math.Sqrt(float64(out))
+	mat := make([]float64, out*in)
+	for i := range mat {
+		mat[i] = rng.NormFloat64() * scale
+	}
+	return &Projector{in: in, out: out, mat: mat}
+}
+
+// InDim returns the input (original) dimension.
+func (pr *Projector) InDim() int { return pr.in }
+
+// OutDim returns the output (projected) dimension.
+func (pr *Projector) OutDim() int { return pr.out }
+
+// Project maps v to the reduced space. It panics on a dimension
+// mismatch — the caller validates batches before projecting them.
+func (pr *Projector) Project(v Vector) Vector {
+	if len(v) != pr.in {
+		panic("metric: Project of a mismatched vector")
+	}
+	out := make(Vector, pr.out)
+	for o := 0; o < pr.out; o++ {
+		row := pr.mat[o*pr.in : (o+1)*pr.in]
+		var sum float64
+		for j, c := range v {
+			sum += row[j] * c
+		}
+		out[o] = sum
+	}
+	return out
+}
+
+// ProjectAll maps every vector of a batch, returning a fresh slice.
+func (pr *Projector) ProjectAll(vs []Vector) []Vector {
+	out := make([]Vector, len(vs))
+	for i, v := range vs {
+		out[i] = pr.Project(v)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestProjectorDeterministic: equal (in, out, seed) must give
+// bit-identical projections — the property the server's projected-bytes
+// → original bookkeeping keys on.
+func TestProjectorDeterministic(t *testing.T) {
+	a := NewProjector(96, 24, 7)
+	b := NewProjector(96, 24, 7)
+	c := NewProjector(96, 24, 8)
+	rng := rand.New(rand.NewSource(1))
+	v := make(Vector, 96)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	pa, pb, pc := a.Project(v), b.Project(v), c.Project(v)
+	differs := false
+	for o := range pa {
+		if math.Float64bits(pa[o]) != math.Float64bits(pb[o]) {
+			t.Fatalf("same-seed projections differ at %d: %v vs %v", o, pa[o], pb[o])
+		}
+		if pa[o] != pc[o] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced the same projection")
+	}
+	if a.InDim() != 96 || a.OutDim() != 24 {
+		t.Fatalf("shape (%d, %d), want (96, 24)", a.InDim(), a.OutDim())
+	}
+}
+
+// TestProjectorRefusesNonReducingShapes: nil for out ≥ in and
+// degenerate shapes (callers treat nil as pass-through).
+func TestProjectorRefusesNonReducingShapes(t *testing.T) {
+	for _, shape := range [][2]int{{8, 8}, {8, 9}, {0, 4}, {4, 0}, {-1, 2}, {2, -1}} {
+		if pr := NewProjector(shape[0], shape[1], 1); pr != nil {
+			t.Fatalf("NewProjector(%d, %d) built a projector, want nil", shape[0], shape[1])
+		}
+	}
+	if pr := NewProjector(8, 4, 1); pr == nil {
+		t.Fatal("NewProjector(8, 4) refused a reducing shape")
+	}
+}
+
+func TestProjectorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProjector(8, 4, 1).Project(make(Vector, 7))
+}
+
+// TestProjectorDistortion is the JL sanity check: at 256→64 over a few
+// hundred pairs, every projected distance should sit within a modest
+// factor of the original — far looser than the theoretical concentration
+// bound, deterministic by seed, and linearity of the map must hold
+// exactly enough that ProjectAll matches per-point projection bitwise.
+func TestProjectorDistortion(t *testing.T) {
+	const in, out, n = 256, 64, 40
+	pr := NewProjector(in, out, 3)
+	rng := rand.New(rand.NewSource(4))
+	rows := make([]Vector, n)
+	for i := range rows {
+		v := make(Vector, in)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	proj := pr.ProjectAll(rows)
+	for i := range rows {
+		single := pr.Project(rows[i])
+		for o := range single {
+			if math.Float64bits(single[o]) != math.Float64bits(proj[i][o]) {
+				t.Fatalf("ProjectAll row %d differs from Project at %d", i, o)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			orig := Euclidean(rows[i], rows[j])
+			got := Euclidean(proj[i], proj[j])
+			if ratio := got / orig; ratio < 0.5 || ratio > 2 {
+				t.Fatalf("pair (%d,%d): projected distance %v vs original %v (ratio %v)",
+					i, j, got, orig, ratio)
+			}
+		}
+	}
+}

@@ -49,9 +49,14 @@ import (
 //     tiles (metric.Points.FillSqRows), and the passes that revisit a
 //     few rows — recomputes, swap sweeps, contribution updates — compute
 //     those rows on demand into O(k·n) scratch. Entries are the same
-//     canonical four-lane squares either way, so tiled solves select
-//     bit-identically to matrix solves, which select bit-identically to
-//     the generic callback path (matrix.go).
+//     per-pair kernel values either way (canonical four-lane squares
+//     below metric.BlockedMinDim, position-independent blocked-tier
+//     values at and above it), so tiled solves select bit-identically
+//     to matrix solves. Below the blocked threshold those entries are
+//     also bit-identical to the generic callback path (matrix.go); at
+//     and above it the values agree within the documented envelope and
+//     the SELECTIONS stay identical — pinned by the envelope harness in
+//     internal/metric.
 //
 // Before the engine, AutoMatrix refused to build past 4096 points and
 // large unions silently fell back to the per-pair callback path; now

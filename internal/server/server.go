@@ -165,6 +165,23 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// SegmentBytes is the WAL segment rotation size (default 4 MiB).
 	SegmentBytes int64
+	// ProjectDim, when positive, turns on the opt-in high-dimensional
+	// fast path: once the first request pins a dataset dimension above
+	// it, every ingested and deleted point is Johnson–Lindenstrauss
+	// projected to ProjectDim dimensions at the handler and the whole
+	// resident pipeline — shards, core-sets, caches, solve engines —
+	// runs in the reduced space. Query responses map the selected set
+	// back to the original points and report the TRUE-space diversity
+	// value of that set (re-evaluated over the originals), within the
+	// projection's distortion envelope of the unprojected answer. With
+	// projection on, a delete arriving before any ingest also pins the
+	// dataset dimension (the projector's shape must be fixed before
+	// anything reaches the shards). Datasets at or below ProjectDim
+	// dimensions pass through untouched. Incompatible with DataDir: the
+	// projected→original map is in-memory only. Default 0 — off, with
+	// every response and /v1/stats body byte-identical to earlier
+	// versions.
+	ProjectDim int
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +244,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FsyncInterval <= 0 {
 		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.ProjectDim < 0 {
+		c.ProjectDim = 0
 	}
 	switch {
 	case c.CheckpointEvery == 0:
@@ -299,6 +319,12 @@ type Server struct {
 	merges     atomic.Int64
 	mergeNanos atomic.Int64 // duration of the last merge+solve
 
+	// Opt-in JL projection state (project.go): the lazily built
+	// projector plus the projected→original map, and the count of
+	// points projected at ingest.
+	proj            projection
+	projectedPoints atomic.Int64
+
 	// Robustness counters: queries answered from surviving shards only,
 	// and requests shed with 429 by the bounded-backpressure (ingest)
 	// and inflight-query (query) limiters.
@@ -332,6 +358,9 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.KPrime < cfg.MaxK {
 		return nil, fmt.Errorf("server: kprime (%d) must be at least maxk (%d), or 0 for the default", cfg.KPrime, cfg.MaxK)
+	}
+	if cfg.ProjectDim > 0 && cfg.DataDir != "" {
+		return nil, errors.New("server: projectdim is incompatible with datadir (the projected→original map is in-memory only)")
 	}
 	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	if cfg.MaxInflight > 0 {
@@ -563,17 +592,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "point dimension %d does not match the dataset dimension %d", dim, s.dim.Load())
 		return
 	}
+	// With projection on, the shards fold the reduced-space batch; the
+	// originals are recorded for query-time mapping. Pass-through
+	// otherwise.
+	pts := s.projectIngest(req.Points)
 
 	// Deal the batch round-robin into pooled per-shard batches,
 	// continuing where the previous request left off so small batches
 	// still spread across shards.
-	n := uint64(len(req.Points))
+	n := uint64(len(pts))
 	start := s.next.Add(n) - n
 	batches := make([]*[]divmax.Vector, len(s.shards))
 	for i := range batches {
 		batches[i] = getVecSlice()
 	}
-	for i, p := range req.Points {
+	for i, p := range pts {
 		sh := (start + uint64(i)) % uint64(len(s.shards))
 		*batches[sh] = append(*batches[sh], p)
 	}
@@ -639,9 +672,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "point dimension %d does not match the dataset dimension %d", dim, want)
 		return
 	}
+	pts := req.Points
+	if s.cfg.ProjectDim > 0 {
+		// The shards store reduced-space points, so deletes must chase
+		// them there. A delete before any ingest pins the dataset
+		// dimension (the projector's shape is fixed at first use).
+		s.dim.CompareAndSwap(0, int64(len(req.Points[0])))
+		pts = s.projectDelete(req.Points)
+	}
 	ctx, cancel := requestCtx(r, s.cfg.IngestDeadline)
 	defer cancel()
-	outcomes, err := s.deleteAll(ctx, req.Points)
+	outcomes, err := s.deleteAll(ctx, pts)
 	if err != nil {
 		s.writeFailure(w, err)
 		return
@@ -1014,14 +1055,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !haveMemo {
 		start := time.Now()
 		sol, idx := s.solveMerged(m, st, k)
-		val, exact := divmax.Evaluate(m, sol, divmax.Euclidean)
-		if math.IsInf(val, 0) || math.IsNaN(val) {
-			// Min-based measures evaluate to +Inf on fewer than 2 points
-			// (empty server, or k=1); JSON cannot encode non-finite
-			// numbers, so report the degenerate diversity as 0 and flag
-			// it inexact.
-			val, exact = 0, false
-		}
+		// Under projection the solver picked projected points; map the
+		// selection back to the originals before evaluating, so both the
+		// reported solution and its value live in the true space.
+		sol = s.unproject(sol)
+		// Min-based measures evaluate to +Inf on fewer than 2 points
+		// (empty server, or k=1); JSON cannot encode non-finite numbers,
+		// so sanitizeValue reports the degenerate diversity as 0, inexact.
+		val, exact := sanitizeValue(divmax.Evaluate(m, sol, divmax.Euclidean))
 		elapsed = time.Since(start)
 		s.merges.Add(1)
 		s.mergeNanos.Store(int64(elapsed))
@@ -1078,6 +1119,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TiledSolves:       s.tiledSolves.Load(),
 		MaxK:              s.cfg.MaxK,
 		KPrime:            s.cfg.KPrime,
+		ProjectDim:        s.cfg.ProjectDim,
+		ProjectedPoints:   s.projectedPoints.Load(),
 	}
 	for i := range s.caches {
 		c := &s.caches[i]

@@ -1,0 +1,99 @@
+// Package testutil holds the floating-point comparators shared by the
+// envelope-equivalence test harnesses (internal/metric/envelope_test.go
+// and the consumer packages' tier-aware tests): ULP distances, relative
+// comparisons, and the documented error envelope of the blocked
+// (norm-trick) squared-distance tier.
+package testutil
+
+import "math"
+
+// eps is the double-precision machine epsilon, the unit of every bound
+// in this package.
+const eps = 0x1p-52
+
+// envelopeK is the safety multiple of SqDistBound over the worst-case
+// analytic rounding error of the two squared-distance forms (~d·eps
+// relative to ‖a‖²+‖b‖², see the derivation on SqDistBound). 8 keeps
+// the bound tight enough that an algebraic mistake — a dropped factor,
+// a wrong norm — overshoots it by many orders of magnitude, while
+// platform-legal differences stay well inside it.
+const envelopeK = 8
+
+// SqDistBound returns the absolute error envelope within which the
+// blocked-tier squared distance (‖a‖² + ‖b‖² − 2·a·b over cached norms,
+// internal/metric's d ≥ BlockedMinDim tier) and the canonical
+// difference-form squared distance must agree for d-dimensional rows
+// with squared norms na and nb.
+//
+// Derivation: a four-lane compensated-order sum of m products carries
+// relative error ≤ (m/4+2)·eps against its exact value, so each of
+// ‖a‖², ‖b‖², and a·b errs by ≤ (d/4+2)·eps times its own magnitude;
+// |a·b| ≤ (na+nb)/2 by AM–GM, and the final two additions contribute
+// two more half-ULPs — in total ≤ ~d·eps·(na+nb). The difference form's
+// error is ≤ (d/4+2)·eps·Σ(aᵢ−bᵢ)² ≤ ~(d/2)·eps·(na+nb). envelopeK
+// covers both plus slack.
+//
+// The envelope is an absolute bound scaled by the operand norms — not a
+// plain relative bound — because the norm trick's cancellation on
+// near-duplicate rows makes the *relative* error of a tiny distance
+// unbounded while its absolute error stays pinned to the norms.
+func SqDistBound(dim int, na, nb float64) float64 {
+	return envelopeK * float64(dim) * eps * (na + nb)
+}
+
+// ULPDiff returns the distance in units of least precision between a
+// and b: the number of representable float64 values strictly between
+// them, plus one if they differ. It returns 0 iff the bit patterns are
+// equal (so -0 and +0 count as one ULP apart, and two NaNs with equal
+// payloads count as equal), and MaxUint64 when either value is NaN with
+// a different pattern or the values straddle the NaN space.
+func ULPDiff(a, b float64) uint64 {
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba == bb {
+		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxUint64
+	}
+	// Map the sign-magnitude float ordering onto an unsigned number
+	// line so ULP distance is plain subtraction across zero.
+	ia, ib := ulpOrder(ba), ulpOrder(bb)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return ib - ia
+}
+
+// ulpOrder maps float64 bit patterns onto a monotonically increasing
+// unsigned scale: negative values are reflected below the midpoint,
+// non-negative values offset above it.
+func ulpOrder(bits uint64) uint64 {
+	if bits&(1<<63) != 0 {
+		return 1<<63 - (bits &^ (1 << 63))
+	}
+	return 1<<63 + bits
+}
+
+// WithinULP reports whether a and b are within n units of least
+// precision of one another (bit-equal counts as 0).
+func WithinULP(a, b float64, n uint64) bool { return ULPDiff(a, b) <= n }
+
+// WithinRel reports whether a and b agree to relative tolerance tol,
+// |a−b| ≤ tol·max(|a|, |b|), treating exact equality (including both
+// zero or both the same infinity) as agreement.
+func WithinRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Abs(a)
+	if mb := math.Abs(b); mb > m {
+		m = mb
+	}
+	return math.Abs(a-b) <= tol*m
+}
+
+// WithinAbs reports whether |a−b| ≤ bound, treating exact equality as
+// agreement (covers both infinite with the same sign).
+func WithinAbs(a, b, bound float64) bool {
+	return a == b || math.Abs(a-b) <= bound
+}
